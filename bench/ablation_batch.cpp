@@ -1,0 +1,83 @@
+// Ablation: how much of FERRUM's advantage comes from SIMD check
+// batching. Sweeps the flush threshold (1 / 2 / 4 sites per check, where
+// 4 is the paper's YMM-combining Fig 6 configuration) and compares
+// against FERRUM with SIMD disabled entirely (immediate xor+jne checks,
+// i.e. Fig 4 for every site) — isolating the "deferred + batched checking"
+// design choice the paper credits for the speedup.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+namespace {
+
+std::uint64_t cycles_of(const std::string& source,
+                        const pipeline::BuildOptions& options) {
+  auto build = pipeline::build(source, Technique::kFerrum, options);
+  vm::VmOptions vm_options;
+  vm_options.timing = true;
+  const auto result = vm::run(build.program, vm_options);
+  return result.ok() ? result.cycles : 0;
+}
+
+}  // namespace
+
+int main() {
+  const int scale = benchutil::env_int("FERRUM_SCALE", 2);
+  std::printf("Ablation — SIMD check batching (FERRUM variants, "
+              "overhead vs raw, scale x%d)\n\n", scale);
+  std::printf("%-15s %10s | %10s %10s %10s %10s\n", "benchmark", "raw cyc",
+              "no-simd", "batch=1", "batch=2", "batch=4");
+  benchutil::print_rule(78);
+
+  double sums[4] = {0, 0, 0, 0};
+  int rows = 0;
+  for (const auto& base : workloads::all()) {
+    const auto w = workloads::scaled(base.name, scale);
+    auto raw_build = pipeline::build(w.source, Technique::kNone);
+    vm::VmOptions vm_options;
+    vm_options.timing = true;
+    const auto raw = vm::run(raw_build.program, vm_options);
+    if (!raw.ok()) return 1;
+
+    double overheads[4];
+    int column = 0;
+    {
+      pipeline::BuildOptions options;
+      options.ferrum.use_simd = false;
+      overheads[column++] =
+          100.0 * (static_cast<double>(cycles_of(w.source, options)) -
+                   raw.cycles) / raw.cycles;
+    }
+    for (int batch : {1, 2, 4}) {
+      pipeline::BuildOptions options;
+      options.ferrum.simd_batch = batch;
+      overheads[column++] =
+          100.0 * (static_cast<double>(cycles_of(w.source, options)) -
+                   raw.cycles) / raw.cycles;
+    }
+    std::printf("%-15s %10llu |", w.name.c_str(),
+                static_cast<unsigned long long>(raw.cycles));
+    for (int i = 0; i < 4; ++i) {
+      std::printf(" %9.1f%%", overheads[i]);
+      sums[i] += overheads[i];
+    }
+    std::printf("\n");
+    ++rows;
+  }
+  benchutil::print_rule(78);
+  std::printf("%-15s %10s |", "AVERAGE", "");
+  for (double sum : sums) std::printf(" %9.1f%%", sum / rows);
+  std::printf("\n\nExpected shape: batch=4 (the paper's Fig 6 YMM "
+              "configuration) is cheapest and overhead falls with batch "
+              "width. batch=1 typically costs MORE than plain immediate "
+              "checks: the win comes from check amortisation (deferral + "
+              "batching), not from merely routing data through SIMD "
+              "registers.\n");
+  return 0;
+}

@@ -1,0 +1,23 @@
+// Shared helpers for the experiment binaries: environment-variable knobs
+// and small table-printing utilities.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace ferrum::benchutil {
+
+/// Reads an integer knob from the environment (e.g. FERRUM_TRIALS=2000).
+inline int env_int(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return std::atoi(value);
+}
+
+inline void print_rule(int width = 100) {
+  for (int i = 0; i < width; ++i) std::fputc('-', stdout);
+  std::fputc('\n', stdout);
+}
+
+}  // namespace ferrum::benchutil

@@ -1,0 +1,57 @@
+// Substrate microbenchmarks: VM interpretation throughput and the cost of
+// enabling the timing model, per technique. Not a paper experiment, but
+// documents what one fault-injection trial costs.
+#include <benchmark/benchmark.h>
+
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+namespace {
+
+void BM_VmRun(benchmark::State& state, Technique technique, bool timing) {
+  const auto& w = workloads::by_name("pathfinder");
+  auto build = pipeline::build(w.source, technique);
+  vm::VmOptions options;
+  options.timing = timing;
+  std::uint64_t steps = 0;
+  for (auto _ : state) {
+    const auto result = vm::run(build.program, options);
+    if (!result.ok()) {
+      state.SkipWithError("run failed");
+      return;
+    }
+    steps = result.steps;
+    benchmark::DoNotOptimize(result.return_value);
+  }
+  state.counters["dyn_insts"] = static_cast<double>(steps);
+  state.SetItemsProcessed(static_cast<std::int64_t>(steps) *
+                          state.iterations());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  benchmark::RegisterBenchmark(
+      "VmRun/raw", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kNone, false);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      "VmRun/raw_timing", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kNone, true);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      "VmRun/ferrum", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kFerrum, false);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      "VmRun/hybrid", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kHybrid, false);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::Initialize(&argc, argv);
+  benchmark::RunSpecifiedBenchmarks();
+  return 0;
+}

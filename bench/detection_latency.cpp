@@ -1,0 +1,58 @@
+// Extension — detection latency: how many instructions execute between
+// the bit flip and the detector firing. The paper's deferred detection
+// (Fig 5) and SIMD batching (Fig 6) trade immediate checking for speed;
+// this experiment quantifies the window that trade opens. Latency matters
+// when corrupted state can escape through I/O before the batched check
+// runs (FERRUM bounds the window by flushing at block ends and calls).
+#include <cstdio>
+
+#include "bench_util.h"
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+int main() {
+  const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  std::printf("Extension — detection latency in dynamic instructions "
+              "(%d faults per cell, Detected runs only)\n\n", trials);
+  std::printf("%-15s | %-21s %-21s %-21s\n", "", "ir-eddi", "hybrid",
+              "ferrum");
+  std::printf("%-15s | %9s %9s   %9s %9s   %9s %9s\n", "benchmark", "mean",
+              "max", "mean", "max", "mean", "max");
+  benchutil::print_rule(86);
+
+  const Technique techniques[] = {Technique::kIrEddi, Technique::kHybrid,
+                                  Technique::kFerrum};
+  double mean_sums[3] = {0, 0, 0};
+  int rows = 0;
+
+  for (const auto& w : workloads::all()) {
+    std::printf("%-15s |", w.name.c_str());
+    for (int t = 0; t < 3; ++t) {
+      auto build = pipeline::build(w.source, techniques[t]);
+      fault::CampaignOptions options;
+      options.trials = trials;
+      const auto result = fault::run_campaign(build.program, options);
+      mean_sums[t] += result.mean_detection_latency();
+      std::printf(" %9.1f %9llu  ", result.mean_detection_latency(),
+                  static_cast<unsigned long long>(result.latency_max));
+    }
+    std::printf("\n");
+    ++rows;
+  }
+  benchutil::print_rule(86);
+  std::printf("%-15s |", "AVERAGE mean");
+  for (double sum : mean_sums) std::printf(" %9.1f %9s  ", sum / rows, "");
+  std::printf("\n\nExpected shape: HYBRID's immediate per-site checks "
+              "detect within a handful of instructions; FERRUM's deferred "
+              "captures and 4-site batches open a wider (but block-"
+              "bounded) window; IR-EDDI's sync-point checks sit in "
+              "between. The paper accepts this window silently — it never "
+              "reports latency — and FERRUM's flush-before-call rule is "
+              "what keeps corrupted values from escaping through output "
+              "in spite of it.\n");
+  return 0;
+}

@@ -1,0 +1,71 @@
+// Reproduces Fig 11: runtime performance overhead of each protection
+// technique, measured with the VM's port/dependency timing model
+// (substitute for the paper's wall-clock Xeon measurements; see DESIGN.md).
+//
+// Paper reference points (averages): IR-LEVEL-EDDI 62.27%,
+// HYBRID-ASSEMBLY-LEVEL-EDDI 83.39%, FERRUM 29.83% — i.e. FERRUM is the
+// cheapest and HYBRID the most expensive, with FERRUM roughly 50% faster
+// than IR-level EDDI.
+#include <cstdio>
+
+#include "bench_util.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+int main() {
+  const int scale = benchutil::env_int("FERRUM_SCALE", 2);
+  std::printf("Fig 11 — runtime overhead from the timing model "
+              "(workload scale x%d)\n\n", scale);
+  std::printf("%-15s %12s | %10s %10s %10s | %10s %10s %10s\n", "benchmark",
+              "raw cycles", "ir-eddi", "hybrid", "ferrum", "ir ovh",
+              "hyb ovh", "fer ovh");
+  benchutil::print_rule(100);
+
+  const Technique techniques[] = {Technique::kNone, Technique::kIrEddi,
+                                  Technique::kHybrid, Technique::kFerrum};
+  double overhead_sum[3] = {0, 0, 0};
+  int rows = 0;
+
+  for (const auto& base : workloads::all()) {
+    const auto w = workloads::scaled(base.name, scale);
+    std::uint64_t cycles[4] = {0, 0, 0, 0};
+    for (int t = 0; t < 4; ++t) {
+      auto build = pipeline::build(w.source, techniques[t]);
+      vm::VmOptions options;
+      options.timing = true;
+      const auto result = vm::run(build.program, options);
+      if (!result.ok()) {
+        std::printf("%-15s FAILED (%s)\n", w.name.c_str(),
+                    vm::exit_status_name(result.status));
+        return 1;
+      }
+      cycles[t] = result.cycles;
+    }
+    double overhead[3];
+    for (int t = 0; t < 3; ++t) {
+      overhead[t] = 100.0 *
+                    (static_cast<double>(cycles[t + 1]) - cycles[0]) /
+                    static_cast<double>(cycles[0]);
+      overhead_sum[t] += overhead[t];
+    }
+    ++rows;
+    std::printf("%-15s %12llu | %10llu %10llu %10llu | %9.1f%% %9.1f%% "
+                "%9.1f%%\n",
+                w.name.c_str(), static_cast<unsigned long long>(cycles[0]),
+                static_cast<unsigned long long>(cycles[1]),
+                static_cast<unsigned long long>(cycles[2]),
+                static_cast<unsigned long long>(cycles[3]), overhead[0],
+                overhead[1], overhead[2]);
+  }
+  benchutil::print_rule(100);
+  std::printf("%-15s %12s | %10s %10s %10s | %9.1f%% %9.1f%% %9.1f%%\n",
+              "AVERAGE", "", "", "", "", overhead_sum[0] / rows,
+              overhead_sum[1] / rows, overhead_sum[2] / rows);
+  std::printf("\npaper:  ir-eddi 62.3%%, hybrid 83.4%%, ferrum 29.8%% "
+              "(ordering: ferrum < ir-eddi < hybrid)\n");
+  return 0;
+}

@@ -1,0 +1,125 @@
+// Reproduces Table I: which assembly-level fault classes each technique
+// protects. Instead of quoting design intent, this measures it: an
+// extended-model fault-injection campaign (store-data sites included)
+// buckets every sampled fault by the class it landed in and reports the
+// SDCs that escaped per class. "covered" = no escapes observed.
+//
+// Class mapping to the paper's columns:
+//   basic       gpr/xmm-write faults on instructions lowered from IR
+//   mapping     gpr/xmm-write faults on backend-glue instructions
+//               (spills, moves, setcc materialisation, addressing)
+//   comparison  flags-write faults (cmp / test / ucomisd)
+//   branch      branch-decision faults (jcc resolution)
+//   store       store-data faults (extended model; the paper's register-
+//               destination model has no such sites)
+//   call        faults in the call's return-address store (crash-only by
+//               construction in the VM, hence covered everywhere)
+#include <cstdio>
+#include <map>
+#include <string>
+
+#include "bench_util.h"
+#include "fault/campaign.h"
+#include "masm/masm.h"
+#include "pipeline/pipeline.h"
+#include "support/rng.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+namespace {
+
+struct ClassStats {
+  int total = 0;
+  int sdc = 0;
+};
+
+std::string classify(const vm::FaultLanding& landing) {
+  switch (landing.kind) {
+    case vm::FaultKind::kBranchDecision:
+      return "branch";
+    case vm::FaultKind::kFlagsWrite:
+      return "comparison";
+    case vm::FaultKind::kStoreData:
+      return landing.op == masm::Op::kCall ? "call" : "store";
+    case vm::FaultKind::kGprWrite:
+    case vm::FaultKind::kXmmWrite:
+      if (landing.origin == masm::InstOrigin::kBackendGlue) return "mapping";
+      if (landing.origin == masm::InstOrigin::kProtection) return "(prot)";
+      return "basic";
+  }
+  return "?";
+}
+
+}  // namespace
+
+int main() {
+  const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  std::printf("Table I — measured protection capability per fault class\n");
+  std::printf("(extended fault model incl. store-data; %d samples per "
+              "benchmark per technique)\n\n", trials);
+
+  const Technique techniques[] = {Technique::kIrEddi, Technique::kHybrid,
+                                  Technique::kFerrum};
+  const char* names[] = {"IR-LEVEL-EDDI", "HYBRID-ASM-EDDI", "FERRUM"};
+  const char* columns[] = {"basic",  "store", "branch",
+                           "call",   "mapping", "comparison"};
+
+  for (int t = 0; t < 3; ++t) {
+    std::map<std::string, ClassStats> buckets;
+    for (const auto& w : workloads::all()) {
+      pipeline::BuildOptions build_options;
+      // FERRUM/HYBRID verify stores under the extended model.
+      build_options.ferrum.protect_store_data = true;
+      auto build = pipeline::build(w.source, techniques[t], build_options);
+      // Hybrid's assembly stage runs inside pipeline::build without store
+      // checks; re-protect is not possible, so the store column for
+      // HYBRID reflects its paper configuration (AS_1 without load-back).
+      vm::VmOptions vm_options;
+      vm_options.fault_store_data = true;
+      const vm::VmResult golden = vm::run(build.program, vm_options);
+      if (!golden.ok()) {
+        std::printf("golden run failed for %s\n", w.name.c_str());
+        return 1;
+      }
+      vm::VmOptions faulty = vm_options;
+      faulty.max_steps = golden.steps * 16 + 100'000;
+      Rng rng(0x7ab1e1 + t);
+      for (int i = 0; i < trials; ++i) {
+        vm::FaultSpec fault;
+        fault.site = rng.next_below(golden.fi_sites);
+        fault.bit = static_cast<int>(rng.next_below(64));
+        const vm::VmResult run = vm::run(build.program, faulty, &fault);
+        if (!run.fault_landing.has_value()) continue;
+        ClassStats& stats = buckets[classify(*run.fault_landing)];
+        ++stats.total;
+        stats.sdc += run.ok() && run.output != golden.output;
+      }
+    }
+    std::printf("%-16s", names[t]);
+    for (const char* column : columns) {
+      const ClassStats& stats = buckets[column];
+      std::string cell;
+      if (stats.total == 0) {
+        cell = "n/a";
+      } else if (stats.sdc == 0) {
+        cell = "covered";
+      } else {
+        char buffer[32];
+        std::snprintf(buffer, sizeof(buffer), "%d/%d SDC", stats.sdc,
+                      stats.total);
+        cell = buffer;
+      }
+      std::printf(" %-12s", cell.c_str());
+    }
+    std::printf("\n");
+  }
+  std::printf("%-16s", "(columns)");
+  for (const char* column : columns) std::printf(" %-12s", column);
+  std::printf("\n\npaper Table I: IR-LEVEL-EDDI covers only 'basic' (at "
+              "IR); HYBRID covers branch/comparison at IR and the rest at "
+              "AS_1; FERRUM covers every class at AS_2.\n");
+  return 0;
+}

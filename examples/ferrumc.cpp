@@ -1,0 +1,144 @@
+// ferrumc — command-line driver for the whole pipeline. Compile a MiniC
+// file, optionally protect it, then run it, dump its IR/assembly, audit
+// its coverage exhaustively, or campaign against it.
+//
+//   ferrumc run prog.c                     # compile + execute
+//   ferrumc run prog.c --tech=ferrum       # protected execution
+//   ferrumc asm prog.c --tech=hybrid       # dump protected assembly
+//   ferrumc ir prog.c --tech=ir-eddi       # dump protected IR
+//   ferrumc audit prog.c                   # exhaustive FERRUM audit
+//   ferrumc campaign prog.c --tech=ferrum --trials=1000
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+
+#include "fault/audit.h"
+#include "fault/campaign.h"
+#include "ir/printer.h"
+#include "masm/masm.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s <run|asm|ir|audit|campaign> <file.c>\n"
+               "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
+               "       [--trials=N] [--timing]\n",
+               argv0);
+  return 2;
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+Technique parse_technique(const std::string& name) {
+  if (name == "none") return Technique::kNone;
+  if (name == "ir-eddi") return Technique::kIrEddi;
+  if (name == "hybrid") return Technique::kHybrid;
+  if (name == "ferrum") return Technique::kFerrum;
+  std::fprintf(stderr, "unknown technique '%s'\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 3) return usage(argv[0]);
+  const std::string command = argv[1];
+  const std::string path = argv[2];
+  Technique technique =
+      command == "audit" ? Technique::kFerrum : Technique::kNone;
+  int trials = 1000;
+  bool timing = false;
+  for (int i = 3; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--tech=", 0) == 0) {
+      technique = parse_technique(arg.substr(7));
+    } else if (arg.rfind("--trials=", 0) == 0) {
+      trials = std::atoi(arg.c_str() + 9);
+    } else if (arg == "--timing") {
+      timing = true;
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  const std::string source = read_file(path);
+  pipeline::Build build;
+  try {
+    build = pipeline::build(source, technique);
+  } catch (const std::exception& error) {
+    std::fprintf(stderr, "%s\n", error.what());
+    return 1;
+  }
+
+  if (command == "ir") {
+    std::fputs(ir::print(*build.module).c_str(), stdout);
+    return 0;
+  }
+  if (command == "asm") {
+    std::fputs(masm::print(build.program).c_str(), stdout);
+    return 0;
+  }
+  if (command == "run") {
+    vm::VmOptions options;
+    options.timing = timing;
+    const vm::VmResult result = vm::run(build.program, options);
+    for (std::uint64_t value : result.output) {
+      std::printf("%lld\n", static_cast<long long>(value));
+    }
+    std::fprintf(stderr, "[%s: %llu insts%s%s]\n",
+                 vm::exit_status_name(result.status),
+                 static_cast<unsigned long long>(result.steps),
+                 timing ? ", cycles=" : "",
+                 timing ? std::to_string(result.cycles).c_str() : "");
+    return result.ok() ? static_cast<int>(result.return_value & 0xff) : 1;
+  }
+  if (command == "audit") {
+    const fault::AuditReport report = fault::audit_program(build.program);
+    std::printf("sites=%llu injections=%llu detected=%llu benign=%llu "
+                "crashed=%llu escapes=%zu\n",
+                static_cast<unsigned long long>(report.sites),
+                static_cast<unsigned long long>(report.injections),
+                static_cast<unsigned long long>(report.detected),
+                static_cast<unsigned long long>(report.benign),
+                static_cast<unsigned long long>(report.crashed),
+                report.escapes.size());
+    for (const auto& escape : report.escapes) {
+      std::printf("ESCAPE site=%llu bit=%d kind=%s fn=%s\n",
+                  static_cast<unsigned long long>(escape.site), escape.bit,
+                  vm::fault_kind_name(escape.kind),
+                  escape.function.c_str());
+    }
+    return report.fully_covered() ? 0 : 1;
+  }
+  if (command == "campaign") {
+    fault::CampaignOptions options;
+    options.trials = trials;
+    const auto result = fault::run_campaign(build.program, options);
+    std::printf("trials=%d benign=%d sdc=%d detected=%d crash=%d "
+                "sdc_rate=%.4f\n",
+                result.trials(), result.count(fault::Outcome::kBenign),
+                result.count(fault::Outcome::kSdc),
+                result.count(fault::Outcome::kDetected),
+                result.count(fault::Outcome::kCrash), result.sdc_rate());
+    return 0;
+  }
+  return usage(argv[0]);
+}

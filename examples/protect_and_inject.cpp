@@ -1,0 +1,84 @@
+// CLI driver: pick a workload and a technique, run a fault-injection
+// campaign, print the outcome distribution.
+//
+//   $ ./protect_and_inject bfs ferrum 500
+//   $ ./protect_and_inject kmeans ir-eddi
+//   $ ./protect_and_inject list
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+namespace {
+
+Technique technique_from(const std::string& name) {
+  if (name == "none" || name == "raw") return Technique::kNone;
+  if (name == "ir-eddi" || name == "ir") return Technique::kIrEddi;
+  if (name == "hybrid") return Technique::kHybrid;
+  if (name == "ferrum") return Technique::kFerrum;
+  std::fprintf(stderr, "unknown technique '%s' "
+               "(use none | ir-eddi | hybrid | ferrum)\n", name.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc >= 2 && std::string(argv[1]) == "list") {
+    for (const auto& w : workloads::all()) {
+      std::printf("%-15s %s\n", w.name.c_str(), w.domain.c_str());
+    }
+    return 0;
+  }
+  if (argc < 3) {
+    std::fprintf(stderr,
+                 "usage: %s <workload|list> <technique> [trials]\n",
+                 argv[0]);
+    return 2;
+  }
+  const std::string workload_name = argv[1];
+  const Technique technique = technique_from(argv[2]);
+  const int trials = argc > 3 ? std::atoi(argv[3]) : 1000;
+
+  const auto& workload = workloads::by_name(workload_name);
+  std::printf("workload:  %s (%s)\n", workload.name.c_str(),
+              workload.domain.c_str());
+  std::printf("technique: %s\n", pipeline::technique_name(technique));
+
+  auto build = pipeline::build(workload.source, technique);
+  std::printf("program:   %zu static instructions\n",
+              build.program.inst_count());
+
+  fault::CampaignOptions options;
+  options.trials = trials;
+  const auto result = fault::run_campaign(build.program, options);
+  std::printf("dynamic:   %llu instructions, %llu fault sites\n",
+              static_cast<unsigned long long>(result.golden_steps),
+              static_cast<unsigned long long>(result.total_sites));
+  std::printf("\n%d sampled single-bit faults:\n", result.trials());
+  std::printf("  benign    %5d (%.1f%%)\n",
+              result.count(fault::Outcome::kBenign),
+              100.0 * result.count(fault::Outcome::kBenign) / trials);
+  std::printf("  sdc       %5d (%.1f%%)\n",
+              result.count(fault::Outcome::kSdc),
+              100.0 * result.count(fault::Outcome::kSdc) / trials);
+  std::printf("  detected  %5d (%.1f%%)\n",
+              result.count(fault::Outcome::kDetected),
+              100.0 * result.count(fault::Outcome::kDetected) / trials);
+  std::printf("  crash     %5d (%.1f%%)\n",
+              result.count(fault::Outcome::kCrash),
+              100.0 * result.count(fault::Outcome::kCrash) / trials);
+  if (!result.sdc_breakdown.empty()) {
+    std::printf("\nSDC root causes (fault class / instruction origin):\n");
+    for (const auto& [key, count] : result.sdc_breakdown) {
+      std::printf("  %-32s %d\n", key.c_str(), count);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,59 @@
+// One-stop resilience report for a single workload: coverage + overhead
+// for all three protection techniques (a per-benchmark slice of the
+// paper's Figs 10 and 11).
+//
+//   $ ./resilience_report needle 500
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+using namespace ferrum;
+using pipeline::Technique;
+
+int main(int argc, char** argv) {
+  const std::string name = argc > 1 ? argv[1] : "needle";
+  const int trials = argc > 2 ? std::atoi(argv[2]) : 500;
+  const auto& workload = workloads::by_name(name);
+
+  std::printf("Resilience report — %s (%s), %d faults per campaign\n\n",
+              workload.name.c_str(), workload.domain.c_str(), trials);
+
+  fault::CampaignOptions campaign;
+  campaign.trials = trials;
+  vm::VmOptions timed;
+  timed.timing = true;
+
+  auto raw_build = pipeline::build(workload.source, Technique::kNone);
+  const auto raw_campaign = fault::run_campaign(raw_build.program, campaign);
+  const auto raw_timed = vm::run(raw_build.program, timed);
+  std::printf("%-12s %10s %10s %10s %10s %10s\n", "technique", "SDC rate",
+              "coverage", "cycles", "overhead", "insts");
+  std::printf("%-12s %9.1f%% %10s %10llu %10s %10zu\n", "raw",
+              raw_campaign.sdc_rate() * 100.0, "-",
+              static_cast<unsigned long long>(raw_timed.cycles), "-",
+              raw_build.program.inst_count());
+
+  const Technique techniques[] = {Technique::kIrEddi, Technique::kHybrid,
+                                  Technique::kFerrum};
+  const char* labels[] = {"ir-eddi", "hybrid", "ferrum"};
+  for (int t = 0; t < 3; ++t) {
+    auto build = pipeline::build(workload.source, techniques[t]);
+    const auto result = fault::run_campaign(build.program, campaign);
+    const auto timed_run = vm::run(build.program, timed);
+    const double coverage =
+        fault::sdc_coverage(raw_campaign.sdc_rate(), result.sdc_rate());
+    const double overhead =
+        100.0 * (static_cast<double>(timed_run.cycles) - raw_timed.cycles) /
+        static_cast<double>(raw_timed.cycles);
+    std::printf("%-12s %9.1f%% %9.1f%% %10llu %9.1f%% %10zu\n", labels[t],
+                result.sdc_rate() * 100.0, coverage * 100.0,
+                static_cast<unsigned long long>(timed_run.cycles), overhead,
+                build.program.inst_count());
+  }
+  return 0;
+}

@@ -1,0 +1,40 @@
+// MiniIR -> MiniASM backend: instruction selection, local register
+// allocation with spilling, frame lowering, System-V-flavoured calling
+// convention.
+//
+// The backend intentionally mirrors clang -O0 x86 output, because the
+// paper's coverage-gap argument (Sec IV-B1) rests on backend-introduced
+// instructions that IR-level protection cannot see:
+//  * comparison results are materialised with setcc and re-tested with
+//    `testb $1, %reg` before conditional jumps whenever the compare is not
+//    immediately adjacent to the branch (Fig 8/9 in the paper);
+//  * register pressure causes spill stores/reloads;
+//  * address arithmetic (lea), argument shuffling and constant
+//    materialisation all appear only at this level.
+// Every emitted instruction carries an InstOrigin tag (kFromIR vs
+// kBackendGlue) so experiments can attribute coverage loss.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+#include "masm/masm.h"
+
+namespace ferrum::backend {
+
+struct BackendOptions {
+  /// Upper bound on the number of allocatable scratch GPRs (callee-saved
+  /// ones included); lowering it increases register pressure and spills,
+  /// and starves the protection passes of spare registers (exercising
+  /// FERRUM's stack requisition). Range [4, 14].
+  int max_scratch_gprs = 14;
+  /// Same for XMM registers. Range [2, 16].
+  int max_scratch_xmms = 16;
+};
+
+/// Lowers a verified module. Throws std::runtime_error on unsupported
+/// constructs (which the frontend cannot produce).
+masm::AsmProgram lower(const ir::Module& module,
+                       const BackendOptions& options = {});
+
+}  // namespace ferrum::backend

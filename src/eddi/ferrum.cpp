@@ -1,0 +1,19 @@
+#include "eddi/ferrum.h"
+
+#include <chrono>
+
+namespace ferrum::eddi {
+
+FerrumReport apply_ferrum(masm::AsmProgram& program,
+                          const FerrumOptions& options) {
+  FerrumReport report;
+  report.static_instructions_before = program.inst_count();
+  const auto start = std::chrono::steady_clock::now();
+  report.stats = protect_asm(program, options.asm_options);
+  const auto end = std::chrono::steady_clock::now();
+  report.seconds = std::chrono::duration<double>(end - start).count();
+  report.static_instructions_after = program.inst_count();
+  return report;
+}
+
+}  // namespace ferrum::eddi

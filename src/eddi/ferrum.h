@@ -1,0 +1,29 @@
+// FERRUM public entry point: assembly-level EDDI with SIMD-batched
+// checking, deferred flag detection and stack-level register requisition
+// (the paper's contribution, Sec III).
+#pragma once
+
+#include <cstddef>
+
+#include "eddi/asm_protect.h"
+#include "masm/masm.h"
+
+namespace ferrum::eddi {
+
+struct FerrumOptions {
+  AsmProtectOptions asm_options;  // defaults are the full FERRUM config
+};
+
+struct FerrumReport {
+  AsmProtectStats stats;
+  /// Wall-clock time the transformation took (paper Sec IV-B3).
+  double seconds = 0.0;
+  std::size_t static_instructions_before = 0;
+  std::size_t static_instructions_after = 0;
+};
+
+/// Protects the program in place and reports transformation statistics.
+FerrumReport apply_ferrum(masm::AsmProgram& program,
+                          const FerrumOptions& options = {});
+
+}  // namespace ferrum::eddi

@@ -1,0 +1,49 @@
+#include "fault/audit.h"
+
+#include <stdexcept>
+
+namespace ferrum::fault {
+
+AuditReport audit_program(const masm::AsmProgram& program,
+                          const AuditOptions& options) {
+  const vm::VmResult golden = vm::run(program, options.vm);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("audit golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+  AuditReport report;
+  report.sites = golden.fi_sites;
+
+  vm::VmOptions faulty = options.vm;
+  faulty.max_steps = golden.steps * 16 + 10'000;
+
+  for (std::uint64_t site = 0; site < golden.fi_sites; ++site) {
+    for (int bit : options.probe_bits) {
+      vm::FaultSpec fault;
+      fault.site = site;
+      fault.bit = bit;
+      const vm::VmResult run = vm::run(program, faulty, &fault);
+      ++report.injections;
+      if (run.status == vm::ExitStatus::kDetected) {
+        ++report.detected;
+      } else if (!run.ok()) {
+        ++report.crashed;
+      } else if (run.output == golden.output) {
+        ++report.benign;
+      } else {
+        AuditEscape escape;
+        escape.site = site;
+        escape.bit = bit;
+        if (run.fault_landing.has_value()) {
+          escape.kind = run.fault_landing->kind;
+          escape.origin = run.fault_landing->origin;
+          escape.function = run.fault_landing->function;
+        }
+        report.escapes.push_back(std::move(escape));
+      }
+    }
+  }
+  return report;
+}
+
+}  // namespace ferrum::fault

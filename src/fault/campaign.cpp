@@ -1,0 +1,125 @@
+#include "fault/campaign.h"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "support/rng.h"
+
+namespace ferrum::fault {
+
+const char* outcome_name(Outcome outcome) {
+  switch (outcome) {
+    case Outcome::kBenign: return "benign";
+    case Outcome::kSdc: return "sdc";
+    case Outcome::kDetected: return "detected";
+    case Outcome::kCrash: return "crash";
+  }
+  return "?";
+}
+
+double CampaignResult::sdc_rate() const {
+  const int total = trials();
+  if (total == 0) return 0.0;
+  return static_cast<double>(count(Outcome::kSdc)) / total;
+}
+
+std::pair<double, double> wilson_interval(int successes, int trials) {
+  if (trials <= 0) return {0.0, 1.0};
+  const double z = 1.959963985;  // 97.5th normal percentile
+  const double n = trials;
+  const double p = static_cast<double>(successes) / n;
+  const double z2 = z * z;
+  const double denom = 1.0 + z2 / n;
+  const double centre = (p + z2 / (2.0 * n)) / denom;
+  const double margin =
+      z * std::sqrt(p * (1.0 - p) / n + z2 / (4.0 * n * n)) / denom;
+  const double lo = centre - margin;
+  const double hi = centre + margin;
+  return {lo < 0.0 ? 0.0 : lo, hi > 1.0 ? 1.0 : hi};
+}
+
+std::pair<double, double> CampaignResult::sdc_rate_ci() const {
+  return wilson_interval(count(Outcome::kSdc), trials());
+}
+
+namespace {
+
+Outcome classify(const vm::VmResult& result,
+                 const std::vector<std::uint64_t>& golden) {
+  switch (result.status) {
+    case vm::ExitStatus::kOk:
+      return result.output == golden ? Outcome::kBenign : Outcome::kSdc;
+    case vm::ExitStatus::kDetected:
+      return Outcome::kDetected;
+    default:
+      return Outcome::kCrash;
+  }
+}
+
+const char* origin_name(masm::InstOrigin origin) {
+  switch (origin) {
+    case masm::InstOrigin::kFromIR: return "from-ir";
+    case masm::InstOrigin::kBackendGlue: return "backend-glue";
+    case masm::InstOrigin::kProtection: return "protection";
+  }
+  return "?";
+}
+
+}  // namespace
+
+CampaignResult run_campaign(const masm::AsmProgram& program,
+                            const CampaignOptions& options) {
+  // Golden profiling run: output + dynamic FI-site count.
+  const vm::VmResult golden = vm::run(program, options.vm);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+  if (golden.fi_sites == 0) {
+    throw std::runtime_error("program has no fault-injection sites");
+  }
+
+  CampaignResult result;
+  result.total_sites = golden.fi_sites;
+  result.golden_steps = golden.steps;
+
+  Rng rng(options.seed);
+  // Faulty runs can loop; bound them relative to the golden length.
+  vm::VmOptions faulty_vm = options.vm;
+  faulty_vm.max_steps = golden.steps * 16 + 100'000;
+
+  for (int trial = 0; trial < options.trials; ++trial) {
+    std::vector<vm::FaultSpec> faults(
+        static_cast<std::size_t>(options.faults_per_run < 1
+                                     ? 1
+                                     : options.faults_per_run));
+    for (vm::FaultSpec& fault : faults) {
+      fault.site = rng.next_below(golden.fi_sites);
+      fault.bit = static_cast<int>(rng.next_below(64));
+      fault.burst = options.burst < 1 ? 1 : options.burst;
+    }
+    const vm::VmResult run = vm::run_multi(program, faulty_vm, faults);
+    const Outcome outcome = classify(run, golden.output);
+    ++result.counts[static_cast<int>(outcome)];
+    if (outcome == Outcome::kDetected && run.fault_injected) {
+      const std::uint64_t latency = run.steps - run.fault_step;
+      result.latency_sum += latency;
+      if (latency > result.latency_max) result.latency_max = latency;
+      ++result.latency_samples;
+    }
+    if (outcome == Outcome::kSdc && run.fault_landing.has_value()) {
+      const vm::FaultLanding& landing = *run.fault_landing;
+      std::string key = std::string(vm::fault_kind_name(landing.kind)) + "/" +
+                        origin_name(landing.origin);
+      ++result.sdc_breakdown[key];
+    }
+  }
+  return result;
+}
+
+double sdc_coverage(double raw_sdc_rate, double protected_sdc_rate) {
+  if (raw_sdc_rate <= 0.0) return 1.0;
+  return (raw_sdc_rate - protected_sdc_rate) / raw_sdc_rate;
+}
+
+}  // namespace ferrum::fault

@@ -1,0 +1,80 @@
+// Fault-injection campaign runner (paper Sec IV-A2): samples single
+// bit-flips uniformly over the dynamic fault-injection sites of a program
+// and classifies each run against the fault-free golden output.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <map>
+#include <utility>
+#include <string>
+#include <vector>
+
+#include "masm/masm.h"
+#include "vm/vm.h"
+
+namespace ferrum::fault {
+
+enum class Outcome : std::uint8_t { kBenign, kSdc, kDetected, kCrash };
+const char* outcome_name(Outcome outcome);
+
+struct CampaignOptions {
+  int trials = 1000;          // samples per measurement, as in the paper
+  std::uint64_t seed = 0xfe44u;
+  vm::VmOptions vm;
+  /// Independent fault sites injected per run (1 = the paper's model;
+  /// >1 probes the multi-fault regime named as future work).
+  int faults_per_run = 1;
+  /// Adjacent bits flipped per fault (burst upsets within one word).
+  int burst = 1;
+};
+
+/// Where the SDC-causing faults landed, for the root-cause analysis of
+/// Sec IV-B1 (key: "<fault-kind>/<origin>").
+using SdcBreakdown = std::map<std::string, int>;
+
+struct CampaignResult {
+  std::array<int, 4> counts{};  // indexed by Outcome
+  std::uint64_t total_sites = 0;
+  std::uint64_t golden_steps = 0;
+  SdcBreakdown sdc_breakdown;
+  /// Detection latency (dynamic instructions from injection to the
+  /// detector firing) over all Detected runs. Immediate checks (HYBRID)
+  /// detect within a few instructions; FERRUM's deferred/batched checks
+  /// pay a measurable window.
+  std::uint64_t latency_sum = 0;
+  std::uint64_t latency_max = 0;
+  int latency_samples = 0;
+
+  double mean_detection_latency() const {
+    return latency_samples == 0
+               ? 0.0
+               : static_cast<double>(latency_sum) / latency_samples;
+  }
+
+  int count(Outcome outcome) const {
+    return counts[static_cast<int>(outcome)];
+  }
+  int trials() const {
+    return counts[0] + counts[1] + counts[2] + counts[3];
+  }
+  /// P(SDC | one sampled fault).
+  double sdc_rate() const;
+  /// 95% Wilson confidence interval for the SDC rate.
+  std::pair<double, double> sdc_rate_ci() const;
+};
+
+/// 95% Wilson score interval for a binomial proportion — how the paper's
+/// "1000 faults for statistical significance" translates into error bars.
+std::pair<double, double> wilson_interval(int successes, int trials);
+
+/// Runs `options.trials` single-fault executions. The program must run
+/// clean (golden run) first; throws std::runtime_error otherwise.
+CampaignResult run_campaign(const masm::AsmProgram& program,
+                            const CampaignOptions& options = {});
+
+/// The paper's SDC-coverage metric: (SDC_raw - SDC_prot) / SDC_raw.
+/// Returns 1.0 when the unprotected rate is zero (nothing to cover).
+double sdc_coverage(double raw_sdc_rate, double protected_sdc_rate);
+
+}  // namespace ferrum::fault

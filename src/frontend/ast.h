@@ -1,0 +1,150 @@
+// Abstract syntax tree for MiniC.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace ferrum::minic {
+
+/// Surface-level type: a scalar base plus at most one pointer level.
+/// Arrays are declaration forms, not first-class types (they decay).
+struct CType {
+  enum class Base : std::uint8_t { kVoid, kInt, kLong, kDouble };
+  Base base = Base::kVoid;
+  bool is_pointer = false;
+
+  static CType void_type() { return {Base::kVoid, false}; }
+  static CType int_type() { return {Base::kInt, false}; }
+  static CType long_type() { return {Base::kLong, false}; }
+  static CType double_type() { return {Base::kDouble, false}; }
+  static CType pointer_to(Base base) { return {base, true}; }
+
+  bool is_arithmetic() const { return !is_pointer && base != Base::kVoid; }
+  bool is_integer() const {
+    return !is_pointer && (base == Base::kInt || base == Base::kLong);
+  }
+  bool is_double() const { return !is_pointer && base == Base::kDouble; }
+
+  friend bool operator==(const CType& a, const CType& b) {
+    return a.base == b.base && a.is_pointer == b.is_pointer;
+  }
+  friend bool operator!=(const CType& a, const CType& b) { return !(a == b); }
+
+  std::string to_string() const;
+};
+
+enum class ExprKind : std::uint8_t {
+  kIntLit,
+  kFloatLit,
+  kVarRef,
+  kUnary,    // - ! ~ and prefix ++/--
+  kPostfix,  // postfix ++/--
+  kBinary,
+  kAssign,   // = += -= *= /= %=
+  kIndex,    // a[i]
+  kCall,
+  kCast,
+};
+
+enum class UnaryOp : std::uint8_t { kNeg, kNot, kBitNot, kPreInc, kPreDec };
+enum class BinaryOp : std::uint8_t {
+  kAdd, kSub, kMul, kDiv, kRem,
+  kShl, kShr, kAnd, kOr, kXor,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLogicalAnd, kLogicalOr,
+};
+enum class AssignOp : std::uint8_t { kPlain, kAdd, kSub, kMul, kDiv, kRem };
+
+struct Expr {
+  ExprKind kind;
+  SourceLoc loc;
+
+  // kIntLit: value + whether the literal had an L suffix.
+  std::int64_t int_value = 0;
+  bool is_long_literal = false;
+  // kFloatLit.
+  double float_value = 0.0;
+  // kVarRef / kCall: identifier.
+  std::string name;
+  // kUnary / kPostfix / kBinary / kAssign operator selectors.
+  UnaryOp unary_op = UnaryOp::kNeg;
+  BinaryOp binary_op = BinaryOp::kAdd;
+  AssignOp assign_op = AssignOp::kPlain;
+  bool postfix_increment = false;  // kPostfix: ++ when true, -- when false
+  // kCast target.
+  CType cast_type;
+  // Children: unary/cast/postfix use [0]; binary/assign/index use [0],[1];
+  // call uses all as arguments.
+  std::vector<std::unique_ptr<Expr>> children;
+};
+
+enum class StmtKind : std::uint8_t {
+  kBlock,
+  kDecl,
+  kExpr,
+  kIf,
+  kWhile,
+  kFor,
+  kReturn,
+  kBreak,
+  kContinue,
+  kEmpty,
+};
+
+struct Stmt {
+  StmtKind kind;
+  SourceLoc loc;
+
+  // kDecl.
+  CType decl_type;
+  std::string decl_name;
+  std::int64_t array_size = 0;            // > 0 when an array declaration
+  std::unique_ptr<Expr> decl_init;        // optional
+  // kExpr / kReturn value.
+  std::unique_ptr<Expr> expr;
+  // kIf: cond + then_body + optional else_body.
+  // kWhile: cond + body. kFor: init_stmt/cond/step/body.
+  std::unique_ptr<Expr> cond;
+  std::unique_ptr<Stmt> init_stmt;
+  std::unique_ptr<Expr> step;
+  std::unique_ptr<Stmt> body;
+  std::unique_ptr<Stmt> else_body;
+  // kBlock.
+  std::vector<std::unique_ptr<Stmt>> stmts;
+};
+
+struct ParamDecl {
+  CType type;
+  std::string name;
+  SourceLoc loc;
+};
+
+struct FunctionDecl {
+  CType return_type;
+  std::string name;
+  SourceLoc loc;
+  std::vector<ParamDecl> params;
+  std::unique_ptr<Stmt> body;  // always a block
+};
+
+struct GlobalDecl {
+  CType type;  // element type for arrays
+  std::string name;
+  SourceLoc loc;
+  std::int64_t array_size = 0;  // > 0 when an array
+  // Constant initialisers (literals, possibly negated).
+  std::vector<double> float_init;
+  std::vector<std::int64_t> int_init;
+  bool has_init = false;
+};
+
+struct TranslationUnit {
+  std::vector<GlobalDecl> globals;
+  std::vector<FunctionDecl> functions;
+};
+
+}  // namespace ferrum::minic

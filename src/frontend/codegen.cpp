@@ -1,0 +1,871 @@
+#include "frontend/codegen.h"
+
+#include <cstring>
+#include <unordered_map>
+#include <vector>
+
+#include "frontend/parser.h"
+#include "ir/builder.h"
+#include "ir/verifier.h"
+
+namespace ferrum::minic {
+
+namespace {
+
+using ir::BasicBlock;
+using ir::Instruction;
+using ir::IRBuilder;
+using ir::Opcode;
+using ir::Type;
+using ir::TypeKind;
+using ir::Value;
+
+TypeKind scalar_kind_of(CType::Base base) {
+  switch (base) {
+    case CType::Base::kInt: return TypeKind::kI32;
+    case CType::Base::kLong: return TypeKind::kI64;
+    case CType::Base::kDouble: return TypeKind::kF64;
+    case CType::Base::kVoid: return TypeKind::kVoid;
+  }
+  return TypeKind::kVoid;
+}
+
+Type ir_type_of(const CType& type) {
+  if (type.is_pointer) return Type::ptr(scalar_kind_of(type.base));
+  return Type{scalar_kind_of(type.base), TypeKind::kVoid};
+}
+
+/// Typed rvalue.
+struct TypedValue {
+  Value* value = nullptr;
+  CType type;
+};
+
+/// What a name refers to.
+struct VarInfo {
+  enum class Kind { kScalarSlot, kArray, kPtrParam } kind = Kind::kScalarSlot;
+  Value* value = nullptr;  // slot pointer / array pointer / argument
+  CType type;              // scalar type, array element type, or pointer type
+};
+
+class CodeGen {
+ public:
+  CodeGen(const TranslationUnit& unit, DiagEngine& diags)
+      : unit_(unit), diags_(diags), module_(std::make_unique<ir::Module>()),
+        builder_(*module_) {}
+
+  std::unique_ptr<ir::Module> run() {
+    declare_globals();
+    declare_functions();
+    for (const FunctionDecl& fn : unit_.functions) gen_function(fn);
+    return std::move(module_);
+  }
+
+ private:
+  void error(SourceLoc loc, std::string message) {
+    diags_.error(loc, std::move(message));
+  }
+
+  void declare_globals() {
+    for (const GlobalDecl& decl : unit_.globals) {
+      if (decl.type.is_pointer) {
+        error(decl.loc, "global pointers are not supported");
+        continue;
+      }
+      const std::int64_t count = decl.array_size > 0 ? decl.array_size : 1;
+      ir::GlobalVar* global = module_->add_global(
+          scalar_kind_of(decl.type.base), count, decl.name);
+      if (decl.has_init) {
+        for (std::size_t i = 0; i < decl.int_init.size(); ++i) {
+          std::uint64_t raw = 0;
+          if (decl.type.base == CType::Base::kDouble) {
+            double value = decl.float_init[i] != 0.0
+                               ? decl.float_init[i]
+                               : static_cast<double>(decl.int_init[i]);
+            std::memcpy(&raw, &value, sizeof(raw));
+          } else {
+            raw = static_cast<std::uint64_t>(
+                decl.int_init[i] != 0
+                    ? decl.int_init[i]
+                    : static_cast<std::int64_t>(decl.float_init[i]));
+          }
+          global->init.push_back(raw);
+        }
+      }
+      VarInfo info;
+      info.kind = decl.array_size > 0 ? VarInfo::Kind::kArray
+                                      : VarInfo::Kind::kScalarSlot;
+      info.value = global;
+      info.type = decl.type;
+      global_scope_[decl.name] = info;
+    }
+  }
+
+  void declare_functions() {
+    for (const FunctionDecl& decl : unit_.functions) {
+      if (module_->find_function(decl.name) != nullptr) {
+        error(decl.loc, "redefinition of function '" + decl.name + "'");
+        continue;
+      }
+      ir::Function* fn =
+          module_->add_function(decl.name, ir_type_of(decl.return_type));
+      for (const ParamDecl& param : decl.params) {
+        fn->add_arg(ir_type_of(param.type), param.name);
+      }
+    }
+    // Builtins are declared lazily on first call; see gen_call.
+  }
+
+  // ------------------------------------------------------------ function --
+
+  void gen_function(const FunctionDecl& decl) {
+    ir::Function* fn = module_->find_function(decl.name);
+    if (fn == nullptr || fn->is_declaration() == false) {
+      // Redefinition already reported, or body already generated.
+      if (fn != nullptr && !fn->is_declaration()) return;
+    }
+    current_fn_ = fn;
+    current_decl_ = &decl;
+    entry_ = fn->add_block("entry");
+    alloca_count_ = 0;
+    builder_.set_insert_point(entry_);
+    scopes_.clear();
+    scopes_.emplace_back();
+    loop_stack_.clear();
+
+    // Scalar arguments are copied to addressable slots (the clang -O0
+    // a.addr pattern from the paper's Fig 2); pointer arguments stay SSA.
+    for (std::size_t i = 0; i < decl.params.size(); ++i) {
+      const ParamDecl& param = decl.params[i];
+      ir::Argument* arg = fn->args()[i].get();
+      VarInfo info;
+      info.type = param.type;
+      if (param.type.is_pointer) {
+        info.kind = VarInfo::Kind::kPtrParam;
+        info.value = arg;
+      } else {
+        info.kind = VarInfo::Kind::kScalarSlot;
+        Instruction* slot = make_alloca(scalar_kind_of(param.type.base), 1);
+        builder_.create_store(arg, slot);
+        info.value = slot;
+      }
+      if (!declare(param.name, info)) {
+        error(param.loc, "duplicate parameter '" + param.name + "'");
+      }
+    }
+
+    gen_stmt(*decl.body);
+
+    // Close every open block with a default return, and give empty blocks
+    // a terminator so the verifier's invariants hold.
+    for (const auto& block : fn->blocks()) {
+      if (block->terminator() == nullptr) {
+        builder_.set_insert_point(block.get());
+        emit_default_return();
+      }
+    }
+    current_fn_ = nullptr;
+    current_decl_ = nullptr;
+  }
+
+  void emit_default_return() {
+    const Type ret = current_fn_->return_type();
+    if (ret.is_void()) {
+      builder_.create_ret_void();
+    } else if (ret.is_float()) {
+      builder_.create_ret(module_->const_f64(0.0));
+    } else {
+      builder_.create_ret(module_->const_int(ret, 0));
+    }
+  }
+
+  /// Creates an alloca in the entry block, before any non-alloca code.
+  Instruction* make_alloca(TypeKind elem, std::int64_t count) {
+    auto inst = std::make_unique<Instruction>(Opcode::kAlloca,
+                                              Type::ptr(elem));
+    inst->alloca_elem = elem;
+    inst->alloca_count = count;
+    return entry_->insert(alloca_count_++, std::move(inst));
+  }
+
+  // --------------------------------------------------------------- scope --
+
+  bool declare(const std::string& name, const VarInfo& info) {
+    auto [it, inserted] = scopes_.back().emplace(name, info);
+    (void)it;
+    return inserted;
+  }
+
+  const VarInfo* lookup(const std::string& name) const {
+    for (auto scope = scopes_.rbegin(); scope != scopes_.rend(); ++scope) {
+      auto it = scope->find(name);
+      if (it != scope->end()) return &it->second;
+    }
+    auto it = global_scope_.find(name);
+    return it != global_scope_.end() ? &it->second : nullptr;
+  }
+
+  // ---------------------------------------------------------- statements --
+
+  void gen_stmt(const Stmt& stmt) {
+    switch (stmt.kind) {
+      case StmtKind::kBlock: {
+        scopes_.emplace_back();
+        for (const auto& child : stmt.stmts) gen_stmt(*child);
+        scopes_.pop_back();
+        break;
+      }
+      case StmtKind::kDecl: gen_decl(stmt); break;
+      case StmtKind::kExpr: gen_expr(*stmt.expr); break;
+      case StmtKind::kIf: gen_if(stmt); break;
+      case StmtKind::kWhile: gen_while(stmt); break;
+      case StmtKind::kFor: gen_for(stmt); break;
+      case StmtKind::kReturn: gen_return(stmt); break;
+      case StmtKind::kBreak:
+      case StmtKind::kContinue: {
+        if (loop_stack_.empty()) {
+          error(stmt.loc, stmt.kind == StmtKind::kBreak
+                              ? "break outside a loop"
+                              : "continue outside a loop");
+          break;
+        }
+        BasicBlock* target = stmt.kind == StmtKind::kBreak
+                                 ? loop_stack_.back().break_target
+                                 : loop_stack_.back().continue_target;
+        builder_.create_br(target);
+        start_block(current_fn_->add_block("dead"));
+        break;
+      }
+      case StmtKind::kEmpty: break;
+    }
+  }
+
+  void start_block(BasicBlock* block) { builder_.set_insert_point(block); }
+
+  void gen_decl(const Stmt& stmt) {
+    if (stmt.decl_type.is_pointer) {
+      error(stmt.loc, "pointer local variables are not supported; pass "
+                      "pointers as parameters");
+      return;
+    }
+    VarInfo info;
+    info.type = stmt.decl_type;
+    if (stmt.array_size > 0) {
+      info.kind = VarInfo::Kind::kArray;
+      info.value = make_alloca(scalar_kind_of(stmt.decl_type.base),
+                               stmt.array_size);
+    } else {
+      info.kind = VarInfo::Kind::kScalarSlot;
+      info.value = make_alloca(scalar_kind_of(stmt.decl_type.base), 1);
+      if (stmt.decl_init != nullptr) {
+        TypedValue init = gen_expr(*stmt.decl_init);
+        if (init.value != nullptr) {
+          init = convert(init, stmt.decl_type, stmt.loc);
+          builder_.create_store(init.value, info.value);
+        }
+      }
+    }
+    if (!declare(stmt.decl_name, info)) {
+      error(stmt.loc, "redeclaration of '" + stmt.decl_name + "'");
+    }
+  }
+
+  void gen_if(const Stmt& stmt) {
+    Value* cond = gen_condition(*stmt.cond);
+    BasicBlock* then_bb = current_fn_->add_block("if.then");
+    BasicBlock* merge_bb = current_fn_->add_block("if.end");
+    BasicBlock* else_bb =
+        stmt.else_body ? current_fn_->add_block("if.else") : merge_bb;
+    builder_.create_cond_br(cond, then_bb, else_bb);
+
+    start_block(then_bb);
+    gen_stmt(*stmt.body);
+    builder_.create_br(merge_bb);
+    if (stmt.else_body) {
+      start_block(else_bb);
+      gen_stmt(*stmt.else_body);
+      builder_.create_br(merge_bb);
+    }
+    start_block(merge_bb);
+  }
+
+  void gen_while(const Stmt& stmt) {
+    BasicBlock* cond_bb = current_fn_->add_block("while.cond");
+    BasicBlock* body_bb = current_fn_->add_block("while.body");
+    BasicBlock* exit_bb = current_fn_->add_block("while.end");
+    builder_.create_br(cond_bb);
+
+    start_block(cond_bb);
+    Value* cond = gen_condition(*stmt.cond);
+    builder_.create_cond_br(cond, body_bb, exit_bb);
+
+    loop_stack_.push_back({exit_bb, cond_bb});
+    start_block(body_bb);
+    gen_stmt(*stmt.body);
+    builder_.create_br(cond_bb);
+    loop_stack_.pop_back();
+
+    start_block(exit_bb);
+  }
+
+  void gen_for(const Stmt& stmt) {
+    scopes_.emplace_back();  // scope for the induction variable
+    if (stmt.init_stmt) gen_stmt(*stmt.init_stmt);
+    BasicBlock* cond_bb = current_fn_->add_block("for.cond");
+    BasicBlock* body_bb = current_fn_->add_block("for.body");
+    BasicBlock* step_bb = current_fn_->add_block("for.step");
+    BasicBlock* exit_bb = current_fn_->add_block("for.end");
+    builder_.create_br(cond_bb);
+
+    start_block(cond_bb);
+    if (stmt.cond) {
+      Value* cond = gen_condition(*stmt.cond);
+      builder_.create_cond_br(cond, body_bb, exit_bb);
+    } else {
+      builder_.create_br(body_bb);
+    }
+
+    loop_stack_.push_back({exit_bb, step_bb});
+    start_block(body_bb);
+    gen_stmt(*stmt.body);
+    builder_.create_br(step_bb);
+    loop_stack_.pop_back();
+
+    start_block(step_bb);
+    if (stmt.step) gen_expr(*stmt.step);
+    builder_.create_br(cond_bb);
+
+    start_block(exit_bb);
+    scopes_.pop_back();
+  }
+
+  void gen_return(const Stmt& stmt) {
+    const Type ret = current_fn_->return_type();
+    if (stmt.expr == nullptr) {
+      if (!ret.is_void()) {
+        error(stmt.loc, "non-void function must return a value");
+        emit_default_return();
+      } else {
+        builder_.create_ret_void();
+      }
+    } else {
+      TypedValue value = gen_expr(*stmt.expr);
+      if (ret.is_void()) {
+        error(stmt.loc, "void function cannot return a value");
+        builder_.create_ret_void();
+      } else if (value.value != nullptr) {
+        value = convert(value, current_decl_->return_type, stmt.loc);
+        builder_.create_ret(value.value);
+      } else {
+        emit_default_return();
+      }
+    }
+    start_block(current_fn_->add_block("dead"));
+  }
+
+  // --------------------------------------------------------- expressions --
+
+  /// Evaluates an expression as a branch condition: != 0 as i1. Plain
+  /// comparisons skip the zext-to-int round trip and yield their i1
+  /// directly (the clang -O0 pattern that enables cmp+jcc fusion).
+  Value* gen_condition(const Expr& expr) {
+    if (expr.kind == ExprKind::kBinary) {
+      switch (expr.binary_op) {
+        case BinaryOp::kLt: case BinaryOp::kLe: case BinaryOp::kGt:
+        case BinaryOp::kGe: case BinaryOp::kEq: case BinaryOp::kNe: {
+          TypedValue lhs = gen_expr(*expr.children[0]);
+          TypedValue rhs = gen_expr(*expr.children[1]);
+          if (lhs.value != nullptr && rhs.value != nullptr &&
+              lhs.type.is_arithmetic() && rhs.type.is_arithmetic()) {
+            const CType common = common_type(lhs.type, rhs.type);
+            lhs = convert(lhs, common, expr.loc);
+            rhs = convert(rhs, common, expr.loc);
+            ir::CmpPred pred;
+            switch (expr.binary_op) {
+              case BinaryOp::kLt: pred = ir::CmpPred::kLt; break;
+              case BinaryOp::kLe: pred = ir::CmpPred::kLe; break;
+              case BinaryOp::kGt: pred = ir::CmpPred::kGt; break;
+              case BinaryOp::kGe: pred = ir::CmpPred::kGe; break;
+              case BinaryOp::kEq: pred = ir::CmpPred::kEq; break;
+              default: pred = ir::CmpPred::kNe; break;
+            }
+            return common.is_double()
+                       ? builder_.create_fcmp(pred, lhs.value, rhs.value)
+                       : builder_.create_icmp(pred, lhs.value, rhs.value);
+          }
+          // Fall through to the generic path on error.
+          break;
+        }
+        default:
+          break;
+      }
+    }
+    TypedValue value = gen_expr(expr);
+    if (value.value == nullptr) return module_->const_i1(false);
+    if (value.type.is_double()) {
+      return builder_.create_fcmp(ir::CmpPred::kNe, value.value,
+                                  module_->const_f64(0.0));
+    }
+    if (value.type.is_pointer) {
+      error(expr.loc, "pointer used as a condition");
+      return module_->const_i1(false);
+    }
+    return builder_.create_icmp(
+        ir::CmpPred::kNe, value.value,
+        module_->const_int(value.value->type(), 0));
+  }
+
+  TypedValue gen_expr(const Expr& expr) {
+    switch (expr.kind) {
+      case ExprKind::kIntLit:
+        if (expr.is_long_literal) {
+          return {module_->const_i64(expr.int_value), CType::long_type()};
+        }
+        return {module_->const_i32(static_cast<std::int32_t>(expr.int_value)),
+                CType::int_type()};
+      case ExprKind::kFloatLit:
+        return {module_->const_f64(expr.float_value), CType::double_type()};
+      case ExprKind::kVarRef: return gen_var_ref(expr);
+      case ExprKind::kUnary: return gen_unary(expr);
+      case ExprKind::kPostfix: return gen_postfix(expr);
+      case ExprKind::kBinary: return gen_binary(expr);
+      case ExprKind::kAssign: return gen_assign(expr);
+      case ExprKind::kIndex: {
+        auto [ptr, elem_type] = gen_lvalue(expr);
+        if (ptr == nullptr) return {};
+        return {builder_.create_load(ptr), elem_type};
+      }
+      case ExprKind::kCall: return gen_call(expr);
+      case ExprKind::kCast: {
+        TypedValue value = gen_expr(*expr.children[0]);
+        if (value.value == nullptr) return {};
+        if (expr.cast_type.is_pointer ||
+            expr.cast_type.base == CType::Base::kVoid) {
+          error(expr.loc, "unsupported cast target " +
+                              expr.cast_type.to_string());
+          return {};
+        }
+        return convert(value, expr.cast_type, expr.loc);
+      }
+    }
+    return {};
+  }
+
+  TypedValue gen_var_ref(const Expr& expr) {
+    const VarInfo* info = lookup(expr.name);
+    if (info == nullptr) {
+      error(expr.loc, "use of undeclared identifier '" + expr.name + "'");
+      return {};
+    }
+    switch (info->kind) {
+      case VarInfo::Kind::kScalarSlot:
+        return {builder_.create_load(info->value), info->type};
+      case VarInfo::Kind::kArray:
+        return {info->value, CType::pointer_to(info->type.base)};
+      case VarInfo::Kind::kPtrParam:
+        return {info->value, info->type};
+    }
+    return {};
+  }
+
+  /// Address of an assignable location: scalar variable or indexed element.
+  std::pair<Value*, CType> gen_lvalue(const Expr& expr) {
+    if (expr.kind == ExprKind::kVarRef) {
+      const VarInfo* info = lookup(expr.name);
+      if (info == nullptr) {
+        error(expr.loc, "use of undeclared identifier '" + expr.name + "'");
+        return {nullptr, {}};
+      }
+      if (info->kind != VarInfo::Kind::kScalarSlot) {
+        error(expr.loc, "'" + expr.name + "' is not assignable");
+        return {nullptr, {}};
+      }
+      return {info->value, info->type};
+    }
+    if (expr.kind == ExprKind::kIndex) {
+      TypedValue base = gen_expr(*expr.children[0]);
+      TypedValue index = gen_expr(*expr.children[1]);
+      if (base.value == nullptr || index.value == nullptr) return {nullptr, {}};
+      if (!base.type.is_pointer) {
+        error(expr.loc, "subscripted value is not a pointer or array");
+        return {nullptr, {}};
+      }
+      if (!index.type.is_integer()) {
+        error(expr.loc, "array subscript is not an integer");
+        return {nullptr, {}};
+      }
+      index = convert(index, CType::long_type(), expr.loc);
+      Value* gep = builder_.create_gep(base.value, index.value);
+      return {gep, CType{base.type.base, false}};
+    }
+    error(expr.loc, "expression is not assignable");
+    return {nullptr, {}};
+  }
+
+  TypedValue gen_unary(const Expr& expr) {
+    if (expr.unary_op == UnaryOp::kPreInc ||
+        expr.unary_op == UnaryOp::kPreDec) {
+      return gen_incdec(*expr.children[0], expr.unary_op == UnaryOp::kPreInc,
+                        /*return_old=*/false, expr.loc);
+    }
+    TypedValue value = gen_expr(*expr.children[0]);
+    if (value.value == nullptr) return {};
+    switch (expr.unary_op) {
+      case UnaryOp::kNeg:
+        if (value.type.is_double()) {
+          return {builder_.create_fsub(module_->const_f64(0.0), value.value),
+                  value.type};
+        }
+        if (!value.type.is_integer()) break;
+        return {builder_.create_sub(
+                    module_->const_int(value.value->type(), 0), value.value),
+                value.type};
+      case UnaryOp::kNot: {
+        Value* is_zero = nullptr;
+        if (value.type.is_double()) {
+          is_zero = builder_.create_fcmp(ir::CmpPred::kEq, value.value,
+                                         module_->const_f64(0.0));
+        } else if (value.type.is_integer()) {
+          is_zero = builder_.create_icmp(
+              ir::CmpPred::kEq, value.value,
+              module_->const_int(value.value->type(), 0));
+        } else {
+          break;
+        }
+        return {builder_.create_zext(is_zero, Type::i32()),
+                CType::int_type()};
+      }
+      case UnaryOp::kBitNot:
+        if (!value.type.is_integer()) break;
+        return {builder_.create_binary(
+                    Opcode::kXor, value.value,
+                    module_->const_int(value.value->type(), -1)),
+                value.type};
+      default: break;
+    }
+    error(expr.loc, "invalid operand to unary operator");
+    return {};
+  }
+
+  TypedValue gen_postfix(const Expr& expr) {
+    return gen_incdec(*expr.children[0], expr.postfix_increment,
+                      /*return_old=*/true, expr.loc);
+  }
+
+  TypedValue gen_incdec(const Expr& target, bool increment, bool return_old,
+                        SourceLoc loc) {
+    auto [ptr, type] = gen_lvalue(target);
+    if (ptr == nullptr) return {};
+    if (!type.is_arithmetic()) {
+      error(loc, "++/-- requires an arithmetic variable");
+      return {};
+    }
+    Value* old_value = builder_.create_load(ptr);
+    Value* new_value = nullptr;
+    if (type.is_double()) {
+      Value* one = module_->const_f64(1.0);
+      new_value = increment ? builder_.create_fadd(old_value, one)
+                            : builder_.create_fsub(old_value, one);
+    } else {
+      Value* one = module_->const_int(old_value->type(), 1);
+      new_value = increment ? builder_.create_add(old_value, one)
+                            : builder_.create_sub(old_value, one);
+    }
+    builder_.create_store(new_value, ptr);
+    return {return_old ? old_value : new_value, type};
+  }
+
+  TypedValue gen_assign(const Expr& expr) {
+    auto [ptr, type] = gen_lvalue(*expr.children[0]);
+    TypedValue rhs = gen_expr(*expr.children[1]);
+    if (ptr == nullptr || rhs.value == nullptr) return {};
+    TypedValue result;
+    if (expr.assign_op == AssignOp::kPlain) {
+      result = convert(rhs, type, expr.loc);
+    } else {
+      TypedValue lhs{builder_.create_load(ptr), type};
+      BinaryOp op = BinaryOp::kAdd;
+      switch (expr.assign_op) {
+        case AssignOp::kAdd: op = BinaryOp::kAdd; break;
+        case AssignOp::kSub: op = BinaryOp::kSub; break;
+        case AssignOp::kMul: op = BinaryOp::kMul; break;
+        case AssignOp::kDiv: op = BinaryOp::kDiv; break;
+        case AssignOp::kRem: op = BinaryOp::kRem; break;
+        case AssignOp::kPlain: break;
+      }
+      TypedValue combined = gen_arith(op, lhs, rhs, expr.loc);
+      if (combined.value == nullptr) return {};
+      result = convert(combined, type, expr.loc);
+    }
+    if (result.value == nullptr) return {};
+    builder_.create_store(result.value, ptr);
+    return result;
+  }
+
+  TypedValue gen_binary(const Expr& expr) {
+    if (expr.binary_op == BinaryOp::kLogicalAnd ||
+        expr.binary_op == BinaryOp::kLogicalOr) {
+      return gen_logical(expr);
+    }
+    TypedValue lhs = gen_expr(*expr.children[0]);
+    TypedValue rhs = gen_expr(*expr.children[1]);
+    if (lhs.value == nullptr || rhs.value == nullptr) return {};
+    switch (expr.binary_op) {
+      case BinaryOp::kLt:
+      case BinaryOp::kLe:
+      case BinaryOp::kGt:
+      case BinaryOp::kGe:
+      case BinaryOp::kEq:
+      case BinaryOp::kNe:
+        return gen_compare(expr.binary_op, lhs, rhs, expr.loc);
+      default:
+        return gen_arith(expr.binary_op, lhs, rhs, expr.loc);
+    }
+  }
+
+  TypedValue gen_arith(BinaryOp op, TypedValue lhs, TypedValue rhs,
+                       SourceLoc loc) {
+    // Pointer arithmetic: ptr ± integer lowers to gep.
+    if (lhs.type.is_pointer &&
+        (op == BinaryOp::kAdd || op == BinaryOp::kSub)) {
+      if (!rhs.type.is_integer()) {
+        error(loc, "pointer arithmetic requires an integer offset");
+        return {};
+      }
+      TypedValue index = convert(rhs, CType::long_type(), loc);
+      Value* offset = index.value;
+      if (op == BinaryOp::kSub) {
+        offset = builder_.create_sub(module_->const_i64(0), offset);
+      }
+      return {builder_.create_gep(lhs.value, offset), lhs.type};
+    }
+    if (!lhs.type.is_arithmetic() || !rhs.type.is_arithmetic()) {
+      error(loc, "invalid operands to binary operator");
+      return {};
+    }
+    const CType common = common_type(lhs.type, rhs.type);
+    const bool int_only = op == BinaryOp::kRem || op == BinaryOp::kShl ||
+                          op == BinaryOp::kShr || op == BinaryOp::kAnd ||
+                          op == BinaryOp::kOr || op == BinaryOp::kXor;
+    if (int_only && common.is_double()) {
+      error(loc, "operator requires integer operands");
+      return {};
+    }
+    lhs = convert(lhs, common, loc);
+    rhs = convert(rhs, common, loc);
+    if (lhs.value == nullptr || rhs.value == nullptr) return {};
+    Opcode opcode;
+    if (common.is_double()) {
+      switch (op) {
+        case BinaryOp::kAdd: opcode = Opcode::kFAdd; break;
+        case BinaryOp::kSub: opcode = Opcode::kFSub; break;
+        case BinaryOp::kMul: opcode = Opcode::kFMul; break;
+        case BinaryOp::kDiv: opcode = Opcode::kFDiv; break;
+        default:
+          error(loc, "invalid floating-point operator");
+          return {};
+      }
+    } else {
+      switch (op) {
+        case BinaryOp::kAdd: opcode = Opcode::kAdd; break;
+        case BinaryOp::kSub: opcode = Opcode::kSub; break;
+        case BinaryOp::kMul: opcode = Opcode::kMul; break;
+        case BinaryOp::kDiv: opcode = Opcode::kSDiv; break;
+        case BinaryOp::kRem: opcode = Opcode::kSRem; break;
+        case BinaryOp::kShl: opcode = Opcode::kShl; break;
+        case BinaryOp::kShr: opcode = Opcode::kAShr; break;
+        case BinaryOp::kAnd: opcode = Opcode::kAnd; break;
+        case BinaryOp::kOr: opcode = Opcode::kOr; break;
+        case BinaryOp::kXor: opcode = Opcode::kXor; break;
+        default:
+          error(loc, "invalid integer operator");
+          return {};
+      }
+    }
+    return {builder_.create_binary(opcode, lhs.value, rhs.value), common};
+  }
+
+  TypedValue gen_compare(BinaryOp op, TypedValue lhs, TypedValue rhs,
+                         SourceLoc loc) {
+    if (!lhs.type.is_arithmetic() || !rhs.type.is_arithmetic()) {
+      error(loc, "invalid operands to comparison");
+      return {};
+    }
+    const CType common = common_type(lhs.type, rhs.type);
+    lhs = convert(lhs, common, loc);
+    rhs = convert(rhs, common, loc);
+    if (lhs.value == nullptr || rhs.value == nullptr) return {};
+    ir::CmpPred pred;
+    switch (op) {
+      case BinaryOp::kLt: pred = ir::CmpPred::kLt; break;
+      case BinaryOp::kLe: pred = ir::CmpPred::kLe; break;
+      case BinaryOp::kGt: pred = ir::CmpPred::kGt; break;
+      case BinaryOp::kGe: pred = ir::CmpPred::kGe; break;
+      case BinaryOp::kEq: pred = ir::CmpPred::kEq; break;
+      default: pred = ir::CmpPred::kNe; break;
+    }
+    Value* flag = common.is_double()
+                      ? builder_.create_fcmp(pred, lhs.value, rhs.value)
+                      : builder_.create_icmp(pred, lhs.value, rhs.value);
+    // C comparisons produce int.
+    return {builder_.create_zext(flag, Type::i32()), CType::int_type()};
+  }
+
+  TypedValue gen_logical(const Expr& expr) {
+    // Short-circuit via a stack slot, keeping block-local SSA intact.
+    const bool is_and = expr.binary_op == BinaryOp::kLogicalAnd;
+    Instruction* slot = make_alloca(TypeKind::kI32, 1);
+    builder_.create_store(module_->const_i32(is_and ? 0 : 1), slot);
+    Value* lhs_cond = gen_condition(*expr.children[0]);
+    BasicBlock* rhs_bb =
+        current_fn_->add_block(is_and ? "land.rhs" : "lor.rhs");
+    BasicBlock* merge_bb =
+        current_fn_->add_block(is_and ? "land.end" : "lor.end");
+    if (is_and) {
+      builder_.create_cond_br(lhs_cond, rhs_bb, merge_bb);
+    } else {
+      builder_.create_cond_br(lhs_cond, merge_bb, rhs_bb);
+    }
+    start_block(rhs_bb);
+    Value* rhs_cond = gen_condition(*expr.children[1]);
+    Value* rhs_int = builder_.create_zext(rhs_cond, Type::i32());
+    builder_.create_store(rhs_int, slot);
+    builder_.create_br(merge_bb);
+    start_block(merge_bb);
+    return {builder_.create_load(slot), CType::int_type()};
+  }
+
+  TypedValue gen_call(const Expr& expr) {
+    const FunctionDecl* decl = find_decl(expr.name);
+    ir::Function* callee =
+        decl != nullptr ? module_->find_function(expr.name) : nullptr;
+    std::vector<CType> param_types;
+    if (callee == nullptr) {
+      // Runtime builtins.
+      if (expr.name == "print_int") {
+        callee = module_->builtin_print_int();
+        param_types = {CType::long_type()};
+      } else if (expr.name == "print_f64") {
+        callee = module_->builtin_print_f64();
+        param_types = {CType::double_type()};
+      } else if (expr.name == "sqrt") {
+        callee = module_->builtin_sqrt();
+        param_types = {CType::double_type()};
+      } else {
+        error(expr.loc, "call to undeclared function '" + expr.name + "'");
+        return {};
+      }
+    } else {
+      for (const ParamDecl& param : decl->params) {
+        param_types.push_back(param.type);
+      }
+    }
+    if (expr.children.size() != param_types.size()) {
+      error(expr.loc, "wrong number of arguments to '" + expr.name + "'");
+      return {};
+    }
+    std::vector<Value*> args;
+    for (std::size_t i = 0; i < expr.children.size(); ++i) {
+      TypedValue arg = gen_expr(*expr.children[i]);
+      if (arg.value == nullptr) return {};
+      if (param_types[i].is_pointer) {
+        if (arg.type != param_types[i]) {
+          error(expr.loc, "pointer argument type mismatch in call to '" +
+                              expr.name + "'");
+          return {};
+        }
+      } else {
+        arg = convert(arg, param_types[i], expr.loc);
+        if (arg.value == nullptr) return {};
+      }
+      args.push_back(arg.value);
+    }
+    Instruction* call = builder_.create_call(callee, std::move(args));
+    CType result_type = CType::void_type();
+    if (callee->return_type() == Type::i32()) result_type = CType::int_type();
+    if (callee->return_type() == Type::i64()) result_type = CType::long_type();
+    if (callee->return_type() == Type::f64()) {
+      result_type = CType::double_type();
+    }
+    return {call, result_type};
+  }
+
+  const FunctionDecl* find_decl(const std::string& name) const {
+    for (const FunctionDecl& fn : unit_.functions) {
+      if (fn.name == name) return &fn;
+    }
+    return nullptr;
+  }
+
+  static CType common_type(const CType& a, const CType& b) {
+    if (a.is_double() || b.is_double()) return CType::double_type();
+    if (a.base == CType::Base::kLong || b.base == CType::Base::kLong) {
+      return CType::long_type();
+    }
+    return CType::int_type();
+  }
+
+  TypedValue convert(TypedValue value, const CType& to, SourceLoc loc) {
+    if (value.type == to) return value;
+    if (value.type.is_pointer || to.is_pointer) {
+      error(loc, "cannot convert " + value.type.to_string() + " to " +
+                     to.to_string());
+      return {};
+    }
+    if (to.is_double()) {
+      return {builder_.create_sitofp(value.value), to};
+    }
+    if (value.type.is_double()) {
+      return {builder_.create_fptosi(value.value, ir_type_of(to)), to};
+    }
+    // Integer width change.
+    const int from_size = ir::type_size(value.value->type());
+    const int to_size = ir::type_size(ir_type_of(to));
+    if (from_size < to_size) {
+      return {builder_.create_sext(value.value, ir_type_of(to)), to};
+    }
+    if (from_size > to_size) {
+      return {builder_.create_trunc(value.value, ir_type_of(to)), to};
+    }
+    return {value.value, to};
+  }
+
+  struct LoopTargets {
+    BasicBlock* break_target;
+    BasicBlock* continue_target;
+  };
+
+  const TranslationUnit& unit_;
+  DiagEngine& diags_;
+  std::unique_ptr<ir::Module> module_;
+  IRBuilder builder_;
+  ir::Function* current_fn_ = nullptr;
+  const FunctionDecl* current_decl_ = nullptr;
+  BasicBlock* entry_ = nullptr;
+  std::size_t alloca_count_ = 0;
+  std::vector<std::unordered_map<std::string, VarInfo>> scopes_;
+  std::unordered_map<std::string, VarInfo> global_scope_;
+  std::vector<LoopTargets> loop_stack_;
+};
+
+}  // namespace
+
+std::unique_ptr<ir::Module> codegen(const TranslationUnit& unit,
+                                    DiagEngine& diags) {
+  return CodeGen(unit, diags).run();
+}
+
+std::unique_ptr<ir::Module> compile(std::string_view source,
+                                    DiagEngine& diags) {
+  TranslationUnit unit = parse(source, diags);
+  if (diags.has_errors()) return nullptr;
+  std::unique_ptr<ir::Module> module = codegen(unit, diags);
+  if (diags.has_errors()) return nullptr;
+  for (const std::string& problem : ir::verify(*module)) {
+    diags.error({}, "verifier: " + problem);
+  }
+  if (diags.has_errors()) return nullptr;
+  return module;
+}
+
+}  // namespace ferrum::minic

@@ -1,0 +1,29 @@
+// MiniC AST → MiniIR lowering, clang -O0 style: every variable lives in an
+// alloca, values cross statements through memory, no phi nodes.
+//
+// Language restrictions enforced here (sufficient for all eight workloads):
+//  * pointer types appear only as function parameters and are immutable;
+//  * local arrays have constant size and no initialiser list;
+//  * no address-of / dereference operators (indexing covers all access).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "frontend/ast.h"
+#include "ir/ir.h"
+#include "support/source_location.h"
+
+namespace ferrum::minic {
+
+/// Lowers a parsed translation unit into a fresh MiniIR module. Type errors
+/// are reported to `diags`; the module is meaningful only when clean.
+std::unique_ptr<ir::Module> codegen(const TranslationUnit& unit,
+                                    DiagEngine& diags);
+
+/// Convenience: parse + codegen + verify in one call. Returns nullptr and
+/// fills `diags` on any front-end or verifier error.
+std::unique_ptr<ir::Module> compile(std::string_view source,
+                                    DiagEngine& diags);
+
+}  // namespace ferrum::minic

@@ -1,0 +1,292 @@
+#include "frontend/lexer.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+namespace ferrum::minic {
+
+const char* tok_name(Tok tok) {
+  switch (tok) {
+    case Tok::kEof: return "<eof>";
+    case Tok::kIdent: return "identifier";
+    case Tok::kIntLit: return "integer literal";
+    case Tok::kFloatLit: return "float literal";
+    case Tok::kKwInt: return "int";
+    case Tok::kKwLong: return "long";
+    case Tok::kKwDouble: return "double";
+    case Tok::kKwVoid: return "void";
+    case Tok::kKwIf: return "if";
+    case Tok::kKwElse: return "else";
+    case Tok::kKwWhile: return "while";
+    case Tok::kKwFor: return "for";
+    case Tok::kKwReturn: return "return";
+    case Tok::kKwBreak: return "break";
+    case Tok::kKwContinue: return "continue";
+    case Tok::kLParen: return "(";
+    case Tok::kRParen: return ")";
+    case Tok::kLBrace: return "{";
+    case Tok::kRBrace: return "}";
+    case Tok::kLBracket: return "[";
+    case Tok::kRBracket: return "]";
+    case Tok::kComma: return ",";
+    case Tok::kSemi: return ";";
+    case Tok::kAssign: return "=";
+    case Tok::kPlus: return "+";
+    case Tok::kMinus: return "-";
+    case Tok::kStar: return "*";
+    case Tok::kSlash: return "/";
+    case Tok::kPercent: return "%";
+    case Tok::kAmp: return "&";
+    case Tok::kPipe: return "|";
+    case Tok::kCaret: return "^";
+    case Tok::kTilde: return "~";
+    case Tok::kBang: return "!";
+    case Tok::kShl: return "<<";
+    case Tok::kShr: return ">>";
+    case Tok::kEq: return "==";
+    case Tok::kNe: return "!=";
+    case Tok::kLt: return "<";
+    case Tok::kLe: return "<=";
+    case Tok::kGt: return ">";
+    case Tok::kGe: return ">=";
+    case Tok::kAndAnd: return "&&";
+    case Tok::kOrOr: return "||";
+    case Tok::kPlusAssign: return "+=";
+    case Tok::kMinusAssign: return "-=";
+    case Tok::kStarAssign: return "*=";
+    case Tok::kSlashAssign: return "/=";
+    case Tok::kPercentAssign: return "%=";
+    case Tok::kPlusPlus: return "++";
+    case Tok::kMinusMinus: return "--";
+  }
+  return "?";
+}
+
+namespace {
+
+const std::unordered_map<std::string_view, Tok>& keywords() {
+  static const std::unordered_map<std::string_view, Tok> table = {
+      {"int", Tok::kKwInt},         {"long", Tok::kKwLong},
+      {"double", Tok::kKwDouble},   {"void", Tok::kKwVoid},
+      {"if", Tok::kKwIf},           {"else", Tok::kKwElse},
+      {"while", Tok::kKwWhile},     {"for", Tok::kKwFor},
+      {"return", Tok::kKwReturn},   {"break", Tok::kKwBreak},
+      {"continue", Tok::kKwContinue},
+  };
+  return table;
+}
+
+class Lexer {
+ public:
+  Lexer(std::string_view source, DiagEngine& diags)
+      : source_(source), diags_(diags) {}
+
+  std::vector<Token> run() {
+    std::vector<Token> tokens;
+    for (;;) {
+      skip_trivia();
+      Token token = next();
+      tokens.push_back(token);
+      if (token.kind == Tok::kEof) break;
+    }
+    return tokens;
+  }
+
+ private:
+  bool at_end() const { return pos_ >= source_.size(); }
+  char peek(std::size_t ahead = 0) const {
+    return pos_ + ahead < source_.size() ? source_[pos_ + ahead] : '\0';
+  }
+  char advance() {
+    char c = source_[pos_++];
+    if (c == '\n') {
+      ++line_;
+      column_ = 1;
+    } else {
+      ++column_;
+    }
+    return c;
+  }
+  SourceLoc here() const { return {line_, column_}; }
+
+  void skip_trivia() {
+    for (;;) {
+      if (at_end()) return;
+      char c = peek();
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        advance();
+      } else if (c == '/' && peek(1) == '/') {
+        while (!at_end() && peek() != '\n') advance();
+      } else if (c == '/' && peek(1) == '*') {
+        SourceLoc start = here();
+        advance();
+        advance();
+        while (!at_end() && !(peek() == '*' && peek(1) == '/')) advance();
+        if (at_end()) {
+          diags_.error(start, "unterminated block comment");
+          return;
+        }
+        advance();
+        advance();
+      } else {
+        return;
+      }
+    }
+  }
+
+  Token next() {
+    Token token;
+    token.loc = here();
+    if (at_end()) {
+      token.kind = Tok::kEof;
+      return token;
+    }
+    char c = peek();
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      return lex_word(token);
+    }
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        (c == '.' && std::isdigit(static_cast<unsigned char>(peek(1))))) {
+      return lex_number(token);
+    }
+    return lex_punct(token);
+  }
+
+  Token lex_word(Token token) {
+    std::string word;
+    while (!at_end() &&
+           (std::isalnum(static_cast<unsigned char>(peek())) ||
+            peek() == '_')) {
+      word.push_back(advance());
+    }
+    auto it = keywords().find(word);
+    if (it != keywords().end()) {
+      token.kind = it->second;
+    } else {
+      token.kind = Tok::kIdent;
+      token.text = std::move(word);
+    }
+    return token;
+  }
+
+  Token lex_number(Token token) {
+    std::string digits;
+    bool is_float = false;
+    while (!at_end()) {
+      char c = peek();
+      if (std::isdigit(static_cast<unsigned char>(c))) {
+        digits.push_back(advance());
+      } else if (c == '.' && !is_float) {
+        is_float = true;
+        digits.push_back(advance());
+      } else if ((c == 'e' || c == 'E') &&
+                 (std::isdigit(static_cast<unsigned char>(peek(1))) ||
+                  ((peek(1) == '+' || peek(1) == '-') &&
+                   std::isdigit(static_cast<unsigned char>(peek(2)))))) {
+        is_float = true;
+        digits.push_back(advance());
+        if (peek() == '+' || peek() == '-') digits.push_back(advance());
+      } else {
+        break;
+      }
+    }
+    if (is_float) {
+      token.kind = Tok::kFloatLit;
+      token.float_value = std::strtod(digits.c_str(), nullptr);
+    } else if (!at_end() && (peek() == 'L' || peek() == 'l')) {
+      advance();
+      token.kind = Tok::kIntLit;
+      token.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+      token.text = "L";  // marks a long literal
+    } else {
+      token.kind = Tok::kIntLit;
+      token.int_value = std::strtoll(digits.c_str(), nullptr, 10);
+    }
+    return token;
+  }
+
+  Token lex_punct(Token token) {
+    char c = advance();
+    auto two = [&](char second, Tok with, Tok without) {
+      if (peek() == second) {
+        advance();
+        token.kind = with;
+      } else {
+        token.kind = without;
+      }
+    };
+    switch (c) {
+      case '(': token.kind = Tok::kLParen; break;
+      case ')': token.kind = Tok::kRParen; break;
+      case '{': token.kind = Tok::kLBrace; break;
+      case '}': token.kind = Tok::kRBrace; break;
+      case '[': token.kind = Tok::kLBracket; break;
+      case ']': token.kind = Tok::kRBracket; break;
+      case ',': token.kind = Tok::kComma; break;
+      case ';': token.kind = Tok::kSemi; break;
+      case '~': token.kind = Tok::kTilde; break;
+      case '^': token.kind = Tok::kCaret; break;
+      case '=': two('=', Tok::kEq, Tok::kAssign); break;
+      case '!': two('=', Tok::kNe, Tok::kBang); break;
+      case '%': two('=', Tok::kPercentAssign, Tok::kPercent); break;
+      case '*': two('=', Tok::kStarAssign, Tok::kStar); break;
+      case '/': two('=', Tok::kSlashAssign, Tok::kSlash); break;
+      case '+':
+        if (peek() == '+') {
+          advance();
+          token.kind = Tok::kPlusPlus;
+        } else {
+          two('=', Tok::kPlusAssign, Tok::kPlus);
+        }
+        break;
+      case '-':
+        if (peek() == '-') {
+          advance();
+          token.kind = Tok::kMinusMinus;
+        } else {
+          two('=', Tok::kMinusAssign, Tok::kMinus);
+        }
+        break;
+      case '&': two('&', Tok::kAndAnd, Tok::kAmp); break;
+      case '|': two('|', Tok::kOrOr, Tok::kPipe); break;
+      case '<':
+        if (peek() == '<') {
+          advance();
+          token.kind = Tok::kShl;
+        } else {
+          two('=', Tok::kLe, Tok::kLt);
+        }
+        break;
+      case '>':
+        if (peek() == '>') {
+          advance();
+          token.kind = Tok::kShr;
+        } else {
+          two('=', Tok::kGe, Tok::kGt);
+        }
+        break;
+      default:
+        diags_.error(token.loc,
+                     std::string("unexpected character '") + c + "'");
+        token.kind = Tok::kEof;
+        if (!at_end()) return next();
+        break;
+    }
+    return token;
+  }
+
+  std::string_view source_;
+  DiagEngine& diags_;
+  std::size_t pos_ = 0;
+  int line_ = 1;
+  int column_ = 1;
+};
+
+}  // namespace
+
+std::vector<Token> lex(std::string_view source, DiagEngine& diags) {
+  return Lexer(source, diags).run();
+}
+
+}  // namespace ferrum::minic

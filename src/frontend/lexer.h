@@ -1,0 +1,83 @@
+// Lexer for MiniC, the C subset the workloads are written in.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "support/source_location.h"
+
+namespace ferrum::minic {
+
+enum class Tok : std::uint8_t {
+  kEof,
+  kIdent,
+  kIntLit,
+  kFloatLit,
+  // Keywords.
+  kKwInt,
+  kKwLong,
+  kKwDouble,
+  kKwVoid,
+  kKwIf,
+  kKwElse,
+  kKwWhile,
+  kKwFor,
+  kKwReturn,
+  kKwBreak,
+  kKwContinue,
+  // Punctuation / operators.
+  kLParen,
+  kRParen,
+  kLBrace,
+  kRBrace,
+  kLBracket,
+  kRBracket,
+  kComma,
+  kSemi,
+  kAssign,
+  kPlus,
+  kMinus,
+  kStar,
+  kSlash,
+  kPercent,
+  kAmp,
+  kPipe,
+  kCaret,
+  kTilde,
+  kBang,
+  kShl,
+  kShr,
+  kEq,
+  kNe,
+  kLt,
+  kLe,
+  kGt,
+  kGe,
+  kAndAnd,
+  kOrOr,
+  kPlusAssign,
+  kMinusAssign,
+  kStarAssign,
+  kSlashAssign,
+  kPercentAssign,
+  kPlusPlus,
+  kMinusMinus,
+};
+
+const char* tok_name(Tok tok);
+
+struct Token {
+  Tok kind = Tok::kEof;
+  SourceLoc loc;
+  std::string text;       // identifier spelling
+  std::int64_t int_value = 0;
+  double float_value = 0.0;
+};
+
+/// Tokenises the whole input. Lexical errors are reported to `diags` and
+/// the offending characters skipped, so parsing can still proceed.
+std::vector<Token> lex(std::string_view source, DiagEngine& diags);
+
+}  // namespace ferrum::minic

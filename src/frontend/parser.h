@@ -1,0 +1,15 @@
+// Recursive-descent parser for MiniC.
+#pragma once
+
+#include <string_view>
+
+#include "frontend/ast.h"
+#include "support/source_location.h"
+
+namespace ferrum::minic {
+
+/// Parses a whole translation unit. Errors are reported to `diags`; the
+/// returned tree is only meaningful when diags has no errors.
+TranslationUnit parse(std::string_view source, DiagEngine& diags);
+
+}  // namespace ferrum::minic

@@ -1,0 +1,143 @@
+#include "ir/builder.h"
+
+namespace ferrum::ir {
+
+Instruction* IRBuilder::emit(std::unique_ptr<Instruction> inst) {
+  assert(block_ != nullptr && "no insertion point set");
+  return block_->append(std::move(inst));
+}
+
+Instruction* IRBuilder::create_alloca(TypeKind elem, std::int64_t count) {
+  auto inst = std::make_unique<Instruction>(Opcode::kAlloca, Type::ptr(elem));
+  inst->alloca_elem = elem;
+  inst->alloca_count = count;
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_load(Value* ptr) {
+  assert(ptr->type().is_ptr() && "load requires a pointer operand");
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kLoad, ptr->type().pointee());
+  inst->operands = {ptr};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_store(Value* value, Value* ptr) {
+  assert(ptr->type().is_ptr() && "store requires a pointer operand");
+  assert(value->type() == ptr->type().pointee() && "store type mismatch");
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kStore, Type::void_type());
+  inst->operands = {value, ptr};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_gep(Value* ptr, Value* index) {
+  assert(ptr->type().is_ptr() && "gep requires a pointer operand");
+  assert(index->type() == Type::i64() && "gep index must be i64");
+  auto inst = std::make_unique<Instruction>(Opcode::kGep, ptr->type());
+  inst->operands = {ptr, index};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_binary(Opcode op, Value* lhs, Value* rhs) {
+  assert(lhs->type() == rhs->type() && "binary operand type mismatch");
+  const bool is_float_op = op == Opcode::kFAdd || op == Opcode::kFSub ||
+                           op == Opcode::kFMul || op == Opcode::kFDiv;
+  assert(is_float_op ? lhs->type().is_float() : lhs->type().is_int());
+  (void)is_float_op;
+  auto inst = std::make_unique<Instruction>(op, lhs->type());
+  inst->operands = {lhs, rhs};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_icmp(CmpPred pred, Value* lhs, Value* rhs) {
+  assert(lhs->type() == rhs->type() && "icmp operand type mismatch");
+  assert(lhs->type().is_int() || lhs->type().is_ptr());
+  auto inst = std::make_unique<Instruction>(Opcode::kICmp, Type::i1());
+  inst->pred = pred;
+  inst->operands = {lhs, rhs};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_fcmp(CmpPred pred, Value* lhs, Value* rhs) {
+  assert(lhs->type().is_float() && rhs->type().is_float());
+  auto inst = std::make_unique<Instruction>(Opcode::kFCmp, Type::i1());
+  inst->pred = pred;
+  inst->operands = {lhs, rhs};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_sext(Value* value, Type to) {
+  assert(value->type().is_int() && to.is_int());
+  assert(scalar_size(value->type().kind) <= scalar_size(to.kind));
+  auto inst = std::make_unique<Instruction>(Opcode::kSext, to);
+  inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_zext(Value* value, Type to) {
+  assert(value->type().is_int() && to.is_int());
+  auto inst = std::make_unique<Instruction>(Opcode::kZext, to);
+  inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_trunc(Value* value, Type to) {
+  assert(value->type().is_int() && to.is_int());
+  assert(scalar_size(value->type().kind) >= scalar_size(to.kind));
+  auto inst = std::make_unique<Instruction>(Opcode::kTrunc, to);
+  inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_sitofp(Value* value) {
+  assert(value->type().is_int());
+  auto inst = std::make_unique<Instruction>(Opcode::kSiToFp, Type::f64());
+  inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_fptosi(Value* value, Type to) {
+  assert(value->type().is_float() && to.is_int());
+  auto inst = std::make_unique<Instruction>(Opcode::kFpToSi, to);
+  inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_call(Function* callee,
+                                    std::vector<Value*> args) {
+  assert(callee != nullptr);
+  assert(args.size() == callee->args().size() && "call arity mismatch");
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kCall, callee->return_type());
+  inst->callee = callee;
+  inst->operands = std::move(args);
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_br(BasicBlock* target) {
+  auto inst = std::make_unique<Instruction>(Opcode::kBr, Type::void_type());
+  inst->targets[0] = target;
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_cond_br(Value* cond, BasicBlock* if_true,
+                                       BasicBlock* if_false) {
+  assert(cond->type() == Type::i1() && "condbr condition must be i1");
+  auto inst =
+      std::make_unique<Instruction>(Opcode::kCondBr, Type::void_type());
+  inst->operands = {cond};
+  inst->targets[0] = if_true;
+  inst->targets[1] = if_false;
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_ret(Value* value) {
+  auto inst = std::make_unique<Instruction>(Opcode::kRet, Type::void_type());
+  if (value != nullptr) inst->operands = {value};
+  return emit(std::move(inst));
+}
+
+Instruction* IRBuilder::create_ret_void() { return create_ret(nullptr); }
+
+}  // namespace ferrum::ir

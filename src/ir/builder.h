@@ -1,0 +1,68 @@
+// Convenience construction API for MiniIR, in the spirit of LLVM's
+// IRBuilder: keeps an insertion point and type-checks as it builds.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ferrum::ir {
+
+class IRBuilder {
+ public:
+  explicit IRBuilder(Module& module) : module_(module) {}
+
+  Module& module() { return module_; }
+
+  /// Subsequent create_* calls append to `block`.
+  void set_insert_point(BasicBlock* block) { block_ = block; }
+  BasicBlock* insert_block() const { return block_; }
+
+  // Memory.
+  Instruction* create_alloca(TypeKind elem, std::int64_t count = 1);
+  Instruction* create_load(Value* ptr);
+  Instruction* create_store(Value* value, Value* ptr);
+  Instruction* create_gep(Value* ptr, Value* index);
+
+  // Arithmetic. Integer ops require matching integer operand types;
+  // f* ops require f64 operands.
+  Instruction* create_binary(Opcode op, Value* lhs, Value* rhs);
+  Instruction* create_add(Value* l, Value* r) { return create_binary(Opcode::kAdd, l, r); }
+  Instruction* create_sub(Value* l, Value* r) { return create_binary(Opcode::kSub, l, r); }
+  Instruction* create_mul(Value* l, Value* r) { return create_binary(Opcode::kMul, l, r); }
+  Instruction* create_sdiv(Value* l, Value* r) { return create_binary(Opcode::kSDiv, l, r); }
+  Instruction* create_srem(Value* l, Value* r) { return create_binary(Opcode::kSRem, l, r); }
+  Instruction* create_fadd(Value* l, Value* r) { return create_binary(Opcode::kFAdd, l, r); }
+  Instruction* create_fsub(Value* l, Value* r) { return create_binary(Opcode::kFSub, l, r); }
+  Instruction* create_fmul(Value* l, Value* r) { return create_binary(Opcode::kFMul, l, r); }
+  Instruction* create_fdiv(Value* l, Value* r) { return create_binary(Opcode::kFDiv, l, r); }
+
+  // Comparisons produce i1.
+  Instruction* create_icmp(CmpPred pred, Value* lhs, Value* rhs);
+  Instruction* create_fcmp(CmpPred pred, Value* lhs, Value* rhs);
+
+  // Casts.
+  Instruction* create_sext(Value* value, Type to);
+  Instruction* create_zext(Value* value, Type to);
+  Instruction* create_trunc(Value* value, Type to);
+  Instruction* create_sitofp(Value* value);
+  Instruction* create_fptosi(Value* value, Type to);
+
+  Instruction* create_call(Function* callee, std::vector<Value*> args);
+
+  // Terminators.
+  Instruction* create_br(BasicBlock* target);
+  Instruction* create_cond_br(Value* cond, BasicBlock* if_true,
+                              BasicBlock* if_false);
+  Instruction* create_ret(Value* value);
+  Instruction* create_ret_void();
+
+ private:
+  Instruction* emit(std::unique_ptr<Instruction> inst);
+
+  Module& module_;
+  BasicBlock* block_ = nullptr;
+};
+
+}  // namespace ferrum::ir

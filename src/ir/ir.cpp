@@ -1,0 +1,256 @@
+#include "ir/ir.h"
+
+#include <cstring>
+
+namespace ferrum::ir {
+
+std::string Type::to_string() const {
+  switch (kind) {
+    case TypeKind::kVoid:
+      return "void";
+    case TypeKind::kI1:
+      return "i1";
+    case TypeKind::kI8:
+      return "i8";
+    case TypeKind::kI32:
+      return "i32";
+    case TypeKind::kI64:
+      return "i64";
+    case TypeKind::kF64:
+      return "f64";
+    case TypeKind::kPtr:
+      return Type{elem, TypeKind::kVoid}.to_string() + "*";
+  }
+  return "?";
+}
+
+int scalar_size(TypeKind kind) {
+  switch (kind) {
+    case TypeKind::kI1:
+    case TypeKind::kI8:
+      return 1;
+    case TypeKind::kI32:
+      return 4;
+    case TypeKind::kI64:
+    case TypeKind::kF64:
+    case TypeKind::kPtr:
+      return 8;
+    case TypeKind::kVoid:
+      return 0;
+  }
+  return 0;
+}
+
+int type_size(const Type& type) {
+  return type.is_ptr() ? 8 : scalar_size(type.kind);
+}
+
+const char* opcode_name(Opcode op) {
+  switch (op) {
+    case Opcode::kAlloca: return "alloca";
+    case Opcode::kLoad: return "load";
+    case Opcode::kStore: return "store";
+    case Opcode::kAdd: return "add";
+    case Opcode::kSub: return "sub";
+    case Opcode::kMul: return "mul";
+    case Opcode::kSDiv: return "sdiv";
+    case Opcode::kSRem: return "srem";
+    case Opcode::kAnd: return "and";
+    case Opcode::kOr: return "or";
+    case Opcode::kXor: return "xor";
+    case Opcode::kShl: return "shl";
+    case Opcode::kAShr: return "ashr";
+    case Opcode::kFAdd: return "fadd";
+    case Opcode::kFSub: return "fsub";
+    case Opcode::kFMul: return "fmul";
+    case Opcode::kFDiv: return "fdiv";
+    case Opcode::kICmp: return "icmp";
+    case Opcode::kFCmp: return "fcmp";
+    case Opcode::kSext: return "sext";
+    case Opcode::kZext: return "zext";
+    case Opcode::kTrunc: return "trunc";
+    case Opcode::kSiToFp: return "sitofp";
+    case Opcode::kFpToSi: return "fptosi";
+    case Opcode::kGep: return "gep";
+    case Opcode::kCall: return "call";
+    case Opcode::kBr: return "br";
+    case Opcode::kCondBr: return "condbr";
+    case Opcode::kRet: return "ret";
+  }
+  return "?";
+}
+
+const char* pred_name(CmpPred pred) {
+  switch (pred) {
+    case CmpPred::kEq: return "eq";
+    case CmpPred::kNe: return "ne";
+    case CmpPred::kLt: return "lt";
+    case CmpPred::kLe: return "le";
+    case CmpPred::kGt: return "gt";
+    case CmpPred::kGe: return "ge";
+  }
+  return "?";
+}
+
+bool is_terminator(Opcode op) {
+  return op == Opcode::kBr || op == Opcode::kCondBr || op == Opcode::kRet;
+}
+
+bool is_duplicable(Opcode op) {
+  switch (op) {
+    case Opcode::kLoad:
+    case Opcode::kAdd:
+    case Opcode::kSub:
+    case Opcode::kMul:
+    case Opcode::kSDiv:
+    case Opcode::kSRem:
+    case Opcode::kAnd:
+    case Opcode::kOr:
+    case Opcode::kXor:
+    case Opcode::kShl:
+    case Opcode::kAShr:
+    case Opcode::kFAdd:
+    case Opcode::kFSub:
+    case Opcode::kFMul:
+    case Opcode::kFDiv:
+    case Opcode::kICmp:
+    case Opcode::kFCmp:
+    case Opcode::kSext:
+    case Opcode::kZext:
+    case Opcode::kTrunc:
+    case Opcode::kSiToFp:
+    case Opcode::kFpToSi:
+    case Opcode::kGep:
+      return true;
+    default:
+      return false;
+  }
+}
+
+Instruction* BasicBlock::append(std::unique_ptr<Instruction> inst) {
+  inst->parent = this;
+  instructions_.push_back(std::move(inst));
+  return instructions_.back().get();
+}
+
+Instruction* BasicBlock::insert(std::size_t index,
+                                std::unique_ptr<Instruction> inst) {
+  assert(index <= instructions_.size());
+  inst->parent = this;
+  auto it = instructions_.begin() + static_cast<std::ptrdiff_t>(index);
+  return instructions_.insert(it, std::move(inst))->get();
+}
+
+std::vector<std::unique_ptr<Instruction>> BasicBlock::take_instructions() {
+  return std::move(instructions_);
+}
+
+Instruction* BasicBlock::terminator() const {
+  if (instructions_.empty()) return nullptr;
+  Instruction* last = instructions_.back().get();
+  return is_terminator(last->op()) ? last : nullptr;
+}
+
+Argument* Function::add_arg(Type type, std::string name) {
+  args_.push_back(std::make_unique<Argument>(type, std::move(name),
+                                             static_cast<int>(args_.size())));
+  return args_.back().get();
+}
+
+BasicBlock* Function::add_block(std::string name) {
+  if (name.empty()) name = "bb";
+  // Uniquify: labels must be distinct within a function or the lowered
+  // assembly's jump targets would collide.
+  for (const auto& block : blocks_) {
+    if (block->name() == name) {
+      name += "." + std::to_string(next_block_id_);
+      break;
+    }
+  }
+  ++next_block_id_;
+  blocks_.push_back(std::make_unique<BasicBlock>(std::move(name)));
+  blocks_.back()->parent = this;
+  return blocks_.back().get();
+}
+
+Function* Module::add_function(std::string name, Type return_type) {
+  functions_.push_back(
+      std::make_unique<Function>(std::move(name), return_type));
+  functions_.back()->parent = this;
+  return functions_.back().get();
+}
+
+Function* Module::find_function(const std::string& name) const {
+  for (const auto& fn : functions_) {
+    if (fn->name() == name) return fn.get();
+  }
+  return nullptr;
+}
+
+GlobalVar* Module::add_global(TypeKind element, std::int64_t count,
+                              std::string name) {
+  globals_.push_back(
+      std::make_unique<GlobalVar>(element, count, std::move(name)));
+  return globals_.back().get();
+}
+
+GlobalVar* Module::find_global(const std::string& name) const {
+  for (const auto& g : globals_) {
+    if (g->name() == name) return g.get();
+  }
+  return nullptr;
+}
+
+Constant* Module::const_int(Type type, std::int64_t value) {
+  std::string key = type.to_string() + "#" + std::to_string(value);
+  auto it = constant_index_.find(key);
+  if (it != constant_index_.end()) return it->second;
+  constants_.push_back(std::make_unique<Constant>(type, value));
+  Constant* c = constants_.back().get();
+  constant_index_.emplace(std::move(key), c);
+  return c;
+}
+
+Constant* Module::const_f64(double value) {
+  std::uint64_t bits = 0;
+  std::memcpy(&bits, &value, sizeof(bits));
+  std::string key = "f64#" + std::to_string(bits);
+  auto it = constant_index_.find(key);
+  if (it != constant_index_.end()) return it->second;
+  constants_.push_back(std::make_unique<Constant>(Type::f64(), value));
+  Constant* c = constants_.back().get();
+  constant_index_.emplace(std::move(key), c);
+  return c;
+}
+
+namespace {
+Function* find_or_declare(Module& module, const char* name, Type ret,
+                          std::initializer_list<Type> params) {
+  if (Function* existing = module.find_function(name)) return existing;
+  Function* fn = module.add_function(name, ret);
+  fn->is_builtin = true;
+  int index = 0;
+  for (Type t : params) fn->add_arg(t, "a" + std::to_string(index++));
+  return fn;
+}
+}  // namespace
+
+Function* Module::builtin_print_int() {
+  return find_or_declare(*this, "print_int", Type::void_type(),
+                         {Type::i64()});
+}
+
+Function* Module::builtin_print_f64() {
+  return find_or_declare(*this, "print_f64", Type::void_type(),
+                         {Type::f64()});
+}
+
+Function* Module::builtin_sqrt() {
+  return find_or_declare(*this, "sqrt", Type::f64(), {Type::f64()});
+}
+
+Function* Module::builtin_detect() {
+  return find_or_declare(*this, "__eddi_detect", Type::void_type(), {});
+}
+
+}  // namespace ferrum::ir

@@ -1,0 +1,306 @@
+// MiniIR: a compact load/store-form intermediate representation modelled on
+// the clang -O0 flavour of LLVM IR that the paper's EDDI pipelines consume.
+//
+// Structural invariants (checked by the verifier in verifier.h):
+//  * every basic block ends with exactly one terminator (br / condbr / ret);
+//  * instruction results are consumed only inside their defining block
+//    ("block-local SSA"); values that cross blocks travel through allocas,
+//    exactly as in -O0 LLVM output — so there are no phi nodes;
+//  * operand types match the opcode's signature.
+//
+// Ownership: Module owns Functions and GlobalVars and interns Constants;
+// Function owns its BasicBlocks and Arguments; BasicBlock owns its
+// Instructions. Raw Value* pointers are non-owning references into that
+// tree and remain stable across instruction insertion.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "ir/type.h"
+
+namespace ferrum::ir {
+
+class BasicBlock;
+class Function;
+class Module;
+
+enum class ValueKind : std::uint8_t {
+  kConstant,
+  kArgument,
+  kInstruction,
+  kGlobal,
+};
+
+/// Base of everything that can appear as an operand.
+class Value {
+ public:
+  Value(ValueKind kind, Type type) : kind_(kind), type_(type) {}
+  virtual ~Value() = default;
+
+  Value(const Value&) = delete;
+  Value& operator=(const Value&) = delete;
+
+  ValueKind kind() const { return kind_; }
+  const Type& type() const { return type_; }
+
+ private:
+  ValueKind kind_;
+  Type type_;
+};
+
+/// Interned literal. Integer payload is stored sign-extended in `i`;
+/// floating payload in `f`.
+class Constant final : public Value {
+ public:
+  Constant(Type type, std::int64_t int_value)
+      : Value(ValueKind::kConstant, type), i(int_value) {}
+  Constant(Type type, double float_value)
+      : Value(ValueKind::kConstant, type), f(float_value) {}
+
+  std::int64_t i = 0;
+  double f = 0.0;
+};
+
+/// Formal parameter of a function.
+class Argument final : public Value {
+ public:
+  Argument(Type type, std::string name, int index)
+      : Value(ValueKind::kArgument, type),
+        name_(std::move(name)),
+        index_(index) {}
+
+  const std::string& name() const { return name_; }
+  int index() const { return index_; }
+
+ private:
+  std::string name_;
+  int index_;
+};
+
+/// Module-level variable backed by static storage: a scalar or an array of
+/// scalars, zero-initialised unless `init` provides leading values.
+class GlobalVar final : public Value {
+ public:
+  GlobalVar(TypeKind element, std::int64_t count, std::string name)
+      : Value(ValueKind::kGlobal, Type::ptr(element)),
+        element_(element),
+        count_(count),
+        name_(std::move(name)) {}
+
+  TypeKind element() const { return element_; }
+  std::int64_t count() const { return count_; }
+  const std::string& name() const { return name_; }
+
+  /// Optional explicit initialisers for the leading elements, stored as
+  /// raw 64-bit images (sign-extended ints or double bit patterns).
+  std::vector<std::uint64_t> init;
+
+ private:
+  TypeKind element_;
+  std::int64_t count_;
+  std::string name_;
+};
+
+enum class Opcode : std::uint8_t {
+  // Memory.
+  kAlloca,
+  kLoad,
+  kStore,
+  // Integer arithmetic / bitwise.
+  kAdd,
+  kSub,
+  kMul,
+  kSDiv,
+  kSRem,
+  kAnd,
+  kOr,
+  kXor,
+  kShl,
+  kAShr,
+  // Floating point.
+  kFAdd,
+  kFSub,
+  kFMul,
+  kFDiv,
+  // Comparisons.
+  kICmp,
+  kFCmp,
+  // Casts.
+  kSext,
+  kZext,
+  kTrunc,
+  kSiToFp,
+  kFpToSi,
+  // Address arithmetic: ptr + index * sizeof(elem).
+  kGep,
+  // Calls & intrinsics.
+  kCall,
+  // Terminators.
+  kBr,
+  kCondBr,
+  kRet,
+};
+
+enum class CmpPred : std::uint8_t { kEq, kNe, kLt, kLe, kGt, kGe };
+
+const char* opcode_name(Opcode op);
+const char* pred_name(CmpPred pred);
+bool is_terminator(Opcode op);
+/// True for opcodes classic EDDI duplicates (produce a register value and
+/// have no side effects): load, arithmetic, compares, casts, gep.
+bool is_duplicable(Opcode op);
+
+/// One IR instruction. A single concrete class covers every opcode; the
+/// opcode-specific fields below are meaningful only for the opcodes noted
+/// in their comments (the verifier enforces this). A class hierarchy was
+/// considered and rejected: transformation passes (the point of this
+/// project) iterate and rewrite instructions generically, and a flat
+/// record keeps that code free of downcasts.
+class Instruction final : public Value {
+ public:
+  Instruction(Opcode op, Type type) : Value(ValueKind::kInstruction, type), op_(op) {}
+
+  Opcode op() const { return op_; }
+
+  std::vector<Value*> operands;
+
+  // kICmp / kFCmp.
+  CmpPred pred = CmpPred::kEq;
+  // kAlloca: element kind and static element count.
+  TypeKind alloca_elem = TypeKind::kVoid;
+  std::int64_t alloca_count = 1;
+  // kBr: targets[0]; kCondBr: targets[0] = true successor, targets[1] =
+  // false successor.
+  BasicBlock* targets[2] = {nullptr, nullptr};
+  // kCall.
+  Function* callee = nullptr;
+
+  /// Parent block; maintained by BasicBlock insertion helpers.
+  BasicBlock* parent = nullptr;
+
+ private:
+  Opcode op_;
+};
+
+/// Straight-line sequence of instructions ending in one terminator.
+class BasicBlock {
+ public:
+  explicit BasicBlock(std::string name) : name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+  void set_name(std::string name) { name_ = std::move(name); }
+
+  const std::vector<std::unique_ptr<Instruction>>& instructions() const {
+    return instructions_;
+  }
+
+  /// Appends and returns the instruction.
+  Instruction* append(std::unique_ptr<Instruction> inst);
+  /// Inserts before position `index` and returns the instruction.
+  Instruction* insert(std::size_t index, std::unique_ptr<Instruction> inst);
+  /// Removes and returns all instructions (used by rewriting passes; the
+  /// Instruction objects keep their identity as operand references).
+  std::vector<std::unique_ptr<Instruction>> take_instructions();
+
+  std::size_t size() const { return instructions_.size(); }
+  Instruction* at(std::size_t index) const {
+    return instructions_[index].get();
+  }
+  /// Terminator, or nullptr if the block is still open.
+  Instruction* terminator() const;
+
+  Function* parent = nullptr;
+
+ private:
+  std::string name_;
+  std::vector<std::unique_ptr<Instruction>> instructions_;
+};
+
+/// Function: signature + list of blocks (entry first). A function with no
+/// blocks is a declaration (used for runtime builtins such as print_int).
+class Function {
+ public:
+  Function(std::string name, Type return_type) : name_(std::move(name)), return_type_(return_type) {}
+
+  const std::string& name() const { return name_; }
+  const Type& return_type() const { return return_type_; }
+
+  Argument* add_arg(Type type, std::string name);
+  const std::vector<std::unique_ptr<Argument>>& args() const { return args_; }
+
+  BasicBlock* add_block(std::string name);
+  const std::vector<std::unique_ptr<BasicBlock>>& blocks() const {
+    return blocks_;
+  }
+  BasicBlock* entry() const {
+    return blocks_.empty() ? nullptr : blocks_.front().get();
+  }
+  bool is_declaration() const { return blocks_.empty(); }
+
+  /// True for runtime builtins (print_int, print_f64, sqrt) that the
+  /// interpreter and the VM implement natively.
+  bool is_builtin = false;
+
+  Module* parent = nullptr;
+
+ private:
+  std::string name_;
+  Type return_type_;
+  std::vector<std::unique_ptr<Argument>> args_;
+  std::vector<std::unique_ptr<BasicBlock>> blocks_;
+  int next_block_id_ = 0;
+
+  friend class Module;
+};
+
+/// Top-level container: functions, globals, interned constants.
+class Module {
+ public:
+  Module() = default;
+
+  Function* add_function(std::string name, Type return_type);
+  Function* find_function(const std::string& name) const;
+  const std::vector<std::unique_ptr<Function>>& functions() const {
+    return functions_;
+  }
+
+  GlobalVar* add_global(TypeKind element, std::int64_t count,
+                        std::string name);
+  GlobalVar* find_global(const std::string& name) const;
+  const std::vector<std::unique_ptr<GlobalVar>>& globals() const {
+    return globals_;
+  }
+
+  /// Interned integer constant of the given integer/pointer type.
+  Constant* const_int(Type type, std::int64_t value);
+  Constant* const_i32(std::int32_t value) {
+    return const_int(Type::i32(), value);
+  }
+  Constant* const_i64(std::int64_t value) {
+    return const_int(Type::i64(), value);
+  }
+  Constant* const_i1(bool value) { return const_int(Type::i1(), value); }
+  /// Interned f64 constant.
+  Constant* const_f64(double value);
+
+  /// Declares (once) one of the runtime builtins; returns the declaration.
+  Function* builtin_print_int();
+  Function* builtin_print_f64();
+  Function* builtin_sqrt();
+  /// Error-detector entry point used by the EDDI passes; the backend
+  /// lowers calls to it into the VM's DetectTrap pseudo-instruction.
+  Function* builtin_detect();
+
+ private:
+  std::vector<std::unique_ptr<Function>> functions_;
+  std::vector<std::unique_ptr<GlobalVar>> globals_;
+  std::vector<std::unique_ptr<Constant>> constants_;
+  std::unordered_map<std::string, Constant*> constant_index_;
+};
+
+}  // namespace ferrum::ir

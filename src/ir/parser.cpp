@@ -1,0 +1,503 @@
+#include "ir/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+#include <vector>
+
+#include "support/str.h"
+
+namespace ferrum::ir {
+
+namespace {
+
+/// Cursor over one line of IR text.
+class LineCursor {
+ public:
+  LineCursor(std::string_view text, int line, DiagEngine& diags)
+      : text_(text), line_(line), diags_(diags) {}
+
+  bool at_end() {
+    skip_spaces();
+    return pos_ >= text_.size();
+  }
+  void skip_spaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+  char peek() {
+    skip_spaces();
+    return pos_ < text_.size() ? text_[pos_] : '\0';
+  }
+  bool accept(char c) {
+    if (peek() != c) return false;
+    ++pos_;
+    return true;
+  }
+  bool expect(char c) {
+    if (accept(c)) return true;
+    fail(std::string("expected '") + c + "'");
+    return false;
+  }
+  bool accept_word(std::string_view word) {
+    skip_spaces();
+    if (text_.substr(pos_, word.size()) != word) return false;
+    const std::size_t after = pos_ + word.size();
+    if (after < text_.size() &&
+        (std::isalnum(static_cast<unsigned char>(text_[after])) ||
+         text_[after] == '_')) {
+      return false;
+    }
+    pos_ = after;
+    return true;
+  }
+  std::string word() {
+    skip_spaces();
+    std::string out;
+    while (pos_ < text_.size() &&
+           (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '_' || text_[pos_] == '.' || text_[pos_] == '-' ||
+            text_[pos_] == '+')) {
+      out.push_back(text_[pos_++]);
+    }
+    return out;
+  }
+  void fail(const std::string& message) {
+    diags_.error({line_, static_cast<int>(pos_) + 1}, message);
+  }
+
+ private:
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+  DiagEngine& diags_;
+};
+
+class ModuleParser {
+ public:
+  ModuleParser(std::string_view text, DiagEngine& diags)
+      : text_(text), diags_(diags) {}
+
+  std::unique_ptr<Module> run() {
+    module_ = std::make_unique<Module>();
+    int line_number = 0;
+    std::vector<std::pair<int, std::string_view>> lines;
+    for (std::string_view line : split(text_, '\n')) {
+      lines.emplace_back(++line_number, line);
+    }
+
+    // Pass 1: globals, function signatures (so calls resolve forward) and
+    // the textual block-label order of each body (so forward branch
+    // references do not scramble block order).
+    std::string scanning_fn;
+    for (auto& [number, line] : lines) {
+      std::string_view trimmed = trim(line);
+      if (starts_with(trimmed, "@")) parse_global(number, trimmed);
+      if (starts_with(trimmed, "define") || starts_with(trimmed, "declare")) {
+        scanning_fn = parse_signature(number, trimmed,
+                                      starts_with(trimmed, "define"));
+      } else if (trimmed == "}") {
+        scanning_fn.clear();
+      } else if (!scanning_fn.empty() && ends_with(trimmed, ":")) {
+        labels_by_fn_[scanning_fn].emplace_back(
+            trimmed.substr(0, trimmed.size() - 1));
+      }
+    }
+    if (diags_.has_errors()) return nullptr;
+
+    // Pass 2: function bodies.
+    Function* fn = nullptr;
+    for (auto& [number, line] : lines) {
+      std::string_view trimmed = trim(line);
+      if (trimmed.empty() || starts_with(trimmed, "@") ||
+          starts_with(trimmed, "declare")) {
+        continue;
+      }
+      if (starts_with(trimmed, "define")) {
+        fn = begin_body(number, trimmed);
+        continue;
+      }
+      if (trimmed == "}") {
+        fn = nullptr;
+        continue;
+      }
+      if (fn == nullptr) {
+        diags_.error({number, 1}, "instruction outside a function");
+        continue;
+      }
+      if (ends_with(trimmed, ":")) {
+        const std::string label(trimmed.substr(0, trimmed.size() - 1));
+        current_block_ = block_of(fn, label);
+        continue;
+      }
+      if (current_block_ == nullptr) {
+        diags_.error({number, 1}, "instruction before any label");
+        continue;
+      }
+      parse_instruction(number, trimmed);
+      if (diags_.error_count() > 20) return nullptr;
+    }
+    if (diags_.has_errors()) return nullptr;
+    return std::move(module_);
+  }
+
+ private:
+  // ---- pass 1 -----------------------------------------------------------
+
+  void parse_global(int line, std::string_view text) {
+    // @name = global i32 x 8 init [1, 2]
+    LineCursor cursor(text, line, diags_);
+    cursor.expect('@');
+    const std::string name = cursor.word();
+    cursor.expect('=');
+    if (!cursor.accept_word("global")) {
+      cursor.fail("expected 'global'");
+      return;
+    }
+    Type elem;
+    if (!parse_type(cursor, elem)) return;
+    if (!cursor.accept_word("x")) {
+      cursor.fail("expected 'x'");
+      return;
+    }
+    const std::string count = cursor.word();
+    GlobalVar* global = module_->add_global(
+        elem.kind, std::atoll(count.c_str()), name);
+    if (cursor.accept_word("init")) {
+      cursor.expect('[');
+      while (!cursor.accept(']')) {
+        global->init.push_back(
+            static_cast<std::uint64_t>(std::strtoull(
+                cursor.word().c_str(), nullptr, 10)));
+        cursor.accept(',');
+      }
+    }
+  }
+
+  std::string parse_signature(int line, std::string_view text,
+                              bool is_define) {
+    LineCursor cursor(text, line, diags_);
+    cursor.accept_word(is_define ? "define" : "declare");
+    Type ret;
+    if (!parse_type(cursor, ret)) return std::string();
+    cursor.expect('@');
+    const std::string name = cursor.word();
+    Function* fn = module_->add_function(name, ret);
+    cursor.expect('(');
+    while (!cursor.accept(')')) {
+      Type param;
+      if (!parse_type(cursor, param)) return std::string();
+      std::string param_name;
+      if (cursor.accept('%')) param_name = cursor.word();
+      if (param_name.empty()) {
+        param_name = "a" + std::to_string(fn->args().size());
+      }
+      fn->add_arg(param, param_name);
+      cursor.accept(',');
+    }
+    if (!is_define) {
+      // Builtins are recognised by name so the interpreter/VM handle them.
+      fn->is_builtin = name == "print_int" || name == "print_f64" ||
+                       name == "sqrt" || name == "__eddi_detect";
+    }
+    return is_define ? name : std::string();
+  }
+
+  // ---- pass 2 -----------------------------------------------------------
+
+  Function* begin_body(int line, std::string_view text) {
+    LineCursor cursor(text, line, diags_);
+    cursor.accept_word("define");
+    Type ret;
+    parse_type(cursor, ret);
+    cursor.expect('@');
+    Function* fn = module_->find_function(cursor.word());
+    values_.clear();
+    blocks_.clear();
+    current_block_ = nullptr;
+    if (fn != nullptr) {
+      for (const auto& arg : fn->args()) {
+        values_["%" + arg->name()] = arg.get();
+      }
+      // Create the blocks in textual order so forward branch references
+      // resolve without reordering the function.
+      for (const std::string& label : labels_by_fn_[fn->name()]) {
+        blocks_[label] = fn->add_block(label);
+      }
+    }
+    return fn;
+  }
+
+  BasicBlock* block_of(Function* fn, const std::string& label) {
+    auto it = blocks_.find(label);
+    if (it != blocks_.end()) return it->second;
+    BasicBlock* block = fn->add_block(label);
+    blocks_[label] = block;
+    return block;
+  }
+
+  bool parse_type(LineCursor& cursor, Type& out) {
+    const std::string word = cursor.word();
+    Type base;
+    if (word == "void") base = Type::void_type();
+    else if (word == "i1") base = Type::i1();
+    else if (word == "i8") base = Type::i8();
+    else if (word == "i32") base = Type::i32();
+    else if (word == "i64") base = Type::i64();
+    else if (word == "f64") base = Type::f64();
+    else {
+      cursor.fail("unknown type '" + word + "'");
+      return false;
+    }
+    if (cursor.accept('*')) {
+      out = Type::ptr(base.kind);
+    } else {
+      out = base;
+    }
+    return true;
+  }
+
+  /// Parses "TYPE VALUE" or just "VALUE" when the type is implied.
+  Value* parse_value(LineCursor& cursor, int line, bool with_type,
+                     Type implied = Type::i64()) {
+    Type type = implied;
+    if (with_type && !parse_type(cursor, type)) return nullptr;
+    return parse_ref(cursor, line, type);
+  }
+
+  Value* parse_ref(LineCursor& cursor, int line, Type type) {
+    if (cursor.accept('%')) {
+      const std::string name = "%" + cursor.word();
+      auto it = values_.find(name);
+      if (it == values_.end()) {
+        cursor.fail("unknown value " + name);
+        return nullptr;
+      }
+      return it->second;
+    }
+    if (cursor.accept('@')) {
+      const std::string name = cursor.word();
+      GlobalVar* global = module_->find_global(name);
+      if (global == nullptr) cursor.fail("unknown global @" + name);
+      return global;
+    }
+    // Literal: integer or double depending on the expected type.
+    const std::string word = cursor.word();
+    if (word.empty()) {
+      cursor.fail("expected a value");
+      return nullptr;
+    }
+    (void)line;
+    if (type.is_float()) {
+      return module_->const_f64(std::strtod(word.c_str(), nullptr));
+    }
+    return module_->const_int(type, std::strtoll(word.c_str(), nullptr, 10));
+  }
+
+  BasicBlock* parse_label_ref(LineCursor& cursor) {
+    if (!cursor.accept_word("label")) {
+      cursor.fail("expected 'label'");
+      return nullptr;
+    }
+    cursor.expect('%');
+    return block_of(current_block_->parent, cursor.word());
+  }
+
+  CmpPred pred_of(const std::string& name) {
+    if (name == "eq") return CmpPred::kEq;
+    if (name == "ne") return CmpPred::kNe;
+    if (name == "lt") return CmpPred::kLt;
+    if (name == "le") return CmpPred::kLe;
+    if (name == "gt") return CmpPred::kGt;
+    return CmpPred::kGe;
+  }
+
+  void parse_instruction(int line, std::string_view text) {
+    LineCursor cursor(text, line, diags_);
+    std::string result_name;
+    if (cursor.accept('%')) {
+      result_name = "%" + cursor.word();
+      cursor.expect('=');
+    }
+    const std::string op = cursor.word();
+    Instruction* inst = nullptr;
+
+    if (op == "alloca") {
+      Type elem;
+      if (!parse_type(cursor, elem)) return;
+      std::int64_t count = 1;
+      if (cursor.accept(',')) {
+        count = std::atoll(cursor.word().c_str());
+      }
+      auto node = std::make_unique<Instruction>(Opcode::kAlloca,
+                                                Type::ptr(elem.kind));
+      node->alloca_elem = elem.kind;
+      node->alloca_count = count;
+      inst = current_block_->append(std::move(node));
+    } else if (op == "load") {
+      Type type;
+      if (!parse_type(cursor, type)) return;
+      cursor.expect(',');
+      Value* ptr = parse_ref(cursor, line, Type::ptr(type.kind));
+      if (ptr == nullptr) return;
+      auto node = std::make_unique<Instruction>(Opcode::kLoad, type);
+      node->operands = {ptr};
+      inst = current_block_->append(std::move(node));
+    } else if (op == "store") {
+      Type type;
+      if (!parse_type(cursor, type)) return;
+      Value* value = parse_ref(cursor, line, type);
+      cursor.expect(',');
+      Value* ptr = parse_ref(cursor, line, Type::ptr(type.kind));
+      if (value == nullptr || ptr == nullptr) return;
+      auto node = std::make_unique<Instruction>(Opcode::kStore,
+                                                Type::void_type());
+      node->operands = {value, ptr};
+      inst = current_block_->append(std::move(node));
+    } else if (op == "gep") {
+      Type type;
+      if (!parse_type(cursor, type)) return;  // pointer type
+      Value* base = parse_ref(cursor, line, type);
+      cursor.expect(',');
+      Value* index = parse_ref(cursor, line, Type::i64());
+      if (base == nullptr || index == nullptr) return;
+      auto node = std::make_unique<Instruction>(Opcode::kGep, type);
+      node->operands = {base, index};
+      inst = current_block_->append(std::move(node));
+    } else if (op == "icmp" || op == "fcmp") {
+      const CmpPred pred = pred_of(cursor.word());
+      Type type;
+      if (!parse_type(cursor, type)) return;
+      Value* lhs = parse_ref(cursor, line, type);
+      cursor.expect(',');
+      Value* rhs = parse_ref(cursor, line, type);
+      if (lhs == nullptr || rhs == nullptr) return;
+      auto node = std::make_unique<Instruction>(
+          op == "icmp" ? Opcode::kICmp : Opcode::kFCmp, Type::i1());
+      node->pred = pred;
+      node->operands = {lhs, rhs};
+      inst = current_block_->append(std::move(node));
+    } else if (op == "sext" || op == "zext" || op == "trunc" ||
+               op == "sitofp" || op == "fptosi") {
+      Type from;
+      if (!parse_type(cursor, from)) return;
+      Value* value = parse_ref(cursor, line, from);
+      if (!cursor.accept_word("to")) {
+        cursor.fail("expected 'to'");
+        return;
+      }
+      Type to;
+      if (!parse_type(cursor, to)) return;
+      if (value == nullptr) return;
+      Opcode opcode = Opcode::kSext;
+      if (op == "zext") opcode = Opcode::kZext;
+      if (op == "trunc") opcode = Opcode::kTrunc;
+      if (op == "sitofp") opcode = Opcode::kSiToFp;
+      if (op == "fptosi") opcode = Opcode::kFpToSi;
+      auto node = std::make_unique<Instruction>(opcode, to);
+      node->operands = {value};
+      inst = current_block_->append(std::move(node));
+    } else if (op == "call") {
+      Type ret;
+      if (!parse_type(cursor, ret)) return;
+      cursor.expect('@');
+      Function* callee = module_->find_function(cursor.word());
+      if (callee == nullptr) {
+        cursor.fail("unknown callee");
+        return;
+      }
+      auto node = std::make_unique<Instruction>(Opcode::kCall, ret);
+      node->callee = callee;
+      cursor.expect('(');
+      while (!cursor.accept(')')) {
+        Type arg_type;
+        if (!parse_type(cursor, arg_type)) return;
+        Value* arg = parse_ref(cursor, line, arg_type);
+        if (arg == nullptr) return;
+        node->operands.push_back(arg);
+        cursor.accept(',');
+      }
+      inst = current_block_->append(std::move(node));
+    } else if (op == "br") {
+      BasicBlock* target = parse_label_ref(cursor);
+      if (target == nullptr) return;
+      auto node = std::make_unique<Instruction>(Opcode::kBr,
+                                                Type::void_type());
+      node->targets[0] = target;
+      inst = current_block_->append(std::move(node));
+    } else if (op == "condbr") {
+      Type type;
+      if (!parse_type(cursor, type)) return;
+      Value* cond = parse_ref(cursor, line, type);
+      cursor.expect(',');
+      BasicBlock* if_true = parse_label_ref(cursor);
+      cursor.expect(',');
+      BasicBlock* if_false = parse_label_ref(cursor);
+      if (cond == nullptr || if_true == nullptr || if_false == nullptr) return;
+      auto node = std::make_unique<Instruction>(Opcode::kCondBr,
+                                                Type::void_type());
+      node->operands = {cond};
+      node->targets[0] = if_true;
+      node->targets[1] = if_false;
+      inst = current_block_->append(std::move(node));
+    } else if (op == "ret") {
+      auto node = std::make_unique<Instruction>(Opcode::kRet,
+                                                Type::void_type());
+      if (!cursor.accept_word("void")) {
+        Type type;
+        if (!parse_type(cursor, type)) return;
+        Value* value = parse_ref(cursor, line, type);
+        if (value == nullptr) return;
+        node->operands = {value};
+      }
+      inst = current_block_->append(std::move(node));
+    } else {
+      // Binary arithmetic: op TYPE a, b
+      static const std::unordered_map<std::string, Opcode> binary = {
+          {"add", Opcode::kAdd}, {"sub", Opcode::kSub},
+          {"mul", Opcode::kMul}, {"sdiv", Opcode::kSDiv},
+          {"srem", Opcode::kSRem}, {"and", Opcode::kAnd},
+          {"or", Opcode::kOr}, {"xor", Opcode::kXor},
+          {"shl", Opcode::kShl}, {"ashr", Opcode::kAShr},
+          {"fadd", Opcode::kFAdd}, {"fsub", Opcode::kFSub},
+          {"fmul", Opcode::kFMul}, {"fdiv", Opcode::kFDiv}};
+      auto it = binary.find(op);
+      if (it == binary.end()) {
+        cursor.fail("unknown instruction '" + op + "'");
+        return;
+      }
+      Type type;
+      if (!parse_type(cursor, type)) return;
+      Value* lhs = parse_ref(cursor, line, type);
+      cursor.expect(',');
+      Value* rhs = parse_ref(cursor, line, type);
+      if (lhs == nullptr || rhs == nullptr) return;
+      auto node = std::make_unique<Instruction>(it->second, type);
+      node->operands = {lhs, rhs};
+      inst = current_block_->append(std::move(node));
+    }
+
+    if (!result_name.empty() && inst != nullptr) {
+      values_[result_name] = inst;
+    }
+  }
+
+  std::string_view text_;
+  DiagEngine& diags_;
+  std::unique_ptr<Module> module_;
+  std::unordered_map<std::string, Value*> values_;
+  std::unordered_map<std::string, BasicBlock*> blocks_;
+  std::unordered_map<std::string, std::vector<std::string>> labels_by_fn_;
+  BasicBlock* current_block_ = nullptr;
+};
+
+}  // namespace
+
+std::unique_ptr<Module> parse_module(std::string_view text,
+                                     DiagEngine& diags) {
+  return ModuleParser(text, diags).run();
+}
+
+}  // namespace ferrum::ir

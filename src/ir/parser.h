@@ -1,0 +1,21 @@
+// Parser for the textual MiniIR form produced by ir::print. Lets tests
+// round-trip modules and write IR fixtures directly.
+//
+// Restriction: a value must be defined textually before its first use
+// (true of everything the printer emits, since passes only append
+// continuation blocks after the defining code).
+#pragma once
+
+#include <memory>
+#include <string_view>
+
+#include "ir/ir.h"
+#include "support/source_location.h"
+
+namespace ferrum::ir {
+
+/// Parses a whole module. Returns nullptr and reports to `diags` on error.
+std::unique_ptr<Module> parse_module(std::string_view text,
+                                     DiagEngine& diags);
+
+}  // namespace ferrum::ir

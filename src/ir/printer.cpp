@@ -1,0 +1,181 @@
+#include "ir/printer.h"
+
+#include <sstream>
+#include <unordered_map>
+
+#include "support/str.h"
+
+namespace ferrum::ir {
+
+namespace {
+
+/// Assigns %N numbering to instruction results of one function at print
+/// time, so the in-memory IR never has to maintain names.
+class NamePool {
+ public:
+  explicit NamePool(const Function& function) {
+    for (const auto& block : function.blocks()) {
+      for (const auto& inst : block->instructions()) {
+        if (!inst->type().is_void()) {
+          names_.emplace(inst.get(), "%" + std::to_string(next_++));
+        }
+      }
+    }
+  }
+
+  std::string name_of(const Value* value) const {
+    switch (value->kind()) {
+      case ValueKind::kConstant: {
+        const auto* c = static_cast<const Constant*>(value);
+        if (c->type().is_float()) return format_double(c->f);
+        return std::to_string(c->i);
+      }
+      case ValueKind::kArgument:
+        return "%" + static_cast<const Argument*>(value)->name();
+      case ValueKind::kGlobal:
+        return "@" + static_cast<const GlobalVar*>(value)->name();
+      case ValueKind::kInstruction: {
+        auto it = names_.find(value);
+        return it != names_.end() ? it->second : "%<void>";
+      }
+    }
+    return "?";
+  }
+
+ private:
+  std::unordered_map<const Value*, std::string> names_;
+  int next_ = 0;
+};
+
+void print_instruction(std::ostringstream& os, const Instruction& inst,
+                       const NamePool& names) {
+  os << "  ";
+  if (!inst.type().is_void()) os << names.name_of(&inst) << " = ";
+  switch (inst.op()) {
+    case Opcode::kAlloca:
+      os << "alloca " << Type{inst.alloca_elem, TypeKind::kVoid}.to_string();
+      if (inst.alloca_count != 1) os << ", " << inst.alloca_count;
+      break;
+    case Opcode::kLoad:
+      os << "load " << inst.type().to_string() << ", "
+         << names.name_of(inst.operands[0]);
+      break;
+    case Opcode::kStore:
+      os << "store " << inst.operands[0]->type().to_string() << " "
+         << names.name_of(inst.operands[0]) << ", "
+         << names.name_of(inst.operands[1]);
+      break;
+    case Opcode::kICmp:
+    case Opcode::kFCmp:
+      os << opcode_name(inst.op()) << " " << pred_name(inst.pred) << " "
+         << inst.operands[0]->type().to_string() << " "
+         << names.name_of(inst.operands[0]) << ", "
+         << names.name_of(inst.operands[1]);
+      break;
+    case Opcode::kSext:
+    case Opcode::kZext:
+    case Opcode::kTrunc:
+    case Opcode::kSiToFp:
+    case Opcode::kFpToSi:
+      os << opcode_name(inst.op()) << " "
+         << inst.operands[0]->type().to_string() << " "
+         << names.name_of(inst.operands[0]) << " to "
+         << inst.type().to_string();
+      break;
+    case Opcode::kGep:
+      os << "gep " << inst.type().to_string() << " "
+         << names.name_of(inst.operands[0]) << ", "
+         << names.name_of(inst.operands[1]);
+      break;
+    case Opcode::kCall: {
+      os << "call " << inst.callee->return_type().to_string() << " @"
+         << inst.callee->name() << "(";
+      for (std::size_t i = 0; i < inst.operands.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << inst.operands[i]->type().to_string() << " "
+           << names.name_of(inst.operands[i]);
+      }
+      os << ")";
+      break;
+    }
+    case Opcode::kBr:
+      os << "br label %" << inst.targets[0]->name();
+      break;
+    case Opcode::kCondBr:
+      os << "condbr i1 " << names.name_of(inst.operands[0]) << ", label %"
+         << inst.targets[0]->name() << ", label %" << inst.targets[1]->name();
+      break;
+    case Opcode::kRet:
+      if (inst.operands.empty()) {
+        os << "ret void";
+      } else {
+        os << "ret " << inst.operands[0]->type().to_string() << " "
+           << names.name_of(inst.operands[0]);
+      }
+      break;
+    default:
+      os << opcode_name(inst.op()) << " " << inst.type().to_string() << " "
+         << names.name_of(inst.operands[0]) << ", "
+         << names.name_of(inst.operands[1]);
+      break;
+  }
+  os << "\n";
+}
+
+}  // namespace
+
+std::string print(const Function& function) {
+  std::ostringstream os;
+  if (function.is_declaration()) {
+    os << "declare " << function.return_type().to_string() << " @"
+       << function.name() << "(";
+    for (std::size_t i = 0; i < function.args().size(); ++i) {
+      if (i != 0) os << ", ";
+      os << function.args()[i]->type().to_string();
+    }
+    os << ")\n";
+    return os.str();
+  }
+  NamePool names(function);
+  os << "define " << function.return_type().to_string() << " @"
+     << function.name() << "(";
+  for (std::size_t i = 0; i < function.args().size(); ++i) {
+    if (i != 0) os << ", ";
+    os << function.args()[i]->type().to_string() << " %"
+       << function.args()[i]->name();
+  }
+  os << ") {\n";
+  for (const auto& block : function.blocks()) {
+    os << block->name() << ":\n";
+    for (const auto& inst : block->instructions()) {
+      print_instruction(os, *inst, names);
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string print(const Module& module) {
+  std::ostringstream os;
+  for (const auto& global : module.globals()) {
+    os << "@" << global->name() << " = global "
+       << Type{global->element(), TypeKind::kVoid}.to_string() << " x "
+       << global->count();
+    if (!global->init.empty()) {
+      os << " init [";
+      for (std::size_t i = 0; i < global->init.size(); ++i) {
+        if (i != 0) os << ", ";
+        os << global->init[i];
+      }
+      os << "]";
+    }
+    os << "\n";
+  }
+  if (!module.globals().empty()) os << "\n";
+  for (const auto& function : module.functions()) {
+    os << print(*function) << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ferrum::ir

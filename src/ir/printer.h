@@ -1,0 +1,14 @@
+// Textual rendering of MiniIR, LLVM-flavoured. Used for debugging, golden
+// tests and the transformation-inspection example.
+#pragma once
+
+#include <string>
+
+#include "ir/ir.h"
+
+namespace ferrum::ir {
+
+std::string print(const Module& module);
+std::string print(const Function& function);
+
+}  // namespace ferrum::ir

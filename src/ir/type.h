@@ -1,0 +1,63 @@
+// MiniIR type system. Small fixed set of first-class types: void, i1, i8,
+// i32, i64, f64 and typed pointers to scalar element types. This mirrors
+// the subset of LLVM types the paper's pipeline exercises.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace ferrum::ir {
+
+enum class TypeKind : std::uint8_t {
+  kVoid,
+  kI1,
+  kI8,
+  kI32,
+  kI64,
+  kF64,
+  kPtr,
+};
+
+/// Value type. Pointers carry their scalar element kind so that GEP and
+/// load/store know the element size — MiniIR uses typed pointers, one
+/// indirection level deep (arrays of scalars cover all eight workloads).
+struct Type {
+  TypeKind kind = TypeKind::kVoid;
+  // Element kind when kind == kPtr; must itself be a scalar kind.
+  TypeKind elem = TypeKind::kVoid;
+
+  static Type void_type() { return {TypeKind::kVoid, TypeKind::kVoid}; }
+  static Type i1() { return {TypeKind::kI1, TypeKind::kVoid}; }
+  static Type i8() { return {TypeKind::kI8, TypeKind::kVoid}; }
+  static Type i32() { return {TypeKind::kI32, TypeKind::kVoid}; }
+  static Type i64() { return {TypeKind::kI64, TypeKind::kVoid}; }
+  static Type f64() { return {TypeKind::kF64, TypeKind::kVoid}; }
+  static Type ptr(TypeKind element) { return {TypeKind::kPtr, element}; }
+
+  bool is_void() const { return kind == TypeKind::kVoid; }
+  bool is_ptr() const { return kind == TypeKind::kPtr; }
+  bool is_float() const { return kind == TypeKind::kF64; }
+  bool is_int() const {
+    return kind == TypeKind::kI1 || kind == TypeKind::kI8 ||
+           kind == TypeKind::kI32 || kind == TypeKind::kI64;
+  }
+  bool is_scalar() const { return is_int() || is_float(); }
+
+  /// Pointee type of a pointer.
+  Type pointee() const { return {elem, TypeKind::kVoid}; }
+
+  friend bool operator==(const Type& a, const Type& b) {
+    return a.kind == b.kind && a.elem == b.elem;
+  }
+  friend bool operator!=(const Type& a, const Type& b) { return !(a == b); }
+
+  std::string to_string() const;
+};
+
+/// Size in bytes of a scalar kind when stored in memory.
+int scalar_size(TypeKind kind);
+
+/// Size in bytes of any first-class type (pointers are 8).
+int type_size(const Type& type);
+
+}  // namespace ferrum::ir

@@ -1,0 +1,275 @@
+#include "ir/verifier.h"
+
+#include <sstream>
+#include <unordered_map>
+#include <unordered_set>
+
+namespace ferrum::ir {
+
+namespace {
+
+class Verifier {
+ public:
+  explicit Verifier(const Module& module) : module_(module) {}
+
+  std::vector<std::string> run() {
+    for (const auto& fn : module_.functions()) check_function(*fn);
+    return std::move(problems_);
+  }
+
+ private:
+  void problem(const Function& fn, const std::string& message) {
+    problems_.push_back("@" + fn.name() + ": " + message);
+  }
+
+  void check_function(const Function& fn) {
+    if (fn.is_declaration()) return;
+    std::unordered_set<const BasicBlock*> own_blocks;
+    for (const auto& block : fn.blocks()) own_blocks.insert(block.get());
+
+    // Map from defined instruction to (block, index) for block-local SSA.
+    std::unordered_map<const Value*, std::pair<const BasicBlock*, std::size_t>>
+        defs;
+    for (const auto& block : fn.blocks()) {
+      for (std::size_t i = 0; i < block->size(); ++i) {
+        const Instruction* inst = block->at(i);
+        if (!inst->type().is_void()) defs[inst] = {block.get(), i};
+      }
+    }
+
+    for (const auto& block : fn.blocks()) {
+      if (block->size() == 0) {
+        problem(fn, "block " + block->name() + " is empty");
+        continue;
+      }
+      for (std::size_t i = 0; i < block->size(); ++i) {
+        const Instruction* inst = block->at(i);
+        const bool last = i + 1 == block->size();
+        if (is_terminator(inst->op()) != last) {
+          problem(fn, "block " + block->name() +
+                          (last ? " does not end with a terminator"
+                                : " has a terminator in the middle"));
+        }
+        check_instruction(fn, *block, i, *inst, own_blocks, defs);
+      }
+    }
+  }
+
+  void check_instruction(
+      const Function& fn, const BasicBlock& block, std::size_t index,
+      const Instruction& inst,
+      const std::unordered_set<const BasicBlock*>& own_blocks,
+      const std::unordered_map<const Value*,
+                               std::pair<const BasicBlock*, std::size_t>>&
+          defs) {
+    // Operands that are instructions must belong to this function and,
+    // when defined in the same block, must be defined before use. Uses in
+    // *other* blocks are legal: the frontend only produces block-local
+    // values, but protection passes split blocks, and the backend routes
+    // such escaping values through frame slots. Allocas denote static
+    // frame addresses and are usable anywhere.
+    for (const Value* operand : inst.operands) {
+      if (operand->kind() != ValueKind::kInstruction) continue;
+      auto it = defs.find(operand);
+      if (it == defs.end()) {
+        problem(fn, "operand refers to an instruction outside the function");
+        continue;
+      }
+      if (static_cast<const Instruction*>(operand)->op() == Opcode::kAlloca) {
+        continue;
+      }
+      if (it->second.first == &block && it->second.second >= index) {
+        problem(fn, "block " + block.name() + ": use before definition");
+      }
+    }
+
+    auto expect_operands = [&](std::size_t count) {
+      if (inst.operands.size() != count) {
+        std::ostringstream os;
+        os << opcode_name(inst.op()) << " expects " << count
+           << " operands, got " << inst.operands.size();
+        problem(fn, os.str());
+        return false;
+      }
+      return true;
+    };
+
+    switch (inst.op()) {
+      case Opcode::kAlloca:
+        if (inst.alloca_count < 1) problem(fn, "alloca count must be >= 1");
+        if (scalar_size(inst.alloca_elem) == 0) {
+          problem(fn, "alloca of void element");
+        }
+        break;
+      case Opcode::kLoad:
+        if (expect_operands(1)) {
+          if (!inst.operands[0]->type().is_ptr()) {
+            problem(fn, "load from non-pointer");
+          } else if (inst.operands[0]->type().pointee() != inst.type()) {
+            problem(fn, "load result type mismatch");
+          }
+        }
+        break;
+      case Opcode::kStore:
+        if (expect_operands(2)) {
+          if (!inst.operands[1]->type().is_ptr()) {
+            problem(fn, "store to non-pointer");
+          } else if (inst.operands[1]->type().pointee() !=
+                     inst.operands[0]->type()) {
+            problem(fn, "store value type mismatch");
+          }
+        }
+        break;
+      case Opcode::kGep:
+        if (expect_operands(2)) {
+          if (!inst.operands[0]->type().is_ptr()) {
+            problem(fn, "gep base must be a pointer");
+          }
+          if (inst.operands[1]->type() != Type::i64()) {
+            problem(fn, "gep index must be i64");
+          }
+          if (inst.type() != inst.operands[0]->type()) {
+            problem(fn, "gep result type mismatch");
+          }
+        }
+        break;
+      case Opcode::kAdd:
+      case Opcode::kSub:
+      case Opcode::kMul:
+      case Opcode::kSDiv:
+      case Opcode::kSRem:
+      case Opcode::kAnd:
+      case Opcode::kOr:
+      case Opcode::kXor:
+      case Opcode::kShl:
+      case Opcode::kAShr:
+        if (expect_operands(2)) {
+          if (!(inst.operands[0]->type().is_int() &&
+                inst.operands[0]->type() == inst.operands[1]->type() &&
+                inst.type() == inst.operands[0]->type())) {
+            problem(fn, std::string(opcode_name(inst.op())) +
+                            ": integer operand/result type mismatch");
+          }
+        }
+        break;
+      case Opcode::kFAdd:
+      case Opcode::kFSub:
+      case Opcode::kFMul:
+      case Opcode::kFDiv:
+        if (expect_operands(2)) {
+          if (!(inst.operands[0]->type().is_float() &&
+                inst.operands[1]->type().is_float() &&
+                inst.type().is_float())) {
+            problem(fn, std::string(opcode_name(inst.op())) +
+                            ": float operand/result type mismatch");
+          }
+        }
+        break;
+      case Opcode::kICmp:
+        if (expect_operands(2)) {
+          if (inst.operands[0]->type() != inst.operands[1]->type() ||
+              inst.type() != Type::i1()) {
+            problem(fn, "icmp type mismatch");
+          }
+        }
+        break;
+      case Opcode::kFCmp:
+        if (expect_operands(2)) {
+          if (!inst.operands[0]->type().is_float() ||
+              !inst.operands[1]->type().is_float() ||
+              inst.type() != Type::i1()) {
+            problem(fn, "fcmp type mismatch");
+          }
+        }
+        break;
+      case Opcode::kSext:
+      case Opcode::kZext:
+      case Opcode::kTrunc:
+        if (expect_operands(1)) {
+          if (!inst.operands[0]->type().is_int() || !inst.type().is_int()) {
+            problem(fn, "int cast on non-integer");
+          }
+        }
+        break;
+      case Opcode::kSiToFp:
+        if (expect_operands(1)) {
+          if (!inst.operands[0]->type().is_int() || !inst.type().is_float()) {
+            problem(fn, "sitofp type mismatch");
+          }
+        }
+        break;
+      case Opcode::kFpToSi:
+        if (expect_operands(1)) {
+          if (!inst.operands[0]->type().is_float() || !inst.type().is_int()) {
+            problem(fn, "fptosi type mismatch");
+          }
+        }
+        break;
+      case Opcode::kCall: {
+        if (inst.callee == nullptr) {
+          problem(fn, "call without callee");
+          break;
+        }
+        const auto& params = inst.callee->args();
+        if (params.size() != inst.operands.size()) {
+          problem(fn, "call arity mismatch for @" + inst.callee->name());
+          break;
+        }
+        for (std::size_t i = 0; i < params.size(); ++i) {
+          if (params[i]->type() != inst.operands[i]->type()) {
+            problem(fn,
+                    "call argument type mismatch for @" + inst.callee->name());
+            break;
+          }
+        }
+        if (inst.type() != inst.callee->return_type()) {
+          problem(fn, "call result type mismatch for @" + inst.callee->name());
+        }
+        break;
+      }
+      case Opcode::kBr:
+        if (inst.targets[0] == nullptr ||
+            own_blocks.count(inst.targets[0]) == 0) {
+          problem(fn, "br to foreign or null block");
+        }
+        break;
+      case Opcode::kCondBr:
+        if (expect_operands(1)) {
+          if (inst.operands[0]->type() != Type::i1()) {
+            problem(fn, "condbr condition must be i1");
+          }
+        }
+        for (const BasicBlock* target : inst.targets) {
+          if (target == nullptr || own_blocks.count(target) == 0) {
+            problem(fn, "condbr to foreign or null block");
+          }
+        }
+        break;
+      case Opcode::kRet:
+        if (fn.return_type().is_void()) {
+          if (!inst.operands.empty()) problem(fn, "ret value in void function");
+        } else if (inst.operands.size() != 1 ||
+                   inst.operands[0]->type() != fn.return_type()) {
+          problem(fn, "ret type mismatch");
+        }
+        break;
+    }
+  }
+
+  const Module& module_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify(const Module& module) {
+  return Verifier(module).run();
+}
+
+std::string verify_to_string(const Module& module) {
+  std::ostringstream os;
+  for (const auto& problem : verify(module)) os << problem << "\n";
+  return os.str();
+}
+
+}  // namespace ferrum::ir

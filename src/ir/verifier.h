@@ -1,0 +1,27 @@
+// Structural well-formedness checks for MiniIR. Run after the frontend and
+// after every IR-level protection pass.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ir/ir.h"
+
+namespace ferrum::ir {
+
+/// Verifies the module invariants documented in ir.h:
+///  * every reachable function body has an entry block;
+///  * every block ends with exactly one terminator, and terminators appear
+///    only at block ends;
+///  * operand/result types match each opcode's signature;
+///  * instruction results are used only within their defining block and
+///    only after their definition (block-local SSA);
+///  * branch targets belong to the same function; call arity and argument
+///    types match the callee.
+/// Returns a list of human-readable violations; empty means valid.
+std::vector<std::string> verify(const Module& module);
+
+/// Convenience: verify and render violations joined by newlines.
+std::string verify_to_string(const Module& module);
+
+}  // namespace ferrum::ir

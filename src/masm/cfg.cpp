@@ -1,0 +1,116 @@
+#include "masm/cfg.h"
+
+namespace ferrum::masm {
+
+UseDef use_def_of(const AsmInst& inst) {
+  const RegEffects fx = effects_of(inst);
+  UseDef ud;
+  for (Gpr reg : fx.gpr_reads) ud.use |= gpr_bit(reg);
+  for (Gpr reg : fx.gpr_writes) ud.def |= gpr_bit(reg);
+  for (int xmm : fx.xmm_reads) ud.use |= xmm_bit(xmm);
+  for (int xmm : fx.xmm_writes) ud.def |= xmm_bit(xmm);
+  if (fx.reads_flags) ud.use |= kFlagsBit;
+  if (fx.writes_flags) ud.def |= kFlagsBit;
+  // Narrow register writes (setcc to %r10b) preserve the upper bits, so
+  // the old value still matters: treat sub-64-bit GPR defs as read+write.
+  if (inst.nops > 0) {
+    const Operand& dst = inst.ops[inst.nops - 1];
+    if (dst.is_reg() && dst.width < 8 && (ud.def & gpr_bit(dst.reg)) != 0) {
+      ud.use |= gpr_bit(dst.reg);
+    }
+  }
+  return ud;
+}
+
+Cfg build_cfg(const AsmFunction& fn) {
+  Cfg cfg;
+  const int block_count = static_cast<int>(fn.blocks.size());
+  cfg.successors.resize(block_count);
+  cfg.predecessors.resize(block_count);
+  for (int b = 0; b < block_count; ++b) {
+    const AsmBlock& block = fn.blocks[b];
+    bool falls_through = true;
+    for (auto it = block.insts.rbegin(); it != block.insts.rend(); ++it) {
+      if (it->op == Op::kJmp) {
+        cfg.successors[b].push_back(fn.block_index(it->ops[0].label));
+        falls_through = false;
+      } else if (it->op == Op::kRet) {
+        falls_through = false;
+      } else if (it->op == Op::kJcc) {
+        cfg.successors[b].push_back(fn.block_index(it->ops[0].label));
+      } else {
+        break;  // past the terminator cluster
+      }
+    }
+    if (falls_through && b + 1 < block_count) {
+      cfg.successors[b].push_back(b + 1);
+    }
+  }
+  for (int b = 0; b < block_count; ++b) {
+    for (int succ : cfg.successors[b]) {
+      if (succ >= 0) cfg.predecessors[succ].push_back(b);
+    }
+  }
+  return cfg;
+}
+
+Liveness::Liveness(const AsmFunction& fn) : fn_(fn) {
+  const int block_count = static_cast<int>(fn.blocks.size());
+  live_in_.assign(block_count, 0);
+  live_out_.assign(block_count, 0);
+  const Cfg cfg = build_cfg(fn);
+
+  // Precompute per-block gen/kill.
+  std::vector<LiveSet> gen(block_count, 0), kill(block_count, 0);
+  for (int b = 0; b < block_count; ++b) {
+    LiveSet block_gen = 0, block_kill = 0;
+    for (const AsmInst& inst : fn.blocks[b].insts) {
+      const UseDef ud = use_def_of(inst);
+      block_gen |= ud.use & ~block_kill;
+      block_kill |= ud.def;
+    }
+    gen[b] = block_gen;
+    kill[b] = block_kill;
+  }
+
+  bool changed = true;
+  while (changed) {
+    changed = false;
+    for (int b = block_count - 1; b >= 0; --b) {
+      LiveSet out = 0;
+      for (int succ : cfg.successors[b]) {
+        if (succ >= 0) out |= live_in_[succ];
+      }
+      const LiveSet in = gen[b] | (out & ~kill[b]);
+      if (out != live_out_[b] || in != live_in_[b]) {
+        live_out_[b] = out;
+        live_in_[b] = in;
+        changed = true;
+      }
+    }
+  }
+}
+
+LiveSet Liveness::live_after(int block, int inst_index) const {
+  // Walk backward from the block's live-out to the requested point.
+  const AsmBlock& blk = fn_.blocks[block];
+  LiveSet live = live_out_[block];
+  for (int i = static_cast<int>(blk.insts.size()) - 1; i > inst_index; --i) {
+    const UseDef ud = use_def_of(blk.insts[i]);
+    live = (live & ~ud.def) | ud.use;
+  }
+  return live;
+}
+
+LiveSet used_registers(const AsmFunction& fn) {
+  LiveSet used = 0;
+  for (const AsmBlock& block : fn.blocks) {
+    for (const AsmInst& inst : block.insts) {
+      const UseDef ud = use_def_of(inst);
+      used |= ud.use | ud.def;
+    }
+  }
+  return used;
+}
+
+}  // namespace ferrum::masm

@@ -1,0 +1,66 @@
+// Control-flow graph and register liveness over MiniASM functions.
+// FERRUM's spare-register scan, the stack-requisition logic, and the
+// coverage audit are all built on these analyses.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "masm/masm.h"
+
+namespace ferrum::masm {
+
+/// Compact register set: bits 0..15 = GPRs, 16..31 = XMMs, bit 32 = FLAGS.
+using LiveSet = std::uint64_t;
+
+constexpr LiveSet gpr_bit(Gpr reg) {
+  return LiveSet{1} << static_cast<int>(reg);
+}
+constexpr LiveSet xmm_bit(int index) { return LiveSet{1} << (16 + index); }
+constexpr LiveSet kFlagsBit = LiveSet{1} << 32;
+
+inline bool has_gpr(LiveSet set, Gpr reg) { return (set & gpr_bit(reg)) != 0; }
+inline bool has_xmm(LiveSet set, int index) {
+  return (set & xmm_bit(index)) != 0;
+}
+inline bool has_flags(LiveSet set) { return (set & kFlagsBit) != 0; }
+
+/// Registers read / written by one instruction, as LiveSet masks.
+struct UseDef {
+  LiveSet use = 0;
+  LiveSet def = 0;
+};
+UseDef use_def_of(const AsmInst& inst);
+
+/// Successor block indices of each block. Blocks may end with an explicit
+/// `jmp`/`ret`, a `jcc` with fall-through to the next block, or plain
+/// fall-through.
+struct Cfg {
+  std::vector<std::vector<int>> successors;
+  std::vector<std::vector<int>> predecessors;
+};
+Cfg build_cfg(const AsmFunction& fn);
+
+/// Backward dataflow liveness over the LiveSet domain.
+class Liveness {
+ public:
+  explicit Liveness(const AsmFunction& fn);
+
+  LiveSet live_in(int block) const { return live_in_[block]; }
+  LiveSet live_out(int block) const { return live_out_[block]; }
+
+  /// Live set immediately *after* instruction `index` of `block` executes
+  /// (index -1 gives the block's live-in).
+  LiveSet live_after(int block, int inst_index) const;
+
+ private:
+  const AsmFunction& fn_;
+  std::vector<LiveSet> live_in_;
+  std::vector<LiveSet> live_out_;
+};
+
+/// Every register mentioned (read or written) anywhere in the function.
+/// This is what FERRUM's static scan uses to find spare registers.
+LiveSet used_registers(const AsmFunction& fn);
+
+}  // namespace ferrum::masm

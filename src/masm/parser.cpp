@@ -1,0 +1,389 @@
+#include "masm/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_map>
+
+#include "support/str.h"
+
+namespace ferrum::masm {
+
+namespace {
+
+/// Reverse lookup: register name (any width) -> (gpr, width).
+const std::unordered_map<std::string, std::pair<Gpr, int>>& reg_table() {
+  static const auto* table = [] {
+    auto* map = new std::unordered_map<std::string, std::pair<Gpr, int>>();
+    for (int i = 0; i < kGprCount; ++i) {
+      const Gpr reg = static_cast<Gpr>(i);
+      map->emplace(gpr_name(reg, 8), std::make_pair(reg, 8));
+      map->emplace(gpr_name(reg, 4), std::make_pair(reg, 4));
+      map->emplace(gpr_name(reg, 1), std::make_pair(reg, 1));
+    }
+    return map;
+  }();
+  return *table;
+}
+
+int width_of_suffix(char suffix) {
+  switch (suffix) {
+    case 'b': return 1;
+    case 'l': return 4;
+    case 'q': return 8;
+    default: return 0;
+  }
+}
+
+bool parse_cond(std::string_view name, Cond& cc) {
+  static const std::unordered_map<std::string_view, Cond> table = {
+      {"e", Cond::kE},   {"ne", Cond::kNe}, {"l", Cond::kL},
+      {"le", Cond::kLe}, {"g", Cond::kG},   {"ge", Cond::kGe},
+      {"a", Cond::kA},   {"ae", Cond::kAe}, {"b", Cond::kB},
+      {"be", Cond::kBe},
+  };
+  auto it = table.find(name);
+  if (it == table.end()) return false;
+  cc = it->second;
+  return true;
+}
+
+class LineParser {
+ public:
+  LineParser(std::string_view text, int line_number, const AsmProgram& program,
+             DiagEngine& diags)
+      : text_(text), line_(line_number), program_(program), diags_(diags) {}
+
+  /// Parses one instruction line (mnemonic + operands).
+  bool parse_inst(AsmInst& inst) {
+    skip_spaces();
+    std::string mnemonic = take_word();
+    if (mnemonic.empty()) return fail("missing mnemonic");
+    std::vector<Operand> operands;
+    skip_spaces();
+    while (!at_end()) {
+      Operand operand;
+      if (!parse_operand(operand)) return false;
+      operands.push_back(operand);
+      skip_spaces();
+      if (at_end()) break;
+      if (peek() != ',') return fail("expected ','");
+      take();
+      skip_spaces();
+    }
+    return decode(mnemonic, operands, inst);
+  }
+
+ private:
+  bool at_end() const { return pos_ >= text_.size(); }
+  char peek() const { return at_end() ? '\0' : text_[pos_]; }
+  char take() { return text_[pos_++]; }
+  void skip_spaces() {
+    while (!at_end() && (peek() == ' ' || peek() == '\t')) take();
+  }
+  std::string take_word() {
+    std::string word;
+    while (!at_end() && (std::isalnum(static_cast<unsigned char>(peek())) ||
+                         peek() == '_' || peek() == '.')) {
+      word.push_back(take());
+    }
+    return word;
+  }
+  bool fail(const std::string& message) {
+    diags_.error({line_, static_cast<int>(pos_) + 1}, message);
+    return false;
+  }
+
+  bool parse_int(std::int64_t& value) {
+    std::size_t start = pos_;
+    if (peek() == '-' || peek() == '+') take();
+    while (!at_end() && std::isdigit(static_cast<unsigned char>(peek()))) {
+      take();
+    }
+    if (pos_ == start) return fail("expected a number");
+    value = std::strtoll(std::string(text_.substr(start, pos_ - start)).c_str(),
+                         nullptr, 10);
+    return true;
+  }
+
+  bool parse_register(Operand& operand) {
+    take();  // '%'
+    std::string name = take_word();
+    if (starts_with(name, "xmm") || starts_with(name, "ymm")) {
+      const int index = std::atoi(name.c_str() + 3);
+      operand = name[0] == 'y' ? Operand::make_ymm(index)
+                               : Operand::make_xmm(index);
+      return true;
+    }
+    auto it = reg_table().find(name);
+    if (it == reg_table().end()) return fail("unknown register %" + name);
+    operand = Operand::make_reg(it->second.first, it->second.second);
+    return true;
+  }
+
+  bool parse_operand(Operand& operand) {
+    if (peek() == '%') return parse_register(operand);
+    if (peek() == '$') {
+      take();
+      std::int64_t value = 0;
+      if (!parse_int(value)) return false;
+      operand = Operand::make_imm(value);
+      return true;
+    }
+    if (peek() == '.') {
+      take();
+      operand = Operand::make_label(take_word());
+      return true;
+    }
+    // Memory: [disp](%base[,%index[,scale]]) or symbol[+disp](%rip...),
+    // or a bare function name (call target).
+    MemRef mem;
+    bool have_symbol = false;
+    if (std::isalpha(static_cast<unsigned char>(peek())) || peek() == '_') {
+      std::string symbol = take_word();
+      const int global_id = program_.global_index(symbol);
+      if (global_id < 0) {
+        // Function name (call target).
+        operand = Operand::make_func(std::move(symbol));
+        return true;
+      }
+      mem.global_id = global_id;
+      have_symbol = true;
+      if (peek() == '+') {
+        take();
+        if (!parse_int(mem.disp)) return false;
+      }
+    } else if (peek() == '-' || peek() == '+' ||
+               std::isdigit(static_cast<unsigned char>(peek()))) {
+      if (!parse_int(mem.disp)) return false;
+    }
+    if (peek() != '(') return fail("expected '(' in memory operand");
+    take();
+    if (peek() == '%') {
+      Operand base;
+      if (!parse_register(base)) return false;
+      // %rip base in symbol-relative operands is a syntactic marker only.
+      if (!(have_symbol && base.reg == Gpr::kNone)) {
+        if (!have_symbol) mem.base = base.reg;
+        // symbol(%rip): ignore the rip base
+        if (have_symbol && gpr_name(base.reg, 8) != std::string("rip")) {
+          // A real register after a symbol is treated as index below.
+        }
+      }
+      if (!have_symbol) mem.base = base.reg;
+    }
+    if (peek() == ',') {
+      take();
+      skip_spaces();
+      Operand index;
+      if (!parse_register(index)) return false;
+      mem.index = index.reg;
+      if (peek() == ',') {
+        take();
+        std::int64_t scale = 1;
+        if (!parse_int(scale)) return false;
+        mem.scale = static_cast<int>(scale);
+      }
+    }
+    if (peek() != ')') return fail("expected ')' in memory operand");
+    take();
+    operand = Operand::make_mem(mem, 8);  // width fixed up by decode()
+    return true;
+  }
+
+  bool decode(const std::string& mnemonic, std::vector<Operand>& operands,
+              AsmInst& inst) {
+    auto set_ops = [&](Op op, int expected) {
+      if (static_cast<int>(operands.size()) != expected) {
+        return fail(mnemonic + " expects " + std::to_string(expected) +
+                    " operands");
+      }
+      inst.op = op;
+      for (const Operand& operand : operands) inst.ops[inst.nops++] = operand;
+      return true;
+    };
+    auto apply_width = [&](int width) {
+      for (int i = 0; i < inst.nops; ++i) {
+        if (inst.ops[i].kind == Operand::Kind::kMem ||
+            inst.ops[i].kind == Operand::Kind::kImm) {
+          inst.ops[i].width = width;
+        }
+      }
+    };
+
+    // Fixed-name SSE / AVX mnemonics first (they would otherwise collide
+    // with suffix-decoded scalar names like "movs" + "d").
+    static const std::unordered_map<std::string, std::pair<Op, int>> fixed = {
+        {"movsd", {Op::kMovsd, 2}},       {"addsd", {Op::kAddsd, 2}},
+        {"subsd", {Op::kSubsd, 2}},       {"mulsd", {Op::kMulsd, 2}},
+        {"divsd", {Op::kDivsd, 2}},       {"sqrtsd", {Op::kSqrtsd, 2}},
+        {"ucomisd", {Op::kUcomisd, 2}},   {"cvtsi2sd", {Op::kCvtsi2sd, 2}},
+        {"cvttsd2si", {Op::kCvttsd2si, 2}}, {"vinserti128", {Op::kVinserti128, 3}},
+        {"vpxor", {Op::kVpxor, 3}},       {"vptest", {Op::kVptest, 2}},
+        {"ret", {Op::kRet, 0}},           {"jmp", {Op::kJmp, 1}},
+        {"call", {Op::kCall, 1}},
+    };
+    auto fixed_it = fixed.find(mnemonic);
+    if (fixed_it != fixed.end()) {
+      if (fixed_it->second.first == Op::kCall && operands.size() == 1 &&
+          operands[0].kind == Operand::Kind::kFunc &&
+          operands[0].label == "__ferrum_detect") {
+        inst.op = Op::kDetectTrap;
+        return true;
+      }
+      if (!set_ops(fixed_it->second.first, fixed_it->second.second)) {
+        return false;
+      }
+      apply_width(8);
+      return true;
+    }
+    if (mnemonic == "movq" || mnemonic == "movd") {
+      // kMovq when any xmm operand is involved, otherwise plain kMov.
+      const int width = mnemonic == "movd" ? 4 : 8;
+      bool any_xmm = false;
+      for (const Operand& operand : operands) {
+        if (operand.kind == Operand::Kind::kXmm) any_xmm = true;
+      }
+      if (!set_ops(any_xmm ? Op::kMovq : Op::kMov, 2)) return false;
+      apply_width(width);
+      for (int i = 0; i < inst.nops; ++i) {
+        if (inst.ops[i].is_reg()) inst.ops[i].width = width;
+      }
+      return true;
+    }
+    if (mnemonic == "pinsrq" || mnemonic == "pinsrd") {
+      if (!set_ops(Op::kPinsrq, 3)) return false;
+      const int width = mnemonic == "pinsrd" ? 4 : 8;
+      inst.ops[1].width = width;
+      return true;
+    }
+    if (starts_with(mnemonic, "movs") && mnemonic.size() == 6) {
+      inst.op = Op::kMovsx;
+      const int from = width_of_suffix(mnemonic[4]);
+      const int to = width_of_suffix(mnemonic[5]);
+      if (from == 0 || to == 0) return fail("bad movsx suffix");
+      if (!set_ops(Op::kMovsx, 2)) return false;
+      inst.ops[0].width = from;
+      inst.ops[1].width = to;
+      return true;
+    }
+    if (starts_with(mnemonic, "movz") && mnemonic.size() == 6) {
+      const int from = width_of_suffix(mnemonic[4]);
+      const int to = width_of_suffix(mnemonic[5]);
+      if (from == 0 || to == 0) return fail("bad movzx suffix");
+      if (!set_ops(Op::kMovzx, 2)) return false;
+      inst.ops[0].width = from;
+      inst.ops[1].width = to;
+      return true;
+    }
+    if (starts_with(mnemonic, "set")) {
+      Cond cc;
+      if (!parse_cond(mnemonic.substr(3), cc)) return fail("bad setcc");
+      if (!set_ops(Op::kSetcc, 1)) return false;
+      inst.cc = cc;
+      return true;
+    }
+    if (mnemonic[0] == 'j') {
+      Cond cc;
+      if (!parse_cond(mnemonic.substr(1), cc)) return fail("bad jcc");
+      if (!set_ops(Op::kJcc, 1)) return false;
+      inst.cc = cc;
+      return true;
+    }
+    // Width-suffixed integer forms.
+    static const std::unordered_map<std::string, std::pair<Op, int>> alu = {
+        {"mov", {Op::kMov, 2}},   {"lea", {Op::kLea, 2}},
+        {"push", {Op::kPush, 1}}, {"pop", {Op::kPop, 1}},
+        {"add", {Op::kAdd, 2}},   {"sub", {Op::kSub, 2}},
+        {"imul", {Op::kImul, 2}}, {"and", {Op::kAnd, 2}},
+        {"or", {Op::kOr, 2}},     {"xor", {Op::kXor, 2}},
+        {"shl", {Op::kShl, 2}},   {"sar", {Op::kSar, 2}},
+        {"idiv", {Op::kIdiv, 2}}, {"irem", {Op::kIrem, 2}},
+        {"cmp", {Op::kCmp, 2}},   {"test", {Op::kTest, 2}},
+    };
+    if (mnemonic.size() >= 2) {
+      const int width = width_of_suffix(mnemonic.back());
+      if (width != 0) {
+        auto it = alu.find(mnemonic.substr(0, mnemonic.size() - 1));
+        if (it != alu.end()) {
+          if (!set_ops(it->second.first, it->second.second)) return false;
+          apply_width(width);
+          return true;
+        }
+      }
+    }
+    return fail("unknown mnemonic '" + mnemonic + "'");
+  }
+
+  std::string_view text_;
+  std::size_t pos_ = 0;
+  int line_;
+  const AsmProgram& program_;
+  DiagEngine& diags_;
+};
+
+}  // namespace
+
+AsmProgram parse_program(std::string_view text, DiagEngine& diags) {
+  AsmProgram program;
+  // First pass: collect globals so memory operands can resolve symbols.
+  {
+    int line_number = 0;
+    for (std::string_view line : split(text, '\n')) {
+      ++line_number;
+      std::string_view trimmed = trim(line);
+      auto colon = trimmed.find(':');
+      if (colon == std::string_view::npos) continue;
+      std::string_view rest = trim(trimmed.substr(colon + 1));
+      if (starts_with(rest, ".space")) {
+        AsmGlobal global;
+        global.name = std::string(trimmed.substr(0, colon));
+        global.size_bytes = std::atoll(std::string(rest.substr(6)).c_str());
+        program.globals.push_back(std::move(global));
+      }
+    }
+  }
+
+  AsmFunction* current_fn = nullptr;
+  AsmBlock* current_block = nullptr;
+  int line_number = 0;
+  for (std::string_view line : split(text, '\n')) {
+    ++line_number;
+    std::string_view trimmed = trim(line);
+    if (trimmed.empty() || trimmed[0] == '#') continue;
+    if (trimmed.back() == ':' &&
+        trimmed.find('\t') == std::string_view::npos &&
+        trimmed.find(' ') == std::string_view::npos) {
+      std::string_view name = trimmed.substr(0, trimmed.size() - 1);
+      if (name.empty()) continue;
+      if (name[0] == '.') {
+        if (current_fn == nullptr) {
+          diags.error({line_number, 1}, "label outside a function");
+          continue;
+        }
+        current_fn->blocks.push_back({std::string(name.substr(1)), {}});
+        current_block = &current_fn->blocks.back();
+      } else {
+        program.functions.push_back({std::string(name), {}});
+        current_fn = &program.functions.back();
+        current_block = nullptr;
+      }
+      continue;
+    }
+    // Global data line handled in the first pass.
+    if (trimmed.find(".space") != std::string_view::npos) continue;
+    if (current_fn == nullptr) {
+      diags.error({line_number, 1}, "instruction outside a function");
+      continue;
+    }
+    if (current_block == nullptr) {
+      current_fn->blocks.push_back({"entry", {}});
+      current_block = &current_fn->blocks.back();
+    }
+    AsmInst inst;
+    LineParser parser(trimmed, line_number, program, diags);
+    if (parser.parse_inst(inst)) current_block->insts.push_back(inst);
+  }
+  return program;
+}
+
+}  // namespace ferrum::masm

@@ -1,0 +1,16 @@
+// Parser for the AT&T-style text that masm::print produces. Lets tests and
+// examples write assembly fragments directly and round-trip programs.
+#pragma once
+
+#include <string_view>
+
+#include "masm/masm.h"
+#include "support/source_location.h"
+
+namespace ferrum::masm {
+
+/// Parses a whole program (globals + functions). On error, reports to
+/// `diags` and returns what was parsed so far.
+AsmProgram parse_program(std::string_view text, DiagEngine& diags);
+
+}  // namespace ferrum::masm

@@ -1,0 +1,236 @@
+#include "masm/verifier.h"
+
+#include <sstream>
+#include <unordered_set>
+
+namespace ferrum::masm {
+
+namespace {
+
+bool is_terminatorish(Op op) {
+  return op == Op::kJmp || op == Op::kJcc || op == Op::kRet;
+}
+
+const std::unordered_set<std::string>& intrinsics() {
+  static const std::unordered_set<std::string> names = {"print_int",
+                                                        "print_f64"};
+  return names;
+}
+
+class Verifier {
+ public:
+  Verifier(const AsmProgram& program, bool require_main)
+      : program_(program), require_main_(require_main) {}
+
+  std::vector<std::string> run() {
+    if (require_main_ && program_.find_function("main") == nullptr) {
+      problems_.push_back("program has no main function");
+    }
+    for (const AsmFunction& fn : program_.functions) check_function(fn);
+    return std::move(problems_);
+  }
+
+ private:
+  void problem(const AsmFunction& fn, const std::string& message) {
+    problems_.push_back(fn.name + ": " + message);
+  }
+
+  void check_function(const AsmFunction& fn) {
+    if (fn.blocks.empty()) {
+      problem(fn, "function has no blocks");
+      return;
+    }
+    std::unordered_set<std::string> labels;
+    for (const AsmBlock& block : fn.blocks) {
+      if (!labels.insert(block.label).second) {
+        problem(fn, "duplicate block label ." + block.label);
+      }
+    }
+    for (const AsmBlock& block : fn.blocks) {
+      // jcc may appear anywhere (it falls through), but unconditional
+      // jmp/ret make everything after them unreachable: they are only
+      // legal in the block's trailing terminator cluster.
+      std::size_t cluster = block.insts.size();
+      while (cluster > 0 && is_terminatorish(block.insts[cluster - 1].op)) {
+        --cluster;
+      }
+      for (std::size_t i = 0; i < block.insts.size(); ++i) {
+        const AsmInst& inst = block.insts[i];
+        if ((inst.op == Op::kJmp || inst.op == Op::kRet) && i < cluster) {
+          problem(fn, "." + block.label +
+                          ": unreachable code after " + inst.to_string());
+        }
+        check_inst(fn, block, inst, labels);
+      }
+    }
+  }
+
+  void check_operand(const AsmFunction& fn, const AsmBlock& block,
+                     const AsmInst& inst, const Operand& op) {
+    switch (op.kind) {
+      case Operand::Kind::kReg:
+        if (op.reg == Gpr::kNone) {
+          problem(fn, "." + block.label + ": null register in " +
+                          inst.to_string());
+        }
+        if (op.width != 1 && op.width != 4 && op.width != 8) {
+          problem(fn, "." + block.label + ": bad register width in " +
+                          inst.to_string());
+        }
+        break;
+      case Operand::Kind::kXmm:
+        if (op.xmm < 0 || op.xmm >= kXmmCount) {
+          problem(fn, "." + block.label + ": xmm index out of range in " +
+                          inst.to_string());
+        }
+        break;
+      case Operand::Kind::kMem:
+        if (op.mem.global_id >= 0 &&
+            op.mem.global_id >= static_cast<int>(program_.globals.size())) {
+          problem(fn, "." + block.label + ": global id out of range in " +
+                          inst.to_string());
+        }
+        if (op.mem.scale != 1 && op.mem.scale != 2 && op.mem.scale != 4 &&
+            op.mem.scale != 8) {
+          problem(fn, "." + block.label + ": illegal scale in " +
+                          inst.to_string());
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  void check_inst(const AsmFunction& fn, const AsmBlock& block,
+                  const AsmInst& inst,
+                  const std::unordered_set<std::string>& labels) {
+    for (int i = 0; i < inst.nops; ++i) {
+      check_operand(fn, block, inst, inst.ops[i]);
+    }
+    auto expect_ops = [&](int count) {
+      if (inst.nops != count) {
+        std::ostringstream os;
+        os << "." << block.label << ": " << op_mnemonic(inst.op)
+           << " expects " << count << " operands, has " << inst.nops;
+        problem(fn, os.str());
+        return false;
+      }
+      return true;
+    };
+    switch (inst.op) {
+      case Op::kJmp:
+      case Op::kJcc:
+        if (expect_ops(1)) {
+          if (inst.ops[0].kind != Operand::Kind::kLabel ||
+              labels.count(inst.ops[0].label) == 0) {
+            problem(fn, "." + block.label + ": unresolved jump target in " +
+                            inst.to_string());
+          }
+        }
+        break;
+      case Op::kCall:
+        if (expect_ops(1)) {
+          const std::string& callee = inst.ops[0].label;
+          if (program_.find_function(callee) == nullptr &&
+              intrinsics().count(callee) == 0) {
+            problem(fn, "." + block.label + ": call to unknown function " +
+                            callee);
+          }
+        }
+        break;
+      case Op::kRet:
+      case Op::kDetectTrap:
+        if (inst.nops != 0) {
+          problem(fn, "." + block.label + ": operands on " +
+                          op_mnemonic(inst.op));
+        }
+        break;
+      case Op::kLea:
+        if (expect_ops(2)) {
+          if (!inst.ops[0].is_mem() || !inst.ops[1].is_reg()) {
+            problem(fn, "." + block.label + ": lea needs mem -> reg");
+          }
+        }
+        break;
+      case Op::kSetcc:
+        if (expect_ops(1)) {
+          if (inst.ops[0].is_reg() && inst.ops[0].width != 1) {
+            problem(fn, "." + block.label + ": setcc writes a byte");
+          }
+          if (!inst.ops[0].is_reg() && !inst.ops[0].is_mem()) {
+            problem(fn, "." + block.label + ": setcc needs reg/mem");
+          }
+        }
+        break;
+      case Op::kPush:
+      case Op::kPop:
+        if (expect_ops(1)) {
+          if (!inst.ops[0].is_reg() || inst.ops[0].width != 8) {
+            problem(fn, "." + block.label + ": push/pop needs a 64-bit reg");
+          }
+        }
+        break;
+      case Op::kPinsrq:
+        if (expect_ops(3)) {
+          if (!inst.ops[0].is_imm() || (inst.ops[0].imm & ~1) != 0) {
+            problem(fn, "." + block.label + ": pinsrq lane must be 0 or 1");
+          }
+          if (!inst.ops[2].is_xmm()) {
+            problem(fn, "." + block.label + ": pinsrq destination is xmm");
+          }
+        }
+        break;
+      case Op::kVinserti128:
+        if (expect_ops(3)) {
+          if (!inst.ops[1].is_xmm() || !inst.ops[2].is_xmm()) {
+            problem(fn, "." + block.label + ": vinserti128 operands");
+          }
+        }
+        break;
+      case Op::kVpxor:
+        expect_ops(3);
+        break;
+      case Op::kVptest:
+      case Op::kCmp:
+      case Op::kTest:
+      case Op::kUcomisd:
+        expect_ops(2);
+        break;
+      case Op::kMov:
+        if (expect_ops(2)) {
+          if (inst.ops[0].is_mem() && inst.ops[1].is_mem()) {
+            problem(fn, "." + block.label + ": mov mem -> mem is illegal");
+          }
+          if (inst.ops[0].is_xmm() || inst.ops[1].is_xmm()) {
+            problem(fn, "." + block.label +
+                            ": mov with xmm operand (use movq/movsd)");
+          }
+        }
+        break;
+      default:
+        break;
+    }
+  }
+
+  const AsmProgram& program_;
+  bool require_main_;
+  std::vector<std::string> problems_;
+};
+
+}  // namespace
+
+std::vector<std::string> verify_program(const AsmProgram& program,
+                                        bool require_main) {
+  return Verifier(program, require_main).run();
+}
+
+std::string verify_program_to_string(const AsmProgram& program,
+                                     bool require_main) {
+  std::ostringstream os;
+  for (const std::string& problem : verify_program(program, require_main)) {
+    os << problem << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace ferrum::masm

@@ -1,0 +1,81 @@
+#include "pipeline/pipeline.h"
+
+#include <chrono>
+
+#include "frontend/codegen.h"
+#include "ir/verifier.h"
+#include "masm/verifier.h"
+#include "support/source_location.h"
+
+namespace ferrum::pipeline {
+
+const char* technique_name(Technique technique) {
+  switch (technique) {
+    case Technique::kNone: return "none";
+    case Technique::kIrEddi: return "ir-level-eddi";
+    case Technique::kHybrid: return "hybrid-assembly-level-eddi";
+    case Technique::kFerrum: return "ferrum";
+  }
+  return "?";
+}
+
+Build build(std::string_view source, Technique technique,
+            const BuildOptions& options) {
+  DiagEngine diags;
+  Build result;
+  result.module = minic::compile(source, diags);
+  if (result.module == nullptr) {
+    throw std::runtime_error("frontend:\n" + diags.render());
+  }
+
+  if (technique == Technique::kIrEddi) {
+    result.ir_stats =
+        eddi::apply_ir_eddi(*result.module, eddi::IrEddiMode::kClassic);
+  } else if (technique == Technique::kHybrid) {
+    result.ir_stats =
+        eddi::apply_ir_eddi(*result.module, eddi::IrEddiMode::kSignatureOnly);
+  }
+  if (technique == Technique::kIrEddi || technique == Technique::kHybrid) {
+    const std::string problems = ir::verify_to_string(*result.module);
+    if (!problems.empty()) {
+      throw std::runtime_error("IR protection broke the module:\n" + problems);
+    }
+  }
+
+  result.program = backend::lower(*result.module, options.backend);
+  {
+    const std::string problems = masm::verify_program_to_string(result.program);
+    if (!problems.empty()) {
+      throw std::runtime_error("backend produced malformed assembly:\n" +
+                               problems);
+    }
+  }
+
+  if (technique == Technique::kHybrid) {
+    eddi::AsmProtectOptions asm_options;
+    asm_options.use_simd = false;          // AS_1: plain duplication
+    asm_options.protect_branches = false;  // comparisons/branches at IR
+    // Extended-fault-model experiments toggle store verification for both
+    // assembly-level techniques through the same knob.
+    asm_options.protect_store_data = options.ferrum.protect_store_data;
+    const auto start = std::chrono::steady_clock::now();
+    result.asm_stats = eddi::protect_asm(result.program, asm_options);
+    result.protect_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+  } else if (technique == Technique::kFerrum) {
+    const auto start = std::chrono::steady_clock::now();
+    result.asm_stats = eddi::protect_asm(result.program, options.ferrum);
+    result.protect_seconds = std::chrono::duration<double>(
+        std::chrono::steady_clock::now() - start).count();
+  }
+  if (technique == Technique::kHybrid || technique == Technique::kFerrum) {
+    const std::string problems = masm::verify_program_to_string(result.program);
+    if (!problems.empty()) {
+      throw std::runtime_error("protection produced malformed assembly:\n" +
+                               problems);
+    }
+  }
+  return result;
+}
+
+}  // namespace ferrum::pipeline

@@ -1,0 +1,49 @@
+// End-to-end pipeline: MiniC source -> MiniIR -> (protection) -> MiniASM.
+// This is the single entry point the examples, tests, benches and the
+// fault-injection campaign all share.
+#pragma once
+
+#include <memory>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#include "backend/backend.h"
+#include "eddi/asm_protect.h"
+#include "eddi/ir_eddi.h"
+#include "ir/ir.h"
+#include "masm/masm.h"
+
+namespace ferrum::pipeline {
+
+/// The protection configurations of the paper's Table I.
+enum class Technique : std::uint8_t {
+  kNone,     // unprotected baseline (SDC_raw)
+  kIrEddi,   // IR-LEVEL-EDDI
+  kHybrid,   // HYBRID-ASSEMBLY-LEVEL-EDDI (IR signatures + plain asm dup)
+  kFerrum,   // FERRUM
+};
+
+const char* technique_name(Technique technique);
+
+struct BuildOptions {
+  backend::BackendOptions backend;
+  /// FERRUM configuration knobs (used only for kFerrum), for ablations.
+  eddi::AsmProtectOptions ferrum;
+};
+
+struct Build {
+  std::unique_ptr<ir::Module> module;  // after any IR-level protection
+  masm::AsmProgram program;
+  eddi::IrEddiStats ir_stats;
+  eddi::AsmProtectStats asm_stats;
+  /// Wall-clock seconds spent in the assembly-level protection pass.
+  double protect_seconds = 0.0;
+};
+
+/// Compiles MiniC source under the chosen technique. Throws
+/// std::runtime_error with rendered diagnostics on frontend errors.
+Build build(std::string_view source, Technique technique,
+            const BuildOptions& options = {});
+
+}  // namespace ferrum::pipeline

@@ -1,0 +1,53 @@
+#include "support/source_location.h"
+
+#include <sstream>
+
+namespace ferrum {
+
+std::string SourceLoc::to_string() const {
+  std::ostringstream os;
+  os << line << ":" << column;
+  return os.str();
+}
+
+namespace {
+const char* severity_name(DiagSeverity severity) {
+  switch (severity) {
+    case DiagSeverity::kError:
+      return "error";
+    case DiagSeverity::kWarning:
+      return "warning";
+    case DiagSeverity::kNote:
+      return "note";
+  }
+  return "?";
+}
+}  // namespace
+
+std::string Diagnostic::to_string() const {
+  std::ostringstream os;
+  if (loc.valid()) os << loc.to_string() << ": ";
+  os << severity_name(severity) << ": " << message;
+  return os.str();
+}
+
+void DiagEngine::error(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kError, loc, std::move(message)});
+  ++error_count_;
+}
+
+void DiagEngine::warning(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kWarning, loc, std::move(message)});
+}
+
+void DiagEngine::note(SourceLoc loc, std::string message) {
+  diagnostics_.push_back({DiagSeverity::kNote, loc, std::move(message)});
+}
+
+std::string DiagEngine::render() const {
+  std::ostringstream os;
+  for (const auto& diag : diagnostics_) os << diag.to_string() << "\n";
+  return os.str();
+}
+
+}  // namespace ferrum

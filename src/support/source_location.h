@@ -1,0 +1,54 @@
+// Source positions and diagnostics shared by the MiniC frontend, the
+// MiniIR parser and the MiniASM parser.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ferrum {
+
+/// 1-based line/column position in some textual input.
+struct SourceLoc {
+  int line = 0;
+  int column = 0;
+
+  bool valid() const noexcept { return line > 0; }
+  std::string to_string() const;
+};
+
+/// Severity of a diagnostic message.
+enum class DiagSeverity { kError, kWarning, kNote };
+
+/// One diagnostic message attached to a location.
+struct Diagnostic {
+  DiagSeverity severity = DiagSeverity::kError;
+  SourceLoc loc;
+  std::string message;
+
+  std::string to_string() const;
+};
+
+/// Accumulates diagnostics during a compilation phase. Phases report
+/// errors here instead of throwing so that multiple problems can be
+/// surfaced in a single pass over the input.
+class DiagEngine {
+ public:
+  void error(SourceLoc loc, std::string message);
+  void warning(SourceLoc loc, std::string message);
+  void note(SourceLoc loc, std::string message);
+
+  bool has_errors() const noexcept { return error_count_ > 0; }
+  int error_count() const noexcept { return error_count_; }
+  const std::vector<Diagnostic>& diagnostics() const noexcept {
+    return diagnostics_;
+  }
+
+  /// All diagnostics rendered one per line; empty string when clean.
+  std::string render() const;
+
+ private:
+  std::vector<Diagnostic> diagnostics_;
+  int error_count_ = 0;
+};
+
+}  // namespace ferrum

@@ -1,0 +1,29 @@
+// Small string utilities used across the project.
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace ferrum {
+
+/// Splits on a single character; keeps empty fields.
+std::vector<std::string_view> split(std::string_view text, char sep);
+
+/// Removes leading/trailing ASCII whitespace.
+std::string_view trim(std::string_view text);
+
+/// Joins pieces with a separator.
+std::string join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+bool starts_with(std::string_view text, std::string_view prefix);
+bool ends_with(std::string_view text, std::string_view suffix);
+
+/// Renders a double compactly but round-trippably (shortest %.17g form).
+std::string format_double(double value);
+
+/// "12,345,678" style thousands grouping, for report tables.
+std::string with_commas(std::uint64_t value);
+
+}  // namespace ferrum

@@ -1,0 +1,199 @@
+#include "vm/timing.h"
+
+#include <algorithm>
+
+#include "masm/cfg.h"
+
+namespace ferrum::vm {
+
+using masm::AsmInst;
+using masm::Op;
+
+TimingModel::TimingModel(const TimingParams& params) : params_(params) {}
+
+PortClass TimingModel::classify(const AsmInst& inst) const {
+  switch (inst.op) {
+    case Op::kMov:
+    case Op::kMovsx:
+    case Op::kMovzx:
+      if (inst.nops >= 1 && inst.ops[0].is_mem()) return PortClass::kLoad;
+      if (inst.nops >= 2 && inst.ops[1].is_mem()) return PortClass::kStore;
+      return PortClass::kAlu;
+    case Op::kLea:
+    case Op::kAdd:
+    case Op::kSub:
+    case Op::kImul:
+    case Op::kAnd:
+    case Op::kOr:
+    case Op::kXor:
+    case Op::kShl:
+    case Op::kSar:
+    case Op::kCmp:
+    case Op::kTest:
+    case Op::kSetcc:
+      if (inst.nops >= 1 && inst.ops[0].is_mem()) return PortClass::kLoad;
+      if (inst.nops >= 2 && inst.ops[1].is_mem()) return PortClass::kLoad;
+      return PortClass::kAlu;
+    case Op::kIdiv:
+    case Op::kIrem:
+    case Op::kDivsd:
+    case Op::kSqrtsd:
+      return PortClass::kDiv;
+    case Op::kPush:
+      return PortClass::kStore;
+    case Op::kPop:
+      return PortClass::kLoad;
+    case Op::kJcc:
+    case Op::kJmp:
+    case Op::kCall:
+    case Op::kRet:
+    case Op::kDetectTrap:
+      return PortClass::kBranch;
+    case Op::kMovsd:
+      if (inst.ops[0].is_mem()) return PortClass::kLoad;
+      if (inst.ops[1].is_mem()) return PortClass::kStore;
+      return PortClass::kFp;
+    case Op::kAddsd:
+    case Op::kSubsd:
+    case Op::kMulsd:
+    case Op::kUcomisd:
+    case Op::kCvtsi2sd:
+    case Op::kCvttsd2si:
+      return PortClass::kFp;
+    case Op::kMovq:
+      if (inst.nops >= 1 && inst.ops[0].is_mem()) return PortClass::kLoad;
+      return PortClass::kVec;
+    case Op::kPinsrq:
+      if (inst.nops >= 2 && inst.ops[1].is_mem()) return PortClass::kLoad;
+      return PortClass::kVec;
+    case Op::kVinserti128:
+    case Op::kVpxor:
+    case Op::kVptest:
+      return PortClass::kVec;
+  }
+  return PortClass::kAlu;
+}
+
+int TimingModel::latency(const AsmInst& inst) const {
+  switch (inst.op) {
+    case Op::kMov:
+    case Op::kMovsx:
+    case Op::kMovzx:
+      if (inst.nops >= 1 && inst.ops[0].is_mem()) return params_.lat_load;
+      if (inst.nops >= 2 && inst.ops[1].is_mem()) return params_.lat_store;
+      return params_.lat_alu;
+    case Op::kPop:
+    case Op::kPush:
+      return params_.lat_load;
+    case Op::kImul:
+      return params_.lat_imul;
+    case Op::kIdiv:
+    case Op::kIrem:
+      return params_.lat_idiv;
+    case Op::kJcc:
+    case Op::kJmp:
+    case Op::kRet:
+    case Op::kDetectTrap:
+      return params_.lat_branch;
+    case Op::kCall:
+      return params_.lat_call;
+    case Op::kMovsd:
+      if (inst.ops[0].is_mem()) return params_.lat_load;
+      if (inst.ops[1].is_mem()) return params_.lat_store;
+      return params_.lat_alu;
+    case Op::kAddsd:
+    case Op::kSubsd:
+    case Op::kMulsd:
+    case Op::kUcomisd:
+      return params_.lat_fp;
+    case Op::kDivsd:
+      return params_.lat_fpdiv;
+    case Op::kSqrtsd:
+      return params_.lat_sqrt;
+    case Op::kCvtsi2sd:
+    case Op::kCvttsd2si:
+      return params_.lat_cvt;
+    case Op::kMovq:
+    case Op::kPinsrq:
+    case Op::kVinserti128:
+      return params_.lat_vec_mov;
+    case Op::kVpxor:
+      return params_.lat_vec_alu;
+    case Op::kVptest:
+      return params_.lat_vptest;
+    default:
+      return params_.lat_alu;
+  }
+}
+
+void TimingModel::step(const AsmInst& inst, std::uint64_t addr) {
+  const masm::UseDef ud = masm::use_def_of(inst);
+
+  // Data dependences: ready when every read register/flag is ready.
+  std::uint64_t ready = 0;
+  for (int i = 0; i < masm::kGprCount; ++i) {
+    if (ud.use & masm::gpr_bit(static_cast<masm::Gpr>(i))) {
+      ready = std::max(ready, gpr_ready_[i]);
+    }
+  }
+  for (int i = 0; i < masm::kXmmCount; ++i) {
+    if (ud.use & masm::xmm_bit(i)) ready = std::max(ready, xmm_ready_[i]);
+  }
+  if (ud.use & masm::kFlagsBit) ready = std::max(ready, flags_ready_);
+
+  const masm::RegEffects fx = masm::effects_of(inst);
+  const int mem_slot = static_cast<int>((addr >> 3) % kMemTableSize);
+  if (fx.reads_mem && addr != 0 && mem_tag_[mem_slot] == (addr >> 3)) {
+    // Store-to-load forwarding from the last store to the same cell.
+    ready = std::max(ready,
+                     mem_ready_[mem_slot] + params_.lat_store_forward - 1);
+  }
+
+  // Frontend: instructions are fetched in program order at issue_width per
+  // cycle; execution is out of order beyond that (dependences and port
+  // throughput decide), approximating the paper's OoO Xeon.
+  const std::uint64_t fetch_cycle =
+      fetched_ / static_cast<std::uint64_t>(params_.issue_width);
+  ++fetched_;
+
+  const PortClass port = classify(inst);
+  int units = 0;
+  switch (port) {
+    case PortClass::kAlu: units = params_.alu_units; break;
+    case PortClass::kLoad: units = params_.load_units; break;
+    case PortClass::kStore: units = params_.store_units; break;
+    case PortClass::kBranch: units = params_.branch_units; break;
+    case PortClass::kVec: units = params_.vec_units; break;
+    case PortClass::kFp: units = params_.fp_units; break;
+    case PortClass::kDiv: units = params_.div_units; break;
+  }
+  // Pick the earliest-free unit of this port class.
+  std::uint64_t* unit_free = &port_free_[static_cast<int>(port)][0];
+  int best_unit = 0;
+  for (int u = 1; u < units; ++u) {
+    if (unit_free[u] < unit_free[best_unit]) best_unit = u;
+  }
+  const std::uint64_t cycle =
+      std::max({ready, fetch_cycle, unit_free[best_unit]});
+  unit_free[best_unit] = cycle + 1;  // throughput: 1 op/unit/cycle
+
+  const std::uint64_t completion =
+      cycle + static_cast<std::uint64_t>(latency(inst));
+  last_completion_ = std::max(last_completion_, completion);
+
+  for (int i = 0; i < masm::kGprCount; ++i) {
+    if (ud.def & masm::gpr_bit(static_cast<masm::Gpr>(i))) {
+      gpr_ready_[i] = completion;
+    }
+  }
+  for (int i = 0; i < masm::kXmmCount; ++i) {
+    if (ud.def & masm::xmm_bit(i)) xmm_ready_[i] = completion;
+  }
+  if (ud.def & masm::kFlagsBit) flags_ready_ = completion;
+  if (fx.writes_mem && addr != 0) {
+    mem_tag_[mem_slot] = addr >> 3;
+    mem_ready_[mem_slot] = completion;
+  }
+}
+
+}  // namespace ferrum::vm

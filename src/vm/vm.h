@@ -1,0 +1,118 @@
+// MiniASM virtual machine: functional emulator + fault-injection hooks +
+// a port/dependency timing model (see timing.h).
+//
+// Fault model (paper Sec II-A / IV-A2): a single bit flip in the
+// destination of one dynamically sampled instruction. Each executed
+// instruction contributes at most one fault-injection *site*, classified
+// by what it writes:
+//   kGprWrite        destination general-purpose register
+//   kXmmWrite        destination SIMD register (written lane bits)
+//   kFlagsWrite      RFLAGS producers (cmp / test / ucomisd / vptest)
+//   kStoreData       value written to memory (mov-to-mem, push, call's
+//                    return address)
+//   kBranchDecision  conditional-jump resolution (the taken bit)
+// A campaign first profiles the site count, then samples (site, bit)
+// uniformly — one fault per run, exactly as in the paper.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "masm/masm.h"
+#include "vm/timing.h"
+
+namespace ferrum::vm {
+
+enum class ExitStatus : std::uint8_t {
+  kOk,
+  kDetected,      // a protection checker fired (DetectTrap)
+  kTrapMemory,    // out-of-bounds access or stack overflow
+  kTrapDivide,    // integer divide by zero / overflow
+  kTrapSteps,     // step budget exhausted (livelock)
+  kTrapInvalid,   // invalid jump target / return address / opcode use
+};
+
+const char* exit_status_name(ExitStatus status);
+
+enum class FaultKind : std::uint8_t {
+  kGprWrite,
+  kXmmWrite,
+  kFlagsWrite,
+  kStoreData,
+  kBranchDecision,
+};
+
+const char* fault_kind_name(FaultKind kind);
+
+/// One planned fault: flip `burst` adjacent bits starting at `bit` of
+/// dynamic FI site number `site`. burst=1 is the paper's single-bit
+/// model; burst>1 models multi-bit upsets in one word (the paper's
+/// stated future work).
+struct FaultSpec {
+  std::uint64_t site = 0;
+  int bit = 0;
+  int burst = 1;
+};
+
+/// Description of the site a fault actually landed on (for analysis).
+struct FaultLanding {
+  FaultKind kind = FaultKind::kGprWrite;
+  masm::InstOrigin origin = masm::InstOrigin::kFromIR;
+  masm::Op op = masm::Op::kMov;
+  std::string function;
+};
+
+struct VmOptions {
+  std::uint64_t max_steps = 50'000'000;
+  std::size_t memory_bytes = 1u << 24;
+  /// Enumerate kStoreData fault sites. The paper's fault model injects
+  /// into the *destination register* of instructions, and stores have
+  /// none — so this is off by default; turning it on gives the extended
+  /// fault model evaluated by bench/ablation_storedata.
+  bool fault_store_data = false;
+  /// Run the timing model alongside execution (adds ~2x cost).
+  bool timing = false;
+  TimingParams timing_params;
+  /// Record the first `trace_limit` executed instructions (rendered text
+  /// plus the value each wrote) into VmResult::trace — a debugging aid.
+  std::size_t trace_limit = 0;
+};
+
+struct VmResult {
+  ExitStatus status = ExitStatus::kOk;
+  std::vector<std::uint64_t> output;
+  std::int64_t return_value = 0;
+  /// Dynamic instructions executed.
+  std::uint64_t steps = 0;
+  /// Dynamic fault-injection sites encountered.
+  std::uint64_t fi_sites = 0;
+  /// Estimated cycles (only when VmOptions::timing).
+  std::uint64_t cycles = 0;
+  /// Set when a FaultSpec was supplied and its site was reached.
+  bool fault_injected = false;
+  std::optional<FaultLanding> fault_landing;
+  /// Dynamic instruction index at which the (first) fault was injected;
+  /// with `steps` at detection this gives the detection latency.
+  std::uint64_t fault_step = 0;
+  /// Execution trace (when VmOptions::trace_limit > 0): one line per
+  /// executed instruction, "function/block: rendered-instruction".
+  std::vector<std::string> trace;
+
+  bool ok() const { return status == ExitStatus::kOk; }
+};
+
+/// Executes `main` of the program. If `fault` is given, injects that
+/// single fault when its site is reached.
+VmResult run(const masm::AsmProgram& program, const VmOptions& options = {},
+             const FaultSpec* fault = nullptr);
+
+/// Multi-fault execution: every spec fires at its own dynamic site
+/// (independent-site double/triple faults — beyond the paper's model).
+/// `fault_injected` reports whether at least one site was reached;
+/// `fault_landing` describes the first.
+VmResult run_multi(const masm::AsmProgram& program, const VmOptions& options,
+                   const std::vector<FaultSpec>& faults);
+
+}  // namespace ferrum::vm

@@ -1,0 +1,479 @@
+#include "workloads/workloads.h"
+
+#include <stdexcept>
+
+namespace ferrum::workloads {
+
+namespace {
+
+std::string replace_all(std::string text, const std::string& token,
+                        const std::string& value) {
+  std::size_t pos = 0;
+  while ((pos = text.find(token, pos)) != std::string::npos) {
+    text.replace(pos, token.size(), value);
+    pos += value.size();
+  }
+  return text;
+}
+
+// --------------------------------------------------------------------------
+// Each kernel mirrors its Rodinia namesake's algorithmic core: same data
+// flow, same loop structure, scaled down to fault-injection-friendly sizes.
+// %REPS% is the outer repetition count substituted by scaled().
+
+const char* kBackprop = R"MINIC(
+// backprop: one-hidden-layer MLP, forward + delta-rule weight update.
+double w1[48];   // 8 inputs x 6 hidden
+double w2[6];    // 6 hidden -> 1 output
+double hid[6];
+double inp[8];
+int seed = 17;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed % 1000;
+}
+
+double squash(double x) {
+  double ax = x;
+  if (ax < 0.0) ax = -ax;
+  return x / (1.0 + ax);
+}
+
+int main() {
+  for (int i = 0; i < 48; i++) w1[i] = (double)(rnd() - 500) / 500.0;
+  for (int i = 0; i < 6; i++) w2[i] = (double)(rnd() - 500) / 500.0;
+  for (int r = 0; r < %REPS%; r++) {
+    for (int epoch = 0; epoch < 4; epoch++) {
+      for (int s = 0; s < 4; s++) {
+        for (int i = 0; i < 8; i++) inp[i] = (double)(rnd() % 100) / 100.0;
+        double target = (double)(s % 2);
+        for (int j = 0; j < 6; j++) {
+          double acc = 0.0;
+          for (int i = 0; i < 8; i++) acc += inp[i] * w1[i * 6 + j];
+          hid[j] = squash(acc);
+        }
+        double out = 0.0;
+        for (int j = 0; j < 6; j++) out += hid[j] * w2[j];
+        out = squash(out);
+        double delta = (target - out) * 0.25;
+        for (int j = 0; j < 6; j++) {
+          double dh = delta * w2[j] * 0.5;
+          w2[j] += delta * hid[j];
+          for (int i = 0; i < 8; i++) w1[i * 6 + j] += dh * inp[i];
+        }
+      }
+    }
+  }
+  double check = 0.0;
+  for (int i = 0; i < 48; i++) check += w1[i] * (double)(i % 5 + 1);
+  for (int j = 0; j < 6; j++) check += w2[j] * 10.0;
+  print_f64(check);
+  return 0;
+}
+)MINIC";
+
+const char* kBfs = R"MINIC(
+// bfs: level-order traversal over a sparse ring + chord graph.
+int dist[48];
+int work[48];
+int adj[96];
+
+int main() {
+  int n = 48;
+  for (int i = 0; i < n; i++) {
+    adj[2 * i] = (i + 1) % n;
+    adj[2 * i + 1] = (i * 7 + 3) % n;
+  }
+  long total = 0L;
+  for (int r = 0; r < %REPS%; r++) {
+    for (int i = 0; i < n; i++) dist[i] = -1;
+    int head = 0;
+    int tail = 0;
+    int src = (r * 11) % n;
+    dist[src] = 0;
+    work[tail] = src;
+    tail++;
+    while (head < tail) {
+      int u = work[head];
+      head++;
+      for (int e = 0; e < 2; e++) {
+        int v = adj[2 * u + e];
+        if (dist[v] < 0) {
+          dist[v] = dist[u] + 1;
+          work[tail] = v;
+          tail++;
+        }
+      }
+    }
+    for (int i = 0; i < n; i++) total += (long)(dist[i] * (i + 1));
+  }
+  print_int(total);
+  return 0;
+}
+)MINIC";
+
+const char* kPathfinder = R"MINIC(
+// pathfinder: bottom-up dynamic programming over a weighted grid.
+int wall[320];   // 20 rows x 16 cols
+int result[16];
+int prev[16];
+int seed = 7;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+int main() {
+  int rows = 20;
+  int cols = 16;
+  for (int i = 0; i < rows * cols; i++) wall[i] = rnd() % 10;
+  long check = 0L;
+  for (int r = 0; r < %REPS%; r++) {
+    for (int j = 0; j < cols; j++) result[j] = wall[j];
+    for (int i = 1; i < rows; i++) {
+      for (int j = 0; j < cols; j++) prev[j] = result[j];
+      for (int j = 0; j < cols; j++) {
+        int best = prev[j];
+        if (j > 0) {
+          if (prev[j - 1] < best) best = prev[j - 1];
+        }
+        if (j < cols - 1) {
+          if (prev[j + 1] < best) best = prev[j + 1];
+        }
+        result[j] = best + wall[i * cols + j];
+      }
+    }
+    for (int j = 0; j < cols; j++) check += (long)(result[j] * (j + 1));
+  }
+  print_int(check);
+  return 0;
+}
+)MINIC";
+
+const char* kLud = R"MINIC(
+// lud: in-place Doolittle LU decomposition of a diagonally dominant matrix.
+double a[64];    // 8 x 8
+int seed = 3;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+void init(int n) {
+  for (int i = 0; i < n * n; i++) a[i] = (double)(rnd() % 100) / 10.0;
+  for (int i = 0; i < n; i++) a[i * n + i] += 100.0;
+}
+
+int main() {
+  int n = 8;
+  double check = 0.0;
+  for (int r = 0; r < %REPS%; r++) {
+    init(n);
+    for (int k = 0; k < n; k++) {
+      for (int j = k + 1; j < n; j++) {
+        a[j * n + k] /= a[k * n + k];
+        for (int m = k + 1; m < n; m++) {
+          a[j * n + m] -= a[j * n + k] * a[k * n + m];
+        }
+      }
+    }
+    for (int i = 0; i < n * n; i++) check += a[i] * (double)(i % 7 + 1);
+  }
+  print_f64(check);
+  return 0;
+}
+)MINIC";
+
+const char* kNeedle = R"MINIC(
+// needle: Needleman-Wunsch global sequence alignment score matrix.
+int score[289];  // 17 x 17
+int seq1[16];
+int seq2[16];
+int seed = 11;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+int main() {
+  int n = 16;
+  int w = 17;
+  for (int i = 0; i < n; i++) seq1[i] = rnd() % 4;
+  for (int i = 0; i < n; i++) seq2[i] = rnd() % 4;
+  long check = 0L;
+  for (int r = 0; r < %REPS%; r++) {
+    int gap = -2 - r % 2;
+    for (int i = 0; i <= n; i++) score[i * w] = i * gap;
+    for (int j = 0; j <= n; j++) score[j] = j * gap;
+    for (int i = 1; i <= n; i++) {
+      for (int j = 1; j <= n; j++) {
+        int m = -1;
+        if (seq1[i - 1] == seq2[j - 1]) m = 3;
+        int diag = score[(i - 1) * w + (j - 1)] + m;
+        int up = score[(i - 1) * w + j] + gap;
+        int left = score[i * w + (j - 1)] + gap;
+        int best = diag;
+        if (up > best) best = up;
+        if (left > best) best = left;
+        score[i * w + j] = best;
+      }
+    }
+    check += (long)score[n * w + n];
+    for (int j = 0; j <= n; j++) check += (long)(score[n * w + j] * (j + 1));
+  }
+  print_int(check);
+  return 0;
+}
+)MINIC";
+
+const char* kKnn = R"MINIC(
+// knn: k-nearest-neighbour search by repeated minimum selection.
+double px[64];
+double py[64];
+int taken[64];
+int seed = 5;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+int main() {
+  int n = 64;
+  int k = 5;
+  for (int i = 0; i < n; i++) {
+    px[i] = (double)(rnd() % 1000) / 10.0;
+    py[i] = (double)(rnd() % 1000) / 10.0;
+  }
+  double acc = 0.0;
+  long idxsum = 0L;
+  for (int r = 0; r < %REPS%; r++) {
+    double qx = (double)((r * 13) % 100);
+    double qy = (double)((r * 29) % 100);
+    for (int i = 0; i < n; i++) taken[i] = 0;
+    for (int pick = 0; pick < k; pick++) {
+      int best = -1;
+      double bestd = 1.0e30;
+      for (int i = 0; i < n; i++) {
+        if (taken[i] == 0) {
+          double dx = px[i] - qx;
+          double dy = py[i] - qy;
+          double d = sqrt(dx * dx + dy * dy);
+          if (d < bestd) {
+            bestd = d;
+            best = i;
+          }
+        }
+      }
+      taken[best] = 1;
+      acc += bestd;
+      idxsum += (long)(best * (pick + 1));
+    }
+  }
+  print_f64(acc);
+  print_int(idxsum);
+  return 0;
+}
+)MINIC";
+
+const char* kKmeans = R"MINIC(
+// kmeans: Lloyd iterations, 2-d points, 4 centroids.
+double px[64];
+double py[64];
+double cx[4];
+double cy[4];
+double sx[4];
+double sy[4];
+int cnt[4];
+int assign_of[64];
+int seed = 23;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+int main() {
+  int n = 64;
+  int k = 4;
+  for (int i = 0; i < n; i++) {
+    px[i] = (double)(rnd() % 1000) / 10.0;
+    py[i] = (double)(rnd() % 1000) / 10.0;
+  }
+  long moves = 0L;
+  for (int r = 0; r < %REPS%; r++) {
+    for (int c = 0; c < k; c++) {
+      cx[c] = px[c * 16 % n];
+      cy[c] = py[c * 16 % n];
+    }
+    for (int i = 0; i < n; i++) assign_of[i] = -1;
+    for (int iter = 0; iter < 5; iter++) {
+      for (int c = 0; c < k; c++) {
+        sx[c] = 0.0;
+        sy[c] = 0.0;
+        cnt[c] = 0;
+      }
+      for (int i = 0; i < n; i++) {
+        int best = 0;
+        double bestd = 1.0e30;
+        for (int c = 0; c < k; c++) {
+          double dx = px[i] - cx[c];
+          double dy = py[i] - cy[c];
+          double d = dx * dx + dy * dy;
+          if (d < bestd) {
+            bestd = d;
+            best = c;
+          }
+        }
+        if (assign_of[i] != best) moves++;
+        assign_of[i] = best;
+        sx[best] += px[i];
+        sy[best] += py[i];
+        cnt[best]++;
+      }
+      for (int c = 0; c < k; c++) {
+        if (cnt[c] > 0) {
+          cx[c] = sx[c] / (double)cnt[c];
+          cy[c] = sy[c] / (double)cnt[c];
+        }
+      }
+    }
+  }
+  double check = 0.0;
+  for (int c = 0; c < 4; c++) check += cx[c] * (double)(c + 1) + cy[c];
+  print_f64(check);
+  print_int(moves);
+  return 0;
+}
+)MINIC";
+
+const char* kParticlefilter = R"MINIC(
+// particlefilter: 1-d state estimation with weighting and resampling.
+double x[64];
+double w[64];
+double xnew[64];
+double cumw[64];
+int seed = 29;
+
+int rnd() {
+  seed = (seed * 1103515245 + 12345) % 2147483647;
+  if (seed < 0) seed = -seed;
+  return seed;
+}
+
+double noise() {
+  return (double)(rnd() % 200 - 100) / 200.0;
+}
+
+int main() {
+  int n = 64;
+  double state = 4.0;
+  for (int i = 0; i < n; i++) {
+    x[i] = state + noise();
+    w[i] = 1.0 / (double)n;
+  }
+  long checks = 0L;
+  for (int step = 0; step < %REPS% * 6; step++) {
+    state = state * 0.9 + 1.0 + noise() * 0.1;
+    double z = state + noise() * 0.2;
+    for (int i = 0; i < n; i++) {
+      x[i] = x[i] * 0.9 + 1.0 + noise();
+      double e = x[i] - z;
+      w[i] = 1.0 / (1.0 + e * e);
+    }
+    double total = 0.0;
+    for (int i = 0; i < n; i++) total += w[i];
+    double est = 0.0;
+    for (int i = 0; i < n; i++) {
+      w[i] /= total;
+      est += w[i] * x[i];
+    }
+    // systematic resampling
+    double c = 0.0;
+    for (int i = 0; i < n; i++) {
+      c += w[i];
+      cumw[i] = c;
+    }
+    double u0 = (double)(rnd() % 1000) / (double)(1000 * n);
+    int j = 0;
+    for (int i = 0; i < n; i++) {
+      double u = u0 + (double)i / (double)n;
+      while (j < n - 1 && cumw[j] < u) j++;
+      xnew[i] = x[j];
+    }
+    for (int i = 0; i < n; i++) x[i] = xnew[i];
+    checks += (long)(est * 1000.0);
+  }
+  print_int(checks);
+  return 0;
+}
+)MINIC";
+
+Workload make(const char* name, const char* domain, const char* text,
+              int reps) {
+  Workload w;
+  w.name = name;
+  w.suite = "rodinia-class";
+  w.domain = domain;
+  w.source = replace_all(text, "%REPS%", std::to_string(reps));
+  return w;
+}
+
+}  // namespace
+
+const std::vector<Workload>& all() {
+  static const std::vector<Workload>* workloads = new std::vector<Workload>{
+      make("backprop", "Machine Learning", kBackprop, 1),
+      make("bfs", "Graph Algorithm", kBfs, 1),
+      make("pathfinder", "Dynamic Programming", kPathfinder, 1),
+      make("lud", "Linear Algebra", kLud, 1),
+      make("needle", "Dynamic Programming", kNeedle, 1),
+      make("knn", "Machine Learning", kKnn, 1),
+      make("kmeans", "Data Mining", kKmeans, 1),
+      make("particlefilter", "Noise estimator", kParticlefilter, 1),
+  };
+  return *workloads;
+}
+
+const Workload& by_name(const std::string& name) {
+  for (const Workload& w : all()) {
+    if (w.name == name) return w;
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+Workload scaled(const std::string& name, int factor) {
+  static const struct {
+    const char* name;
+    const char* domain;
+    const char* text;
+  } table[] = {
+      {"backprop", "Machine Learning", kBackprop},
+      {"bfs", "Graph Algorithm", kBfs},
+      {"pathfinder", "Dynamic Programming", kPathfinder},
+      {"lud", "Linear Algebra", kLud},
+      {"needle", "Dynamic Programming", kNeedle},
+      {"knn", "Machine Learning", kKnn},
+      {"kmeans", "Data Mining", kKmeans},
+      {"particlefilter", "Noise estimator", kParticlefilter},
+  };
+  for (const auto& entry : table) {
+    if (name == entry.name) {
+      return make(entry.name, entry.domain, entry.text,
+                  factor < 1 ? 1 : factor);
+    }
+  }
+  throw std::out_of_range("unknown workload: " + name);
+}
+
+}  // namespace ferrum::workloads

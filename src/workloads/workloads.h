@@ -1,0 +1,30 @@
+// The eight Rodinia-class benchmarks of the paper's Table II, written in
+// MiniC. Each program is deterministic (inputs synthesised by an inline
+// LCG) and emits a small stream of checksums via print_int / print_f64 —
+// that stream is the program output whose corruption defines an SDC.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace ferrum::workloads {
+
+struct Workload {
+  std::string name;    // lower-case benchmark name (bfs, lud, ...)
+  std::string suite;   // "rodinia-class"
+  std::string domain;  // Table II domain label
+  std::string source;  // MiniC program text
+};
+
+/// All eight benchmarks at the default (fault-injection) scale.
+const std::vector<Workload>& all();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const Workload& by_name(const std::string& name);
+
+/// A benchmark scaled by an integer factor >= 1 (bigger inputs for the
+/// performance experiments). Scaling substitutes the iteration counts,
+/// not the data-structure sizes, so register pressure stays comparable.
+Workload scaled(const std::string& name, int factor);
+
+}  // namespace ferrum::workloads

@@ -1,0 +1,134 @@
+#include <gtest/gtest.h>
+
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
+#include "workloads/workloads.h"
+
+namespace ferrum {
+namespace {
+
+using fault::Outcome;
+using pipeline::Technique;
+
+constexpr const char* kSmallProgram = R"(
+  int main() {
+    int s = 0;
+    for (int i = 0; i < 12; i++) s += i * i;
+    print_int(s);
+    return 0;
+  })";
+
+TEST(Campaign, CountsSumToTrials) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions options;
+  options.trials = 64;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_EQ(result.trials(), 64);
+  EXPECT_GT(result.total_sites, 0u);
+  EXPECT_GT(result.golden_steps, 0u);
+}
+
+TEST(Campaign, DeterministicForFixedSeed) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions options;
+  options.trials = 48;
+  options.seed = 777;
+  const auto a = fault::run_campaign(build.program, options);
+  const auto b = fault::run_campaign(build.program, options);
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.sdc_breakdown, b.sdc_breakdown);
+}
+
+TEST(Campaign, DifferentSeedsDiffer) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions a_options;
+  a_options.trials = 64;
+  a_options.seed = 1;
+  fault::CampaignOptions b_options = a_options;
+  b_options.seed = 2;
+  const auto a = fault::run_campaign(build.program, a_options);
+  const auto b = fault::run_campaign(build.program, b_options);
+  // Extremely unlikely to tie exactly on all four counters.
+  EXPECT_NE(a.counts, b.counts);
+}
+
+TEST(Campaign, UnprotectedProgramShowsSdcs) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions options;
+  options.trials = 200;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_GT(result.count(Outcome::kSdc), 0);
+  EXPECT_EQ(result.count(Outcome::kDetected), 0);  // nothing to detect with
+  EXPECT_GT(result.sdc_rate(), 0.0);
+}
+
+TEST(Campaign, FerrumDetectsEverySampledFault) {
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 300;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_EQ(result.count(Outcome::kSdc), 0);
+  EXPECT_GT(result.count(Outcome::kDetected), 0);
+}
+
+TEST(Campaign, HybridDetectsEverySampledFault) {
+  auto build = pipeline::build(kSmallProgram, Technique::kHybrid);
+  fault::CampaignOptions options;
+  options.trials = 300;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_EQ(result.count(Outcome::kSdc), 0);
+}
+
+TEST(Campaign, IrEddiLeavesResidualSdcs) {
+  // The cross-layer gap (paper Sec IV-B1): IR-level protection misses
+  // backend-introduced fault sites on at least one workload.
+  int residual = 0;
+  for (const char* name : {"bfs", "lud", "backprop"}) {
+    const auto& w = workloads::by_name(name);
+    auto build = pipeline::build(w.source, Technique::kIrEddi);
+    fault::CampaignOptions options;
+    options.trials = 250;
+    residual += fault::run_campaign(build.program, options)
+                    .count(Outcome::kSdc);
+  }
+  EXPECT_GT(residual, 0);
+}
+
+TEST(Campaign, SdcBreakdownIdentifiesOrigins) {
+  const auto& w = workloads::by_name("lud");
+  auto build = pipeline::build(w.source, Technique::kIrEddi);
+  fault::CampaignOptions options;
+  options.trials = 400;
+  const auto result = fault::run_campaign(build.program, options);
+  int breakdown_total = 0;
+  for (const auto& [key, count] : result.sdc_breakdown) {
+    EXPECT_NE(key.find('/'), std::string::npos) << key;
+    breakdown_total += count;
+  }
+  EXPECT_EQ(breakdown_total, result.count(Outcome::kSdc));
+}
+
+TEST(Campaign, GoldenFailureThrows) {
+  // A program that traps cleanly cannot be a campaign target.
+  auto build = pipeline::build(
+      "int main() { int z = 0; print_int(1 / z); return 0; }",
+      Technique::kNone);
+  EXPECT_THROW(fault::run_campaign(build.program, {}), std::runtime_error);
+}
+
+TEST(Coverage, MetricMatchesPaperDefinition) {
+  EXPECT_DOUBLE_EQ(fault::sdc_coverage(0.5, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(fault::sdc_coverage(0.5, 0.25), 0.5);
+  EXPECT_DOUBLE_EQ(fault::sdc_coverage(0.5, 0.5), 0.0);
+  EXPECT_DOUBLE_EQ(fault::sdc_coverage(0.0, 0.0), 1.0);  // nothing to cover
+}
+
+TEST(Outcomes, Names) {
+  EXPECT_STREQ(fault::outcome_name(Outcome::kBenign), "benign");
+  EXPECT_STREQ(fault::outcome_name(Outcome::kSdc), "sdc");
+  EXPECT_STREQ(fault::outcome_name(Outcome::kDetected), "detected");
+  EXPECT_STREQ(fault::outcome_name(Outcome::kCrash), "crash");
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,162 @@
+#include <gtest/gtest.h>
+
+#include "masm/cfg.h"
+#include "masm/parser.h"
+#include "support/source_location.h"
+
+namespace ferrum::masm {
+namespace {
+
+AsmProgram parse_ok(const char* text) {
+  DiagEngine diags;
+  AsmProgram program = parse_program(text, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return program;
+}
+
+TEST(Cfg, LinearFallthrough) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n\tmovq\t$1, %rax\n"
+      ".b:\n\tmovq\t$2, %rcx\n"
+      ".c:\n\tret\n");
+  Cfg cfg = build_cfg(program.functions[0]);
+  ASSERT_EQ(cfg.successors.size(), 3u);
+  EXPECT_EQ(cfg.successors[0], std::vector<int>{1});
+  EXPECT_EQ(cfg.successors[1], std::vector<int>{2});
+  EXPECT_TRUE(cfg.successors[2].empty());
+  EXPECT_EQ(cfg.predecessors[2], std::vector<int>{1});
+}
+
+TEST(Cfg, JccPlusJmpCluster) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tcmpq\t$0, %rax\n"
+      "\tje\t.c\n"
+      "\tjmp\t.b\n"
+      ".b:\n\tret\n"
+      ".c:\n\tret\n");
+  Cfg cfg = build_cfg(program.functions[0]);
+  // Block a: both the jmp target and the jcc target, no fallthrough.
+  ASSERT_EQ(cfg.successors[0].size(), 2u);
+  EXPECT_EQ(cfg.successors[0][0], 1);  // jmp .b (scanned from the end)
+  EXPECT_EQ(cfg.successors[0][1], 2);  // je .c
+}
+
+TEST(Cfg, JccWithFallthrough) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tcmpq\t$0, %rax\n"
+      "\tje\t.c\n"
+      ".b:\n\tret\n"
+      ".c:\n\tret\n");
+  Cfg cfg = build_cfg(program.functions[0]);
+  ASSERT_EQ(cfg.successors[0].size(), 2u);
+  // jcc target + fallthrough to the next block.
+  EXPECT_EQ(cfg.successors[0][0], 2);
+  EXPECT_EQ(cfg.successors[0][1], 1);
+}
+
+TEST(Liveness, ValueConsumedInNextBlock) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tmovq\t$7, %rcx\n"
+      "\tjmp\t.b\n"
+      ".b:\n"
+      "\tmovq\t%rcx, %rax\n"
+      "\tret\n");
+  Liveness liveness(program.functions[0]);
+  EXPECT_TRUE(has_gpr(liveness.live_out(0), Gpr::kRcx));
+  EXPECT_TRUE(has_gpr(liveness.live_in(1), Gpr::kRcx));
+  // After the use, rcx is dead.
+  EXPECT_FALSE(has_gpr(liveness.live_after(1, 0), Gpr::kRcx));
+}
+
+TEST(Liveness, OverwrittenValueIsDeadBefore) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tmovq\t$1, %rcx\n"
+      "\tmovq\t$2, %rcx\n"
+      "\tmovq\t%rcx, %rax\n"
+      "\tret\n");
+  Liveness liveness(program.functions[0]);
+  // rcx is not live into the block: the first write is dead.
+  EXPECT_FALSE(has_gpr(liveness.live_in(0), Gpr::kRcx));
+  // It is live right after the second write.
+  EXPECT_TRUE(has_gpr(liveness.live_after(0, 1), Gpr::kRcx));
+}
+
+TEST(Liveness, FlagsLiveBetweenCmpAndJcc) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tcmpq\t$0, %rax\n"
+      "\tje\t.b\n"
+      ".b:\n\tret\n");
+  Liveness liveness(program.functions[0]);
+  EXPECT_TRUE(has_flags(liveness.live_after(0, 0)));
+  EXPECT_FALSE(has_flags(liveness.live_after(0, 1)));
+}
+
+TEST(Liveness, LoopCarriedRegisterStaysLive) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".head:\n"
+      "\taddq\t$1, %rbx\n"
+      "\tcmpq\t$10, %rbx\n"
+      "\tjl\t.head\n"
+      "\tjmp\t.done\n"
+      ".done:\n"
+      "\tmovq\t%rbx, %rax\n"
+      "\tret\n");
+  Liveness liveness(program.functions[0]);
+  EXPECT_TRUE(has_gpr(liveness.live_in(0), Gpr::kRbx));
+  EXPECT_TRUE(has_gpr(liveness.live_out(0), Gpr::kRbx));
+}
+
+TEST(Liveness, ByteWriteKeepsRegisterAlive) {
+  // setcc writes only 8 bits, so the old upper bits still matter: the
+  // register must count as read+written (merge semantics).
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tcmpq\t$0, %rax\n"
+      "\tsete\t%r11b\n"
+      "\tmovq\t%r11, %rax\n"
+      "\tret\n");
+  Liveness liveness(program.functions[0]);
+  EXPECT_TRUE(has_gpr(liveness.live_in(0), Gpr::kR11));
+}
+
+TEST(Liveness, RetKeepsCalleeSavedLive) {
+  AsmProgram program = parse_ok("f:\n.a:\n\tret\n");
+  Liveness liveness(program.functions[0]);
+  EXPECT_TRUE(has_gpr(liveness.live_in(0), Gpr::kRbx));
+  EXPECT_TRUE(has_gpr(liveness.live_in(0), Gpr::kR12));
+  EXPECT_TRUE(has_gpr(liveness.live_in(0), Gpr::kRax));
+  EXPECT_FALSE(has_gpr(liveness.live_in(0), Gpr::kR10));
+}
+
+TEST(UsedRegisters, ScanIsComplete) {
+  AsmProgram program = parse_ok(
+      "f:\n"
+      ".a:\n"
+      "\tmovq\t%rdi, %rax\n"
+      "\tmovq\t%rax, %xmm3\n"
+      "\tcmpq\t$1, %rax\n"
+      "\tret\n");
+  const LiveSet used = used_registers(program.functions[0]);
+  EXPECT_TRUE(has_gpr(used, Gpr::kRdi));
+  EXPECT_TRUE(has_gpr(used, Gpr::kRax));
+  EXPECT_TRUE(has_xmm(used, 3));
+  EXPECT_TRUE(has_flags(used));
+  EXPECT_FALSE(has_gpr(used, Gpr::kR10));
+  EXPECT_FALSE(has_xmm(used, 7));
+}
+
+}  // namespace
+}  // namespace ferrum::masm

@@ -1,0 +1,213 @@
+#include <gtest/gtest.h>
+
+#include "frontend/codegen.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+
+namespace ferrum {
+namespace {
+
+std::unique_ptr<ir::Module> compile_ok(const std::string& source) {
+  DiagEngine diags;
+  auto module = minic::compile(source, diags);
+  EXPECT_NE(module, nullptr) << diags.render();
+  return module;
+}
+
+bool compile_fails(const std::string& source, const std::string& needle = "") {
+  DiagEngine diags;
+  auto module = minic::compile(source, diags);
+  if (module != nullptr) return false;
+  if (!needle.empty()) {
+    EXPECT_NE(diags.render().find(needle), std::string::npos)
+        << diags.render();
+  }
+  return true;
+}
+
+std::string ir_of(const std::string& source) {
+  auto module = compile_ok(source);
+  return module ? ir::print(*module) : "";
+}
+
+TEST(Codegen, ModuleAlwaysVerifies) {
+  auto module = compile_ok(R"(
+    int helper(int x) { return x * 2; }
+    double gd[4] = {1.0, 2.0, 3.0, 4.0};
+    int main() {
+      double acc = 0.0;
+      for (int i = 0; i < 4; i++) acc += gd[i];
+      if (acc > 5.0 && helper(3) == 6) print_f64(acc);
+      return 0;
+    })");
+  ASSERT_NE(module, nullptr);
+  EXPECT_TRUE(ir::verify(*module).empty()) << ir::verify_to_string(*module);
+}
+
+TEST(Codegen, ArgumentsGetAddressableSlots) {
+  // The clang -O0 "a.addr" pattern from the paper's Fig 2.
+  const std::string text = ir_of("int add(int a, int b) { return a + b; }");
+  EXPECT_NE(text.find("alloca i32"), std::string::npos);
+  EXPECT_NE(text.find("store i32 %a"), std::string::npos);
+  EXPECT_NE(text.find("store i32 %b"), std::string::npos);
+  EXPECT_NE(text.find("add i32"), std::string::npos);
+}
+
+TEST(Codegen, ConditionsUseDirectI1Compares) {
+  // Comparisons in condition position must not round-trip through zext.
+  const std::string text =
+      ir_of("int main() { int x = 1; if (x < 5) print_int(1); return 0; }");
+  EXPECT_NE(text.find("icmp lt i32"), std::string::npos);
+  // The branch consumes the i1 directly; there is no zext-of-this-compare.
+  EXPECT_EQ(text.find("zext"), std::string::npos) << text;
+}
+
+TEST(Codegen, ComparisonAsValueYieldsInt) {
+  const std::string text =
+      ir_of("int main() { int x = 1; int y = x < 5; print_int(y); return 0; }");
+  EXPECT_NE(text.find("zext i1"), std::string::npos);
+}
+
+TEST(Codegen, PointerArithmeticLowersToGep) {
+  const std::string text = ir_of(
+      "int peek(int* p, int i) { return (p + i)[0]; }");
+  EXPECT_NE(text.find("gep i32*"), std::string::npos);
+}
+
+TEST(Codegen, IndexingSignExtendsTheSubscript) {
+  const std::string text = ir_of(
+      "int g[8]; int main() { int i = 3; print_int(g[i]); return 0; }");
+  EXPECT_NE(text.find("sext i32"), std::string::npos);
+  EXPECT_NE(text.find("gep i32*"), std::string::npos);
+}
+
+TEST(Codegen, UsualArithmeticConversions) {
+  const std::string text = ir_of(R"(
+    int main() {
+      int i = 3;
+      long l = 4L;
+      double d = 5.0;
+      print_int(i + l);     // sext i32 -> i64
+      print_f64(i + d);     // sitofp
+      print_f64(l + d);
+      return 0;
+    })");
+  EXPECT_NE(text.find("sext i32"), std::string::npos);
+  EXPECT_NE(text.find("sitofp"), std::string::npos);
+  EXPECT_NE(text.find("fadd"), std::string::npos);
+}
+
+TEST(Codegen, ExplicitCasts) {
+  const std::string text = ir_of(R"(
+    int main() {
+      double d = 3.7;
+      long l = 100L;
+      print_int((int)d);
+      print_int((long)d);
+      print_int((int)l);
+      print_f64((double)l);
+      return 0;
+    })");
+  EXPECT_NE(text.find("fptosi f64"), std::string::npos);
+  EXPECT_NE(text.find("trunc i64"), std::string::npos);
+  EXPECT_NE(text.find("sitofp i64"), std::string::npos);
+}
+
+TEST(Codegen, ShortCircuitCreatesControlFlow) {
+  const std::string text = ir_of(
+      "int main() { int a = 1; int b = 2; if (a && b) print_int(1); "
+      "return 0; }");
+  EXPECT_NE(text.find("land.rhs"), std::string::npos);
+  EXPECT_NE(text.find("land.end"), std::string::npos);
+}
+
+TEST(Codegen, BuiltinSignatures) {
+  auto module = compile_ok(R"(
+    int main() {
+      print_int(1);        // int converted to i64
+      print_f64(2);        // int converted to f64
+      print_f64(sqrt(2.0));
+      return 0;
+    })");
+  ASSERT_NE(module, nullptr);
+  const ir::Function* print_int = module->find_function("print_int");
+  ASSERT_NE(print_int, nullptr);
+  EXPECT_EQ(print_int->args()[0]->type(), ir::Type::i64());
+  const ir::Function* sqrt_fn = module->find_function("sqrt");
+  ASSERT_NE(sqrt_fn, nullptr);
+  EXPECT_EQ(sqrt_fn->return_type(), ir::Type::f64());
+}
+
+TEST(Codegen, EveryPathGetsATerminator) {
+  auto module = compile_ok(R"(
+    int f(int x) {
+      if (x > 0) return 1;
+      // fall off the end: implicit return 0
+    }
+    int main() { print_int(f(-1)); return 0; })");
+  ASSERT_NE(module, nullptr);
+  EXPECT_TRUE(ir::verify(*module).empty());
+}
+
+TEST(Codegen, ScopeShadowing) {
+  auto module = compile_ok(R"(
+    int main() {
+      int x = 1;
+      { int x = 2; print_int(x); }
+      print_int(x);
+      return 0;
+    })");
+  EXPECT_NE(module, nullptr);
+}
+
+TEST(CodegenErrors, UndeclaredVariable) {
+  EXPECT_TRUE(compile_fails("int main() { return missing; }", "undeclared"));
+}
+
+TEST(CodegenErrors, UndeclaredFunction) {
+  EXPECT_TRUE(compile_fails("int main() { return nope(); }", "undeclared"));
+}
+
+TEST(CodegenErrors, RedeclarationInSameScope) {
+  EXPECT_TRUE(compile_fails("int main() { int a; int a; return 0; }",
+                            "redeclaration"));
+}
+
+TEST(CodegenErrors, PointerLocalsRejected) {
+  EXPECT_TRUE(compile_fails("int g[4]; int main() { int* p; return 0; }",
+                            "pointer local"));
+}
+
+TEST(CodegenErrors, AssignToArrayName) {
+  EXPECT_TRUE(compile_fails(
+      "int main() { int a[4]; int b[4]; a = b; return 0; }", "assignable"));
+}
+
+TEST(CodegenErrors, BreakOutsideLoop) {
+  EXPECT_TRUE(compile_fails("int main() { break; return 0; }", "break"));
+}
+
+TEST(CodegenErrors, WrongArgumentCount) {
+  EXPECT_TRUE(compile_fails(
+      "int g(int a) { return a; } int main() { return g(1, 2); }",
+      "arguments"));
+}
+
+TEST(CodegenErrors, ModuloOnDoubles) {
+  EXPECT_TRUE(compile_fails("int main() { double d = 1.0 ; print_f64(2.0); "
+                            "d = d % 2.0; return 0; }"));
+}
+
+TEST(CodegenErrors, VoidFunctionReturningValue) {
+  EXPECT_TRUE(compile_fails("void f() { return 3; } int main() { return 0; }",
+                            "void"));
+}
+
+TEST(CodegenErrors, PointerConditionRejected) {
+  EXPECT_TRUE(compile_fails(
+      "int f(int* p) { if (p) return 1; return 0; } "
+      "int main() { return 0; }"));
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,200 @@
+// Tests for the features beyond the paper's core: multi-bit / multi-site
+// faults, selective protection, and forced stack redundancy.
+#include <gtest/gtest.h>
+
+#include "eddi/asm_protect.h"
+#include "fault/campaign.h"
+#include "masm/parser.h"
+#include "pipeline/pipeline.h"
+#include "support/source_location.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ferrum {
+namespace {
+
+using pipeline::Technique;
+
+constexpr const char* kProgram = R"(
+  int main() {
+    long s = 0L;
+    for (int i = 0; i < 20; i++) s += (long)(i * i - 3);
+    print_int(s);
+    return 0;
+  })";
+
+TEST(MultiFault, BurstFlipsAdjacentBits) {
+  DiagEngine diags;
+  auto program = masm::parse_program(
+      "main:\n.entry:\n\tmovq\t$0, %rax\n\tret\n", diags);
+  ASSERT_FALSE(diags.has_errors());
+  vm::FaultSpec fault;
+  fault.site = 0;
+  fault.bit = 2;
+  fault.burst = 3;
+  const auto result = vm::run(program, {}, &fault);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 0b11100);
+}
+
+TEST(MultiFault, BurstWrapsWithinWord) {
+  DiagEngine diags;
+  auto program = masm::parse_program(
+      "main:\n.entry:\n\tmovq\t$0, %rax\n\tret\n", diags);
+  ASSERT_FALSE(diags.has_errors());
+  vm::FaultSpec fault;
+  fault.site = 0;
+  fault.bit = 63;
+  fault.burst = 2;  // bits 63 and 0
+  const auto result = vm::run(program, {}, &fault);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(static_cast<std::uint64_t>(result.return_value),
+            (std::uint64_t{1} << 63) | 1u);
+}
+
+TEST(MultiFault, TwoIndependentSites) {
+  DiagEngine diags;
+  auto program = masm::parse_program(
+      "main:\n.entry:\n"
+      "\tmovq\t$0, %rax\n"
+      "\tmovq\t$0, %rcx\n"
+      "\taddq\t%rcx, %rax\n"
+      "\tret\n", diags);
+  ASSERT_FALSE(diags.has_errors());
+  std::vector<vm::FaultSpec> faults(2);
+  faults[0].site = 0;  // rax write
+  faults[0].bit = 0;
+  faults[1].site = 1;  // rcx write
+  faults[1].bit = 1;
+  const auto result = vm::run_multi(program, {}, faults);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result.fault_injected);
+  EXPECT_EQ(result.return_value, 1 + 2);
+}
+
+TEST(MultiFault, CampaignBurstStillFullyCoveredByFerrum) {
+  auto build = pipeline::build(kProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 200;
+  options.burst = 2;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_EQ(result.count(fault::Outcome::kSdc), 0);
+}
+
+TEST(MultiFault, DoubleFaultCampaignRuns) {
+  auto build = pipeline::build(kProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 150;
+  options.faults_per_run = 2;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_EQ(result.trials(), 150);
+  // Double faults overwhelmingly still get caught; escapes would require
+  // both copies of one duplicated value to be struck consistently.
+  EXPECT_LE(result.count(fault::Outcome::kSdc), 2);
+}
+
+TEST(Selective, RatioScalesProtectedSites) {
+  pipeline::BuildOptions full_options;
+  auto full = pipeline::build(kProgram, Technique::kFerrum, full_options);
+
+  pipeline::BuildOptions half_options;
+  half_options.ferrum.coverage_ratio = 0.5;
+  auto half = pipeline::build(kProgram, Technique::kFerrum, half_options);
+
+  EXPECT_EQ(full.asm_stats.skipped_sites, 0u);
+  EXPECT_GT(half.asm_stats.skipped_sites, 0u);
+  EXPECT_LT(half.program.inst_count(), full.program.inst_count());
+  // Roughly half the sites are protected.
+  const auto protected_full =
+      full.asm_stats.simd_sites + full.asm_stats.general_sites;
+  const auto protected_half =
+      half.asm_stats.simd_sites + half.asm_stats.general_sites;
+  EXPECT_LT(protected_half, protected_full * 3 / 4);
+  EXPECT_GT(protected_half, protected_full / 4);
+}
+
+TEST(Selective, SemanticsPreservedAtEveryRatio) {
+  auto golden_build = pipeline::build(kProgram, Technique::kNone);
+  const auto golden = vm::run(golden_build.program);
+  for (double ratio : {0.0, 0.25, 0.5, 0.9, 1.0}) {
+    pipeline::BuildOptions options;
+    options.ferrum.coverage_ratio = ratio;
+    auto build = pipeline::build(kProgram, Technique::kFerrum, options);
+    const auto result = vm::run(build.program);
+    ASSERT_TRUE(result.ok()) << "ratio=" << ratio;
+    EXPECT_EQ(result.output, golden.output) << "ratio=" << ratio;
+  }
+}
+
+TEST(Selective, PartialProtectionLeaksSomeFaults) {
+  const auto& w = workloads::by_name("lud");
+  pipeline::BuildOptions options;
+  options.ferrum.coverage_ratio = 0.2;
+  auto build = pipeline::build(w.source, Technique::kFerrum, options);
+  fault::CampaignOptions campaign;
+  campaign.trials = 300;
+  const auto result = fault::run_campaign(build.program, campaign);
+  // With 80% of sites unprotected, some SDCs must get through.
+  EXPECT_GT(result.count(fault::Outcome::kSdc), 0);
+}
+
+TEST(DetectionLatency, HybridDetectsFasterThanFerrum) {
+  const auto& w = workloads::by_name("pathfinder");
+  fault::CampaignOptions options;
+  options.trials = 300;
+  auto hybrid_build = pipeline::build(w.source, Technique::kHybrid);
+  auto ferrum_build = pipeline::build(w.source, Technique::kFerrum);
+  const auto hybrid = fault::run_campaign(hybrid_build.program, options);
+  const auto ferrum_result =
+      fault::run_campaign(ferrum_build.program, options);
+  ASSERT_GT(hybrid.latency_samples, 0);
+  ASSERT_GT(ferrum_result.latency_samples, 0);
+  // Immediate checks fire within a handful of instructions; deferred
+  // SIMD-batched checks pay a wider (but still small) window.
+  EXPECT_LT(hybrid.mean_detection_latency(), 8.0);
+  EXPECT_GT(ferrum_result.mean_detection_latency(),
+            hybrid.mean_detection_latency());
+}
+
+TEST(DetectionLatency, FaultStepIsRecorded) {
+  auto build = pipeline::build(
+      "int main() { print_int(5 + 6); return 0; }", Technique::kFerrum);
+  const auto golden = vm::run(build.program);
+  ASSERT_TRUE(golden.ok());
+  vm::FaultSpec fault;
+  fault.site = golden.fi_sites / 2;
+  fault.bit = 0;
+  const auto run = vm::run(build.program, {}, &fault);
+  ASSERT_TRUE(run.fault_injected);
+  EXPECT_GT(run.fault_step, 0u);
+  EXPECT_LE(run.fault_step, run.steps);
+}
+
+TEST(StackRedundancy, ForcedModeStillFullyCovers) {
+  pipeline::BuildOptions options;
+  options.ferrum.force_stack_redundancy = true;
+  auto build = pipeline::build(kProgram, Technique::kFerrum, options);
+  EXPECT_EQ(build.asm_stats.functions_with_spare_gprs, 0u);
+  EXPECT_EQ(build.asm_stats.simd_sites, 0u);  // no spare XMMs either
+  fault::CampaignOptions campaign;
+  campaign.trials = 250;
+  const auto result = fault::run_campaign(build.program, campaign);
+  EXPECT_EQ(result.count(fault::Outcome::kSdc), 0);
+}
+
+TEST(StackRedundancy, ForcedModePreservesWorkloadSemantics) {
+  for (const char* name : {"bfs", "lud", "kmeans"}) {
+    const auto& w = workloads::by_name(name);
+    auto golden_build = pipeline::build(w.source, Technique::kNone);
+    const auto golden = vm::run(golden_build.program);
+    pipeline::BuildOptions options;
+    options.ferrum.force_stack_redundancy = true;
+    auto build = pipeline::build(w.source, Technique::kFerrum, options);
+    const auto result = vm::run(build.program);
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result.output, golden.output) << name;
+  }
+}
+
+}  // namespace
+}  // namespace ferrum

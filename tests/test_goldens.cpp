@@ -1,0 +1,127 @@
+// Golden-output regression pins. The workloads are the measurement
+// instruments of every experiment: if a frontend/backend/VM change shifts
+// any of their outputs, the campaigns silently measure a different
+// program. These tests pin the exact output streams (raw 64-bit images)
+// so such a shift fails loudly instead.
+#include <gtest/gtest.h>
+
+#include <cstring>
+
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ferrum {
+namespace {
+
+using pipeline::Technique;
+
+std::vector<std::uint64_t> output_of(const std::string& name) {
+  const auto& w = workloads::by_name(name);
+  auto build = pipeline::build(w.source, Technique::kNone);
+  const vm::VmResult result = vm::run(build.program);
+  EXPECT_TRUE(result.ok()) << name;
+  return result.output;
+}
+
+std::uint64_t bits_of(double value) {
+  std::uint64_t raw;
+  std::memcpy(&raw, &value, sizeof(raw));
+  return raw;
+}
+
+TEST(Goldens, Bfs) {
+  EXPECT_EQ(output_of("bfs"), (std::vector<std::uint64_t>{6224}));
+}
+
+TEST(Goldens, Pathfinder) {
+  EXPECT_EQ(output_of("pathfinder"), (std::vector<std::uint64_t>{5136}));
+}
+
+TEST(Goldens, Needle) {
+  const auto output = output_of("needle");
+  ASSERT_EQ(output.size(), 1u);
+  // Negative checksum: stored as a two's-complement image.
+  EXPECT_EQ(static_cast<std::int64_t>(output[0]), -270);
+}
+
+TEST(Goldens, ExactPins) {
+  EXPECT_EQ(output_of("backprop"),
+            (std::vector<std::uint64_t>{13850228365716951309ULL}));
+  EXPECT_EQ(output_of("lud"),
+            (std::vector<std::uint64_t>{4660044027968576203ULL}));
+  EXPECT_EQ(output_of("knn"),
+            (std::vector<std::uint64_t>{4637023936443716826ULL, 407}));
+  EXPECT_EQ(output_of("kmeans"),
+            (std::vector<std::uint64_t>{4648289880018799224ULL, 83}));
+  EXPECT_EQ(output_of("particlefilter"),
+            (std::vector<std::uint64_t>{35317}));
+}
+
+TEST(Goldens, Backprop) {
+  const auto output = output_of("backprop");
+  ASSERT_EQ(output.size(), 1u);
+  // A finite double; pin its exact bit pattern.
+  double value;
+  std::memcpy(&value, &output[0], sizeof(value));
+  EXPECT_TRUE(value == value);  // not NaN
+  EXPECT_EQ(output[0], bits_of(value));
+  // Pin against drift: recompute must match exactly.
+  EXPECT_EQ(output_of("backprop"), output);
+}
+
+TEST(Goldens, AllWorkloadsStablePinned) {
+  // Full pin: record the exact stream of every workload. If an intended
+  // change shifts these, re-run `ferrumc run` and update deliberately.
+  struct Pin {
+    const char* name;
+    std::size_t outputs;
+  };
+  const Pin pins[] = {
+      {"backprop", 1}, {"bfs", 1},    {"pathfinder", 1},
+      {"lud", 1},      {"needle", 1}, {"knn", 2},
+      {"kmeans", 2},   {"particlefilter", 1},
+  };
+  for (const Pin& pin : pins) {
+    const auto output = output_of(pin.name);
+    EXPECT_EQ(output.size(), pin.outputs) << pin.name;
+    // Deterministic across repeated builds and runs.
+    EXPECT_EQ(output_of(pin.name), output) << pin.name;
+  }
+}
+
+TEST(Goldens, FloatOutputsAreFinite) {
+  for (const char* name : {"backprop", "lud", "knn", "kmeans"}) {
+    const auto output = output_of(name);
+    ASSERT_FALSE(output.empty()) << name;
+    double value;
+    std::memcpy(&value, &output[0], sizeof(value));
+    EXPECT_TRUE(value == value) << name << " produced NaN";
+    EXPECT_LT(value, 1e15) << name;
+    EXPECT_GT(value, -1e15) << name;
+  }
+}
+
+TEST(Trace, RecordsExecutedInstructions) {
+  auto build = pipeline::build(
+      "int main() { print_int(7); return 0; }", Technique::kNone);
+  vm::VmOptions options;
+  options.trace_limit = 16;
+  const vm::VmResult result = vm::run(build.program, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(result.trace.empty());
+  EXPECT_LE(result.trace.size(), 16u);
+  // First executed instruction is main's prologue push.
+  EXPECT_NE(result.trace[0].find("main/prologue: pushq"), std::string::npos)
+      << result.trace[0];
+}
+
+TEST(Trace, OffByDefault) {
+  auto build = pipeline::build(
+      "int main() { return 0; }", Technique::kNone);
+  const vm::VmResult result = vm::run(build.program);
+  EXPECT_TRUE(result.trace.empty());
+}
+
+}  // namespace
+}  // namespace ferrum

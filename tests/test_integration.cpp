@@ -1,0 +1,198 @@
+// End-to-end integration: realistic multi-function MiniC programs run
+// through every technique, checked against the IR interpreter, and
+// audited exhaustively under FERRUM.
+#include <gtest/gtest.h>
+
+#include "fault/audit.h"
+#include "ir/interp.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+
+namespace ferrum {
+namespace {
+
+using pipeline::Technique;
+
+void expect_all_techniques_agree(const std::string& source) {
+  auto baseline = pipeline::build(source, Technique::kNone);
+  const ir::RunResult reference = ir::interpret(*baseline.module);
+  ASSERT_TRUE(reference.ok());
+  for (Technique technique : {Technique::kNone, Technique::kIrEddi,
+                              Technique::kHybrid, Technique::kFerrum}) {
+    auto build = pipeline::build(source, technique);
+    const vm::VmResult result = vm::run(build.program);
+    ASSERT_TRUE(result.ok())
+        << pipeline::technique_name(technique) << ": "
+        << vm::exit_status_name(result.status);
+    EXPECT_EQ(result.output, reference.output)
+        << pipeline::technique_name(technique);
+  }
+}
+
+TEST(Integration, InsertionSort) {
+  expect_all_techniques_agree(R"(
+    int data[24];
+    int seed = 91;
+    int rnd() {
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) seed = -seed;
+      return seed % 1000;
+    }
+    void sort(int* a, int n) {
+      for (int i = 1; i < n; i++) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) {
+          a[j + 1] = a[j];
+          j--;
+        }
+        a[j + 1] = key;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 24; i++) data[i] = rnd();
+      sort(data, 24);
+      int sorted = 1;
+      for (int i = 1; i < 24; i++) {
+        if (data[i - 1] > data[i]) sorted = 0;
+      }
+      print_int(sorted);
+      long check = 0L;
+      for (int i = 0; i < 24; i++) check += (long)(data[i] * (i + 1));
+      print_int(check);
+      return 0;
+    })");
+}
+
+TEST(Integration, MatrixMultiply) {
+  expect_all_techniques_agree(R"(
+    double a[16];
+    double b[16];
+    double c[16];
+    int main() {
+      for (int i = 0; i < 16; i++) {
+        a[i] = (double)(i % 5) + 0.5;
+        b[i] = (double)(i % 3) - 1.0;
+      }
+      for (int i = 0; i < 4; i++) {
+        for (int j = 0; j < 4; j++) {
+          double acc = 0.0;
+          for (int k = 0; k < 4; k++) acc += a[i * 4 + k] * b[k * 4 + j];
+          c[i * 4 + j] = acc;
+        }
+      }
+      double trace = 0.0;
+      for (int i = 0; i < 4; i++) trace += c[i * 4 + i];
+      print_f64(trace);
+      return 0;
+    })");
+}
+
+TEST(Integration, FixedPointNewton) {
+  expect_all_techniques_agree(R"(
+    double my_sqrt(double x) {
+      double guess = x / 2.0;
+      for (int i = 0; i < 20; i++) guess = (guess + x / guess) / 2.0;
+      return guess;
+    }
+    int main() {
+      double total = 0.0;
+      for (int i = 1; i <= 10; i++) total += my_sqrt((double)i);
+      print_f64(total);
+      print_f64(total - sqrt(2.0) - sqrt(3.0));
+      return 0;
+    })");
+}
+
+TEST(Integration, CollatzSteps) {
+  expect_all_techniques_agree(R"(
+    int steps(long n) {
+      int count = 0;
+      while (n != 1L) {
+        if (n % 2L == 0L) n = n / 2L;
+        else n = 3L * n + 1L;
+        count++;
+      }
+      return count;
+    }
+    int main() {
+      long best = 0L;
+      int best_steps = 0;
+      for (long n = 1L; n <= 40L; n++) {
+        int s = steps(n);
+        if (s > best_steps) { best_steps = s; best = n; }
+      }
+      print_int(best);
+      print_int(best_steps);
+      return 0;
+    })");
+}
+
+TEST(Integration, HistogramWithFunctions) {
+  expect_all_techniques_agree(R"(
+    int hist[10];
+    int seed = 1234;
+    int rnd() {
+      seed = (seed * 1103515245 + 12345) % 2147483647;
+      if (seed < 0) seed = -seed;
+      return seed;
+    }
+    void bump(int* h, int bucket) { h[bucket] += 1; }
+    int main() {
+      for (int i = 0; i < 200; i++) bump(hist, rnd() % 10);
+      int total = 0;
+      int max = 0;
+      for (int i = 0; i < 10; i++) {
+        total += hist[i];
+        if (hist[i] > max) max = hist[i];
+      }
+      print_int(total);
+      print_int(max);
+      return 0;
+    })");
+}
+
+TEST(IntegrationAudit, SortIsFullyCoveredUnderFerrum) {
+  auto build = pipeline::build(R"(
+    int data[8];
+    void sort(int* a, int n) {
+      for (int i = 1; i < n; i++) {
+        int key = a[i];
+        int j = i - 1;
+        while (j >= 0 && a[j] > key) { a[j + 1] = a[j]; j--; }
+        a[j + 1] = key;
+      }
+    }
+    int main() {
+      for (int i = 0; i < 8; i++) data[i] = (i * 37 + 11) % 23;
+      sort(data, 8);
+      long check = 0L;
+      for (int i = 0; i < 8; i++) check += (long)(data[i] * (i + 1));
+      print_int(check);
+      return 0;
+    })", Technique::kFerrum);
+  fault::AuditOptions options;
+  options.probe_bits = {0, 31};
+  const auto report = fault::audit_program(build.program, options);
+  EXPECT_TRUE(report.fully_covered()) << report.escapes.size()
+                                      << " escapes of " << report.injections;
+}
+
+TEST(IntegrationAudit, NewtonIsFullyCoveredUnderFerrum) {
+  auto build = pipeline::build(R"(
+    int main() {
+      double x = 7.0;
+      double guess = x / 2.0;
+      for (int i = 0; i < 6; i++) guess = (guess + x / guess) / 2.0;
+      print_f64(guess);
+      return 0;
+    })", Technique::kFerrum);
+  fault::AuditOptions options;
+  options.probe_bits = {0, 17, 52, 63};  // mantissa, exponent, sign
+  const auto report = fault::audit_program(build.program, options);
+  EXPECT_TRUE(report.fully_covered()) << report.escapes.size()
+                                      << " escapes of " << report.injections;
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,222 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+#include "ir/printer.h"
+
+namespace ferrum::ir {
+namespace {
+
+TEST(Type, SizesAndPredicates) {
+  EXPECT_EQ(type_size(Type::i1()), 1);
+  EXPECT_EQ(type_size(Type::i8()), 1);
+  EXPECT_EQ(type_size(Type::i32()), 4);
+  EXPECT_EQ(type_size(Type::i64()), 8);
+  EXPECT_EQ(type_size(Type::f64()), 8);
+  EXPECT_EQ(type_size(Type::ptr(TypeKind::kI32)), 8);
+
+  EXPECT_TRUE(Type::i32().is_int());
+  EXPECT_FALSE(Type::f64().is_int());
+  EXPECT_TRUE(Type::f64().is_float());
+  EXPECT_TRUE(Type::ptr(TypeKind::kF64).is_ptr());
+  EXPECT_EQ(Type::ptr(TypeKind::kF64).pointee(), Type::f64());
+  EXPECT_TRUE(Type::void_type().is_void());
+}
+
+TEST(Type, ToString) {
+  EXPECT_EQ(Type::i32().to_string(), "i32");
+  EXPECT_EQ(Type::f64().to_string(), "f64");
+  EXPECT_EQ(Type::ptr(TypeKind::kI64).to_string(), "i64*");
+}
+
+TEST(Module, ConstantInterning) {
+  Module module;
+  EXPECT_EQ(module.const_i32(5), module.const_i32(5));
+  EXPECT_NE(module.const_i32(5), module.const_i32(6));
+  EXPECT_NE(module.const_i32(5), module.const_i64(5));
+  EXPECT_EQ(module.const_f64(1.5), module.const_f64(1.5));
+  EXPECT_NE(module.const_f64(1.5), module.const_f64(-1.5));
+  // +0.0 and -0.0 have different bit patterns and must stay distinct.
+  EXPECT_NE(module.const_f64(0.0), module.const_f64(-0.0));
+}
+
+TEST(Module, FunctionLookup) {
+  Module module;
+  Function* fn = module.add_function("f", Type::i32());
+  EXPECT_EQ(module.find_function("f"), fn);
+  EXPECT_EQ(module.find_function("g"), nullptr);
+}
+
+TEST(Module, GlobalLookupAndTypes) {
+  Module module;
+  GlobalVar* g = module.add_global(TypeKind::kF64, 10, "weights");
+  EXPECT_EQ(module.find_global("weights"), g);
+  EXPECT_EQ(g->type(), Type::ptr(TypeKind::kF64));
+  EXPECT_EQ(g->count(), 10);
+}
+
+TEST(Module, BuiltinsAreIdempotent) {
+  Module module;
+  Function* p1 = module.builtin_print_int();
+  Function* p2 = module.builtin_print_int();
+  EXPECT_EQ(p1, p2);
+  EXPECT_TRUE(p1->is_builtin);
+  EXPECT_TRUE(p1->is_declaration());
+  EXPECT_EQ(module.builtin_sqrt()->return_type(), Type::f64());
+  EXPECT_NE(module.builtin_detect(), nullptr);
+}
+
+TEST(Function, BlockNamesAreUnique) {
+  Module module;
+  Function* fn = module.add_function("f", Type::void_type());
+  BasicBlock* a = fn->add_block("loop");
+  BasicBlock* b = fn->add_block("loop");
+  BasicBlock* c = fn->add_block("loop");
+  EXPECT_NE(a->name(), b->name());
+  EXPECT_NE(b->name(), c->name());
+  EXPECT_NE(a->name(), c->name());
+}
+
+TEST(Function, EntryIsFirstBlock) {
+  Module module;
+  Function* fn = module.add_function("f", Type::void_type());
+  EXPECT_EQ(fn->entry(), nullptr);
+  BasicBlock* entry = fn->add_block("entry");
+  fn->add_block("other");
+  EXPECT_EQ(fn->entry(), entry);
+  EXPECT_FALSE(fn->is_declaration());
+}
+
+TEST(Builder, SimpleAddFunction) {
+  Module module;
+  Function* fn = module.add_function("add", Type::i32());
+  Argument* a = fn->add_arg(Type::i32(), "a");
+  Argument* b = fn->add_arg(Type::i32(), "b");
+  IRBuilder builder(module);
+  builder.set_insert_point(fn->add_block("entry"));
+  Instruction* sum = builder.create_add(a, b);
+  builder.create_ret(sum);
+
+  EXPECT_EQ(fn->entry()->size(), 2u);
+  EXPECT_EQ(sum->op(), Opcode::kAdd);
+  EXPECT_EQ(sum->type(), Type::i32());
+  EXPECT_EQ(fn->entry()->terminator()->op(), Opcode::kRet);
+}
+
+TEST(Builder, LoadStoreAllocaTypes) {
+  Module module;
+  Function* fn = module.add_function("f", Type::void_type());
+  IRBuilder builder(module);
+  builder.set_insert_point(fn->add_block("entry"));
+  Instruction* slot = builder.create_alloca(TypeKind::kI64);
+  EXPECT_EQ(slot->type(), Type::ptr(TypeKind::kI64));
+  Instruction* loaded = builder.create_load(slot);
+  EXPECT_EQ(loaded->type(), Type::i64());
+  builder.create_store(module.const_i64(9), slot);
+  builder.create_ret_void();
+  EXPECT_EQ(fn->entry()->size(), 4u);
+}
+
+TEST(Builder, GepScalesByElement) {
+  Module module;
+  GlobalVar* g = module.add_global(TypeKind::kF64, 4, "g");
+  Function* fn = module.add_function("f", Type::void_type());
+  IRBuilder builder(module);
+  builder.set_insert_point(fn->add_block("entry"));
+  Instruction* gep = builder.create_gep(g, module.const_i64(2));
+  EXPECT_EQ(gep->type(), Type::ptr(TypeKind::kF64));
+  builder.create_ret_void();
+}
+
+TEST(Builder, CmpAndBranchStructure) {
+  Module module;
+  Function* fn = module.add_function("f", Type::i32());
+  IRBuilder builder(module);
+  BasicBlock* entry = fn->add_block("entry");
+  BasicBlock* then_bb = fn->add_block("then");
+  BasicBlock* else_bb = fn->add_block("else");
+  builder.set_insert_point(entry);
+  Instruction* cond =
+      builder.create_icmp(CmpPred::kLt, module.const_i32(1), module.const_i32(2));
+  EXPECT_EQ(cond->type(), Type::i1());
+  Instruction* br = builder.create_cond_br(cond, then_bb, else_bb);
+  EXPECT_EQ(br->targets[0], then_bb);
+  EXPECT_EQ(br->targets[1], else_bb);
+  builder.set_insert_point(then_bb);
+  builder.create_ret(module.const_i32(1));
+  builder.set_insert_point(else_bb);
+  builder.create_ret(module.const_i32(0));
+}
+
+TEST(Builder, InsertAtIndexKeepsOrder) {
+  Module module;
+  Function* fn = module.add_function("f", Type::void_type());
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  builder.create_ret_void();
+  auto inst = std::make_unique<Instruction>(Opcode::kAlloca,
+                                            Type::ptr(TypeKind::kI32));
+  inst->alloca_elem = TypeKind::kI32;
+  Instruction* inserted = block->insert(0, std::move(inst));
+  EXPECT_EQ(block->at(0), inserted);
+  EXPECT_EQ(block->size(), 2u);
+  EXPECT_EQ(inserted->parent, block);
+}
+
+TEST(Printer, RendersAddFunction) {
+  Module module;
+  Function* fn = module.add_function("add", Type::i32());
+  Argument* a = fn->add_arg(Type::i32(), "a");
+  Argument* b = fn->add_arg(Type::i32(), "b");
+  IRBuilder builder(module);
+  builder.set_insert_point(fn->add_block("entry"));
+  builder.create_ret(builder.create_add(a, b));
+
+  const std::string text = print(*fn);
+  EXPECT_NE(text.find("define i32 @add(i32 %a, i32 %b)"), std::string::npos);
+  EXPECT_NE(text.find("%0 = add i32 %a, %b"), std::string::npos);
+  EXPECT_NE(text.find("ret i32 %0"), std::string::npos);
+}
+
+TEST(Printer, RendersGlobalsAndDeclarations) {
+  Module module;
+  GlobalVar* g = module.add_global(TypeKind::kI32, 8, "table");
+  g->init = {1, 2, 3};
+  module.builtin_print_int();
+  const std::string text = print(module);
+  EXPECT_NE(text.find("@table = global i32 x 8 init [1, 2, 3]"),
+            std::string::npos);
+  EXPECT_NE(text.find("declare void @print_int(i64)"), std::string::npos);
+}
+
+TEST(Opcode, Classification) {
+  EXPECT_TRUE(is_terminator(Opcode::kRet));
+  EXPECT_TRUE(is_terminator(Opcode::kBr));
+  EXPECT_TRUE(is_terminator(Opcode::kCondBr));
+  EXPECT_FALSE(is_terminator(Opcode::kAdd));
+
+  EXPECT_TRUE(is_duplicable(Opcode::kLoad));
+  EXPECT_TRUE(is_duplicable(Opcode::kGep));
+  EXPECT_TRUE(is_duplicable(Opcode::kFMul));
+  EXPECT_FALSE(is_duplicable(Opcode::kStore));
+  EXPECT_FALSE(is_duplicable(Opcode::kCall));
+  EXPECT_FALSE(is_duplicable(Opcode::kAlloca));
+  EXPECT_FALSE(is_duplicable(Opcode::kCondBr));
+}
+
+TEST(BasicBlock, TakeInstructionsEmptiesBlock) {
+  Module module;
+  Function* fn = module.add_function("f", Type::void_type());
+  BasicBlock* block = fn->add_block("entry");
+  IRBuilder builder(module);
+  builder.set_insert_point(block);
+  builder.create_alloca(TypeKind::kI32);
+  builder.create_ret_void();
+  auto insts = block->take_instructions();
+  EXPECT_EQ(insts.size(), 2u);
+  EXPECT_EQ(block->size(), 0u);
+}
+
+}  // namespace
+}  // namespace ferrum::ir

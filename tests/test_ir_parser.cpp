@@ -1,0 +1,205 @@
+#include <gtest/gtest.h>
+
+#include "eddi/ir_eddi.h"
+#include "frontend/codegen.h"
+#include "ir/interp.h"
+#include "ir/parser.h"
+#include "ir/printer.h"
+#include "ir/verifier.h"
+#include "support/source_location.h"
+#include "workloads/workloads.h"
+
+namespace ferrum::ir {
+namespace {
+
+std::unique_ptr<Module> parse_ok(const std::string& text) {
+  DiagEngine diags;
+  auto module = parse_module(text, diags);
+  EXPECT_NE(module, nullptr) << diags.render();
+  return module;
+}
+
+TEST(IrParser, MinimalFunction) {
+  auto module = parse_ok(
+      "define i32 @main() {\n"
+      "entry:\n"
+      "  ret i32 42\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  EXPECT_TRUE(verify(*module).empty()) << verify_to_string(*module);
+  auto result = interpret(*module);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 42);
+}
+
+TEST(IrParser, ArithmeticAndMemory) {
+  auto module = parse_ok(
+      "define i64 @main() {\n"
+      "entry:\n"
+      "  %0 = alloca i64\n"
+      "  store i64 40, %0\n"
+      "  %1 = load i64, %0\n"
+      "  %2 = add i64 %1, 2\n"
+      "  ret i64 %2\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  auto result = interpret(*module);
+  EXPECT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 42);
+}
+
+TEST(IrParser, ControlFlowForwardReferences) {
+  auto module = parse_ok(
+      "define i32 @main() {\n"
+      "entry:\n"
+      "  %0 = icmp lt i32 3, 5\n"
+      "  condbr i1 %0, label %yes, label %no\n"
+      "yes:\n"
+      "  ret i32 1\n"
+      "no:\n"
+      "  ret i32 0\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  auto result = interpret(*module);
+  EXPECT_EQ(result.return_value, 1);
+  // Block order follows the text, not reference order.
+  const Function* main_fn = module->find_function("main");
+  EXPECT_EQ(main_fn->blocks()[0]->name(), "entry");
+  EXPECT_EQ(main_fn->blocks()[1]->name(), "yes");
+  EXPECT_EQ(main_fn->blocks()[2]->name(), "no");
+}
+
+TEST(IrParser, GlobalsWithInitialisers) {
+  auto module = parse_ok(
+      "@t = global i32 x 3 init [7, 8, 9]\n"
+      "\n"
+      "define i32 @main() {\n"
+      "entry:\n"
+      "  %0 = gep i32* @t, 2\n"
+      "  %1 = load i32, %0\n"
+      "  ret i32 %1\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  auto result = interpret(*module);
+  EXPECT_EQ(result.return_value, 9);
+}
+
+TEST(IrParser, CallsAndDeclarations) {
+  auto module = parse_ok(
+      "declare void @print_int(i64)\n"
+      "define i64 @double_it(i64 %x) {\n"
+      "entry:\n"
+      "  %0 = add i64 %x, %x\n"
+      "  ret i64 %0\n"
+      "}\n"
+      "define i32 @main() {\n"
+      "entry:\n"
+      "  %0 = call i64 @double_it(i64 21)\n"
+      "  call void @print_int(i64 %0)\n"
+      "  ret i32 0\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  auto result = interpret(*module);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result.output.size(), 1u);
+  EXPECT_EQ(static_cast<std::int64_t>(result.output[0]), 42);
+}
+
+TEST(IrParser, FloatsAndCasts) {
+  auto module = parse_ok(
+      "define i32 @main() {\n"
+      "entry:\n"
+      "  %0 = fadd f64 1.5, 2.5\n"
+      "  %1 = fptosi f64 %0 to i32\n"
+      "  %2 = sext i32 %1 to i64\n"
+      "  %3 = trunc i64 %2 to i32\n"
+      "  ret i32 %3\n"
+      "}\n");
+  ASSERT_NE(module, nullptr);
+  auto result = interpret(*module);
+  EXPECT_EQ(result.return_value, 4);
+}
+
+TEST(IrParser, ErrorsAreReported) {
+  DiagEngine diags;
+  EXPECT_EQ(parse_module("define i32 @f() {\nentry:\n  bogus i32 1\n}\n",
+                         diags),
+            nullptr);
+  EXPECT_TRUE(diags.has_errors());
+
+  DiagEngine diags2;
+  EXPECT_EQ(parse_module("define i32 @f() {\nentry:\n  ret i32 %nope\n}\n",
+                         diags2),
+            nullptr);
+  EXPECT_TRUE(diags2.has_errors());
+}
+
+/// Round trip: frontend -> print -> parse -> print must be a fixpoint,
+/// and the reparsed module must compute the same outputs.
+void expect_round_trip(const std::string& minic_source) {
+  DiagEngine diags;
+  auto module = minic::compile(minic_source, diags);
+  ASSERT_NE(module, nullptr) << diags.render();
+  const std::string first = print(*module);
+  DiagEngine diags2;
+  auto reparsed = parse_module(first, diags2);
+  ASSERT_NE(reparsed, nullptr) << diags2.render() << "\n" << first;
+  EXPECT_EQ(print(*reparsed), first);
+  EXPECT_TRUE(verify(*reparsed).empty()) << verify_to_string(*reparsed);
+  const auto a = interpret(*module);
+  const auto b = interpret(*reparsed);
+  EXPECT_EQ(a.status, b.status);
+  EXPECT_EQ(a.output, b.output);
+}
+
+TEST(IrParserRoundTrip, SimplePrograms) {
+  expect_round_trip("int main() { print_int(1 + 2 * 3); return 0; }");
+  expect_round_trip(R"(
+    int fib(int n) { if (n < 2) return n; return fib(n-1) + fib(n-2); }
+    int main() { print_int(fib(10)); return 0; })");
+  expect_round_trip(R"(
+    double g[3] = {1.5, 2.5, 3.5};
+    int main() {
+      double s = 0.0;
+      for (int i = 0; i < 3; i++) s += g[i];
+      print_f64(sqrt(s));
+      return 0;
+    })");
+}
+
+class WorkloadRoundTrip : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadRoundTrip, PrintParsePrintIsFixpoint) {
+  const auto& w =
+      workloads::all()[static_cast<std::size_t>(GetParam())];
+  expect_round_trip(w.source);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadRoundTrip,
+                         ::testing::Range(0, 8));
+
+TEST(IrParserRoundTrip, ProtectedModules) {
+  // EDDI-transformed IR (split blocks, cross-block uses) must round-trip
+  // too — it exercises the forward-reference machinery hardest.
+  DiagEngine diags;
+  auto module = minic::compile(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 6; i++) s += i * i;
+      print_int(s);
+      return 0;
+    })", diags);
+  ASSERT_NE(module, nullptr);
+  eddi::apply_ir_eddi(*module, eddi::IrEddiMode::kClassic);
+  const std::string first = print(*module);
+  DiagEngine diags2;
+  auto reparsed = parse_module(first, diags2);
+  ASSERT_NE(reparsed, nullptr) << diags2.render() << "\n" << first;
+  EXPECT_EQ(print(*reparsed), first);
+  const auto a = interpret(*module);
+  const auto b = interpret(*reparsed);
+  EXPECT_EQ(a.output, b.output);
+}
+
+}  // namespace
+}  // namespace ferrum::ir

@@ -1,0 +1,118 @@
+#include <gtest/gtest.h>
+
+#include "frontend/lexer.h"
+
+namespace ferrum::minic {
+namespace {
+
+std::vector<Token> lex_ok(std::string_view source) {
+  DiagEngine diags;
+  auto tokens = lex(source, diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return tokens;
+}
+
+std::vector<Tok> kinds(const std::vector<Token>& tokens) {
+  std::vector<Tok> out;
+  for (const Token& token : tokens) out.push_back(token.kind);
+  return out;
+}
+
+TEST(Lexer, EmptyInputIsJustEof) {
+  auto tokens = lex_ok("");
+  ASSERT_EQ(tokens.size(), 1u);
+  EXPECT_EQ(tokens[0].kind, Tok::kEof);
+}
+
+TEST(Lexer, KeywordsAndIdentifiers) {
+  auto tokens = lex_ok("int long double void if else while for return "
+                       "break continue foo _bar x9");
+  auto k = kinds(tokens);
+  std::vector<Tok> expected = {
+      Tok::kKwInt, Tok::kKwLong, Tok::kKwDouble, Tok::kKwVoid, Tok::kKwIf,
+      Tok::kKwElse, Tok::kKwWhile, Tok::kKwFor, Tok::kKwReturn, Tok::kKwBreak,
+      Tok::kKwContinue, Tok::kIdent, Tok::kIdent, Tok::kIdent, Tok::kEof};
+  EXPECT_EQ(k, expected);
+  EXPECT_EQ(tokens[11].text, "foo");
+  EXPECT_EQ(tokens[12].text, "_bar");
+  EXPECT_EQ(tokens[13].text, "x9");
+}
+
+TEST(Lexer, IntegerLiterals) {
+  auto tokens = lex_ok("0 42 2147483647 5L");
+  EXPECT_EQ(tokens[0].int_value, 0);
+  EXPECT_EQ(tokens[1].int_value, 42);
+  EXPECT_EQ(tokens[2].int_value, 2147483647);
+  EXPECT_EQ(tokens[3].int_value, 5);
+  EXPECT_EQ(tokens[3].text, "L");  // long marker
+}
+
+TEST(Lexer, FloatLiterals) {
+  auto tokens = lex_ok("1.5 0.25 2e3 1.5e-2 .75");
+  EXPECT_EQ(tokens[0].kind, Tok::kFloatLit);
+  EXPECT_DOUBLE_EQ(tokens[0].float_value, 1.5);
+  EXPECT_DOUBLE_EQ(tokens[1].float_value, 0.25);
+  EXPECT_DOUBLE_EQ(tokens[2].float_value, 2000.0);
+  EXPECT_DOUBLE_EQ(tokens[3].float_value, 0.015);
+  EXPECT_DOUBLE_EQ(tokens[4].float_value, 0.75);
+}
+
+TEST(Lexer, OperatorsMaximalMunch) {
+  auto tokens = lex_ok("++ -- += -= *= /= %= << >> <= >= == != && || < > =");
+  std::vector<Tok> expected = {
+      Tok::kPlusPlus, Tok::kMinusMinus, Tok::kPlusAssign, Tok::kMinusAssign,
+      Tok::kStarAssign, Tok::kSlashAssign, Tok::kPercentAssign, Tok::kShl,
+      Tok::kShr, Tok::kLe, Tok::kGe, Tok::kEq, Tok::kNe, Tok::kAndAnd,
+      Tok::kOrOr, Tok::kLt, Tok::kGt, Tok::kAssign, Tok::kEof};
+  EXPECT_EQ(kinds(tokens), expected);
+}
+
+TEST(Lexer, Punctuation) {
+  auto tokens = lex_ok("( ) { } [ ] , ; ~ ^ & | ! + - * / %");
+  std::vector<Tok> expected = {
+      Tok::kLParen, Tok::kRParen, Tok::kLBrace, Tok::kRBrace, Tok::kLBracket,
+      Tok::kRBracket, Tok::kComma, Tok::kSemi, Tok::kTilde, Tok::kCaret,
+      Tok::kAmp, Tok::kPipe, Tok::kBang, Tok::kPlus, Tok::kMinus, Tok::kStar,
+      Tok::kSlash, Tok::kPercent, Tok::kEof};
+  EXPECT_EQ(kinds(tokens), expected);
+}
+
+TEST(Lexer, LineCommentsSkipped) {
+  auto tokens = lex_ok("a // comment with symbols +-*/\nb");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+}
+
+TEST(Lexer, BlockCommentsSkipped) {
+  auto tokens = lex_ok("a /* multi\nline\ncomment */ b");
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[0].text, "a");
+  EXPECT_EQ(tokens[1].text, "b");
+  EXPECT_EQ(tokens[1].loc.line, 3);
+}
+
+TEST(Lexer, UnterminatedBlockCommentIsError) {
+  DiagEngine diags;
+  lex("a /* never closed", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, UnknownCharacterIsError) {
+  DiagEngine diags;
+  lex("a $ b", diags);
+  EXPECT_TRUE(diags.has_errors());
+}
+
+TEST(Lexer, TracksLineAndColumn) {
+  auto tokens = lex_ok("a\n  b\n    c");
+  EXPECT_EQ(tokens[0].loc.line, 1);
+  EXPECT_EQ(tokens[0].loc.column, 1);
+  EXPECT_EQ(tokens[1].loc.line, 2);
+  EXPECT_EQ(tokens[1].loc.column, 3);
+  EXPECT_EQ(tokens[2].loc.line, 3);
+  EXPECT_EQ(tokens[2].loc.column, 5);
+}
+
+}  // namespace
+}  // namespace ferrum::minic

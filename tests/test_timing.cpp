@@ -1,0 +1,159 @@
+#include <gtest/gtest.h>
+
+#include "masm/parser.h"
+#include "support/source_location.h"
+#include "vm/timing.h"
+#include "vm/vm.h"
+
+namespace ferrum {
+namespace {
+
+using masm::AsmInst;
+using masm::Gpr;
+using masm::Op;
+using masm::Operand;
+
+AsmInst mov_imm(Gpr dst, std::int64_t value) {
+  return AsmInst(Op::kMov, {Operand::make_imm(value, 8),
+                            Operand::make_reg(dst, 8)});
+}
+
+AsmInst add_reg(Gpr src, Gpr dst) {
+  return AsmInst(Op::kAdd, {Operand::make_reg(src, 8),
+                            Operand::make_reg(dst, 8)});
+}
+
+TEST(Timing, DependentChainAccumulatesLatency) {
+  vm::TimingParams params;
+  vm::TimingModel model(params);
+  model.step(mov_imm(Gpr::kRax, 1), 0);
+  const int chain = 20;
+  for (int i = 0; i < chain; ++i) model.step(add_reg(Gpr::kRax, Gpr::kRax), 0);
+  // A serial add chain takes at least `chain` cycles.
+  EXPECT_GE(model.cycles(), static_cast<std::uint64_t>(chain));
+}
+
+TEST(Timing, IndependentOpsRunInParallel) {
+  vm::TimingParams params;
+  vm::TimingModel serial(params);
+  vm::TimingModel parallel(params);
+  for (int i = 0; i < 40; ++i) serial.step(add_reg(Gpr::kRax, Gpr::kRax), 0);
+  // Four independent chains interleaved.
+  const Gpr regs[4] = {Gpr::kRax, Gpr::kRcx, Gpr::kRdx, Gpr::kRbx};
+  for (int i = 0; i < 40; ++i) {
+    parallel.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+  }
+  EXPECT_LT(parallel.cycles(), serial.cycles());
+}
+
+TEST(Timing, BranchPortIsABottleneck) {
+  vm::TimingParams params;
+  vm::TimingModel branches(params);
+  vm::TimingModel alus(params);
+  AsmInst jmp(Op::kJmp, {Operand::make_label("x")});
+  for (int i = 0; i < 64; ++i) branches.step(jmp, 0);
+  const Gpr regs[4] = {Gpr::kRax, Gpr::kRcx, Gpr::kRdx, Gpr::kRbx};
+  for (int i = 0; i < 64; ++i) alus.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+  // One branch unit vs four ALUs: branch stream is slower.
+  EXPECT_GT(branches.cycles(), alus.cycles());
+}
+
+TEST(Timing, VectorOpsDoNotContendWithScalar) {
+  vm::TimingParams params;
+  params.issue_width = 8;  // keep fetch bandwidth out of the picture
+  // Scalar-only stream.
+  vm::TimingModel scalar_only(params);
+  const Gpr regs[4] = {Gpr::kRax, Gpr::kRcx, Gpr::kRdx, Gpr::kRbx};
+  for (int i = 0; i < 64; ++i) {
+    scalar_only.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+  }
+  // Same scalar stream with an independent vector op after each (uses the
+  // otherwise-idle vector ports; only fetch bandwidth is shared).
+  vm::TimingModel mixed(params);
+  AsmInst vec(Op::kVpxor, {Operand::make_xmm(1), Operand::make_xmm(2),
+                           Operand::make_xmm(3)});
+  for (int i = 0; i < 64; ++i) {
+    mixed.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+    if (i % 2 == 0) mixed.step(vec, 0);  // 1 vector op per 2 scalar ops
+  }
+  // The vector traffic rides on idle ports: well under proportional cost.
+  EXPECT_LT(mixed.cycles(), scalar_only.cycles() * 3 / 2);
+}
+
+TEST(Timing, StoreForwardingDelaysLoads) {
+  vm::TimingParams params;
+  vm::TimingModel model(params);
+  masm::MemRef cell;
+  cell.base = Gpr::kRbp;
+  cell.disp = -8;
+  // Store the value we just loaded so each round trip is serialised
+  // through the memory cell.
+  AsmInst store(Op::kMov, {Operand::make_reg(Gpr::kRcx, 8),
+                           Operand::make_mem(cell, 8)});
+  AsmInst load(Op::kMov, {Operand::make_mem(cell, 8),
+                          Operand::make_reg(Gpr::kRcx, 8)});
+  // Store/load ping-pong through the same cell: each round trip costs at
+  // least the forwarding latency.
+  const int rounds = 10;
+  for (int i = 0; i < rounds; ++i) {
+    model.step(store, 0x2000);
+    model.step(load, 0x2000);
+  }
+  EXPECT_GE(model.cycles(),
+            static_cast<std::uint64_t>(rounds * params.lat_store_forward));
+}
+
+TEST(Timing, IssueWidthBoundsThroughput) {
+  vm::TimingParams params;
+  params.issue_width = 2;
+  vm::TimingModel narrow(params);
+  params.issue_width = 8;
+  params.alu_units = 8;
+  vm::TimingModel wide(params);
+  const Gpr regs[4] = {Gpr::kRax, Gpr::kRcx, Gpr::kRdx, Gpr::kRbx};
+  for (int i = 0; i < 128; ++i) {
+    narrow.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+    wide.step(add_reg(regs[i % 4], regs[i % 4]), 0);
+  }
+  EXPECT_GT(narrow.cycles(), wide.cycles());
+  EXPECT_GE(narrow.cycles(), 128u / 2);
+}
+
+TEST(Timing, DivisionIsExpensive) {
+  vm::TimingParams params;
+  vm::TimingModel model(params);
+  AsmInst div(Op::kIdiv, {Operand::make_reg(Gpr::kRcx, 8),
+                          Operand::make_reg(Gpr::kRax, 8)});
+  model.step(div, 0);
+  model.step(add_reg(Gpr::kRax, Gpr::kRax), 0);  // depends on the divide
+  EXPECT_GE(model.cycles(),
+            static_cast<std::uint64_t>(params.lat_idiv));
+}
+
+TEST(Timing, VmIntegrationProducesCycles) {
+  DiagEngine diags;
+  auto program = masm::parse_program(
+      "main:\n.entry:\n"
+      "\tmovq\t$10, %rcx\n"
+      "\tmovq\t$0, %rax\n"
+      ".loop:\n"
+      "\taddq\t%rcx, %rax\n"
+      "\tsubq\t$1, %rcx\n"
+      "\tcmpq\t$0, %rcx\n"
+      "\tjg\t.loop\n"
+      "\tret\n",
+      diags);
+  ASSERT_FALSE(diags.has_errors());
+  vm::VmOptions options;
+  options.timing = true;
+  auto result = vm::run(program, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_GT(result.cycles, 0u);
+  EXPECT_LT(result.cycles, result.steps * 30);
+  // Determinism.
+  auto again = vm::run(program, options);
+  EXPECT_EQ(result.cycles, again.cycles);
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,0 +1,214 @@
+#include <gtest/gtest.h>
+
+#include "ir/builder.h"
+#include "ir/ir.h"
+#include "ir/verifier.h"
+
+namespace ferrum::ir {
+namespace {
+
+/// A minimal valid function to mutate in each test.
+struct Fixture {
+  Module module;
+  Function* fn;
+  BasicBlock* entry;
+  IRBuilder builder{module};
+
+  Fixture() {
+    fn = module.add_function("f", Type::i32());
+    entry = fn->add_block("entry");
+    builder.set_insert_point(entry);
+  }
+};
+
+TEST(Verifier, AcceptsValidFunction) {
+  Fixture fx;
+  Instruction* slot = fx.builder.create_alloca(TypeKind::kI32);
+  fx.builder.create_store(fx.module.const_i32(1), slot);
+  Instruction* value = fx.builder.create_load(slot);
+  fx.builder.create_ret(value);
+  EXPECT_TRUE(verify(fx.module).empty()) << verify_to_string(fx.module);
+}
+
+TEST(Verifier, RejectsEmptyBlock) {
+  Fixture fx;
+  fx.builder.create_ret(fx.module.const_i32(0));
+  fx.fn->add_block("empty");
+  const auto problems = verify(fx.module);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("empty"), std::string::npos);
+}
+
+TEST(Verifier, RejectsMissingTerminator) {
+  Fixture fx;
+  fx.builder.create_alloca(TypeKind::kI32);
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsMidBlockTerminator) {
+  Fixture fx;
+  fx.builder.create_ret(fx.module.const_i32(0));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsRetTypeMismatch) {
+  Fixture fx;
+  fx.builder.create_ret(fx.module.const_i64(0));  // i64 in an i32 function
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsRetVoidFromNonVoid) {
+  Fixture fx;
+  fx.builder.create_ret_void();
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsStoreTypeMismatch) {
+  Fixture fx;
+  Instruction* slot = fx.builder.create_alloca(TypeKind::kI32);
+  // Hand-build a bad store (the builder would assert).
+  auto bad = std::make_unique<Instruction>(Opcode::kStore, Type::void_type());
+  bad->operands = {fx.module.const_i64(1), slot};
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsLoadFromNonPointer) {
+  Fixture fx;
+  auto bad = std::make_unique<Instruction>(Opcode::kLoad, Type::i32());
+  bad->operands = {fx.module.const_i32(1)};
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsGepWithNarrowIndex) {
+  Fixture fx;
+  GlobalVar* g = fx.module.add_global(TypeKind::kI32, 4, "g");
+  auto bad = std::make_unique<Instruction>(Opcode::kGep,
+                                           Type::ptr(TypeKind::kI32));
+  bad->operands = {g, fx.module.const_i32(1)};  // index must be i64
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsBinaryTypeMixing) {
+  Fixture fx;
+  auto bad = std::make_unique<Instruction>(Opcode::kAdd, Type::i32());
+  bad->operands = {fx.module.const_i32(1), fx.module.const_i64(2)};
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsFloatOpOnInts) {
+  Fixture fx;
+  auto bad = std::make_unique<Instruction>(Opcode::kFAdd, Type::f64());
+  bad->operands = {fx.module.const_i32(1), fx.module.const_i32(2)};
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsCondBrOnNonBool) {
+  Fixture fx;
+  BasicBlock* other = fx.fn->add_block("other");
+  auto bad = std::make_unique<Instruction>(Opcode::kCondBr, Type::void_type());
+  bad->operands = {fx.module.const_i32(1)};
+  bad->targets[0] = other;
+  bad->targets[1] = other;
+  fx.entry->append(std::move(bad));
+  fx.builder.set_insert_point(other);
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsBranchToForeignBlock) {
+  Fixture fx;
+  Function* other_fn = fx.module.add_function("g", Type::void_type());
+  BasicBlock* foreign = other_fn->add_block("entry");
+  IRBuilder b2(fx.module);
+  b2.set_insert_point(foreign);
+  b2.create_ret_void();
+
+  auto bad = std::make_unique<Instruction>(Opcode::kBr, Type::void_type());
+  bad->targets[0] = foreign;
+  fx.entry->append(std::move(bad));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsUseBeforeDefinitionInBlock) {
+  Fixture fx;
+  Instruction* slot = fx.builder.create_alloca(TypeKind::kI32);
+  // Build a load, then an add that we insert *before* the load.
+  Instruction* value = fx.builder.create_load(slot);
+  auto add = std::make_unique<Instruction>(Opcode::kAdd, Type::i32());
+  add->operands = {value, fx.module.const_i32(1)};
+  fx.entry->insert(1, std::move(add));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  const auto problems = verify(fx.module);
+  ASSERT_FALSE(problems.empty());
+  EXPECT_NE(problems[0].find("use before definition"), std::string::npos);
+}
+
+TEST(Verifier, AcceptsCrossBlockUses) {
+  // Protection passes split blocks; values may flow across block edges.
+  Fixture fx;
+  BasicBlock* next = fx.fn->add_block("next");
+  Instruction* slot = fx.builder.create_alloca(TypeKind::kI32);
+  Instruction* value = fx.builder.create_load(slot);
+  fx.builder.create_br(next);
+  fx.builder.set_insert_point(next);
+  fx.builder.create_ret(value);
+  EXPECT_TRUE(verify(fx.module).empty()) << verify_to_string(fx.module);
+}
+
+TEST(Verifier, RejectsCallArityMismatch) {
+  Fixture fx;
+  Function* callee = fx.module.add_function("callee", Type::i32());
+  callee->add_arg(Type::i32(), "x");
+  BasicBlock* body = callee->add_block("entry");
+  IRBuilder b2(fx.module);
+  b2.set_insert_point(body);
+  b2.create_ret(fx.module.const_i32(0));
+
+  auto bad = std::make_unique<Instruction>(Opcode::kCall, Type::i32());
+  bad->callee = callee;  // no arguments supplied
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsCallArgumentTypeMismatch) {
+  Fixture fx;
+  Function* callee = fx.module.add_function("callee", Type::void_type());
+  callee->add_arg(Type::f64(), "x");
+  BasicBlock* body = callee->add_block("entry");
+  IRBuilder b2(fx.module);
+  b2.set_insert_point(body);
+  b2.create_ret_void();
+
+  auto bad = std::make_unique<Instruction>(Opcode::kCall, Type::void_type());
+  bad->callee = callee;
+  bad->operands = {fx.module.const_i32(1)};
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+TEST(Verifier, RejectsBadAlloca) {
+  Fixture fx;
+  auto bad = std::make_unique<Instruction>(Opcode::kAlloca,
+                                           Type::ptr(TypeKind::kI32));
+  bad->alloca_elem = TypeKind::kI32;
+  bad->alloca_count = 0;
+  fx.entry->append(std::move(bad));
+  fx.builder.create_ret(fx.module.const_i32(0));
+  EXPECT_FALSE(verify(fx.module).empty());
+}
+
+}  // namespace
+}  // namespace ferrum::ir

@@ -1,0 +1,232 @@
+// Property sweep: MiniASM comparison/arithmetic flag semantics must agree
+// with C++ signed-integer semantics for every condition code, across
+// widths and tricky operand values (boundaries, sign changes, overflow).
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <string>
+
+#include "masm/parser.h"
+#include "support/source_location.h"
+#include "vm/vm.h"
+
+namespace ferrum {
+namespace {
+
+vm::VmResult run_main(const std::string& body) {
+  DiagEngine diags;
+  auto program =
+      masm::parse_program("main:\n.entry:\n" + body + "\tret\n", diags);
+  EXPECT_FALSE(diags.has_errors()) << diags.render();
+  return vm::run(program);
+}
+
+struct CmpSweepCase {
+  std::int64_t a;
+  std::int64_t b;
+};
+
+constexpr std::int64_t kInteresting[] = {
+    0, 1, -1, 2, -2, 127, -128, 255, 32767, -32768,
+    2147483647LL, -2147483648LL, 4294967295LL,
+    9223372036854775807LL, -9223372036854775807LL - 1};
+
+class CmpSweep64 : public ::testing::TestWithParam<CmpSweepCase> {};
+
+TEST_P(CmpSweep64, AllConditionsMatchCpp) {
+  const auto [a, b] = GetParam();
+  struct Cond {
+    const char* name;
+    bool expected;
+  };
+  const Cond conds[] = {
+      {"e", a == b}, {"ne", a != b}, {"l", a < b},
+      {"le", a <= b}, {"g", a > b},  {"ge", a >= b},
+  };
+  for (const Cond& cond : conds) {
+    // AT&T: cmp b, a -> flags of (a - b).
+    const std::string body =
+        "\tmovq\t$" + std::to_string(a) + ", %rcx\n" +
+        "\tmovq\t$" + std::to_string(b) + ", %rdx\n" +
+        "\tmovq\t$0, %rax\n"
+        "\tcmpq\t%rdx, %rcx\n"
+        "\tset" + cond.name + "\t%al\n";
+    const auto result = run_main(body);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.return_value, cond.expected ? 1 : 0)
+        << a << " ? " << b << " set" << cond.name;
+  }
+}
+
+std::vector<CmpSweepCase> all_pairs() {
+  std::vector<CmpSweepCase> cases;
+  for (std::int64_t a : kInteresting) {
+    for (std::int64_t b : kInteresting) cases.push_back({a, b});
+  }
+  return cases;
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, CmpSweep64, ::testing::ValuesIn(all_pairs()));
+
+class CmpSweep32 : public ::testing::TestWithParam<CmpSweepCase> {};
+
+TEST_P(CmpSweep32, SignedConditionsAt32Bits) {
+  const std::int32_t a = static_cast<std::int32_t>(GetParam().a);
+  const std::int32_t b = static_cast<std::int32_t>(GetParam().b);
+  struct Cond {
+    const char* name;
+    bool expected;
+  };
+  const Cond conds[] = {{"l", a < b}, {"ge", a >= b}, {"e", a == b}};
+  for (const Cond& cond : conds) {
+    const std::string body =
+        "\tmovq\t$" + std::to_string(static_cast<std::int64_t>(a)) +
+        ", %rcx\n" +
+        "\tmovq\t$" + std::to_string(static_cast<std::int64_t>(b)) +
+        ", %rdx\n" +
+        "\tmovq\t$0, %rax\n"
+        "\tcmpl\t%edx, %ecx\n"
+        "\tset" + cond.name + "\t%al\n";
+    const auto result = run_main(body);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.return_value, cond.expected ? 1 : 0)
+        << a << " ?32 " << b << " set" << cond.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pairs, CmpSweep32, ::testing::ValuesIn(all_pairs()));
+
+struct AluCase {
+  const char* op;  // mnemonic prefix, e.g. "add"
+  std::int64_t a;
+  std::int64_t b;
+  std::int64_t expected;
+};
+
+class AluSweep : public ::testing::TestWithParam<AluCase> {};
+
+TEST_P(AluSweep, ResultMatches) {
+  const AluCase& cs = GetParam();
+  const std::string body =
+      "\tmovq\t$" + std::to_string(cs.a) + ", %rax\n" +
+      "\tmovq\t$" + std::to_string(cs.b) + ", %rcx\n" +
+      "\t" + cs.op + "q\t%rcx, %rax\n";
+  const auto result = run_main(body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, cs.expected)
+      << cs.a << " " << cs.op << " " << cs.b;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Arithmetic, AluSweep,
+    ::testing::Values(
+        AluCase{"add", 7, 5, 12},
+        AluCase{"add", 9223372036854775807LL, 1,
+                -9223372036854775807LL - 1},  // wraparound
+        AluCase{"sub", 5, 7, -2},
+        AluCase{"sub", -9223372036854775807LL - 1, 1,
+                9223372036854775807LL},
+        AluCase{"imul", -3, 7, -21},
+        AluCase{"imul", 1LL << 40, 1LL << 30, 0},  // high bits lost
+        AluCase{"and", 0b1100, 0b1010, 0b1000},
+        AluCase{"or", 0b1100, 0b1010, 0b1110},
+        AluCase{"xor", 0b1100, 0b1010, 0b0110},
+        AluCase{"idiv", -100, 7, -14},
+        AluCase{"idiv", 100, -7, -14},
+        AluCase{"irem", -100, 7, -2},
+        AluCase{"irem", 100, -7, 2}));
+
+struct ShiftCase {
+  const char* op;
+  std::int64_t value;
+  int count;
+  std::int64_t expected;
+};
+
+class ShiftSweep : public ::testing::TestWithParam<ShiftCase> {};
+
+TEST_P(ShiftSweep, ImmediateShifts) {
+  const ShiftCase& cs = GetParam();
+  const std::string body =
+      "\tmovq\t$" + std::to_string(cs.value) + ", %rax\n" +
+      "\t" + cs.op + "q\t$" + std::to_string(cs.count) + ", %rax\n";
+  const auto result = run_main(body);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, cs.expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shifts, ShiftSweep,
+    ::testing::Values(
+        ShiftCase{"shl", 1, 0, 1},
+        ShiftCase{"shl", 1, 63, -9223372036854775807LL - 1},
+        ShiftCase{"shl", 5, 10, 5120},
+        ShiftCase{"sar", -1024, 3, -128},
+        ShiftCase{"sar", -1, 63, -1},
+        ShiftCase{"sar", 4096, 12, 1}));
+
+TEST(Flags32, OverflowBoundary) {
+  // At 32 bits, INT32_MIN < 1 must hold (OF xor SF logic at width 4).
+  const auto result = run_main(
+      "\tmovq\t$-2147483648, %rcx\n"
+      "\tmovq\t$0, %rax\n"
+      "\tcmpl\t$1, %ecx\n"
+      "\tsetl\t%al\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 1);
+}
+
+TEST(Flags8, ByteComparisons) {
+  // cmpb compares only the low bytes.
+  const auto result = run_main(
+      "\tmovq\t$511, %rcx\n"   // low byte 0xff
+      "\tmovq\t$255, %rdx\n"   // low byte 0xff
+      "\tmovq\t$0, %rax\n"
+      "\tcmpb\t%dl, %cl\n"
+      "\tsete\t%al\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 1);
+}
+
+TEST(FlagsTest, TestInstructionSemantics) {
+  const auto result = run_main(
+      "\tmovq\t$6, %rcx\n"
+      "\tmovq\t$0, %rax\n"
+      "\ttestb\t$1, %cl\n"   // 6 & 1 == 0 -> ZF
+      "\tsete\t%al\n");
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result.return_value, 1);
+}
+
+TEST(FlagsUcomisd, OrderingMatrix) {
+  // (a ? b) for a in {1.0, 2.0}, b = 2.0 across a/b/e conditions.
+  struct Case {
+    std::uint64_t a_bits;
+    const char* cc;
+    int expected;
+  };
+  const std::uint64_t one = 0x3ff0000000000000ULL;   // 1.0
+  const std::uint64_t two = 0x4000000000000000ULL;   // 2.0
+  const Case cases[] = {
+      {one, "b", 1}, {one, "be", 1}, {one, "a", 0}, {one, "e", 0},
+      {two, "e", 1}, {two, "ae", 1}, {two, "b", 0}, {two, "a", 0},
+  };
+  for (const Case& cs : cases) {
+    const std::string body =
+        "\tmovq\t$" + std::to_string(static_cast<std::int64_t>(cs.a_bits)) +
+        ", %rcx\n"
+        "\tmovq\t%rcx, %xmm0\n"
+        "\tmovq\t$" + std::to_string(static_cast<std::int64_t>(two)) +
+        ", %rdx\n"
+        "\tmovq\t%rdx, %xmm1\n"
+        "\tmovq\t$0, %rax\n"
+        "\tucomisd\t%xmm1, %xmm0\n"
+        "\tset" + cs.cc + "\t%al\n";
+    const auto result = run_main(body);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result.return_value, cs.expected) << "cc=" << cs.cc;
+  }
+}
+
+}  // namespace
+}  // namespace ferrum

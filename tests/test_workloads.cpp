@@ -1,0 +1,104 @@
+#include <gtest/gtest.h>
+
+#include "ir/interp.h"
+#include "pipeline/pipeline.h"
+#include "vm/vm.h"
+#include "workloads/workloads.h"
+
+namespace ferrum {
+namespace {
+
+using pipeline::Technique;
+
+TEST(Workloads, AllEightArePresent) {
+  const auto& list = workloads::all();
+  ASSERT_EQ(list.size(), 8u);
+  const char* expected[] = {"backprop", "bfs", "pathfinder", "lud",
+                            "needle", "knn", "kmeans", "particlefilter"};
+  for (std::size_t i = 0; i < 8; ++i) {
+    EXPECT_EQ(list[i].name, expected[i]);
+    EXPECT_EQ(list[i].suite, "rodinia-class");
+    EXPECT_FALSE(list[i].domain.empty());
+    EXPECT_FALSE(list[i].source.empty());
+  }
+}
+
+TEST(Workloads, LookupByName) {
+  EXPECT_EQ(workloads::by_name("lud").name, "lud");
+  EXPECT_THROW(workloads::by_name("nonesuch"), std::out_of_range);
+}
+
+class WorkloadTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(WorkloadTest, RunsCleanUnprotected) {
+  const auto& w = workloads::all()[static_cast<std::size_t>(GetParam())];
+  auto build = pipeline::build(w.source, Technique::kNone);
+  const vm::VmResult result = vm::run(build.program);
+  ASSERT_TRUE(result.ok()) << w.name << ": "
+                           << vm::exit_status_name(result.status);
+  EXPECT_FALSE(result.output.empty()) << w.name;
+  EXPECT_GT(result.fi_sites, 1000u) << w.name;
+}
+
+TEST_P(WorkloadTest, DeterministicOutput) {
+  const auto& w = workloads::all()[static_cast<std::size_t>(GetParam())];
+  auto build = pipeline::build(w.source, Technique::kNone);
+  const vm::VmResult a = vm::run(build.program);
+  const vm::VmResult b = vm::run(build.program);
+  EXPECT_EQ(a.output, b.output) << w.name;
+  EXPECT_EQ(a.steps, b.steps) << w.name;
+}
+
+TEST_P(WorkloadTest, AllTechniquesPreserveOutput) {
+  const auto& w = workloads::all()[static_cast<std::size_t>(GetParam())];
+  auto baseline = pipeline::build(w.source, Technique::kNone);
+  const vm::VmResult golden = vm::run(baseline.program);
+  ASSERT_TRUE(golden.ok());
+  for (Technique technique :
+       {Technique::kIrEddi, Technique::kHybrid, Technique::kFerrum}) {
+    auto build = pipeline::build(w.source, technique);
+    const vm::VmResult result = vm::run(build.program);
+    ASSERT_TRUE(result.ok())
+        << w.name << "/" << pipeline::technique_name(technique) << ": "
+        << vm::exit_status_name(result.status);
+    EXPECT_EQ(result.output, golden.output)
+        << w.name << "/" << pipeline::technique_name(technique);
+  }
+}
+
+TEST_P(WorkloadTest, InterpreterAgreesWithVm) {
+  const auto& w = workloads::all()[static_cast<std::size_t>(GetParam())];
+  auto build = pipeline::build(w.source, Technique::kNone);
+  const ir::RunResult reference = ir::interpret(*build.module);
+  const vm::VmResult actual = vm::run(build.program);
+  ASSERT_TRUE(reference.ok()) << w.name;
+  ASSERT_TRUE(actual.ok()) << w.name;
+  EXPECT_EQ(actual.output, reference.output) << w.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(AllWorkloads, WorkloadTest,
+                         ::testing::Range(0, 8));
+
+TEST(Workloads, ScalingGrowsExecution) {
+  const auto small = workloads::scaled("bfs", 1);
+  const auto large = workloads::scaled("bfs", 4);
+  auto small_build = pipeline::build(small.source, Technique::kNone);
+  auto large_build = pipeline::build(large.source, Technique::kNone);
+  const vm::VmResult small_run = vm::run(small_build.program);
+  const vm::VmResult large_run = vm::run(large_build.program);
+  ASSERT_TRUE(small_run.ok());
+  ASSERT_TRUE(large_run.ok());
+  EXPECT_GT(large_run.steps, small_run.steps * 2);
+}
+
+TEST(Workloads, ScaledOutputsStayDeterministic) {
+  const auto w = workloads::scaled("pathfinder", 3);
+  auto build = pipeline::build(w.source, Technique::kFerrum);
+  const vm::VmResult a = vm::run(build.program);
+  const vm::VmResult b = vm::run(build.program);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.output, b.output);
+}
+
+}  // namespace
+}  // namespace ferrum
