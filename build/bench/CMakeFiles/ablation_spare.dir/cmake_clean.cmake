@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_spare.dir/ablation_spare.cpp.o"
+  "CMakeFiles/ablation_spare.dir/ablation_spare.cpp.o.d"
+  "ablation_spare"
+  "ablation_spare.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_spare.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

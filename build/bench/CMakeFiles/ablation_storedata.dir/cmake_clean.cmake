@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_storedata.dir/ablation_storedata.cpp.o"
+  "CMakeFiles/ablation_storedata.dir/ablation_storedata.cpp.o.d"
+  "ablation_storedata"
+  "ablation_storedata.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_storedata.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/analysis_rootcause.dir/analysis_rootcause.cpp.o"
+  "CMakeFiles/analysis_rootcause.dir/analysis_rootcause.cpp.o.d"
+  "analysis_rootcause"
+  "analysis_rootcause.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/analysis_rootcause.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_pass_time.dir/bench_pass_time.cpp.o"
+  "CMakeFiles/bench_pass_time.dir/bench_pass_time.cpp.o.d"
+  "bench_pass_time"
+  "bench_pass_time.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_pass_time.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

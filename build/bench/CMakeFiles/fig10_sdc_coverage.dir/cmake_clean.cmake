@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig10_sdc_coverage.dir/fig10_sdc_coverage.cpp.o"
+  "CMakeFiles/fig10_sdc_coverage.dir/fig10_sdc_coverage.cpp.o.d"
+  "fig10_sdc_coverage"
+  "fig10_sdc_coverage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig10_sdc_coverage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

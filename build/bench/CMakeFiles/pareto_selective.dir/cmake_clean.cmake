@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pareto_selective.dir/pareto_selective.cpp.o"
+  "CMakeFiles/pareto_selective.dir/pareto_selective.cpp.o.d"
+  "pareto_selective"
+  "pareto_selective.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pareto_selective.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

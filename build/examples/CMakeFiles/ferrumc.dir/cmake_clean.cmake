@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrumc.dir/ferrumc.cpp.o"
+  "CMakeFiles/ferrumc.dir/ferrumc.cpp.o.d"
+  "ferrumc"
+  "ferrumc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrumc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

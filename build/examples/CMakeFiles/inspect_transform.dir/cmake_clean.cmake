@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/inspect_transform.dir/inspect_transform.cpp.o"
+  "CMakeFiles/inspect_transform.dir/inspect_transform.cpp.o.d"
+  "inspect_transform"
+  "inspect_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/inspect_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_and_inject.dir/protect_and_inject.cpp.o"
+  "CMakeFiles/protect_and_inject.dir/protect_and_inject.cpp.o.d"
+  "protect_and_inject"
+  "protect_and_inject.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_and_inject.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

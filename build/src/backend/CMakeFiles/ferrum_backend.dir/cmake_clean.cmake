@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_backend.dir/backend.cpp.o"
+  "CMakeFiles/ferrum_backend.dir/backend.cpp.o.d"
+  "libferrum_backend.a"
+  "libferrum_backend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_backend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

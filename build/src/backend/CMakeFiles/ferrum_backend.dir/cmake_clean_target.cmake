@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libferrum_backend.a"
+)

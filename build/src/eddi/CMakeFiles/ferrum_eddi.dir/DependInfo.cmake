@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eddi/asm_protect.cpp" "src/eddi/CMakeFiles/ferrum_eddi.dir/asm_protect.cpp.o" "gcc" "src/eddi/CMakeFiles/ferrum_eddi.dir/asm_protect.cpp.o.d"
+  "/root/repo/src/eddi/ferrum.cpp" "src/eddi/CMakeFiles/ferrum_eddi.dir/ferrum.cpp.o" "gcc" "src/eddi/CMakeFiles/ferrum_eddi.dir/ferrum.cpp.o.d"
+  "/root/repo/src/eddi/ir_eddi.cpp" "src/eddi/CMakeFiles/ferrum_eddi.dir/ir_eddi.cpp.o" "gcc" "src/eddi/CMakeFiles/ferrum_eddi.dir/ir_eddi.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ir/CMakeFiles/ferrum_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/ferrum_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ferrum_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_eddi.dir/asm_protect.cpp.o"
+  "CMakeFiles/ferrum_eddi.dir/asm_protect.cpp.o.d"
+  "CMakeFiles/ferrum_eddi.dir/ferrum.cpp.o"
+  "CMakeFiles/ferrum_eddi.dir/ferrum.cpp.o.d"
+  "CMakeFiles/ferrum_eddi.dir/ir_eddi.cpp.o"
+  "CMakeFiles/ferrum_eddi.dir/ir_eddi.cpp.o.d"
+  "libferrum_eddi.a"
+  "libferrum_eddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_eddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/fault/audit.cpp" "src/fault/CMakeFiles/ferrum_fault.dir/audit.cpp.o" "gcc" "src/fault/CMakeFiles/ferrum_fault.dir/audit.cpp.o.d"
+  "/root/repo/src/fault/campaign.cpp" "src/fault/CMakeFiles/ferrum_fault.dir/campaign.cpp.o" "gcc" "src/fault/CMakeFiles/ferrum_fault.dir/campaign.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/ferrum_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ferrum_support.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/ferrum_masm.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

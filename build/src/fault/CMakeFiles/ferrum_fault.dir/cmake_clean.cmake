@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_fault.dir/audit.cpp.o"
+  "CMakeFiles/ferrum_fault.dir/audit.cpp.o.d"
+  "CMakeFiles/ferrum_fault.dir/campaign.cpp.o"
+  "CMakeFiles/ferrum_fault.dir/campaign.cpp.o.d"
+  "libferrum_fault.a"
+  "libferrum_fault.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_fault.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_frontend.dir/codegen.cpp.o"
+  "CMakeFiles/ferrum_frontend.dir/codegen.cpp.o.d"
+  "CMakeFiles/ferrum_frontend.dir/lexer.cpp.o"
+  "CMakeFiles/ferrum_frontend.dir/lexer.cpp.o.d"
+  "CMakeFiles/ferrum_frontend.dir/parser.cpp.o"
+  "CMakeFiles/ferrum_frontend.dir/parser.cpp.o.d"
+  "libferrum_frontend.a"
+  "libferrum_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

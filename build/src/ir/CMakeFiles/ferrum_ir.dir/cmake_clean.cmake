@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_ir.dir/builder.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/builder.cpp.o.d"
+  "CMakeFiles/ferrum_ir.dir/interp.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/interp.cpp.o.d"
+  "CMakeFiles/ferrum_ir.dir/ir.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/ir.cpp.o.d"
+  "CMakeFiles/ferrum_ir.dir/parser.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/parser.cpp.o.d"
+  "CMakeFiles/ferrum_ir.dir/printer.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/printer.cpp.o.d"
+  "CMakeFiles/ferrum_ir.dir/verifier.cpp.o"
+  "CMakeFiles/ferrum_ir.dir/verifier.cpp.o.d"
+  "libferrum_ir.a"
+  "libferrum_ir.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_ir.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/masm/cfg.cpp" "src/masm/CMakeFiles/ferrum_masm.dir/cfg.cpp.o" "gcc" "src/masm/CMakeFiles/ferrum_masm.dir/cfg.cpp.o.d"
+  "/root/repo/src/masm/masm.cpp" "src/masm/CMakeFiles/ferrum_masm.dir/masm.cpp.o" "gcc" "src/masm/CMakeFiles/ferrum_masm.dir/masm.cpp.o.d"
+  "/root/repo/src/masm/parser.cpp" "src/masm/CMakeFiles/ferrum_masm.dir/parser.cpp.o" "gcc" "src/masm/CMakeFiles/ferrum_masm.dir/parser.cpp.o.d"
+  "/root/repo/src/masm/verifier.cpp" "src/masm/CMakeFiles/ferrum_masm.dir/verifier.cpp.o" "gcc" "src/masm/CMakeFiles/ferrum_masm.dir/verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/ferrum_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_masm.dir/cfg.cpp.o"
+  "CMakeFiles/ferrum_masm.dir/cfg.cpp.o.d"
+  "CMakeFiles/ferrum_masm.dir/masm.cpp.o"
+  "CMakeFiles/ferrum_masm.dir/masm.cpp.o.d"
+  "CMakeFiles/ferrum_masm.dir/parser.cpp.o"
+  "CMakeFiles/ferrum_masm.dir/parser.cpp.o.d"
+  "CMakeFiles/ferrum_masm.dir/verifier.cpp.o"
+  "CMakeFiles/ferrum_masm.dir/verifier.cpp.o.d"
+  "libferrum_masm.a"
+  "libferrum_masm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_masm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_pipeline.dir/pipeline.cpp.o"
+  "CMakeFiles/ferrum_pipeline.dir/pipeline.cpp.o.d"
+  "libferrum_pipeline.a"
+  "libferrum_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

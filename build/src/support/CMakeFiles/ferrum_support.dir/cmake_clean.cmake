@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_support.dir/rng.cpp.o"
+  "CMakeFiles/ferrum_support.dir/rng.cpp.o.d"
+  "CMakeFiles/ferrum_support.dir/source_location.cpp.o"
+  "CMakeFiles/ferrum_support.dir/source_location.cpp.o.d"
+  "CMakeFiles/ferrum_support.dir/str.cpp.o"
+  "CMakeFiles/ferrum_support.dir/str.cpp.o.d"
+  "libferrum_support.a"
+  "libferrum_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_vm.dir/timing.cpp.o"
+  "CMakeFiles/ferrum_vm.dir/timing.cpp.o.d"
+  "CMakeFiles/ferrum_vm.dir/vm.cpp.o"
+  "CMakeFiles/ferrum_vm.dir/vm.cpp.o.d"
+  "libferrum_vm.a"
+  "libferrum_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for ferrum_vm.
+# This may be replaced when dependencies are built.

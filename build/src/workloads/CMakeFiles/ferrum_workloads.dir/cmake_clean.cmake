@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ferrum_workloads.dir/workloads.cpp.o"
+  "CMakeFiles/ferrum_workloads.dir/workloads.cpp.o.d"
+  "libferrum_workloads.a"
+  "libferrum_workloads.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ferrum_workloads.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

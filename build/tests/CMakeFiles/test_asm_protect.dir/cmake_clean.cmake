@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_asm_protect.dir/test_asm_protect.cpp.o"
+  "CMakeFiles/test_asm_protect.dir/test_asm_protect.cpp.o.d"
+  "test_asm_protect"
+  "test_asm_protect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_asm_protect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cfg_liveness.dir/test_cfg_liveness.cpp.o"
+  "CMakeFiles/test_cfg_liveness.dir/test_cfg_liveness.cpp.o.d"
+  "test_cfg_liveness"
+  "test_cfg_liveness.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cfg_liveness.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ir_eddi.dir/test_ir_eddi.cpp.o"
+  "CMakeFiles/test_ir_eddi.dir/test_ir_eddi.cpp.o.d"
+  "test_ir_eddi"
+  "test_ir_eddi.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ir_eddi.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masm.dir/test_masm.cpp.o"
+  "CMakeFiles/test_masm.dir/test_masm.cpp.o.d"
+  "test_masm"
+  "test_masm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_masm_verifier.cpp" "tests/CMakeFiles/test_masm_verifier.dir/test_masm_verifier.cpp.o" "gcc" "tests/CMakeFiles/test_masm_verifier.dir/test_masm_verifier.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/pipeline/CMakeFiles/ferrum_pipeline.dir/DependInfo.cmake"
+  "/root/repo/build/src/fault/CMakeFiles/ferrum_fault.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/ferrum_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/ferrum_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/backend/CMakeFiles/ferrum_backend.dir/DependInfo.cmake"
+  "/root/repo/build/src/eddi/CMakeFiles/ferrum_eddi.dir/DependInfo.cmake"
+  "/root/repo/build/src/ir/CMakeFiles/ferrum_ir.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/ferrum_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/masm/CMakeFiles/ferrum_masm.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/ferrum_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

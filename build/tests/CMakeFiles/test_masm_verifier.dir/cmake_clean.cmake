@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_masm_verifier.dir/test_masm_verifier.cpp.o"
+  "CMakeFiles/test_masm_verifier.dir/test_masm_verifier.cpp.o.d"
+  "test_masm_verifier"
+  "test_masm_verifier.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_masm_verifier.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

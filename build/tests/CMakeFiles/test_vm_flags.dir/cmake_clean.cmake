@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_vm_flags.dir/test_vm_flags.cpp.o"
+  "CMakeFiles/test_vm_flags.dir/test_vm_flags.cpp.o.d"
+  "test_vm_flags"
+  "test_vm_flags.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_vm_flags.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
