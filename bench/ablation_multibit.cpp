@@ -19,8 +19,9 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const int jobs = benchutil::env_jobs();
   std::printf("Extension — multi-bit / multi-fault regimes under FERRUM "
-              "(%d runs per cell)\n\n", trials);
+              "(%d runs per cell, %d worker(s))\n\n", trials, jobs);
   std::printf("%-15s | %18s %18s %18s\n", "benchmark", "single (paper)",
               "burst-2", "double fault");
   benchutil::print_rule(76);
@@ -38,6 +39,7 @@ int main() {
     for (int m = 0; m < 3; ++m) {
       fault::CampaignOptions options;
       options.trials = trials;
+      options.jobs = jobs;
       options.faults_per_run = modes[m].faults;
       options.burst = modes[m].burst;
       const auto result = fault::run_campaign(build.program, options);

@@ -17,8 +17,9 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const int jobs = benchutil::env_jobs();
   std::printf("Ablation — extended fault model (store-data faults), "
-              "%d samples per cell\n\n", trials);
+              "%d samples per cell, %d worker(s)\n\n", trials, jobs);
   std::printf("%-15s | %16s %16s | %12s\n", "benchmark",
               "ferrum (paper)", "ferrum+storechk", "extra insts");
   benchutil::print_rule(70);
@@ -26,6 +27,7 @@ int main() {
   for (const auto& w : workloads::all()) {
     fault::CampaignOptions campaign;
     campaign.trials = trials;
+    campaign.jobs = jobs;
     campaign.vm.fault_store_data = true;  // extended model for everyone
 
     auto raw_build = pipeline::build(w.source, Technique::kNone);

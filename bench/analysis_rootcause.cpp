@@ -21,6 +21,7 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 1000);
+  const int jobs = benchutil::env_jobs();
 
   std::printf("Sec IV-B1 — root causes of IR-LEVEL-EDDI's coverage gap\n\n");
   std::printf("1. Static backend footprint of the protected programs\n\n");
@@ -55,6 +56,7 @@ int main() {
     auto build = pipeline::build(w.source, Technique::kIrEddi);
     fault::CampaignOptions options;
     options.trials = trials;
+    options.jobs = jobs;
     const auto result = fault::run_campaign(build.program, options);
     for (const auto& [key, count] : result.sdc_breakdown) {
       totals[key] += count;

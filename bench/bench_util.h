@@ -3,16 +3,24 @@
 #pragma once
 
 #include <cstdio>
-#include <cstdlib>
-#include <string>
+
+#include "support/env.h"
+#include "support/parallel.h"
 
 namespace ferrum::benchutil {
 
 /// Reads an integer knob from the environment (e.g. FERRUM_TRIALS=2000).
-inline int env_int(const char* name, int fallback) {
-  const char* value = std::getenv(name);
-  if (value == nullptr || *value == '\0') return fallback;
-  return std::atoi(value);
+/// Strict parsing with a stderr warning + fallback on garbage or
+/// non-positive values (see support/env.h).
+inline int env_int(const char* name, int fallback, int min_value = 1) {
+  return ferrum::env_int(name, fallback, min_value);
+}
+
+/// Worker threads for campaign/audit execution: FERRUM_JOBS, defaulting
+/// to hardware concurrency. Results are deterministic for any value —
+/// the knob only changes wall-clock time.
+inline int env_jobs() {
+  return env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
 }
 
 inline void print_rule(int width = 100) {

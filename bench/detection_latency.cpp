@@ -16,8 +16,10 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  const int jobs = benchutil::env_jobs();
   std::printf("Extension — detection latency in dynamic instructions "
-              "(%d faults per cell, Detected runs only)\n\n", trials);
+              "(%d faults per cell, Detected runs only, %d worker(s))\n\n",
+              trials, jobs);
   std::printf("%-15s | %-21s %-21s %-21s\n", "", "ir-eddi", "hybrid",
               "ferrum");
   std::printf("%-15s | %9s %9s   %9s %9s   %9s %9s\n", "benchmark", "mean",
@@ -35,6 +37,7 @@ int main() {
       auto build = pipeline::build(w.source, techniques[t]);
       fault::CampaignOptions options;
       options.trials = trials;
+      options.jobs = jobs;
       const auto result = fault::run_campaign(build.program, options);
       mean_sums[t] += result.mean_detection_latency();
       std::printf(" %9.1f %9llu  ", result.mean_detection_latency(),

@@ -18,9 +18,10 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 1000);
+  const int jobs = benchutil::env_jobs();
   std::printf("Fig 10 — SDC coverage after protection "
-              "(%d sampled faults per cell; raw column shows the 95%% "
-              "Wilson interval)\n\n", trials);
+              "(%d sampled faults per cell across %d worker(s); raw column "
+              "shows the 95%% Wilson interval)\n\n", trials, jobs);
   std::printf("%-15s %19s | %12s %12s %12s\n", "benchmark", "raw SDC",
               "ir-eddi", "hybrid", "ferrum");
   benchutil::print_rule(80);
@@ -33,6 +34,7 @@ int main() {
   for (const auto& w : workloads::all()) {
     fault::CampaignOptions options;
     options.trials = trials;
+    options.jobs = jobs;
 
     auto raw_build = pipeline::build(w.source, Technique::kNone);
     const auto raw = fault::run_campaign(raw_build.program, options);

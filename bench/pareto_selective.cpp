@@ -16,8 +16,9 @@ using pipeline::Technique;
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const int jobs = benchutil::env_jobs();
   std::printf("Extension — selective FERRUM: coverage vs overhead "
-              "(%d faults per cell)\n\n", trials);
+              "(%d faults per cell, %d worker(s))\n\n", trials, jobs);
   std::printf("%-15s %6s | %10s %10s\n", "benchmark", "ratio", "coverage",
               "overhead");
   benchutil::print_rule(50);
@@ -30,6 +31,7 @@ int main() {
   for (const auto& w : workloads::all()) {
     fault::CampaignOptions campaign;
     campaign.trials = trials;
+    campaign.jobs = jobs;
     vm::VmOptions timed;
     timed.timing = true;
 

@@ -16,12 +16,16 @@
 //               construction in the VM, hence covered everywhere)
 #include <cstdio>
 #include <map>
+#include <optional>
 #include <string>
+#include <vector>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
+#include "fault/step_budget.h"
 #include "masm/masm.h"
 #include "pipeline/pipeline.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
@@ -57,9 +61,11 @@ std::string classify(const vm::FaultLanding& landing) {
 
 int main() {
   const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  const int jobs = benchutil::env_jobs();
   std::printf("Table I — measured protection capability per fault class\n");
   std::printf("(extended fault model incl. store-data; %d samples per "
-              "benchmark per technique)\n\n", trials);
+              "benchmark per technique, %d worker(s))\n\n", trials, jobs);
+  ThreadPool pool(jobs);
 
   const Technique techniques[] = {Technique::kIrEddi, Technique::kHybrid,
                                   Technique::kFerrum};
@@ -85,17 +91,34 @@ int main() {
         return 1;
       }
       vm::VmOptions faulty = vm_options;
-      faulty.max_steps = golden.steps * 16 + 100'000;
+      faulty.max_steps = fault::faulty_step_budget(golden.steps);
+      // Same discipline as fault::run_campaign: pre-draw the fault set
+      // serially, fan the runs out, reduce the slots in trial order, so
+      // the table is identical for every FERRUM_JOBS value.
       Rng rng(0x7ab1e1 + t);
-      for (int i = 0; i < trials; ++i) {
-        vm::FaultSpec fault;
+      std::vector<vm::FaultSpec> specs(static_cast<std::size_t>(trials));
+      for (vm::FaultSpec& fault : specs) {
         fault.site = rng.next_below(golden.fi_sites);
         fault.bit = static_cast<int>(rng.next_below(64));
-        const vm::VmResult run = vm::run(build.program, faulty, &fault);
-        if (!run.fault_landing.has_value()) continue;
-        ClassStats& stats = buckets[classify(*run.fault_landing)];
+      }
+      struct TrialSlot {
+        std::optional<vm::FaultLanding> landing;
+        bool sdc = false;
+      };
+      std::vector<TrialSlot> slots(specs.size());
+      pool.parallel_for(specs.size(), [&](std::size_t begin,
+                                          std::size_t end) {
+        for (std::size_t i = begin; i < end; ++i) {
+          const vm::VmResult run = vm::run(build.program, faulty, &specs[i]);
+          slots[i].landing = run.fault_landing;
+          slots[i].sdc = run.ok() && run.output != golden.output;
+        }
+      });
+      for (const TrialSlot& slot : slots) {
+        if (!slot.landing.has_value()) continue;
+        ClassStats& stats = buckets[classify(*slot.landing)];
         ++stats.total;
-        stats.sdc += run.ok() && run.output != golden.output;
+        stats.sdc += slot.sdc;
       }
     }
     std::printf("%-16s", names[t]);

@@ -20,6 +20,8 @@
 #include "ir/printer.h"
 #include "masm/masm.h"
 #include "pipeline/pipeline.h"
+#include "support/env.h"
+#include "support/parallel.h"
 #include "vm/vm.h"
 
 using namespace ferrum;
@@ -31,7 +33,9 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <run|asm|ir|audit|campaign> <file.c>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
-               "       [--trials=N] [--timing]\n",
+               "       [--trials=N] [--jobs=N] [--timing]\n"
+               "(--jobs defaults to FERRUM_JOBS, then hardware "
+               "concurrency; results are identical for any value)\n",
                argv0);
   return 2;
 }
@@ -65,13 +69,22 @@ int main(int argc, char** argv) {
   Technique technique =
       command == "audit" ? Technique::kFerrum : Technique::kNone;
   int trials = 1000;
+  int jobs = env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
   bool timing = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tech=", 0) == 0) {
       technique = parse_technique(arg.substr(7));
     } else if (arg.rfind("--trials=", 0) == 0) {
-      trials = std::atoi(arg.c_str() + 9);
+      if (!parse_int(arg.c_str() + 9, trials) || trials < 1) {
+        std::fprintf(stderr, "bad --trials value '%s'\n", arg.c_str() + 9);
+        return 2;
+      }
+    } else if (arg.rfind("--jobs=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 7, jobs) || jobs < 1) {
+        std::fprintf(stderr, "bad --jobs value '%s'\n", arg.c_str() + 7);
+        return 2;
+      }
     } else if (arg == "--timing") {
       timing = true;
     } else {
@@ -111,7 +124,10 @@ int main(int argc, char** argv) {
     return result.ok() ? static_cast<int>(result.return_value & 0xff) : 1;
   }
   if (command == "audit") {
-    const fault::AuditReport report = fault::audit_program(build.program);
+    fault::AuditOptions audit_options;
+    audit_options.jobs = jobs;
+    const fault::AuditReport report =
+        fault::audit_program(build.program, audit_options);
     std::printf("sites=%llu injections=%llu detected=%llu benign=%llu "
                 "crashed=%llu escapes=%zu\n",
                 static_cast<unsigned long long>(report.sites),
@@ -131,6 +147,7 @@ int main(int argc, char** argv) {
   if (command == "campaign") {
     fault::CampaignOptions options;
     options.trials = trials;
+    options.jobs = jobs;
     const auto result = fault::run_campaign(build.program, options);
     std::printf("trials=%d benign=%d sdc=%d detected=%d crash=%d "
                 "sdc_rate=%.4f\n",

@@ -10,6 +10,8 @@
 
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "support/env.h"
+#include "support/parallel.h"
 #include "workloads/workloads.h"
 
 using namespace ferrum;
@@ -57,6 +59,7 @@ int main(int argc, char** argv) {
 
   fault::CampaignOptions options;
   options.trials = trials;
+  options.jobs = env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
   const auto result = fault::run_campaign(build.program, options);
   std::printf("dynamic:   %llu instructions, %llu fault sites\n",
               static_cast<unsigned long long>(result.golden_steps),

@@ -9,6 +9,8 @@
 
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "support/env.h"
+#include "support/parallel.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -25,6 +27,7 @@ int main(int argc, char** argv) {
 
   fault::CampaignOptions campaign;
   campaign.trials = trials;
+  campaign.jobs = env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
   vm::VmOptions timed;
   timed.timing = true;
 

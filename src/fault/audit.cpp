@@ -2,6 +2,9 @@
 
 #include <stdexcept>
 
+#include "fault/step_budget.h"
+#include "support/parallel.h"
+
 namespace ferrum::fault {
 
 AuditReport audit_program(const masm::AsmProgram& program,
@@ -15,32 +18,60 @@ AuditReport audit_program(const masm::AsmProgram& program,
   report.sites = golden.fi_sites;
 
   vm::VmOptions faulty = options.vm;
-  faulty.max_steps = golden.steps * 16 + 10'000;
+  faulty.max_steps = faulty_step_budget(golden.steps);
 
-  for (std::uint64_t site = 0; site < golden.fi_sites; ++site) {
-    for (int bit : options.probe_bits) {
-      vm::FaultSpec fault;
-      fault.site = site;
-      fault.bit = bit;
-      const vm::VmResult run = vm::run(program, faulty, &fault);
-      ++report.injections;
-      if (run.status == vm::ExitStatus::kDetected) {
-        ++report.detected;
-      } else if (!run.ok()) {
-        ++report.crashed;
-      } else if (run.output == golden.output) {
-        ++report.benign;
-      } else {
-        AuditEscape escape;
-        escape.site = site;
-        escape.bit = bit;
-        if (run.fault_landing.has_value()) {
-          escape.kind = run.fault_landing->kind;
-          escape.origin = run.fault_landing->origin;
-          escape.function = run.fault_landing->function;
+  // Every (site, bit) probe is independent: sweep the sites across the
+  // pool into per-site partial reports, then merge them in site order so
+  // the escape list comes out exactly as a serial sweep would produce it.
+  struct SitePartial {
+    std::uint64_t injections = 0;
+    std::uint64_t detected = 0;
+    std::uint64_t benign = 0;
+    std::uint64_t crashed = 0;
+    std::vector<AuditEscape> escapes;
+  };
+  std::vector<SitePartial> partials(
+      static_cast<std::size_t>(golden.fi_sites));
+  ThreadPool pool(options.jobs);
+  pool.parallel_for(
+      static_cast<std::size_t>(golden.fi_sites),
+      [&](std::size_t begin, std::size_t end) {
+        for (std::size_t site = begin; site < end; ++site) {
+          SitePartial& partial = partials[site];
+          for (int bit : options.probe_bits) {
+            vm::FaultSpec fault;
+            fault.site = site;
+            fault.bit = bit;
+            const vm::VmResult run = vm::run(program, faulty, &fault);
+            ++partial.injections;
+            if (run.status == vm::ExitStatus::kDetected) {
+              ++partial.detected;
+            } else if (!run.ok()) {
+              ++partial.crashed;
+            } else if (run.output == golden.output) {
+              ++partial.benign;
+            } else {
+              AuditEscape escape;
+              escape.site = site;
+              escape.bit = bit;
+              if (run.fault_landing.has_value()) {
+                escape.kind = run.fault_landing->kind;
+                escape.origin = run.fault_landing->origin;
+                escape.function = run.fault_landing->function;
+              }
+              partial.escapes.push_back(std::move(escape));
+            }
+          }
         }
-        report.escapes.push_back(std::move(escape));
-      }
+      });
+
+  for (SitePartial& partial : partials) {
+    report.injections += partial.injections;
+    report.detected += partial.detected;
+    report.benign += partial.benign;
+    report.crashed += partial.crashed;
+    for (AuditEscape& escape : partial.escapes) {
+      report.escapes.push_back(std::move(escape));
     }
   }
   return report;

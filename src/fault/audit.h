@@ -18,6 +18,11 @@ struct AuditOptions {
   /// Bit positions probed at each site (a spread across the word).
   std::vector<int> probe_bits = {0, 1, 17, 63};
   vm::VmOptions vm;
+  /// Worker threads sweeping the sites (<= 0 selects hardware
+  /// concurrency). Each (site, bit) probe is independent and the report
+  /// reduces in site order, so the AuditReport — including the order of
+  /// `escapes` — is identical for every jobs value.
+  int jobs = 1;
 };
 
 struct AuditEscape {

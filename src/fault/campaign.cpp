@@ -1,8 +1,11 @@
 #include "fault/campaign.h"
 
 #include <cmath>
+#include <optional>
 #include <stdexcept>
 
+#include "fault/step_budget.h"
+#include "support/parallel.h"
 #include "support/rng.h"
 
 namespace ferrum::fault {
@@ -83,32 +86,64 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   result.total_sites = golden.fi_sites;
   result.golden_steps = golden.steps;
 
-  Rng rng(options.seed);
   // Faulty runs can loop; bound them relative to the golden length.
   vm::VmOptions faulty_vm = options.vm;
-  faulty_vm.max_steps = golden.steps * 16 + 100'000;
+  faulty_vm.max_steps = faulty_step_budget(golden.steps);
 
-  for (int trial = 0; trial < options.trials; ++trial) {
-    std::vector<vm::FaultSpec> faults(
-        static_cast<std::size_t>(options.faults_per_run < 1
-                                     ? 1
-                                     : options.faults_per_run));
-    for (vm::FaultSpec& fault : faults) {
-      fault.site = rng.next_below(golden.fi_sites);
-      fault.bit = static_cast<int>(rng.next_below(64));
-      fault.burst = options.burst < 1 ? 1 : options.burst;
+  const std::size_t trials =
+      options.trials < 0 ? 0 : static_cast<std::size_t>(options.trials);
+  const std::size_t per_run = static_cast<std::size_t>(
+      options.faults_per_run < 1 ? 1 : options.faults_per_run);
+
+  // Pre-draw every trial's fault set serially from the seed. This is
+  // what makes the campaign deterministic under parallel execution: the
+  // sampled set is fixed before any worker runs, bit-identical to the
+  // historical serial draw order (per trial: site, then bit, per fault).
+  std::vector<vm::FaultSpec> specs(trials * per_run);
+  Rng rng(options.seed);
+  for (vm::FaultSpec& fault : specs) {
+    fault.site = rng.next_below(golden.fi_sites);
+    fault.bit = static_cast<int>(rng.next_below(64));
+    fault.burst = options.burst < 1 ? 1 : options.burst;
+  }
+
+  // Execute the trials across the pool; each trial writes only its own
+  // slot, and the reduction below walks the slots in trial order, so the
+  // result does not depend on scheduling.
+  struct TrialSlot {
+    Outcome outcome = Outcome::kBenign;
+    std::optional<std::uint64_t> latency;
+    std::optional<vm::FaultLanding> sdc_landing;
+  };
+  std::vector<TrialSlot> slots(trials);
+  ThreadPool pool(options.jobs);
+  pool.parallel_for(trials, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t trial = begin; trial < end; ++trial) {
+      const std::vector<vm::FaultSpec> faults(
+          specs.begin() + static_cast<std::ptrdiff_t>(trial * per_run),
+          specs.begin() + static_cast<std::ptrdiff_t>((trial + 1) * per_run));
+      const vm::VmResult run = vm::run_multi(program, faulty_vm, faults);
+      TrialSlot& slot = slots[trial];
+      slot.outcome = classify(run, golden.output);
+      if (slot.outcome == Outcome::kDetected && run.fault_injected) {
+        // Latency anchors on the FIRST injected fault (see CampaignResult).
+        slot.latency = run.steps - run.fault_step;
+      }
+      if (slot.outcome == Outcome::kSdc && run.fault_landing.has_value()) {
+        slot.sdc_landing = run.fault_landing;
+      }
     }
-    const vm::VmResult run = vm::run_multi(program, faulty_vm, faults);
-    const Outcome outcome = classify(run, golden.output);
-    ++result.counts[static_cast<int>(outcome)];
-    if (outcome == Outcome::kDetected && run.fault_injected) {
-      const std::uint64_t latency = run.steps - run.fault_step;
-      result.latency_sum += latency;
-      if (latency > result.latency_max) result.latency_max = latency;
+  });
+
+  for (const TrialSlot& slot : slots) {
+    ++result.counts[static_cast<int>(slot.outcome)];
+    if (slot.latency.has_value()) {
+      result.latency_sum += *slot.latency;
+      if (*slot.latency > result.latency_max) result.latency_max = *slot.latency;
       ++result.latency_samples;
     }
-    if (outcome == Outcome::kSdc && run.fault_landing.has_value()) {
-      const vm::FaultLanding& landing = *run.fault_landing;
+    if (slot.sdc_landing.has_value()) {
+      const vm::FaultLanding& landing = *slot.sdc_landing;
       std::string key = std::string(vm::fault_kind_name(landing.kind)) + "/" +
                         origin_name(landing.origin);
       ++result.sdc_breakdown[key];

@@ -27,6 +27,11 @@ struct CampaignOptions {
   int faults_per_run = 1;
   /// Adjacent bits flipped per fault (burst upsets within one word).
   int burst = 1;
+  /// Worker threads executing the trial runs (<= 0 selects hardware
+  /// concurrency). The sampled fault set is drawn serially from `seed`
+  /// before any run starts and results reduce in trial order, so the
+  /// CampaignResult is bit-identical for every jobs value.
+  int jobs = 1;
 };
 
 /// Where the SDC-causing faults landed, for the root-cause analysis of
@@ -42,6 +47,12 @@ struct CampaignResult {
   /// detector firing) over all Detected runs. Immediate checks (HYBRID)
   /// detect within a few instructions; FERRUM's deferred/batched checks
   /// pay a measurable window.
+  ///
+  /// Multi-fault runs (faults_per_run > 1): latency is measured from the
+  /// FIRST fault actually injected — the dynamically earliest site that
+  /// was reached, regardless of the order the specs were drawn in. Later
+  /// injections only shorten the apparent window; treat multi-fault
+  /// latency as a lower-bound-anchored statistic, not per-fault truth.
   std::uint64_t latency_sum = 0;
   std::uint64_t latency_max = 0;
   int latency_samples = 0;

@@ -1,0 +1,16 @@
+// Step budget for faulty executions. A fault can turn a terminating
+// program into a livelock, so every faulty run gets a budget relative to
+// the golden run's length; exceeding it classifies as a crash
+// (ExitStatus::kTrapSteps). Campaign and audit MUST share this bound so
+// they classify the same borderline hang identically.
+#pragma once
+
+#include <cstdint>
+
+namespace ferrum::fault {
+
+inline std::uint64_t faulty_step_budget(std::uint64_t golden_steps) {
+  return golden_steps * 16 + 100'000;
+}
+
+}  // namespace ferrum::fault

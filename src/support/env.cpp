@@ -1,0 +1,40 @@
+#include "support/env.h"
+
+#include <cerrno>
+#include <cstdio>
+#include <cstdlib>
+#include <climits>
+
+namespace ferrum {
+
+bool parse_int(const char* text, int& out) noexcept {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(text, &end, 10);
+  if (end == text || *end != '\0') return false;      // no digits / trailing junk
+  if (errno == ERANGE || value < INT_MIN || value > INT_MAX) return false;
+  out = static_cast<int>(value);
+  return true;
+}
+
+int env_int(const char* name, int fallback, int min_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  int parsed = 0;
+  if (!parse_int(value, parsed)) {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not an integer; using default %d\n",
+                 name, value, fallback);
+    return fallback;
+  }
+  if (parsed < min_value) {
+    std::fprintf(stderr,
+                 "warning: %s=%d is below the minimum %d; using default %d\n",
+                 name, parsed, min_value, fallback);
+    return fallback;
+  }
+  return parsed;
+}
+
+}  // namespace ferrum

@@ -1,0 +1,20 @@
+// Environment-variable knobs shared by the experiment binaries and the
+// examples (FERRUM_TRIALS, FERRUM_JOBS, FERRUM_SCALE, ...). Parsing is
+// strict: a value that is not a whole, in-range integer falls back to the
+// default with a warning on stderr instead of being silently truncated
+// (atoi would read "10O0" as 10 and "abc" as 0).
+#pragma once
+
+namespace ferrum {
+
+/// Parses `text` as a whole base-10 integer. Returns false (leaving
+/// `out` untouched) on empty input, trailing garbage, or overflow.
+bool parse_int(const char* text, int& out) noexcept;
+
+/// Reads an integer knob from the environment. Unset -> `fallback`.
+/// Malformed values, or values below `min_value`, warn on stderr and
+/// fall back. Count-like knobs keep the default `min_value = 1`; pass a
+/// different floor for knobs where 0 or negatives are meaningful.
+int env_int(const char* name, int fallback, int min_value = 1);
+
+}  // namespace ferrum

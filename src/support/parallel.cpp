@@ -1,0 +1,133 @@
+#include "support/parallel.h"
+
+#include <atomic>
+
+namespace ferrum {
+
+struct ThreadPool::Job {
+  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  std::size_t count = 0;
+  std::size_t grain = 1;
+  std::atomic<std::size_t> cursor{0};  // next unclaimed index
+  int active = 0;                      // workers still inside run_chunks
+  std::exception_ptr error;            // first exception, in claim order
+};
+
+int ThreadPool::hardware_workers() noexcept {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<int>(hw);
+}
+
+ThreadPool::ThreadPool(int workers) {
+  workers_ = workers <= 0 ? hardware_workers() : workers;
+  threads_.reserve(static_cast<std::size_t>(workers_ - 1));
+  for (int i = 1; i < workers_; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    shutdown_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& thread : threads_) thread.join();
+}
+
+void ThreadPool::run_chunks(Job& job) {
+  for (;;) {
+    const std::size_t begin =
+        job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
+    if (begin >= job.count) return;
+    const std::size_t end =
+        begin + job.grain < job.count ? begin + job.grain : job.count;
+    try {
+      (*job.body)(begin, end);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (!job.error) job.error = std::current_exception();
+      // Stop claiming further chunks so the loop drains quickly; chunks
+      // already claimed by other workers still run to completion.
+      job.cursor.store(job.count, std::memory_order_relaxed);
+      return;
+    }
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::uint64_t seen = 0;
+  for (;;) {
+    Job* job = nullptr;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock,
+                    [&] { return shutdown_ || generation_ != seen; });
+      if (shutdown_) return;
+      seen = generation_;
+      job = job_;
+      if (job == nullptr) continue;  // job already drained and retired
+      ++job->active;
+    }
+    run_chunks(*job);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --job->active;
+    }
+    done_cv_.notify_all();
+  }
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  if (count == 0) return;
+  if (grain == 0) {
+    // Aim for ~8 chunks per worker: enough slack to absorb uneven chunk
+    // cost without work stealing, few enough to keep claim traffic low.
+    const std::size_t target =
+        static_cast<std::size_t>(workers_) * 8;
+    grain = (count + target - 1) / target;
+    if (grain == 0) grain = 1;
+  }
+
+  if (workers_ == 1 || count <= grain) {
+    // Inline fast path — also what a 1-worker pool always takes, so the
+    // jobs=1 configuration never touches a mutex.
+    Job job;
+    job.body = &body;
+    job.count = count;
+    job.grain = grain;
+    run_chunks(job);
+    if (job.error) std::rethrow_exception(job.error);
+    return;
+  }
+
+  Job job;
+  job.body = &body;
+  job.count = count;
+  job.grain = grain;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    job_ = &job;
+    ++generation_;
+  }
+  work_cv_.notify_all();
+  run_chunks(job);  // the caller is a worker too
+  {
+    // Retire the job, then wait for workers that joined it to leave.
+    std::unique_lock<std::mutex> lock(mutex_);
+    job_ = nullptr;
+    done_cv_.wait(lock, [&] { return job.active == 0; });
+  }
+  if (job.error) std::rethrow_exception(job.error);
+}
+
+void parallel_for(int workers, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body) {
+  ThreadPool pool(workers);
+  pool.parallel_for(count, body);
+}
+
+}  // namespace ferrum

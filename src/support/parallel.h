@@ -1,0 +1,68 @@
+// A small fixed-size thread pool for deterministic fan-out over index
+// ranges. There is no work stealing and no task graph: callers hand the
+// pool a contiguous index range, workers claim fixed-size chunks off a
+// shared cursor, and every index lands in a caller-owned slot. Anything
+// that must be deterministic (fault sampling, reduction order) happens
+// outside the pool — the pool only decides *when* each index runs, never
+// *what* it computes or where its result goes.
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace ferrum {
+
+class ThreadPool {
+ public:
+  /// Workers that actually execute chunks, including the calling thread.
+  /// `workers <= 0` selects hardware_concurrency (at least 1); `1` runs
+  /// everything inline on the caller with no threads spawned.
+  explicit ThreadPool(int workers = 0);
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  int workers() const noexcept { return workers_; }
+
+  /// Runs `body(begin, end)` over [0, count) split into chunks of at most
+  /// `grain` indices (grain == 0 picks one aimed at ~8 chunks per worker).
+  /// The calling thread participates. Blocks until every chunk finished;
+  /// if any chunk threw, the first exception (in claim order) is
+  /// rethrown here after all workers have drained. Not reentrant: `body`
+  /// must not call back into the same pool.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t, std::size_t)>& body,
+                    std::size_t grain = 0);
+
+  /// hardware_concurrency clamped to >= 1 (the value `workers = 0` picks).
+  static int hardware_workers() noexcept;
+
+ private:
+  struct Job;
+
+  void worker_loop();
+  void run_chunks(Job& job);
+
+  int workers_ = 1;
+  std::vector<std::thread> threads_;
+
+  std::mutex mutex_;
+  std::condition_variable work_cv_;   // signals workers: new job / shutdown
+  std::condition_variable done_cv_;   // signals caller: job drained
+  Job* job_ = nullptr;                // current job, valid while running
+  std::uint64_t generation_ = 0;      // bumped per job so workers re-wake
+  bool shutdown_ = false;
+};
+
+/// Convenience: one-shot parallel loop on a transient pool. Prefer a
+/// long-lived ThreadPool when issuing many loops.
+void parallel_for(int workers, std::size_t count,
+                  const std::function<void(std::size_t, std::size_t)>& body);
+
+}  // namespace ferrum

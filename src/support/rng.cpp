@@ -56,6 +56,10 @@ double Rng::next_double() noexcept {
 std::int64_t Rng::next_in_range(std::int64_t lo, std::int64_t hi) noexcept {
   const std::uint64_t span =
       static_cast<std::uint64_t>(hi) - static_cast<std::uint64_t>(lo) + 1;
+  // The full-int64 range [INT64_MIN, INT64_MAX] wraps the span to 0;
+  // every 64-bit value is then a valid draw (next_below(0) would
+  // degenerate to always returning lo).
+  if (span == 0) return static_cast<std::int64_t>(next_u64());
   return static_cast<std::int64_t>(static_cast<std::uint64_t>(lo) +
                                    next_below(span));
 }

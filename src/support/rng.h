@@ -27,7 +27,8 @@ class Rng {
   /// Uniform double in [0, 1).
   double next_double() noexcept;
 
-  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi.
+  /// Uniform value in [lo, hi] inclusive. Requires lo <= hi. The full
+  /// span [INT64_MIN, INT64_MAX] is handled (every int64 equally likely).
   std::int64_t next_in_range(std::int64_t lo, std::int64_t hi) noexcept;
 
   /// Bernoulli draw with probability p (clamped to [0,1]).

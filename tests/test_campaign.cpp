@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
+#include "fault/audit.h"
 #include "fault/campaign.h"
+#include "fault/step_budget.h"
 #include "pipeline/pipeline.h"
+#include "vm/vm.h"
 #include "workloads/workloads.h"
 
 namespace ferrum {
@@ -106,6 +109,139 @@ TEST(Campaign, SdcBreakdownIdentifiesOrigins) {
     breakdown_total += count;
   }
   EXPECT_EQ(breakdown_total, result.count(Outcome::kSdc));
+}
+
+void expect_identical(const fault::CampaignResult& a,
+                      const fault::CampaignResult& b) {
+  EXPECT_EQ(a.counts, b.counts);
+  EXPECT_EQ(a.total_sites, b.total_sites);
+  EXPECT_EQ(a.golden_steps, b.golden_steps);
+  EXPECT_EQ(a.sdc_breakdown, b.sdc_breakdown);
+  EXPECT_EQ(a.latency_sum, b.latency_sum);
+  EXPECT_EQ(a.latency_max, b.latency_max);
+  EXPECT_EQ(a.latency_samples, b.latency_samples);
+}
+
+TEST(Campaign, DeterministicAcrossJobCounts) {
+  // The determinism guarantee: one seed, one sampled fault set, one
+  // result — regardless of how many workers execute the trials.
+  const auto& w = workloads::by_name("bfs");
+  for (Technique technique : {Technique::kNone, Technique::kFerrum}) {
+    auto build = pipeline::build(w.source, technique);
+    fault::CampaignOptions options;
+    options.trials = 120;
+    options.seed = 0xdecaf;
+    options.jobs = 1;
+    const auto serial = fault::run_campaign(build.program, options);
+    for (int jobs : {2, 8}) {
+      options.jobs = jobs;
+      const auto parallel = fault::run_campaign(build.program, options);
+      expect_identical(serial, parallel);
+    }
+  }
+}
+
+TEST(Campaign, DeterministicAcrossJobCountsMultiFault) {
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 100;
+  options.faults_per_run = 2;
+  options.burst = 2;
+  options.jobs = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  for (int jobs : {2, 8}) {
+    options.jobs = jobs;
+    expect_identical(serial, fault::run_campaign(build.program, options));
+  }
+}
+
+TEST(Campaign, JobsZeroSelectsHardwareConcurrencyAndStaysDeterministic) {
+  auto build = pipeline::build(kSmallProgram, Technique::kHybrid);
+  fault::CampaignOptions options;
+  options.trials = 80;
+  options.jobs = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  options.jobs = 0;  // hardware concurrency
+  expect_identical(serial, fault::run_campaign(build.program, options));
+}
+
+TEST(Audit, DeterministicAcrossJobCounts) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::AuditOptions options;
+  options.probe_bits = {0, 17, 63};
+  options.jobs = 1;
+  const auto serial = fault::audit_program(build.program, options);
+  ASSERT_FALSE(serial.escapes.empty());  // unprotected: SDCs escape
+  for (int jobs : {2, 8}) {
+    options.jobs = jobs;
+    const auto parallel = fault::audit_program(build.program, options);
+    EXPECT_EQ(serial.sites, parallel.sites);
+    EXPECT_EQ(serial.injections, parallel.injections);
+    EXPECT_EQ(serial.detected, parallel.detected);
+    EXPECT_EQ(serial.benign, parallel.benign);
+    EXPECT_EQ(serial.crashed, parallel.crashed);
+    // The escape list must come out in site order, byte-identical.
+    ASSERT_EQ(serial.escapes.size(), parallel.escapes.size());
+    for (std::size_t i = 0; i < serial.escapes.size(); ++i) {
+      EXPECT_EQ(serial.escapes[i].site, parallel.escapes[i].site);
+      EXPECT_EQ(serial.escapes[i].bit, parallel.escapes[i].bit);
+      EXPECT_EQ(serial.escapes[i].kind, parallel.escapes[i].kind);
+      EXPECT_EQ(serial.escapes[i].origin, parallel.escapes[i].origin);
+      EXPECT_EQ(serial.escapes[i].function, parallel.escapes[i].function);
+    }
+  }
+}
+
+TEST(StepBudget, CampaignAndAuditShareOneHangBound) {
+  // Regression: the campaign used golden*16 + 100'000 while the audit
+  // used golden*16 + 10'000, so the same borderline livelock could be a
+  // crash in one and a budget-exhaustion in the other.
+  EXPECT_EQ(fault::faulty_step_budget(0), 100'000u);
+  EXPECT_EQ(fault::faulty_step_budget(1000), 116'000u);
+}
+
+TEST(Campaign, MultiFaultLatencyAnchorsOnFirstInjection) {
+  // VM-level contract behind the CampaignResult documentation: with
+  // several faults per run, fault_step records the dynamically FIRST
+  // injected fault no matter the order the specs were listed in.
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  const vm::VmResult golden = vm::run(build.program);
+  ASSERT_GT(golden.fi_sites, 60u);
+
+  vm::VmOptions faulty;
+  faulty.max_steps = fault::faulty_step_budget(golden.steps);
+  vm::FaultSpec early;
+  early.site = 5;
+  early.bit = 3;
+  vm::FaultSpec late;
+  late.site = 60;
+  late.bit = 3;
+
+  const vm::VmResult only_early = vm::run(build.program, faulty, &early);
+  ASSERT_TRUE(only_early.fault_injected);
+  // Spec order reversed (late listed first) must not move the anchor.
+  const vm::VmResult both =
+      vm::run_multi(build.program, faulty, {late, early});
+  ASSERT_TRUE(both.fault_injected);
+  EXPECT_EQ(both.fault_step, only_early.fault_step);
+}
+
+TEST(Campaign, MultiFaultLatencyIsWellDefined) {
+  // ablation_multibit's double-fault cell: latency statistics must stay
+  // internally consistent when two faults land per run.
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 200;
+  options.faults_per_run = 2;
+  const auto result = fault::run_campaign(build.program, options);
+  ASSERT_GT(result.latency_samples, 0);
+  EXPECT_LE(result.latency_samples, result.count(Outcome::kDetected));
+  EXPECT_GE(result.mean_detection_latency(), 0.0);
+  EXPECT_LE(result.mean_detection_latency(),
+            static_cast<double>(result.latency_max));
+  // Latency from the first injection can never exceed the step budget.
+  EXPECT_LT(result.latency_max,
+            fault::faulty_step_budget(result.golden_steps));
 }
 
 TEST(Campaign, GoldenFailureThrows) {

@@ -1,0 +1,130 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <set>
+#include <stdexcept>
+#include <thread>
+#include <vector>
+
+#include "support/parallel.h"
+
+namespace ferrum {
+namespace {
+
+TEST(ThreadPoolTest, HardwareWorkersAtLeastOne) {
+  EXPECT_GE(ThreadPool::hardware_workers(), 1);
+}
+
+TEST(ThreadPoolTest, DefaultsToHardwareWorkers) {
+  ThreadPool pool(0);
+  EXPECT_EQ(pool.workers(), ThreadPool::hardware_workers());
+  ThreadPool negative(-3);
+  EXPECT_EQ(negative.workers(), ThreadPool::hardware_workers());
+}
+
+TEST(ThreadPoolTest, EmptyRangeIsANoop) {
+  ThreadPool pool(4);
+  int calls = 0;
+  pool.parallel_for(0, [&](std::size_t, std::size_t) { ++calls; });
+  EXPECT_EQ(calls, 0);
+}
+
+TEST(ThreadPoolTest, CoversEveryIndexExactlyOnce) {
+  ThreadPool pool(4);
+  constexpr std::size_t kCount = 1337;
+  std::vector<std::atomic<int>> hits(kCount);
+  pool.parallel_for(kCount, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < kCount; ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPoolTest, MoreChunksThanWorkers) {
+  // grain 1 over 100 indices with 3 workers: 100 chunks for 3 claimants.
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(100);
+  pool.parallel_for(
+      100,
+      [&](std::size_t begin, std::size_t end) {
+        EXPECT_EQ(end, begin + 1);
+        for (std::size_t i = begin; i < end; ++i) {
+          hits[i].fetch_add(1, std::memory_order_relaxed);
+        }
+      },
+      /*grain=*/1);
+  for (std::size_t i = 0; i < 100; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+TEST(ThreadPoolTest, SingleWorkerRunsInlineOnCaller) {
+  ThreadPool pool(1);
+  const std::thread::id caller = std::this_thread::get_id();
+  std::set<std::thread::id> seen;
+  pool.parallel_for(64, [&](std::size_t, std::size_t) {
+    seen.insert(std::this_thread::get_id());
+  });
+  ASSERT_EQ(seen.size(), 1u);
+  EXPECT_EQ(*seen.begin(), caller);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesToCaller) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      pool.parallel_for(
+          1000,
+          [&](std::size_t begin, std::size_t) {
+            if (begin >= 500) throw std::runtime_error("boom");
+          },
+          /*grain=*/10),
+      std::runtime_error);
+}
+
+TEST(ThreadPoolTest, ExceptionPropagatesFromSingleWorker) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_for(8,
+                                 [&](std::size_t, std::size_t) {
+                                   throw std::runtime_error("inline boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPoolTest, UsableAgainAfterException) {
+  ThreadPool pool(4);
+  EXPECT_THROW(pool.parallel_for(100,
+                                 [&](std::size_t, std::size_t) {
+                                   throw std::runtime_error("first");
+                                 }),
+               std::runtime_error);
+  std::atomic<int> total{0};
+  pool.parallel_for(100, [&](std::size_t begin, std::size_t end) {
+    total.fetch_add(static_cast<int>(end - begin));
+  });
+  EXPECT_EQ(total.load(), 100);
+}
+
+TEST(ThreadPoolTest, ManySequentialJobsOnOnePool) {
+  ThreadPool pool(4);
+  for (int round = 0; round < 50; ++round) {
+    std::atomic<int> total{0};
+    pool.parallel_for(round, [&](std::size_t begin, std::size_t end) {
+      total.fetch_add(static_cast<int>(end - begin));
+    });
+    EXPECT_EQ(total.load(), round);
+  }
+}
+
+TEST(ThreadPoolTest, FreeFunctionCoversRange) {
+  std::vector<std::atomic<int>> hits(256);
+  parallel_for(4, 256, [&](std::size_t begin, std::size_t end) {
+    for (std::size_t i = begin; i < end; ++i) {
+      hits[i].fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (std::size_t i = 0; i < 256; ++i) EXPECT_EQ(hits[i].load(), 1);
+}
+
+}  // namespace
+}  // namespace ferrum

@@ -1,8 +1,11 @@
 #include <gtest/gtest.h>
 
+#include <cstdlib>
+#include <limits>
 #include <set>
 #include <vector>
 
+#include "support/env.h"
 #include "support/rng.h"
 #include "support/source_location.h"
 #include "support/str.h"
@@ -81,6 +84,30 @@ TEST(Rng, RangeInclusive) {
   EXPECT_TRUE(saw_hi);
 }
 
+TEST(Rng, FullInt64RangeIsNotDegenerate) {
+  // Regression: [INT64_MIN, INT64_MAX] wraps the span computation to 0,
+  // which used to collapse every draw to lo.
+  constexpr std::int64_t kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kHi = std::numeric_limits<std::int64_t>::max();
+  Rng rng(123);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 64; ++i) seen.insert(rng.next_in_range(kLo, kHi));
+  EXPECT_GT(seen.size(), 60u);  // 64 draws over 2^64 values: all distinct
+  EXPECT_NE(*seen.begin(), *seen.rbegin());
+}
+
+TEST(Rng, FullInt64RangeMatchesRawStream) {
+  // The wrapped span consumes exactly one raw draw per value.
+  Rng a(5);
+  Rng b(5);
+  constexpr std::int64_t kLo = std::numeric_limits<std::int64_t>::min();
+  constexpr std::int64_t kHi = std::numeric_limits<std::int64_t>::max();
+  for (int i = 0; i < 32; ++i) {
+    EXPECT_EQ(a.next_in_range(kLo, kHi),
+              static_cast<std::int64_t>(b.next_u64()));
+  }
+}
+
 TEST(Rng, BernoulliExtremes) {
   Rng rng(17);
   for (int i = 0; i < 50; ++i) {
@@ -97,6 +124,55 @@ TEST(Rng, SplitIsIndependent) {
     if (a.next_u64() == b.next_u64()) ++equal;
   }
   EXPECT_LT(equal, 2);
+}
+
+TEST(Env, ParseIntAcceptsWholeIntegers) {
+  int out = 0;
+  EXPECT_TRUE(parse_int("123", out));
+  EXPECT_EQ(out, 123);
+  EXPECT_TRUE(parse_int("-45", out));
+  EXPECT_EQ(out, -45);
+  EXPECT_TRUE(parse_int("0", out));
+  EXPECT_EQ(out, 0);
+}
+
+TEST(Env, ParseIntRejectsGarbage) {
+  int out = 77;
+  EXPECT_FALSE(parse_int(nullptr, out));
+  EXPECT_FALSE(parse_int("", out));
+  EXPECT_FALSE(parse_int("abc", out));
+  EXPECT_FALSE(parse_int("10O0", out));   // the motivating typo
+  EXPECT_FALSE(parse_int("12x", out));
+  EXPECT_FALSE(parse_int("1 2", out));
+  EXPECT_FALSE(parse_int("99999999999999999999", out));  // overflow
+  EXPECT_EQ(out, 77);  // untouched on failure
+}
+
+TEST(Env, EnvIntFallsBackOnGarbage) {
+  // Regression: atoi silently read FERRUM_TRIALS=10O0 as 10 and
+  // FERRUM_TRIALS=abc as 0 trials.
+  ::setenv("FERRUM_TEST_KNOB", "10O0", 1);
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);
+  ::setenv("FERRUM_TEST_KNOB", "abc", 1);
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);
+  ::unsetenv("FERRUM_TEST_KNOB");
+}
+
+TEST(Env, EnvIntRejectsNonPositiveWhereCountRequired) {
+  ::setenv("FERRUM_TEST_KNOB", "0", 1);
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);
+  ::setenv("FERRUM_TEST_KNOB", "-8", 1);
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);
+  // ... but a relaxed floor admits them.
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400, -100), -8);
+  ::unsetenv("FERRUM_TEST_KNOB");
+}
+
+TEST(Env, EnvIntReadsValidValues) {
+  ::setenv("FERRUM_TEST_KNOB", "2500", 1);
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 2500);
+  ::unsetenv("FERRUM_TEST_KNOB");
+  EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);  // unset -> fallback
 }
 
 TEST(Str, SplitKeepsEmptyFields) {
