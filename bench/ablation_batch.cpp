@@ -4,10 +4,12 @@
 // against FERRUM with SIMD disabled entirely (immediate xor+jne checks,
 // i.e. Fig 4 for every site) — isolating the "deferred + batched checking"
 // design choice the paper credits for the speedup.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/json.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -28,7 +30,10 @@ std::uint64_t cycles_of(const std::string& source,
 }  // namespace
 
 int main() {
-  const int scale = benchutil::env_int("FERRUM_SCALE", 2);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int scale = benchutil::env_scale();
+  benchutil::BenchReport report("ablation_batch");
+  report.metrics()["scale"] = scale;
   std::printf("Ablation — SIMD check batching (FERRUM variants, "
               "overhead vs raw, scale x%d)\n\n", scale);
   std::printf("%-15s %10s | %10s %10s %10s %10s\n", "benchmark", "raw cyc",
@@ -63,10 +68,15 @@ int main() {
     }
     std::printf("%-15s %10llu |", w.name.c_str(),
                 static_cast<unsigned long long>(raw.cycles));
+    const char* variants[] = {"no-simd", "batch-1", "batch-2", "batch-4"};
+    telemetry::Json row = telemetry::Json::object();
+    row["raw_cycles"] = raw.cycles;
     for (int i = 0; i < 4; ++i) {
       std::printf(" %9.1f%%", overheads[i]);
       sums[i] += overheads[i];
+      row["overhead_percent"][variants[i]] = overheads[i];
     }
+    report.metrics()["workloads"][w.name] = row;
     std::printf("\n");
     ++rows;
   }
@@ -79,5 +89,15 @@ int main() {
               "checks: the win comes from check amortisation (deferral + "
               "batching), not from merely routing data through SIMD "
               "registers.\n");
+  const char* variants[] = {"no-simd", "batch-1", "batch-2", "batch-4"};
+  for (int i = 0; i < 4; ++i) {
+    report.metrics()["average_overhead_percent"][variants[i]] =
+        sums[i] / rows;
+  }
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -7,19 +7,24 @@
 // independent double faults can in principle strike both copies of a
 // duplicated value and slip through — this measures how often that
 // actually happens.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/export.h"
 #include "workloads/workloads.h"
 
 using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials(400);
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("ablation_multibit");
+  report.metrics()["trials"] = trials;
   std::printf("Extension — multi-bit / multi-fault regimes under FERRUM "
               "(%d runs per cell, %d worker(s))\n\n", trials, jobs);
   std::printf("%-15s | %18s %18s %18s\n", "benchmark", "single (paper)",
@@ -47,6 +52,9 @@ int main() {
       std::printf("   %4d SDC %5.1f%%",
                   result.count(fault::Outcome::kSdc),
                   result.sdc_rate() * 100.0);
+      const char* mode_names[] = {"single", "burst-2", "double"};
+      report.metrics()["workloads"][w.name][mode_names[m]] =
+          telemetry::to_json(result);
     }
     std::printf("\n");
   }
@@ -57,5 +65,14 @@ int main() {
               "burst models (a burst still corrupts only one of the two "
               "copies); the independent double-fault model may show rare "
               "escapes — the regime the paper defers to future work.\n");
+  const char* mode_names[] = {"single", "burst-2", "double"};
+  for (int m = 0; m < 3; ++m) {
+    report.metrics()["total_sdc"][mode_names[m]] = total_sdc[m];
+  }
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

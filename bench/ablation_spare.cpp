@@ -5,10 +5,12 @@
 // protection-frame slots, duplicates in liveness-dead or push/pop
 // requisitioned registers, no SIMD batching — and measures what the
 // fallback machinery costs.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/json.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -42,6 +44,8 @@ Row measure(const workloads::Workload& w, bool force_stack) {
 }  // namespace
 
 int main() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  benchutil::BenchReport report("ablation_spare");
   std::printf("Ablation — spare registers vs forced stack redundancy\n\n");
   std::printf("%-15s %10s | %-30s | %-30s\n", "", "raw cyc",
               "FERRUM (spare registers)", "FERRUM (stack redundancy)");
@@ -70,6 +74,22 @@ int main() {
     sums[0] += overhead_spares;
     sums[1] += overhead_forced;
     ++rows;
+    telemetry::Json row = telemetry::Json::object();
+    row["raw_cycles"] = raw.cycles;
+    const Row* variants[] = {&with_spares, &forced};
+    const double overheads[] = {overhead_spares, overhead_forced};
+    const char* names[] = {"spare-registers", "stack-redundancy"};
+    for (int i = 0; i < 2; ++i) {
+      telemetry::Json cell = telemetry::Json::object();
+      cell["cycles"] = variants[i]->cycles;
+      cell["overhead_percent"] = overheads[i];
+      cell["requisitions"] = variants[i]->requisitions;
+      cell["functions_with_spare_gprs"] = variants[i]->spare_fns;
+      cell["protected_instructions"] =
+          static_cast<std::uint64_t>(variants[i]->insts);
+      row[names[i]] = cell;
+    }
+    report.metrics()["workloads"][w.name] = row;
     std::printf("%-15s %10llu | %7.1f%% %6llu %12zu | %7.1f%% %6llu %12zu\n",
                 w.name.c_str(), static_cast<unsigned long long>(raw.cycles),
                 overhead_spares,
@@ -84,5 +104,14 @@ int main() {
   std::printf("\nExpected shape: forcing stack redundancy costs extra "
               "instructions and cycles — quantifying why FERRUM's spare-"
               "register scan (paper Fig 3 step 1) is worth having.\n");
+  report.metrics()["average_overhead_percent"]["spare-registers"] =
+      sums[0] / rows;
+  report.metrics()["average_overhead_percent"]["stack-redundancy"] =
+      sums[1] / rows;
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -4,11 +4,13 @@
 // (extended model) and measures (a) how much coverage FERRUM loses when
 // configured per the paper, and (b) what the load-back store verification
 // that closes the hole costs.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/export.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -16,8 +18,11 @@ using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials(400);
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("ablation_storedata");
+  report.metrics()["trials"] = trials;
   std::printf("Ablation — extended fault model (store-data faults), "
               "%d samples per cell, %d worker(s)\n\n", trials, jobs);
   std::printf("%-15s | %16s %16s | %12s\n", "benchmark",
@@ -52,10 +57,27 @@ int main() {
                     100.0,
                 hardened_build.program.inst_count() -
                     paper_build.program.inst_count());
+    telemetry::Json row = telemetry::Json::object();
+    row["raw"] = telemetry::to_json(raw);
+    row["ferrum-paper"] = telemetry::to_json(paper);
+    row["ferrum-paper"]["coverage"] =
+        fault::sdc_coverage(raw.sdc_rate(), paper.sdc_rate());
+    row["ferrum-storecheck"] = telemetry::to_json(hardened);
+    row["ferrum-storecheck"]["coverage"] =
+        fault::sdc_coverage(raw.sdc_rate(), hardened.sdc_rate());
+    row["extra_static_instructions"] = static_cast<std::uint64_t>(
+        hardened_build.program.inst_count() -
+        paper_build.program.inst_count());
+    report.metrics()["workloads"][w.name] = row;
   }
   benchutil::print_rule(70);
   std::printf("\nExpected shape: under store-data faults the paper "
               "configuration leaks some SDCs; load-back verification "
               "restores full coverage at extra static cost.\n");
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -6,6 +6,7 @@
 //  2. dynamic: where IR-LEVEL-EDDI's escaped SDCs actually landed,
 //     bucketed by fault class and instruction origin (Figs 8/9 predict
 //     flag materialisation and backend glue).
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <string>
@@ -14,14 +15,18 @@
 #include "fault/campaign.h"
 #include "masm/masm.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/json.h"
 #include "workloads/workloads.h"
 
 using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 1000);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials();
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("analysis_rootcause");
+  report.metrics()["trials"] = trials;
 
   std::printf("Sec IV-B1 — root causes of IR-LEVEL-EDDI's coverage gap\n\n");
   std::printf("1. Static backend footprint of the protected programs\n\n");
@@ -43,6 +48,12 @@ int main() {
     std::printf("%-15s %10zu %10zu %10zu %11.1f%%\n", w.name.c_str(),
                 from_ir, glue, from_ir + glue,
                 100.0 * glue / (from_ir + glue));
+    telemetry::Json row = telemetry::Json::object();
+    row["from_ir"] = static_cast<std::uint64_t>(from_ir);
+    row["backend_glue"] = static_cast<std::uint64_t>(glue);
+    row["glue_share"] = static_cast<double>(glue) /
+                        static_cast<double>(from_ir + glue);
+    report.metrics()["static_footprint"][w.name] = row;
   }
   std::printf("\nEvery 'glue' instruction (setcc materialisation, spills, "
               "moves, flag re-tests) is an assembly-level fault site that "
@@ -78,5 +89,14 @@ int main() {
               "(b) IR-level protection made ineffective by lowering — "
               "both visible above; FERRUM closes every row to zero "
               "(Fig 10).\n");
+  telemetry::Json breakdown = telemetry::Json::object();
+  for (const auto& [key, count] : totals) breakdown[key] = count;
+  report.metrics()["sdc_breakdown"] = breakdown;
+  report.metrics()["total_escaped_sdcs"] = total_sdcs;
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -7,9 +7,11 @@
 #include <benchmark/benchmark.h>
 
 #include "backend/backend.h"
+#include "bench_util.h"
 #include "eddi/ferrum.h"
 #include "frontend/codegen.h"
 #include "support/source_location.h"
+#include "telemetry/json.h"
 #include "workloads/workloads.h"
 
 using namespace ferrum;
@@ -73,6 +75,30 @@ void BM_FerrumPassScaling(benchmark::State& state) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // The telemetry artifact is written up front (google-benchmark's own
+  // timing output stays on stdout): one FERRUM pass per workload, static
+  // footprint + pass stats under `metrics`, pass wall time under
+  // `wallclock`.
+  {
+    benchutil::BenchReport report("bench_pass_time");
+    for (const auto& w : workloads::all()) {
+      masm::AsmProgram program = lower_workload(w.name);
+      const auto pass = eddi::apply_ferrum(program);
+      telemetry::Json row = telemetry::Json::object();
+      row["static_instructions_before"] =
+          static_cast<std::uint64_t>(pass.static_instructions_before);
+      row["static_instructions_after"] =
+          static_cast<std::uint64_t>(pass.static_instructions_after);
+      row["simd_sites"] = pass.stats.simd_sites;
+      row["general_sites"] = pass.stats.general_sites;
+      row["flushes"] = pass.stats.flushes;
+      row["requisitions"] = pass.stats.requisitions;
+      report.metrics()["workloads"][w.name] = row;
+      report.wallclock()["pass_seconds"][w.name] = pass.seconds;
+    }
+    report.write();
+  }
+
   for (const auto& w : workloads::all()) {
     benchmark::RegisterBenchmark(("FerrumPass/" + w.name).c_str(),
                                  [name = w.name](benchmark::State& state) {

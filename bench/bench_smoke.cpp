@@ -1,0 +1,197 @@
+// bench_smoke — CI harness for the experiment binaries. Runs every bench
+// with tiny knobs (FERRUM_TRIALS/FERRUM_SCALE) into a scratch directory,
+// then validates that each BENCH_<name>.json artifact parses, carries the
+// required schema keys, and that the telemetry honours its two core
+// promises:
+//   1. determinism — the "metrics" section is byte-identical across
+//      FERRUM_JOBS values (the "wallclock" section is exempt);
+//   2. mechanism — fig11's per-port attribution shows FERRUM's
+//      protection-origin instructions peaking on the vector port class
+//      while hybrid's land on the ALU/branch classes.
+//
+// Usage: bench_smoke <bench-binary-dir>   (registered as a ctest)
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <optional>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "telemetry/json.h"
+
+using ferrum::telemetry::Json;
+
+namespace {
+
+int failures = 0;
+
+void fail(const std::string& message) {
+  std::fprintf(stderr, "FAIL: %s\n", message.c_str());
+  ++failures;
+}
+
+std::optional<Json> load_json(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    fail("cannot open " + path);
+    return std::nullopt;
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  auto json = Json::parse(buffer.str());
+  if (!json.has_value()) fail(path + " does not parse as JSON");
+  return json;
+}
+
+/// Runs `binary` with the smoke-test knobs, artifacts into `out_dir`.
+bool run_bench(const std::string& binary, const std::string& out_dir,
+               int jobs, const std::string& extra_args = "") {
+  const std::string command =
+      "env FERRUM_TRIALS=4 FERRUM_SCALE=1 FERRUM_JOBS=" +
+      std::to_string(jobs) + " FERRUM_BENCH_DIR=" + out_dir + " " + binary +
+      (extra_args.empty() ? "" : " " + extra_args) + " > /dev/null";
+  if (std::system(command.c_str()) != 0) {
+    fail(binary + " exited non-zero");
+    return false;
+  }
+  return true;
+}
+
+/// Parses the artifact and checks the required schema keys.
+std::optional<Json> check_artifact(const std::string& out_dir,
+                                   const std::string& name) {
+  const std::string path = out_dir + "/BENCH_" + name + ".json";
+  auto json = load_json(path);
+  if (!json.has_value()) return std::nullopt;
+  for (const char* key : {"bench", "schema_version", "metrics", "wallclock"}) {
+    if (json->find(key) == nullptr) {
+      fail(path + " lacks required key '" + key + "'");
+      return std::nullopt;
+    }
+  }
+  if (const Json* bench = json->find("bench");
+      bench != nullptr && bench->as_string() != name) {
+    fail(path + " 'bench' key is '" + bench->as_string() + "', want '" +
+         name + "'");
+  }
+  return json;
+}
+
+std::uint64_t protection_issues(const Json& tech_json, const char* port) {
+  const Json* timing = tech_json.find("timing");
+  if (timing == nullptr) return 0;
+  const Json* ports = timing->find("ports");
+  if (ports == nullptr) return 0;
+  const Json* entry = ports->find(port);
+  if (entry == nullptr) return 0;
+  const Json* issues = entry->find("issues");
+  if (issues == nullptr) return 0;
+  const Json* count = issues->find("protection");
+  return count == nullptr ? 0 : count->as_uint();
+}
+
+/// Acceptance check on fig11: FERRUM's check instructions predominantly
+/// occupy the vector port class; hybrid's land on ALU/branch.
+void check_fig11_mechanism(const Json& fig11) {
+  const Json* workloads = fig11.find("metrics");
+  workloads = workloads == nullptr ? nullptr : workloads->find("workloads");
+  if (workloads == nullptr) {
+    fail("fig11_overhead metrics lack 'workloads'");
+    return;
+  }
+  std::uint64_t ferrum_vec = 0, ferrum_alu = 0, ferrum_branch = 0;
+  std::uint64_t hybrid_vec = 0, hybrid_alu = 0, hybrid_branch = 0;
+  for (const auto& [name, workload] : workloads->fields()) {
+    const Json* ferrum = workload.find("ferrum");
+    const Json* hybrid = workload.find("hybrid-assembly-level-eddi");
+    if (ferrum == nullptr || hybrid == nullptr) {
+      fail("fig11_overhead workload '" + name + "' lacks technique data");
+      return;
+    }
+    ferrum_vec += protection_issues(*ferrum, "vec");
+    ferrum_alu += protection_issues(*ferrum, "alu");
+    ferrum_branch += protection_issues(*ferrum, "branch");
+    hybrid_vec += protection_issues(*hybrid, "vec");
+    hybrid_alu += protection_issues(*hybrid, "alu");
+    hybrid_branch += protection_issues(*hybrid, "branch");
+  }
+  if (!(ferrum_vec > ferrum_alu && ferrum_vec > ferrum_branch)) {
+    fail("fig11: FERRUM protection issues do not peak on the vector port");
+  }
+  if (!(hybrid_alu > hybrid_vec && hybrid_branch > hybrid_vec)) {
+    fail("fig11: hybrid protection issues do not land on ALU/branch");
+  }
+  if (ferrum_vec == 0) fail("fig11: FERRUM vector-port attribution is empty");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc != 2) {
+    std::fprintf(stderr, "usage: %s <bench-binary-dir>\n", argv[0]);
+    return 2;
+  }
+  const std::string bin_dir = argv[1];
+  const std::string out_dir = "bench_smoke_out";
+  std::system(("rm -rf " + out_dir + " && mkdir -p " + out_dir).c_str());
+
+  // Google-benchmark binaries write their telemetry before the benchmark
+  // loop; --benchmark_list_tests skips the (slow) measured iterations.
+  struct Bench {
+    const char* name;
+    const char* extra_args;
+  };
+  const Bench benches[] = {
+      {"table1_matrix", ""},
+      {"table2_benchmarks", ""},
+      {"fig10_sdc_coverage", ""},
+      {"fig11_overhead", ""},
+      {"ablation_batch", ""},
+      {"ablation_spare", ""},
+      {"ablation_storedata", ""},
+      {"ablation_multibit", ""},
+      {"pareto_selective", ""},
+      {"detection_latency", ""},
+      {"analysis_rootcause", ""},
+      {"bench_pass_time", "--benchmark_list_tests=true"},
+      {"bench_vm", "--benchmark_list_tests=true"},
+  };
+  for (const Bench& bench : benches) {
+    std::printf("smoke: %s\n", bench.name);
+    std::fflush(stdout);
+    if (!run_bench(bin_dir + "/" + bench.name, out_dir, /*jobs=*/2,
+                   bench.extra_args)) {
+      continue;
+    }
+    check_artifact(out_dir, bench.name);
+  }
+
+  // Determinism: the metrics section must be byte-identical across
+  // FERRUM_JOBS values. fig10 exercises the full campaign path.
+  std::printf("smoke: fig10 determinism across FERRUM_JOBS\n");
+  std::fflush(stdout);
+  const std::string jobs1_dir = out_dir + "/jobs1";
+  std::system(("mkdir -p " + jobs1_dir).c_str());
+  if (run_bench(bin_dir + "/fig10_sdc_coverage", jobs1_dir, /*jobs=*/1)) {
+    const auto jobs1 = load_json(jobs1_dir + "/BENCH_fig10_sdc_coverage.json");
+    const auto jobs2 = load_json(out_dir + "/BENCH_fig10_sdc_coverage.json");
+    if (jobs1.has_value() && jobs2.has_value()) {
+      const Json* m1 = jobs1->find("metrics");
+      const Json* m2 = jobs2->find("metrics");
+      if (m1 == nullptr || m2 == nullptr) {
+        fail("fig10 artifacts lack a metrics section");
+      } else if (m1->dump() != m2->dump()) {
+        fail("fig10 metrics differ between FERRUM_JOBS=1 and FERRUM_JOBS=2");
+      }
+    }
+  }
+
+  if (const auto fig11 = check_artifact(out_dir, "fig11_overhead");
+      fig11.has_value()) {
+    check_fig11_mechanism(*fig11);
+  }
+
+  if (failures == 0) std::printf("bench_smoke: all checks passed\n");
+  return failures == 0 ? 0 : 1;
+}

@@ -3,7 +3,9 @@
 // documents what one fault-injection trial costs.
 #include <benchmark/benchmark.h>
 
+#include "bench_util.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/export.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -35,6 +37,31 @@ void BM_VmRun(benchmark::State& state, Technique technique, bool timing) {
 }  // namespace
 
 int main(int argc, char** argv) {
+  // Telemetry artifact (written up front; google-benchmark's timing goes
+  // to stdout): one profiled run per technique on the microbenchmark
+  // workload — dynamic footprint and instruction mix under `metrics`.
+  {
+    benchutil::BenchReport report("bench_vm");
+    const auto& w = workloads::by_name("pathfinder");
+    const Technique techniques[] = {Technique::kNone, Technique::kHybrid,
+                                    Technique::kFerrum};
+    for (Technique technique : techniques) {
+      auto build = pipeline::build(w.source, technique);
+      vm::VmOptions options;
+      options.profile = true;
+      const auto result = vm::run(build.program, options);
+      if (result.ok()) {
+        telemetry::Json row = telemetry::Json::object();
+        row["steps"] = result.steps;
+        row["fi_sites"] = result.fi_sites;
+        row["profile"] = telemetry::to_json(*result.profile);
+        report.metrics()["techniques"]
+            [pipeline::technique_name(technique)] = row;
+      }
+    }
+    report.write();
+  }
+
   benchmark::RegisterBenchmark(
       "VmRun/raw", [](benchmark::State& s) {
         BM_VmRun(s, Technique::kNone, false);

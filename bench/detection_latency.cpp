@@ -4,19 +4,24 @@
 // this experiment quantifies the window that trade opens. Latency matters
 // when corrupted state can escape through I/O before the batched check
 // runs (FERRUM bounds the window by flushing at block ends and calls).
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/export.h"
 #include "workloads/workloads.h"
 
 using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials(600);
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("detection_latency");
+  report.metrics()["trials"] = trials;
   std::printf("Extension — detection latency in dynamic instructions "
               "(%d faults per cell, Detected runs only, %d worker(s))\n\n",
               trials, jobs);
@@ -42,6 +47,9 @@ int main() {
       mean_sums[t] += result.mean_detection_latency();
       std::printf(" %9.1f %9llu  ", result.mean_detection_latency(),
                   static_cast<unsigned long long>(result.latency_max));
+      report.metrics()["workloads"][w.name]
+          [pipeline::technique_name(techniques[t])] =
+          telemetry::to_json(result);
     }
     std::printf("\n");
     ++rows;
@@ -57,5 +65,15 @@ int main() {
               "reports latency — and FERRUM's flush-before-call rule is "
               "what keeps corrupted values from escaping through output "
               "in spite of it.\n");
+  const char* names[] = {"ir-level-eddi", "hybrid-assembly-level-eddi",
+                         "ferrum"};
+  for (int t = 0; t < 3; ++t) {
+    report.metrics()["average_mean_latency"][names[t]] = mean_sums[t] / rows;
+  }
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

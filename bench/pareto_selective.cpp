@@ -3,11 +3,13 @@
 // (error-diffusion selection) sweeps out a Pareto curve between the
 // unprotected program and full FERRUM — the knob techniques like SDCTune
 // (paper Sec V) tune with vulnerability models.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/json.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -15,8 +17,11 @@ using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 400);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials(400);
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("pareto_selective");
+  report.metrics()["trials"] = trials;
   std::printf("Extension — selective FERRUM: coverage vs overhead "
               "(%d faults per cell, %d worker(s))\n\n", trials, jobs);
   std::printf("%-15s %6s | %10s %10s\n", "benchmark", "ratio", "coverage",
@@ -54,6 +59,13 @@ int main() {
       overhead_sum[r] += overhead;
       std::printf("%-15s %5.0f%% | %9.1f%% %9.1f%%\n", w.name.c_str(),
                   ratios[r] * 100.0, coverage * 100.0, overhead);
+      char ratio_key[16];
+      std::snprintf(ratio_key, sizeof(ratio_key), "ratio-%.2f", ratios[r]);
+      telemetry::Json point = telemetry::Json::object();
+      point["coverage"] = coverage;
+      point["overhead_percent"] = overhead;
+      point["cycles"] = timed_run.cycles;
+      report.metrics()["workloads"][w.name][ratio_key] = point;
     }
     ++rows;
   }
@@ -65,5 +77,18 @@ int main() {
   }
   std::printf("\nExpected shape: coverage and overhead both rise with the "
               "ratio; only ratio 1.0 reaches the paper's 100%% coverage.\n");
+  for (int r = 0; r < 4; ++r) {
+    char ratio_key[16];
+    std::snprintf(ratio_key, sizeof(ratio_key), "ratio-%.2f", ratios[r]);
+    telemetry::Json point = telemetry::Json::object();
+    point["coverage"] = coverage_sum[r] / rows;
+    point["overhead_percent"] = overhead_sum[r] / rows;
+    report.metrics()["average"][ratio_key] = point;
+  }
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -14,6 +14,7 @@
 //               destination model has no such sites)
 //   call        faults in the call's return-address store (crash-only by
 //               construction in the VM, hence covered everywhere)
+#include <chrono>
 #include <cstdio>
 #include <map>
 #include <optional>
@@ -21,6 +22,7 @@
 #include <vector>
 
 #include "bench_util.h"
+#include "telemetry/json.h"
 #include "fault/campaign.h"
 #include "fault/step_budget.h"
 #include "masm/masm.h"
@@ -60,8 +62,11 @@ std::string classify(const vm::FaultLanding& landing) {
 }  // namespace
 
 int main() {
-  const int trials = benchutil::env_int("FERRUM_TRIALS", 600);
+  const auto wall_start = std::chrono::steady_clock::now();
+  const int trials = benchutil::env_trials(600);
   const int jobs = benchutil::env_jobs();
+  benchutil::BenchReport report("table1_matrix");
+  report.metrics()["trials"] = trials;
   std::printf("Table I — measured protection capability per fault class\n");
   std::printf("(extended fault model incl. store-data; %d samples per "
               "benchmark per technique, %d worker(s))\n\n", trials, jobs);
@@ -121,6 +126,16 @@ int main() {
         stats.sdc += slot.sdc;
       }
     }
+    telemetry::Json row = telemetry::Json::object();
+    for (const auto& [klass, stats] : buckets) {
+      telemetry::Json cell = telemetry::Json::object();
+      cell["total"] = stats.total;
+      cell["sdc"] = stats.sdc;
+      row[klass] = cell;
+    }
+    report.metrics()["techniques"]
+        [pipeline::technique_name(techniques[t])] = row;
+
     std::printf("%-16s", names[t]);
     for (const char* column : columns) {
       const ClassStats& stats = buckets[column];
@@ -144,5 +159,10 @@ int main() {
   std::printf("\n\npaper Table I: IR-LEVEL-EDDI covers only 'basic' (at "
               "IR); HYBRID covers branch/comparison at IR and the rest at "
               "AS_1; FERRUM covers every class at AS_2.\n");
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

@@ -2,11 +2,13 @@
 // with the concrete static/dynamic characteristics of our MiniC versions
 // and the static-instruction counts the paper's Sec IV-B3 relates pass
 // time to.
+#include <chrono>
 #include <cstdio>
 
 #include "bench_util.h"
 #include "pipeline/pipeline.h"
 #include "support/str.h"
+#include "telemetry/export.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -14,13 +16,17 @@ using namespace ferrum;
 using pipeline::Technique;
 
 int main() {
+  const auto wall_start = std::chrono::steady_clock::now();
+  benchutil::BenchReport report("table2_benchmarks");
   std::printf("Table II — benchmark inventory\n\n");
   std::printf("%-15s %-14s %-20s %10s %12s %12s\n", "benchmark", "suite",
               "domain", "static", "dynamic", "fi sites");
   benchutil::print_rule(90);
   for (const auto& w : workloads::all()) {
     auto build = pipeline::build(w.source, Technique::kNone);
-    const vm::VmResult result = vm::run(build.program);
+    vm::VmOptions options;
+    options.profile = true;
+    const vm::VmResult result = vm::run(build.program, options);
     if (!result.ok()) {
       std::printf("%-15s FAILED (%s)\n", w.name.c_str(),
                   vm::exit_status_name(result.status));
@@ -31,10 +37,23 @@ int main() {
                 with_commas(build.program.inst_count()).c_str(),
                 with_commas(result.steps).c_str(),
                 with_commas(result.fi_sites).c_str());
+    telemetry::Json row = telemetry::Json::object();
+    row["suite"] = w.suite;
+    row["domain"] = w.domain;
+    row["static_instructions"] = build.program.inst_count();
+    row["dynamic_instructions"] = result.steps;
+    row["fi_sites"] = result.fi_sites;
+    row["profile"] = telemetry::to_json(*result.profile);
+    report.metrics()["workloads"][w.name] = row;
   }
   benchutil::print_rule(90);
   std::printf("\npaper Table II lists the same eight Rodinia benchmarks "
               "and domains; sizes here are the MiniC reimplementations "
               "(see DESIGN.md).\n");
+  report.wallclock()["wall_seconds"] =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.write();
   return 0;
 }

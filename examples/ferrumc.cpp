@@ -8,6 +8,7 @@
 //   ferrumc ir prog.c --tech=ir-eddi       # dump protected IR
 //   ferrumc audit prog.c                   # exhaustive FERRUM audit
 //   ferrumc campaign prog.c --tech=ferrum --trials=1000
+//   ferrumc run prog.c --tech=ferrum --timing --stats=out.json
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -21,7 +22,7 @@
 #include "masm/masm.h"
 #include "pipeline/pipeline.h"
 #include "support/env.h"
-#include "support/parallel.h"
+#include "telemetry/export.h"
 #include "vm/vm.h"
 
 using namespace ferrum;
@@ -34,10 +35,33 @@ int usage(const char* argv0) {
                "usage: %s <run|asm|ir|audit|campaign> <file.c>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--timing]\n"
+               "       [--stats=<file.json>]\n"
                "(--jobs defaults to FERRUM_JOBS, then hardware "
-               "concurrency; results are identical for any value)\n",
+               "concurrency; results are identical for any value;\n"
+               " --stats writes run/campaign/audit telemetry as JSON — "
+               "the 'metrics' section is deterministic, 'wallclock' is "
+               "not)\n",
                argv0);
   return 2;
+}
+
+/// Writes the --stats artifact: {"metrics": ..., "wallclock": ...}.
+bool write_stats(const std::string& path, const telemetry::Json& metrics,
+                 const telemetry::Json& wallclock) {
+  telemetry::Json root = telemetry::Json::object();
+  root["schema_version"] = 1;
+  root["metrics"] = metrics;
+  root["wallclock"] = wallclock;
+  const std::string text = root.dump();
+  std::FILE* file = std::fopen(path.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return false;
+  }
+  const bool ok =
+      std::fwrite(text.data(), 1, text.size(), file) == text.size();
+  std::fclose(file);
+  return ok;
 }
 
 std::string read_file(const std::string& path) {
@@ -68,13 +92,20 @@ int main(int argc, char** argv) {
   const std::string path = argv[2];
   Technique technique =
       command == "audit" ? Technique::kFerrum : Technique::kNone;
-  int trials = 1000;
-  int jobs = env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
+  int trials = env_trials();
+  int jobs = env_jobs();
   bool timing = false;
+  std::string stats_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tech=", 0) == 0) {
       technique = parse_technique(arg.substr(7));
+    } else if (arg.rfind("--stats=", 0) == 0) {
+      stats_path = arg.substr(8);
+      if (stats_path.empty()) {
+        std::fprintf(stderr, "bad --stats value (empty path)\n");
+        return 2;
+      }
     } else if (arg.rfind("--trials=", 0) == 0) {
       if (!parse_int(arg.c_str() + 9, trials) || trials < 1) {
         std::fprintf(stderr, "bad --trials value '%s'\n", arg.c_str() + 9);
@@ -109,9 +140,18 @@ int main(int argc, char** argv) {
     std::fputs(masm::print(build.program).c_str(), stdout);
     return 0;
   }
+  // Pipeline pass timing is wall-clock, hence wallclock-section data.
+  telemetry::Json pass_seconds = telemetry::Json::array();
+  for (const auto& [pass, seconds] : build.pass_seconds) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry[pass] = seconds;
+    pass_seconds.push_back(entry);
+  }
+
   if (command == "run") {
     vm::VmOptions options;
     options.timing = timing;
+    options.profile = !stats_path.empty();
     const vm::VmResult result = vm::run(build.program, options);
     for (std::uint64_t value : result.output) {
       std::printf("%lld\n", static_cast<long long>(value));
@@ -121,6 +161,22 @@ int main(int argc, char** argv) {
                  static_cast<unsigned long long>(result.steps),
                  timing ? ", cycles=" : "",
                  timing ? std::to_string(result.cycles).c_str() : "");
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "run";
+      metrics["technique"] = pipeline::technique_name(technique);
+      metrics["status"] = vm::exit_status_name(result.status);
+      metrics["steps"] = result.steps;
+      metrics["fi_sites"] = result.fi_sites;
+      metrics["profile"] = telemetry::to_json(*result.profile);
+      if (result.timing_stats.has_value()) {
+        metrics["cycles"] = result.cycles;
+        metrics["timing"] = telemetry::to_json(*result.timing_stats);
+      }
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
     return result.ok() ? static_cast<int>(result.return_value & 0xff) : 1;
   }
   if (command == "audit") {
@@ -142,6 +198,16 @@ int main(int argc, char** argv) {
                   vm::fault_kind_name(escape.kind),
                   escape.function.c_str());
     }
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "audit";
+      metrics["technique"] = pipeline::technique_name(technique);
+      metrics["audit"] = telemetry::to_json(report);
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      wallclock["audit"] = telemetry::wallclock_json(report);
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
     return report.fully_covered() ? 0 : 1;
   }
   if (command == "campaign") {
@@ -155,6 +221,16 @@ int main(int argc, char** argv) {
                 result.count(fault::Outcome::kSdc),
                 result.count(fault::Outcome::kDetected),
                 result.count(fault::Outcome::kCrash), result.sdc_rate());
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "campaign";
+      metrics["technique"] = pipeline::technique_name(technique);
+      metrics["campaign"] = telemetry::to_json(result);
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      wallclock["campaign"] = telemetry::wallclock_json(result);
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
     return 0;
   }
   return usage(argv[0]);

@@ -1,5 +1,6 @@
 #include "eddi/asm_protect.h"
 
+#include <chrono>
 #include <stdexcept>
 #include <vector>
 
@@ -953,11 +954,14 @@ class FunctionProtector {
 
 AsmProtectStats protect_asm(masm::AsmProgram& program,
                             const AsmProtectOptions& options) {
+  const auto start = std::chrono::steady_clock::now();
   AsmProtectStats stats;
   for (AsmFunction& fn : program.functions) {
     FunctionProtector protector(fn, options, stats);
     protector.run();
   }
+  stats.pass_seconds = std::chrono::duration<double>(
+      std::chrono::steady_clock::now() - start).count();
   return stats;
 }
 

@@ -1,5 +1,6 @@
 #include "fault/audit.h"
 
+#include <chrono>
 #include <stdexcept>
 
 #include "fault/step_budget.h"
@@ -33,9 +34,13 @@ AuditReport audit_program(const masm::AsmProgram& program,
   std::vector<SitePartial> partials(
       static_cast<std::size_t>(golden.fi_sites));
   ThreadPool pool(options.jobs);
-  pool.parallel_for(
+  report.sites_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.parallel_for_indexed(
       static_cast<std::size_t>(golden.fi_sites),
-      [&](std::size_t begin, std::size_t end) {
+      [&](int worker, std::size_t begin, std::size_t end) {
+        report.sites_per_worker[static_cast<std::size_t>(worker)] +=
+            end - begin;
         for (std::size_t site = begin; site < end; ++site) {
           SitePartial& partial = partials[site];
           for (int bit : options.probe_bits) {
@@ -64,6 +69,10 @@ AuditReport audit_program(const masm::AsmProgram& program,
           }
         }
       });
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   for (SitePartial& partial : partials) {
     report.injections += partial.injections;

@@ -41,6 +41,12 @@ struct AuditReport {
   std::uint64_t crashed = 0;
   std::vector<AuditEscape> escapes;  // SDCs — empty means fully covered
 
+  // --- Observability only (scheduling-dependent, NOT deterministic) ---
+  /// Sites swept by each pool worker (index 0 = the calling thread).
+  std::vector<std::uint64_t> sites_per_worker;
+  /// Wall-clock seconds spent sweeping the sites.
+  double wall_seconds = 0.0;
+
   bool fully_covered() const { return escapes.empty(); }
 };
 

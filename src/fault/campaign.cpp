@@ -1,5 +1,7 @@
 #include "fault/campaign.h"
 
+#include <bit>
+#include <chrono>
 #include <cmath>
 #include <optional>
 #include <stdexcept>
@@ -59,15 +61,6 @@ Outcome classify(const vm::VmResult& result,
   }
 }
 
-const char* origin_name(masm::InstOrigin origin) {
-  switch (origin) {
-    case masm::InstOrigin::kFromIR: return "from-ir";
-    case masm::InstOrigin::kBackendGlue: return "backend-glue";
-    case masm::InstOrigin::kProtection: return "protection";
-  }
-  return "?";
-}
-
 }  // namespace
 
 CampaignResult run_campaign(const masm::AsmProgram& program,
@@ -117,7 +110,14 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   };
   std::vector<TrialSlot> slots(trials);
   ThreadPool pool(options.jobs);
-  pool.parallel_for(trials, [&](std::size_t begin, std::size_t end) {
+  result.trials_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.parallel_for_indexed(trials, [&](int worker, std::size_t begin,
+                                        std::size_t end) {
+    // Per-worker tallies are observability only: each slot is written by
+    // exactly one thread, but which worker claims which chunk is
+    // scheduling-dependent (see ThreadPool::parallel_for_indexed).
+    result.trials_per_worker[static_cast<std::size_t>(worker)] += end - begin;
     for (std::size_t trial = begin; trial < end; ++trial) {
       const std::vector<vm::FaultSpec> faults(
           specs.begin() + static_cast<std::ptrdiff_t>(trial * per_run),
@@ -134,6 +134,10 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
       }
     }
   });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
 
   for (const TrialSlot& slot : slots) {
     ++result.counts[static_cast<int>(slot.outcome)];
@@ -141,11 +145,12 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
       result.latency_sum += *slot.latency;
       if (*slot.latency > result.latency_max) result.latency_max = *slot.latency;
       ++result.latency_samples;
+      ++result.latency_histogram[std::bit_width(*slot.latency)];
     }
     if (slot.sdc_landing.has_value()) {
       const vm::FaultLanding& landing = *slot.sdc_landing;
       std::string key = std::string(vm::fault_kind_name(landing.kind)) + "/" +
-                        origin_name(landing.origin);
+                        masm::origin_name(landing.origin);
       ++result.sdc_breakdown[key];
     }
   }

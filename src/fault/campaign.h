@@ -56,6 +56,19 @@ struct CampaignResult {
   std::uint64_t latency_sum = 0;
   std::uint64_t latency_max = 0;
   int latency_samples = 0;
+  /// Log2 latency histogram: bucket 0 counts latency 0, bucket i counts
+  /// latencies in [2^(i-1), 2^i). Filled in trial order during the
+  /// reduction, so it is deterministic like the rest of the result.
+  static constexpr int kLatencyBuckets = 65;
+  std::array<std::uint64_t, kLatencyBuckets> latency_histogram{};
+
+  // --- Observability only (scheduling-dependent, NOT deterministic) ---
+  /// Trials executed by each pool worker (index 0 = the calling thread).
+  /// Which worker claims which chunk depends on scheduling; only the sum
+  /// (== trials()) is stable.
+  std::vector<std::uint64_t> trials_per_worker;
+  /// Wall-clock seconds spent executing the trial runs.
+  double wall_seconds = 0.0;
 
   double mean_detection_latency() const {
     return latency_samples == 0

@@ -109,6 +109,15 @@ bool is_asm_terminator(Op op) {
   return op == Op::kJmp || op == Op::kRet;
 }
 
+const char* origin_name(InstOrigin origin) {
+  switch (origin) {
+    case InstOrigin::kFromIR: return "from-ir";
+    case InstOrigin::kBackendGlue: return "backend-glue";
+    case InstOrigin::kProtection: return "protection";
+  }
+  return "?";
+}
+
 Operand Operand::make_reg(Gpr r, int w) {
   Operand op;
   op.kind = Kind::kReg;

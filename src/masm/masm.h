@@ -80,6 +80,9 @@ enum class Op : std::uint8_t {
   kDetectTrap,
 };
 
+/// Number of opcodes, for dense per-opcode tables (profilers, timing).
+constexpr int kOpCount = static_cast<int>(Op::kDetectTrap) + 1;
+
 const char* op_mnemonic(Op op);
 bool is_asm_terminator(Op op);
 
@@ -129,6 +132,13 @@ enum class InstOrigin : std::uint8_t {
                  // prologue/epilogue, address arithmetic, moves
   kProtection,   // inserted by an EDDI pass (duplicate / check / bookkeep)
 };
+
+/// Number of InstOrigin values, for dense per-origin tables.
+constexpr int kInstOriginCount = 3;
+
+/// Stable lower-case name ("from-ir", "backend-glue", "protection") used
+/// by analyses and telemetry exports.
+const char* origin_name(InstOrigin origin);
 
 /// One MiniASM instruction. Operand order is AT&T: operands[0] is the
 /// source, the last operand is the destination (cmp/test/vptest read-only).

@@ -9,6 +9,32 @@
 
 namespace ferrum::pipeline {
 
+namespace {
+
+/// Appends ("name", elapsed) to Build::pass_seconds when destroyed — the
+/// pipeline's per-pass timing scope.
+class PassScope {
+ public:
+  PassScope(Build& build, const char* name)
+      : build_(build), name_(name),
+        start_(std::chrono::steady_clock::now()) {}
+  ~PassScope() {
+    build_.pass_seconds.emplace_back(
+        name_, std::chrono::duration<double>(
+                   std::chrono::steady_clock::now() - start_)
+                   .count());
+  }
+  PassScope(const PassScope&) = delete;
+  PassScope& operator=(const PassScope&) = delete;
+
+ private:
+  Build& build_;
+  const char* name_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace
+
 const char* technique_name(Technique technique) {
   switch (technique) {
     case Technique::kNone: return "none";
@@ -23,27 +49,37 @@ Build build(std::string_view source, Technique technique,
             const BuildOptions& options) {
   DiagEngine diags;
   Build result;
-  result.module = minic::compile(source, diags);
+  {
+    PassScope scope(result, "frontend");
+    result.module = minic::compile(source, diags);
+  }
   if (result.module == nullptr) {
     throw std::runtime_error("frontend:\n" + diags.render());
   }
 
   if (technique == Technique::kIrEddi) {
+    PassScope scope(result, "ir-protect");
     result.ir_stats =
         eddi::apply_ir_eddi(*result.module, eddi::IrEddiMode::kClassic);
   } else if (technique == Technique::kHybrid) {
+    PassScope scope(result, "ir-protect");
     result.ir_stats =
         eddi::apply_ir_eddi(*result.module, eddi::IrEddiMode::kSignatureOnly);
   }
   if (technique == Technique::kIrEddi || technique == Technique::kHybrid) {
+    PassScope scope(result, "ir-verify");
     const std::string problems = ir::verify_to_string(*result.module);
     if (!problems.empty()) {
       throw std::runtime_error("IR protection broke the module:\n" + problems);
     }
   }
 
-  result.program = backend::lower(*result.module, options.backend);
   {
+    PassScope scope(result, "lower");
+    result.program = backend::lower(*result.module, options.backend);
+  }
+  {
+    PassScope scope(result, "asm-verify");
     const std::string problems = masm::verify_program_to_string(result.program);
     if (!problems.empty()) {
       throw std::runtime_error("backend produced malformed assembly:\n" +
@@ -59,16 +95,23 @@ Build build(std::string_view source, Technique technique,
     // assembly-level techniques through the same knob.
     asm_options.protect_store_data = options.ferrum.protect_store_data;
     const auto start = std::chrono::steady_clock::now();
-    result.asm_stats = eddi::protect_asm(result.program, asm_options);
+    {
+      PassScope scope(result, "protect");
+      result.asm_stats = eddi::protect_asm(result.program, asm_options);
+    }
     result.protect_seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
   } else if (technique == Technique::kFerrum) {
     const auto start = std::chrono::steady_clock::now();
-    result.asm_stats = eddi::protect_asm(result.program, options.ferrum);
+    {
+      PassScope scope(result, "protect");
+      result.asm_stats = eddi::protect_asm(result.program, options.ferrum);
+    }
     result.protect_seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
   }
   if (technique == Technique::kHybrid || technique == Technique::kFerrum) {
+    PassScope scope(result, "protect-verify");
     const std::string problems = masm::verify_program_to_string(result.program);
     if (!problems.empty()) {
       throw std::runtime_error("protection produced malformed assembly:\n" +

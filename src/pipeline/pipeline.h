@@ -7,6 +7,8 @@
 #include <stdexcept>
 #include <string>
 #include <string_view>
+#include <utility>
+#include <vector>
 
 #include "backend/backend.h"
 #include "eddi/asm_protect.h"
@@ -39,6 +41,11 @@ struct Build {
   eddi::AsmProtectStats asm_stats;
   /// Wall-clock seconds spent in the assembly-level protection pass.
   double protect_seconds = 0.0;
+  /// Wall-clock seconds per pipeline pass, in execution order (stages
+  /// that did not run for this technique are absent). Stage names:
+  /// "frontend", "ir-protect", "ir-verify", "lower", "asm-verify",
+  /// "protect", "protect-verify".
+  std::vector<std::pair<std::string, double>> pass_seconds;
 };
 
 /// Compiles MiniC source under the chosen technique. Throws

@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <climits>
 
+#include "support/parallel.h"
+
 namespace ferrum {
 
 bool parse_int(const char* text, int& out) noexcept {
@@ -35,6 +37,14 @@ int env_int(const char* name, int fallback, int min_value) {
     return fallback;
   }
   return parsed;
+}
+
+int env_trials(int fallback) { return env_int("FERRUM_TRIALS", fallback); }
+
+int env_scale(int fallback) { return env_int("FERRUM_SCALE", fallback); }
+
+int env_jobs() {
+  return env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
 }
 
 }  // namespace ferrum

@@ -17,4 +17,23 @@ bool parse_int(const char* text, int& out) noexcept;
 /// different floor for knobs where 0 or negatives are meaningful.
 int env_int(const char* name, int fallback, int min_value = 1);
 
+// ---------------------------------------------------------------------
+// The shared experiment knobs. Name, floor and default live HERE only;
+// the bench binaries (bench/bench_util.h) and examples/ferrumc all go
+// through these helpers, so a knob rename or floor change is one edit.
+
+/// FERRUM_TRIALS — sampled faults per campaign measurement. Floor 1.
+/// Benches pass their experiment-specific default (the paper's 1000 for
+/// coverage figures, less for expensive sweeps).
+int env_trials(int fallback = 1000);
+
+/// FERRUM_SCALE — workload scaling factor for the timing experiments
+/// (workloads::scaled). Floor 1.
+int env_scale(int fallback = 2);
+
+/// FERRUM_JOBS — worker threads for campaign/audit execution, defaulting
+/// to hardware concurrency. Floor 1. Results are deterministic for any
+/// value; the knob only changes wall-clock time.
+int env_jobs();
+
 }  // namespace ferrum

@@ -5,7 +5,7 @@
 namespace ferrum {
 
 struct ThreadPool::Job {
-  const std::function<void(std::size_t, std::size_t)>* body = nullptr;
+  const std::function<void(int, std::size_t, std::size_t)>* body = nullptr;
   std::size_t count = 0;
   std::size_t grain = 1;
   std::atomic<std::size_t> cursor{0};  // next unclaimed index
@@ -22,7 +22,7 @@ ThreadPool::ThreadPool(int workers) {
   workers_ = workers <= 0 ? hardware_workers() : workers;
   threads_.reserve(static_cast<std::size_t>(workers_ - 1));
   for (int i = 1; i < workers_; ++i) {
-    threads_.emplace_back([this] { worker_loop(); });
+    threads_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -35,7 +35,7 @@ ThreadPool::~ThreadPool() {
   for (std::thread& thread : threads_) thread.join();
 }
 
-void ThreadPool::run_chunks(Job& job) {
+void ThreadPool::run_chunks(Job& job, int worker) {
   for (;;) {
     const std::size_t begin =
         job.cursor.fetch_add(job.grain, std::memory_order_relaxed);
@@ -43,7 +43,7 @@ void ThreadPool::run_chunks(Job& job) {
     const std::size_t end =
         begin + job.grain < job.count ? begin + job.grain : job.count;
     try {
-      (*job.body)(begin, end);
+      (*job.body)(worker, begin, end);
     } catch (...) {
       std::lock_guard<std::mutex> lock(mutex_);
       if (!job.error) job.error = std::current_exception();
@@ -55,7 +55,7 @@ void ThreadPool::run_chunks(Job& job) {
   }
 }
 
-void ThreadPool::worker_loop() {
+void ThreadPool::worker_loop(int worker) {
   std::uint64_t seen = 0;
   for (;;) {
     Job* job = nullptr;
@@ -69,7 +69,7 @@ void ThreadPool::worker_loop() {
       if (job == nullptr) continue;  // job already drained and retired
       ++job->active;
     }
-    run_chunks(*job);
+    run_chunks(*job, worker);
     {
       std::lock_guard<std::mutex> lock(mutex_);
       --job->active;
@@ -78,9 +78,9 @@ void ThreadPool::worker_loop() {
   }
 }
 
-void ThreadPool::parallel_for(
+void ThreadPool::parallel_for_indexed(
     std::size_t count,
-    const std::function<void(std::size_t, std::size_t)>& body,
+    const std::function<void(int, std::size_t, std::size_t)>& body,
     std::size_t grain) {
   if (count == 0) return;
   if (grain == 0) {
@@ -99,7 +99,7 @@ void ThreadPool::parallel_for(
     job.body = &body;
     job.count = count;
     job.grain = grain;
-    run_chunks(job);
+    run_chunks(job, /*worker=*/0);
     if (job.error) std::rethrow_exception(job.error);
     return;
   }
@@ -114,7 +114,7 @@ void ThreadPool::parallel_for(
     ++generation_;
   }
   work_cv_.notify_all();
-  run_chunks(job);  // the caller is a worker too
+  run_chunks(job, /*worker=*/0);  // the caller is a worker too
   {
     // Retire the job, then wait for workers that joined it to leave.
     std::unique_lock<std::mutex> lock(mutex_);
@@ -122,6 +122,16 @@ void ThreadPool::parallel_for(
     done_cv_.wait(lock, [&] { return job.active == 0; });
   }
   if (job.error) std::rethrow_exception(job.error);
+}
+
+void ThreadPool::parallel_for(
+    std::size_t count,
+    const std::function<void(std::size_t, std::size_t)>& body,
+    std::size_t grain) {
+  parallel_for_indexed(
+      count,
+      [&body](int, std::size_t begin, std::size_t end) { body(begin, end); },
+      grain);
 }
 
 void parallel_for(int workers, std::size_t count,

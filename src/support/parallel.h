@@ -40,14 +40,24 @@ class ThreadPool {
                     const std::function<void(std::size_t, std::size_t)>& body,
                     std::size_t grain = 0);
 
+  /// As parallel_for, but the body also receives the index of the pool
+  /// worker executing the chunk (0 = the calling thread, 1..workers-1 =
+  /// pool threads). For per-worker accounting/telemetry only: which
+  /// worker claims which chunk IS scheduling-dependent, so results must
+  /// never depend on the index — only observability may.
+  void parallel_for_indexed(
+      std::size_t count,
+      const std::function<void(int, std::size_t, std::size_t)>& body,
+      std::size_t grain = 0);
+
   /// hardware_concurrency clamped to >= 1 (the value `workers = 0` picks).
   static int hardware_workers() noexcept;
 
  private:
   struct Job;
 
-  void worker_loop();
-  void run_chunks(Job& job);
+  void worker_loop(int worker);
+  void run_chunks(Job& job, int worker);
 
   int workers_ = 1;
   std::vector<std::thread> threads_;

@@ -1,0 +1,174 @@
+#include "telemetry/export.h"
+
+#include <cstdint>
+#include <limits>
+
+namespace ferrum::telemetry {
+
+namespace {
+
+// Upper bound of log2 bucket `i` (the convention of metrics.h Histogram
+// and fault::CampaignResult::latency_histogram): bucket 0 holds value 0,
+// bucket i holds [2^(i-1), 2^i).
+std::uint64_t log2_bucket_upper(int i) {
+  if (i == 0) return 0;
+  if (i >= 64) return std::numeric_limits<std::uint64_t>::max();
+  return (std::uint64_t{1} << i) - 1;
+}
+
+}  // namespace
+
+Json to_json(const vm::VmProfile& profile) {
+  Json json = Json::object();
+  json["total"] = profile.total();
+
+  Json by_op = Json::object();
+  for (int i = 0; i < masm::kOpCount; ++i) {
+    if (profile.op_counts[static_cast<std::size_t>(i)] == 0) continue;
+    by_op[masm::op_mnemonic(static_cast<masm::Op>(i))] =
+        profile.op_counts[static_cast<std::size_t>(i)];
+  }
+  json["by_op"] = by_op;
+
+  Json by_origin = Json::object();
+  for (int i = 0; i < masm::kInstOriginCount; ++i) {
+    by_origin[masm::origin_name(static_cast<masm::InstOrigin>(i))] =
+        profile.origin_counts[static_cast<std::size_t>(i)];
+  }
+  json["by_origin"] = by_origin;
+
+  Json sites = Json::object();
+  for (std::size_t i = 0; i < profile.site_counts.size(); ++i) {
+    sites[vm::fault_kind_name(static_cast<vm::FaultKind>(i))] =
+        profile.site_counts[i];
+  }
+  json["fi_sites_by_kind"] = sites;
+
+  Json hot = Json::array();
+  for (const vm::VmProfile::BlockCount& block : profile.hot_blocks) {
+    Json entry = Json::object();
+    entry["function"] = block.function;
+    entry["label"] = block.label;
+    entry["instructions"] = block.instructions;
+    hot.push_back(entry);
+  }
+  json["hot_blocks"] = hot;
+  return json;
+}
+
+Json to_json(const vm::TimingStats& stats) {
+  Json json = Json::object();
+  json["instructions"] = stats.instructions;
+
+  Json ports = Json::object();
+  for (int p = 0; p < vm::kPortClassCount; ++p) {
+    Json port = Json::object();
+    Json issues = Json::object();
+    Json latency = Json::object();
+    std::uint64_t port_issues = 0;
+    for (int o = 0; o < masm::kInstOriginCount; ++o) {
+      const char* origin = masm::origin_name(static_cast<masm::InstOrigin>(o));
+      issues[origin] = stats.issues[p][o];
+      latency[origin] = stats.latency_cycles[p][o];
+      port_issues += stats.issues[p][o];
+    }
+    port["issues"] = issues;
+    port["latency_cycles"] = latency;
+    port["total_issues"] = port_issues;
+    port["busy_cycles"] = stats.busy_cycles[p];
+    ports[vm::port_class_name(static_cast<vm::PortClass>(p))] = port;
+  }
+  json["ports"] = ports;
+
+  Json stalls = Json::object();
+  stalls["dependence"] = stats.stall_dependence;
+  stalls["port"] = stats.stall_port;
+  stalls["issue_width"] = stats.stall_issue_width;
+  json["stalls"] = stalls;
+  return json;
+}
+
+Json to_json(const fault::CampaignResult& result) {
+  Json json = Json::object();
+  json["trials"] = result.trials();
+  json["total_sites"] = result.total_sites;
+  json["golden_steps"] = result.golden_steps;
+
+  Json outcomes = Json::object();
+  outcomes["benign"] = result.count(fault::Outcome::kBenign);
+  outcomes["sdc"] = result.count(fault::Outcome::kSdc);
+  outcomes["detected"] = result.count(fault::Outcome::kDetected);
+  outcomes["crash"] = result.count(fault::Outcome::kCrash);
+  json["outcomes"] = outcomes;
+  json["sdc_rate"] = result.sdc_rate();
+
+  Json latency = Json::object();
+  latency["samples"] = result.latency_samples;
+  latency["sum"] = result.latency_sum;
+  latency["max"] = result.latency_max;
+  latency["mean"] = result.mean_detection_latency();
+  Json histogram = Json::array();
+  for (int i = 0; i < fault::CampaignResult::kLatencyBuckets; ++i) {
+    const std::uint64_t count =
+        result.latency_histogram[static_cast<std::size_t>(i)];
+    if (count == 0) continue;
+    Json bucket = Json::array();
+    bucket.push_back(log2_bucket_upper(i));
+    bucket.push_back(count);
+    histogram.push_back(bucket);
+  }
+  latency["histogram"] = histogram;
+  json["latency"] = latency;
+
+  Json breakdown = Json::object();
+  for (const auto& [key, count] : result.sdc_breakdown) breakdown[key] = count;
+  json["sdc_breakdown"] = breakdown;
+  return json;
+}
+
+Json wallclock_json(const fault::CampaignResult& result) {
+  Json json = Json::object();
+  Json per_worker = Json::array();
+  for (std::uint64_t count : result.trials_per_worker)
+    per_worker.push_back(count);
+  json["trials_per_worker"] = per_worker;
+  json["wall_seconds"] = result.wall_seconds;
+  const int trials = result.trials();
+  json["trials_per_second"] =
+      result.wall_seconds > 0.0 ? trials / result.wall_seconds : 0.0;
+  return json;
+}
+
+Json to_json(const fault::AuditReport& report) {
+  Json json = Json::object();
+  json["sites"] = report.sites;
+  json["injections"] = report.injections;
+  json["detected"] = report.detected;
+  json["benign"] = report.benign;
+  json["crashed"] = report.crashed;
+  json["fully_covered"] = report.fully_covered();
+  Json escapes = Json::array();
+  for (const fault::AuditEscape& escape : report.escapes) {
+    Json entry = Json::object();
+    entry["site"] = escape.site;
+    entry["bit"] = escape.bit;
+    entry["kind"] = vm::fault_kind_name(escape.kind);
+    entry["origin"] = masm::origin_name(escape.origin);
+    entry["function"] = escape.function;
+    escapes.push_back(entry);
+  }
+  json["escapes"] = escapes;
+  return json;
+}
+
+Json wallclock_json(const fault::AuditReport& report) {
+  Json json = Json::object();
+  Json per_worker = Json::array();
+  for (std::uint64_t count : report.sites_per_worker)
+    per_worker.push_back(count);
+  json["sites_per_worker"] = per_worker;
+  json["wall_seconds"] = report.wall_seconds;
+  return json;
+}
+
+}  // namespace ferrum::telemetry

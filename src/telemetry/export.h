@@ -1,0 +1,41 @@
+// JSON views of the stack's telemetry structs. Each converter splits the
+// world the same way the bench artifacts do: `to_json` returns only
+// deterministic data (a pure function of program + seed, byte-identical
+// for any FERRUM_JOBS), while `wallclock_json` carries the
+// scheduling-dependent observability (timers, per-worker counts) that is
+// excluded from determinism comparisons.
+#pragma once
+
+#include "fault/audit.h"
+#include "fault/campaign.h"
+#include "telemetry/json.h"
+#include "vm/profile.h"
+#include "vm/timing.h"
+
+namespace ferrum::telemetry {
+
+/// Instruction mix (non-zero opcodes only), origin mix, fault-site
+/// tallies and hot blocks. `by_op` keys are mnemonics, `by_origin` keys
+/// are masm::origin_name strings.
+Json to_json(const vm::VmProfile& profile);
+
+/// Per-port-class issue/latency attribution split by InstOrigin, busy
+/// cycles, and the stall breakdown (dependence / port / issue-width).
+Json to_json(const vm::TimingStats& stats);
+
+/// Deterministic campaign results: trials, outcome counters, SDC rate,
+/// detection-latency summary + log2 histogram, SDC breakdown.
+Json to_json(const fault::CampaignResult& result);
+
+/// Scheduling-dependent campaign observability: per-worker trial counts
+/// and wall-clock seconds. Never byte-compare this across runs.
+Json wallclock_json(const fault::CampaignResult& result);
+
+/// Deterministic audit results: site/injection/outcome counters and the
+/// escape list.
+Json to_json(const fault::AuditReport& report);
+
+/// Scheduling-dependent audit observability.
+Json wallclock_json(const fault::AuditReport& report);
+
+}  // namespace ferrum::telemetry

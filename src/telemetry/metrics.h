@@ -1,0 +1,173 @@
+// Thread-safe, dependency-free metrics layer: counters, gauges, log2
+// histograms, wall-clock timers, and a hierarchical registry that renders
+// to deterministic JSON (telemetry/json.h).
+//
+// Concurrency model: metric handles returned by the registry are stable
+// for the registry's lifetime (node-based storage) and every mutation is
+// a relaxed atomic — many workers may hammer the same counter while
+// another thread snapshots it. The registry lock is only taken on
+// lookup/creation and on snapshot.
+//
+// Determinism contract: counters, gauges and histograms must hold
+// identical values for identical inputs regardless of thread count —
+// campaign code guarantees this by its ordered reduction. Timers measure
+// wall-clock and are inherently nondeterministic; to_json(false) drops
+// them so artifacts can be byte-compared across runs and FERRUM_JOBS
+// values.
+#pragma once
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "telemetry/json.h"
+
+namespace ferrum::telemetry {
+
+class Counter {
+ public:
+  void add(std::uint64_t n = 1) noexcept {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+class Gauge {
+ public:
+  void set(double value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  double value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+/// Power-of-two-bucketed histogram of unsigned values. Bucket index is
+/// bit_width(value): bucket 0 holds the value 0, bucket i (i >= 1) holds
+/// values in [2^(i-1), 2^i - 1]. Also tracks count/sum/min/max exactly.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;
+
+  void observe(std::uint64_t value) noexcept;
+
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t sum() const noexcept {
+    return sum_.load(std::memory_order_relaxed);
+  }
+  /// Minimum observed value; 0 when empty.
+  std::uint64_t min() const noexcept;
+  std::uint64_t max() const noexcept {
+    return max_.load(std::memory_order_relaxed);
+  }
+  std::uint64_t bucket(int index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  double mean() const noexcept {
+    const std::uint64_t n = count();
+    return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+  }
+
+  /// {"count","sum","min","max","mean","buckets":[[upper_bound,count]...]}
+  /// with only non-empty buckets listed.
+  Json to_json() const;
+
+ private:
+  std::atomic<std::uint64_t> buckets_[kBuckets] = {};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{UINT64_MAX};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Accumulates wall-clock time (nanoseconds) across scopes. Timers are
+/// the one nondeterministic metric kind; Registry::to_json(false)
+/// excludes them.
+class Timer {
+ public:
+  void add_nanos(std::uint64_t nanos) noexcept {
+    nanos_.fetch_add(nanos, std::memory_order_relaxed);
+    count_.fetch_add(1, std::memory_order_relaxed);
+  }
+  double seconds() const noexcept {
+    return static_cast<double>(nanos_.load(std::memory_order_relaxed)) * 1e-9;
+  }
+  std::uint64_t count() const noexcept {
+    return count_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> nanos_{0};
+  std::atomic<std::uint64_t> count_{0};
+};
+
+/// RAII scope that adds its lifetime to a Timer.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(Timer& timer)
+      : timer_(&timer), start_(std::chrono::steady_clock::now()) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+  ~ScopedTimer() {
+    const auto elapsed = std::chrono::steady_clock::now() - start_;
+    timer_->add_nanos(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(elapsed)
+            .count()));
+  }
+
+ private:
+  Timer* timer_;
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Hierarchical metric registry. Names are '/'-separated paths
+/// ("vm/inst/alu"); each path segment becomes a nested JSON object in the
+/// snapshot. Re-requesting a name returns the same metric; requesting an
+/// existing name as a different kind throws std::logic_error.
+class Registry {
+ public:
+  Counter& counter(const std::string& name);
+  Gauge& gauge(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  Timer& timer(const std::string& name);
+
+  /// Times a scope against timer(name).
+  ScopedTimer scope(const std::string& name) {
+    return ScopedTimer(timer(name));
+  }
+
+  /// Snapshot as a nested JSON object. `include_timers = false` drops
+  /// every Timer — the deterministic view used for byte-comparison.
+  Json to_json(bool include_timers = true) const;
+
+ private:
+  enum class MetricKind : std::uint8_t { kCounter, kGauge, kHistogram, kTimer };
+  struct Metric {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+    std::unique_ptr<Timer> timer;
+  };
+
+  Metric& find_or_create(const std::string& name, MetricKind kind);
+
+  mutable std::mutex mutex_;
+  std::map<std::string, Metric> metrics_;
+};
+
+}  // namespace ferrum::telemetry

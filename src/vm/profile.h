@@ -1,0 +1,48 @@
+// Dynamic execution profile collected by the VM (VmOptions::profile):
+// instruction mix per opcode and per InstOrigin provenance tag, dynamic
+// fault-site tallies per fault class, and hot-block counts. Everything
+// here is a function of the executed instruction stream only, so profiles
+// are bit-identical across runs and across campaign worker counts.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "masm/masm.h"
+
+namespace ferrum::vm {
+
+struct VmProfile {
+  /// Dynamic instructions by opcode (index = static_cast<int>(masm::Op)).
+  std::array<std::uint64_t, masm::kOpCount> op_counts{};
+  /// Dynamic instructions by provenance (from-IR / backend-glue /
+  /// protection) — the paper's Sec IV-B1 instruction-mix argument.
+  std::array<std::uint64_t, masm::kInstOriginCount> origin_counts{};
+  /// Dynamic fault-injection sites registered, by FaultKind index.
+  /// (Store-data sites appear only under VmOptions::fault_store_data,
+  /// mirroring what the injector can actually sample.)
+  std::array<std::uint64_t, 5> site_counts{};
+
+  struct BlockCount {
+    std::string function;
+    std::string label;
+    std::uint64_t instructions = 0;
+  };
+  /// Hottest blocks by dynamic instruction count, sorted descending
+  /// (ties broken by function then label name for determinism), capped
+  /// at kMaxHotBlocks.
+  static constexpr int kMaxHotBlocks = 32;
+  std::vector<BlockCount> hot_blocks;
+
+  /// Total dynamic instructions — equals VmResult::steps by construction
+  /// (asserted by tests/test_telemetry.cpp).
+  std::uint64_t total() const {
+    std::uint64_t sum = 0;
+    for (std::uint64_t count : op_counts) sum += count;
+    return sum;
+  }
+};
+
+}  // namespace ferrum::vm

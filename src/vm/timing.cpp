@@ -9,7 +9,41 @@ namespace ferrum::vm {
 using masm::AsmInst;
 using masm::Op;
 
-TimingModel::TimingModel(const TimingParams& params) : params_(params) {}
+const char* port_class_name(PortClass port) {
+  switch (port) {
+    case PortClass::kAlu: return "alu";
+    case PortClass::kLoad: return "load";
+    case PortClass::kStore: return "store";
+    case PortClass::kBranch: return "branch";
+    case PortClass::kVec: return "vec";
+    case PortClass::kFp: return "fp";
+    case PortClass::kDiv: return "div";
+  }
+  return "?";
+}
+
+namespace {
+
+int clamp_units(int units) {
+  if (units < 1) return 1;
+  if (units > kMaxUnitsPerClass) return kMaxUnitsPerClass;
+  return units;
+}
+
+}  // namespace
+
+TimingModel::TimingModel(const TimingParams& params) : params_(params) {
+  // The unit arrays are fixed at kMaxUnitsPerClass entries; out-of-range
+  // params would otherwise index past them (see timing.h).
+  params_.issue_width = params_.issue_width < 1 ? 1 : params_.issue_width;
+  params_.alu_units = clamp_units(params_.alu_units);
+  params_.load_units = clamp_units(params_.load_units);
+  params_.store_units = clamp_units(params_.store_units);
+  params_.branch_units = clamp_units(params_.branch_units);
+  params_.vec_units = clamp_units(params_.vec_units);
+  params_.fp_units = clamp_units(params_.fp_units);
+  params_.div_units = clamp_units(params_.div_units);
+}
 
 PortClass TimingModel::classify(const AsmInst& inst) const {
   switch (inst.op) {
@@ -173,13 +207,38 @@ void TimingModel::step(const AsmInst& inst, std::uint64_t addr) {
   for (int u = 1; u < units; ++u) {
     if (unit_free[u] < unit_free[best_unit]) best_unit = u;
   }
-  const std::uint64_t cycle =
-      std::max({ready, fetch_cycle, unit_free[best_unit]});
+  const std::uint64_t port_ready = unit_free[best_unit];
+  const std::uint64_t cycle = std::max({ready, fetch_cycle, port_ready});
   unit_free[best_unit] = cycle + 1;  // throughput: 1 op/unit/cycle
 
-  const std::uint64_t completion =
-      cycle + static_cast<std::uint64_t>(latency(inst));
+  const int lat = latency(inst);
+  const std::uint64_t completion = cycle + static_cast<std::uint64_t>(lat);
   last_completion_ = std::max(last_completion_, completion);
+
+  // Telemetry: cycle attribution and stall breakdown.
+  {
+    const int p = static_cast<int>(port);
+    const int origin = static_cast<int>(inst.origin);
+    ++stats_.issues[p][origin];
+    stats_.latency_cycles[p][origin] += static_cast<std::uint64_t>(lat);
+    ++stats_.busy_cycles[p];
+    ++stats_.instructions;
+    // The instruction slipped `cycle - fetch_cycle` past its in-order
+    // fetch slot. Dependences are charged first (they gate execution
+    // fundamentally); any further slip means every unit of the port class
+    // was still busy. When fetch itself was the binding maximum, the
+    // frontend's issue width held the instruction back.
+    const std::uint64_t slipped = cycle - fetch_cycle;
+    const std::uint64_t dep_wait =
+        ready > fetch_cycle ? ready - fetch_cycle : 0;
+    const std::uint64_t dep_part = dep_wait < slipped ? dep_wait : slipped;
+    stats_.stall_dependence += dep_part;
+    stats_.stall_port += slipped - dep_part;
+    const std::uint64_t backend_ready = std::max(ready, port_ready);
+    if (fetch_cycle > backend_ready) {
+      stats_.stall_issue_width += fetch_cycle - backend_ready;
+    }
+  }
 
   for (int i = 0; i < masm::kGprCount; ++i) {
     if (ud.def & masm::gpr_bit(static_cast<masm::Gpr>(i))) {

@@ -34,6 +34,17 @@ enum class PortClass : std::uint8_t {
   kDiv,     // integer & fp division, sqrt
 };
 
+constexpr int kPortClassCount = 7;
+
+/// Stable lower-case name ("alu", "load", ...), used by telemetry.
+const char* port_class_name(PortClass port);
+
+/// Hard capacity of the per-class unit arrays below. TimingParams unit
+/// counts are clamped into [1, kMaxUnitsPerClass] at TimingModel
+/// construction — a params struct with e.g. alu_units = 9 must not index
+/// past port_free_[.][8].
+constexpr int kMaxUnitsPerClass = 8;
+
 struct TimingParams {
   int issue_width = 4;
   // Units per port class (Skylake-like proportions).
@@ -62,10 +73,36 @@ struct TimingParams {
   int lat_call = 2;
 };
 
+/// Microarchitectural telemetry accumulated by the timing model: where
+/// cycles went (per port class, split by instruction provenance) and why
+/// instructions waited. This is what makes the paper's Sec IV mechanism
+/// — FERRUM's checks riding idle vector ports while hybrid's scalar
+/// checks contend for ALU/branch — measurable instead of asserted.
+struct TimingStats {
+  /// Dynamic instructions issued, by [port class][InstOrigin].
+  std::uint64_t issues[kPortClassCount][masm::kInstOriginCount] = {};
+  /// Execution latency cycles attributed, by [port class][InstOrigin].
+  std::uint64_t latency_cycles[kPortClassCount][masm::kInstOriginCount] = {};
+  /// Unit-busy cycles per class (1 per issue at unit throughput 1/cycle);
+  /// divide by cycles() * units for average occupancy.
+  std::uint64_t busy_cycles[kPortClassCount] = {};
+  /// Stall attribution: cycles an instruction's issue slipped past its
+  /// in-order fetch cycle, split by the binding constraint. Dependence
+  /// waits are charged first; any further slip is a port wait. Issue-width
+  /// waits count cycles the frontend (not the backend) was the limiter.
+  std::uint64_t stall_dependence = 0;
+  std::uint64_t stall_port = 0;
+  std::uint64_t stall_issue_width = 0;
+  /// Total instructions accounted (sum of issues).
+  std::uint64_t instructions = 0;
+};
+
 /// Incremental cycle estimator fed one executed instruction at a time by
 /// the VM (with the registers it read/wrote and the memory cell touched).
 class TimingModel {
  public:
+  /// Unit counts are clamped into [1, kMaxUnitsPerClass] and issue_width
+  /// to >= 1; params() reports the values actually used.
   explicit TimingModel(const TimingParams& params);
 
   /// Accounts one dynamic instruction. `addr` is the 8-byte-aligned
@@ -73,6 +110,8 @@ class TimingModel {
   void step(const masm::AsmInst& inst, std::uint64_t addr);
 
   std::uint64_t cycles() const { return last_completion_; }
+  const TimingStats& stats() const { return stats_; }
+  const TimingParams& params() const { return params_; }
 
  private:
   PortClass classify(const masm::AsmInst& inst) const;
@@ -85,9 +124,10 @@ class TimingModel {
   std::uint64_t flags_ready_ = 0;
   // Frontend fetch counter (program order, issue_width per cycle).
   std::uint64_t fetched_ = 0;
-  // Next-free cycle per execution unit, per port class (max 8 units).
-  std::uint64_t port_free_[7][8] = {};
+  // Next-free cycle per execution unit, per port class.
+  std::uint64_t port_free_[kPortClassCount][kMaxUnitsPerClass] = {};
   std::uint64_t last_completion_ = 0;
+  TimingStats stats_;
   // Store-to-load forwarding: completion cycle per 8-byte cell (small
   // direct-mapped table to bound memory).
   static constexpr int kMemTableSize = 4096;

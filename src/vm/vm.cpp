@@ -1,5 +1,6 @@
 #include "vm/vm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstring>
 #include <unordered_map>
@@ -90,7 +91,14 @@ class Machine {
     result.fault_injected = fault_injected_;
     result.fault_landing = fault_landing_;
     result.fault_step = fault_step_;
-    if (options_.timing) result.cycles = timing_.cycles();
+    if (options_.timing) {
+      result.cycles = timing_.cycles();
+      result.timing_stats = timing_.stats();
+    }
+    if (options_.profile) {
+      finalize_hot_blocks();
+      result.profile = std::move(profile_);
+    }
     return result;
   }
 
@@ -105,7 +113,37 @@ class Machine {
       for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
         labels[fn.blocks[b].label] = static_cast<int>(b);
       }
+      if (options_.profile) block_hits_.emplace_back(fn.blocks.size(), 0);
     }
+  }
+
+  /// Converts the raw per-block instruction tallies into the profile's
+  /// sorted, capped hot-block list (deterministic tie-break by name).
+  void finalize_hot_blocks() {
+    std::vector<VmProfile::BlockCount> blocks;
+    for (std::size_t f = 0; f < block_hits_.size(); ++f) {
+      for (std::size_t b = 0; b < block_hits_[f].size(); ++b) {
+        if (block_hits_[f][b] == 0) continue;
+        VmProfile::BlockCount entry;
+        entry.function = program_.functions[f].name;
+        entry.label = program_.functions[f].blocks[b].label;
+        entry.instructions = block_hits_[f][b];
+        blocks.push_back(std::move(entry));
+      }
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const VmProfile::BlockCount& a,
+                 const VmProfile::BlockCount& b) {
+                if (a.instructions != b.instructions) {
+                  return a.instructions > b.instructions;
+                }
+                if (a.function != b.function) return a.function < b.function;
+                return a.label < b.label;
+              });
+    if (blocks.size() > VmProfile::kMaxHotBlocks) {
+      blocks.resize(VmProfile::kMaxHotBlocks);
+    }
+    profile_.hot_blocks = std::move(blocks);
   }
 
   int function_index(const std::string& name) const {
@@ -239,6 +277,7 @@ class Machine {
   /// site is one of the sampled ones, or nullptr.
   const FaultSpec* fi_site(FaultKind kind, const AsmInst& inst) {
     const std::uint64_t id = fi_sites_++;
+    if (options_.profile) ++profile_.site_counts[static_cast<int>(kind)];
     for (const FaultSpec& spec : faults_) {
       if (id != spec.site) continue;
       if (!fault_injected_) {
@@ -337,6 +376,12 @@ class Machine {
       }
       const AsmInst& inst = block.insts[iidx_];
       if (++steps_ > options_.max_steps) throw Trap{ExitStatus::kTrapSteps};
+      if (options_.profile) {
+        ++profile_.op_counts[static_cast<int>(inst.op)];
+        ++profile_.origin_counts[static_cast<int>(inst.origin)];
+        ++block_hits_[static_cast<std::size_t>(fidx_)]
+                     [static_cast<std::size_t>(bidx_)];
+      }
       if (trace_.size() < options_.trace_limit) {
         trace_.push_back(fn.name + "/" + block.label + ": " +
                          inst.to_string());
@@ -772,6 +817,9 @@ class Machine {
   std::vector<std::string> trace_;
   std::uint64_t touched_addr_ = 0;
   TimingModel timing_;
+  VmProfile profile_;
+  // Dynamic instructions per [function][block] (profiling only).
+  std::vector<std::vector<std::uint64_t>> block_hits_;
 };
 
 }  // namespace

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "masm/masm.h"
+#include "vm/profile.h"
 #include "vm/timing.h"
 
 namespace ferrum::vm {
@@ -75,6 +76,9 @@ struct VmOptions {
   /// Run the timing model alongside execution (adds ~2x cost).
   bool timing = false;
   TimingParams timing_params;
+  /// Collect a VmProfile (instruction mix, site tallies, hot blocks)
+  /// alongside execution — a few array increments per step.
+  bool profile = false;
   /// Record the first `trace_limit` executed instructions (rendered text
   /// plus the value each wrote) into VmResult::trace — a debugging aid.
   std::size_t trace_limit = 0;
@@ -90,6 +94,11 @@ struct VmResult {
   std::uint64_t fi_sites = 0;
   /// Estimated cycles (only when VmOptions::timing).
   std::uint64_t cycles = 0;
+  /// Per-port/per-origin cycle attribution and stall breakdown (only
+  /// when VmOptions::timing).
+  std::optional<TimingStats> timing_stats;
+  /// Dynamic profile (only when VmOptions::profile).
+  std::optional<VmProfile> profile;
   /// Set when a FaultSpec was supplied and its site was reached.
   bool fault_injected = false;
   std::optional<FaultLanding> fault_landing;

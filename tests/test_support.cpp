@@ -175,6 +175,37 @@ TEST(Env, EnvIntReadsValidValues) {
   EXPECT_EQ(env_int("FERRUM_TEST_KNOB", 400), 400);  // unset -> fallback
 }
 
+// The shared experiment knobs (FERRUM_TRIALS / FERRUM_SCALE / FERRUM_JOBS)
+// are defined once in support/env and reused by benches and ferrumc.
+TEST(Env, SharedKnobTrials) {
+  ::unsetenv("FERRUM_TRIALS");
+  EXPECT_EQ(env_trials(), 1000);
+  EXPECT_EQ(env_trials(250), 250);
+  ::setenv("FERRUM_TRIALS", "64", 1);
+  EXPECT_EQ(env_trials(), 64);
+  ::setenv("FERRUM_TRIALS", "0", 1);  // below the floor of 1
+  EXPECT_EQ(env_trials(), 1000);
+  ::unsetenv("FERRUM_TRIALS");
+}
+
+TEST(Env, SharedKnobScale) {
+  ::unsetenv("FERRUM_SCALE");
+  EXPECT_EQ(env_scale(), 2);
+  EXPECT_EQ(env_scale(5), 5);
+  ::setenv("FERRUM_SCALE", "3", 1);
+  EXPECT_EQ(env_scale(), 3);
+  ::setenv("FERRUM_SCALE", "junk", 1);
+  EXPECT_EQ(env_scale(), 2);
+  ::unsetenv("FERRUM_SCALE");
+}
+
+TEST(Env, SharedKnobJobs) {
+  ::setenv("FERRUM_JOBS", "3", 1);
+  EXPECT_EQ(env_jobs(), 3);
+  ::unsetenv("FERRUM_JOBS");
+  EXPECT_GE(env_jobs(), 1);  // hardware concurrency, at least 1
+}
+
 TEST(Str, SplitKeepsEmptyFields) {
   auto parts = split("a,,b,", ',');
   ASSERT_EQ(parts.size(), 4u);

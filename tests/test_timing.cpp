@@ -155,5 +155,51 @@ TEST(Timing, VmIntegrationProducesCycles) {
   EXPECT_EQ(result.cycles, again.cycles);
 }
 
+// Unit counts beyond the fixed port_free_[7][kMaxUnitsPerClass] arrays
+// used to index out of bounds (alu_units = 9 walked past the row); the
+// constructor now clamps into [1, kMaxUnitsPerClass].
+TEST(Timing, UnitCountsClampedToArrayCapacity) {
+  vm::TimingParams oversized;
+  oversized.alu_units = 9;  // > kMaxUnitsPerClass
+  oversized.load_units = 100;
+  oversized.vec_units = 1000;
+  vm::TimingModel model(oversized);
+  EXPECT_EQ(model.params().alu_units, vm::kMaxUnitsPerClass);
+  EXPECT_EQ(model.params().load_units, vm::kMaxUnitsPerClass);
+  EXPECT_EQ(model.params().vec_units, vm::kMaxUnitsPerClass);
+  // Hammer the clamped model well past the unit count: every issue must
+  // stay inside the array (caught by ASan in the sanitizer job).
+  for (int i = 0; i < 64; ++i) {
+    model.step(add_reg(static_cast<Gpr>(i % 4), static_cast<Gpr>(i % 4)), 0);
+  }
+  EXPECT_GT(model.cycles(), 0u);
+  // A clamped 9-unit request behaves exactly like an 8-unit machine.
+  vm::TimingParams eight;
+  eight.alu_units = 8;
+  eight.load_units = 8;
+  eight.vec_units = 8;
+  vm::TimingModel reference(eight);
+  for (int i = 0; i < 64; ++i) {
+    reference.step(add_reg(static_cast<Gpr>(i % 4), static_cast<Gpr>(i % 4)),
+                   0);
+  }
+  EXPECT_EQ(model.cycles(), reference.cycles());
+}
+
+TEST(Timing, NonPositiveUnitCountsClampToOne) {
+  vm::TimingParams params;
+  params.alu_units = 0;
+  params.branch_units = -5;
+  params.issue_width = 0;
+  vm::TimingModel model(params);
+  EXPECT_EQ(model.params().alu_units, 1);
+  EXPECT_EQ(model.params().branch_units, 1);
+  EXPECT_EQ(model.params().issue_width, 1);
+  // Must make forward progress (a 0 issue width would otherwise hang the
+  // fetch model).
+  for (int i = 0; i < 16; ++i) model.step(add_reg(Gpr::kRax, Gpr::kRax), 0);
+  EXPECT_GT(model.cycles(), 0u);
+}
+
 }  // namespace
 }  // namespace ferrum
