@@ -125,6 +125,28 @@ void check_fig11_mechanism(const Json& fig11) {
   if (ferrum_vec == 0) fail("fig11: FERRUM vector-port attribution is empty");
 }
 
+/// Acceptance check on the static-coverage cross-validation: every
+/// dynamically observed SDC escape must have landed on a statically
+/// unprotected site (agreement == 1.0), and the unprotected audit must
+/// actually have produced escapes (otherwise containment is vacuous).
+void check_static_coverage(Json& artifact) {
+  Json& metrics = artifact["metrics"];
+  const Json* agreement = metrics.find("agreement");
+  if (agreement == nullptr) {
+    fail("analysis_static_coverage metrics lack 'agreement'");
+    return;
+  }
+  if (agreement->as_double() != 1.0) {
+    fail("analysis_static_coverage agreement below 1.0: a dynamic SDC "
+         "escaped outside the statically-unprotected set");
+  }
+  const Json* escapes = metrics.find("total_escapes");
+  if (escapes == nullptr || escapes->as_uint() == 0) {
+    fail("analysis_static_coverage observed no escapes — containment "
+         "check is vacuous");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -154,6 +176,7 @@ int main(int argc, char** argv) {
       {"pareto_selective", ""},
       {"detection_latency", ""},
       {"analysis_rootcause", ""},
+      {"analysis_static_coverage", ""},
       {"bench_pass_time", "--benchmark_list_tests=true"},
       {"bench_vm", "--benchmark_list_tests=true"},
   };
@@ -190,6 +213,11 @@ int main(int argc, char** argv) {
   if (const auto fig11 = check_artifact(out_dir, "fig11_overhead");
       fig11.has_value()) {
     check_fig11_mechanism(*fig11);
+  }
+
+  if (auto coverage = check_artifact(out_dir, "analysis_static_coverage");
+      coverage.has_value()) {
+    check_static_coverage(*coverage);
   }
 
   if (failures == 0) std::printf("bench_smoke: all checks passed\n");

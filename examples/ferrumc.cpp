@@ -9,6 +9,13 @@
 //   ferrumc audit prog.c                   # exhaustive FERRUM audit
 //   ferrumc campaign prog.c --tech=ferrum --trials=1000
 //   ferrumc run prog.c --tech=ferrum --timing --stats=out.json
+//   ferrumc lint prog.c --tech=ferrum      # static protection verifier
+//   ferrumc lint prog.s --lint=json        # lint assembly, JSON report
+//
+// `lint` (equivalently: any command with --lint) runs ferrum-check over
+// the built assembly and exits non-zero when a protection invariant is
+// violated. A `.s` input is parsed as MiniASM directly, so mutated or
+// handwritten protection idioms can be linted without the pipeline.
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -16,10 +23,13 @@
 #include <sstream>
 #include <string>
 
+#include "check/check.h"
 #include "fault/audit.h"
 #include "fault/campaign.h"
 #include "ir/printer.h"
 #include "masm/masm.h"
+#include "masm/parser.h"
+#include "masm/verifier.h"
 #include "pipeline/pipeline.h"
 #include "support/env.h"
 #include "telemetry/export.h"
@@ -32,10 +42,14 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <run|asm|ir|audit|campaign> <file.c>\n"
+               "usage: %s <run|asm|ir|audit|campaign|lint> <file.c|file.s>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--timing]\n"
-               "       [--stats=<file.json>]\n"
+               "       [--lint[=json]] [--stats=<file.json>]\n"
+               "(lint runs the ferrum-check static protection verifier: "
+               "violations on stderr, non-zero exit when the protection "
+               "invariants do not hold; --lint=json dumps the full report;\n"
+               " a .s input is linted directly, without the pipeline)\n"
                "(--jobs defaults to FERRUM_JOBS, then hardware "
                "concurrency; results are identical for any value;\n"
                " --stats writes run/campaign/audit telemetry as JSON — "
@@ -91,15 +105,23 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string path = argv[2];
   Technique technique =
-      command == "audit" ? Technique::kFerrum : Technique::kNone;
+      command == "audit" || command == "lint" ? Technique::kFerrum
+                                              : Technique::kNone;
   int trials = env_trials();
   int jobs = env_jobs();
   bool timing = false;
+  bool lint = command == "lint";
+  bool lint_json = false;
   std::string stats_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tech=", 0) == 0) {
       technique = parse_technique(arg.substr(7));
+    } else if (arg == "--lint") {
+      lint = true;
+    } else if (arg == "--lint=json") {
+      lint = true;
+      lint_json = true;
     } else if (arg.rfind("--stats=", 0) == 0) {
       stats_path = arg.substr(8);
       if (stats_path.empty()) {
@@ -124,12 +146,71 @@ int main(int argc, char** argv) {
   }
 
   const std::string source = read_file(path);
+  const bool asm_input =
+      path.size() > 2 && path.compare(path.size() - 2, 2, ".s") == 0;
+  if (asm_input && !lint) {
+    std::fprintf(stderr, "a .s input is only supported by lint\n");
+    return 2;
+  }
   pipeline::Build build;
-  try {
-    build = pipeline::build(source, technique);
-  } catch (const std::exception& error) {
-    std::fprintf(stderr, "%s\n", error.what());
-    return 1;
+  if (asm_input) {
+    DiagEngine diags;
+    build.program = masm::parse_program(source, diags);
+    if (diags.has_errors()) {
+      std::fprintf(stderr, "%s", diags.render().c_str());
+      return 1;
+    }
+    for (const std::string& problem :
+         masm::verify_program(build.program, /*require_main=*/false)) {
+      std::fprintf(stderr, "asm-verify: %s\n", problem.c_str());
+    }
+  } else {
+    try {
+      build = pipeline::build(source, technique);
+    } catch (const std::exception& error) {
+      // For a protected build this includes protect-check violations —
+      // the pipeline refuses to hand over a program that fails its own
+      // static lint, so the non-zero exit covers --lint as well.
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+  }
+
+  if (lint) {
+    check::CheckOptions check_options;
+    const check::CheckReport report =
+        check::check_program(build.program, check_options);
+    for (const check::Violation& violation : report.violations) {
+      std::fprintf(stderr, "%s\n", check::to_string(violation).c_str());
+    }
+    if (lint_json) {
+      std::fputs(check::to_json(report).dump().c_str(), stdout);
+      std::fputc('\n', stdout);
+    } else {
+      std::printf("violations=%zu protected=%llu benign=%llu "
+                  "unprotected=%llu\n",
+                  report.violations.size(),
+                  static_cast<unsigned long long>(report.protected_sites),
+                  static_cast<unsigned long long>(report.benign_sites),
+                  static_cast<unsigned long long>(report.unprotected_sites));
+    }
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "lint";
+      metrics["technique"] =
+          asm_input ? "asm-input" : pipeline::technique_name(technique);
+      metrics["lint"] = check::to_json(report);
+      telemetry::Json lint_pass_seconds = telemetry::Json::array();
+      for (const auto& [pass, seconds] : build.pass_seconds) {
+        telemetry::Json entry = telemetry::Json::object();
+        entry[pass] = seconds;
+        lint_pass_seconds.push_back(entry);
+      }
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = lint_pass_seconds;
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
+    return report.clean() ? 0 : 1;
   }
 
   if (command == "ir") {
@@ -193,10 +274,11 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.crashed),
                 report.escapes.size());
     for (const auto& escape : report.escapes) {
-      std::printf("ESCAPE site=%llu bit=%d kind=%s fn=%s\n",
+      std::printf("ESCAPE site=%llu bit=%d kind=%s op=%s fn=%s b%d#%d\n",
                   static_cast<unsigned long long>(escape.site), escape.bit,
                   vm::fault_kind_name(escape.kind),
-                  escape.function.c_str());
+                  masm::op_mnemonic(escape.op), escape.function.c_str(),
+                  escape.block, escape.inst);
     }
     if (!stats_path.empty()) {
       telemetry::Json metrics = telemetry::Json::object();

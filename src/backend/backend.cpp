@@ -114,6 +114,13 @@ class FunctionLowering {
   void run() {
     AsmFunction out;
     out.name = fn_.name();
+    for (const auto& arg : fn_.args()) {
+      if (arg->type().is_float()) {
+        ++out.fp_args;
+      } else {
+        ++out.int_args;
+      }
+    }
     asm_fn_ = &out;
 
     analyze();

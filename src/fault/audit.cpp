@@ -62,7 +62,10 @@ AuditReport audit_program(const masm::AsmProgram& program,
               if (run.fault_landing.has_value()) {
                 escape.kind = run.fault_landing->kind;
                 escape.origin = run.fault_landing->origin;
+                escape.op = run.fault_landing->op;
                 escape.function = run.fault_landing->function;
+                escape.block = run.fault_landing->block;
+                escape.inst = run.fault_landing->inst;
               }
               partial.escapes.push_back(std::move(escape));
             }

@@ -30,7 +30,13 @@ struct AuditEscape {
   int bit = 0;
   vm::FaultKind kind = vm::FaultKind::kGprWrite;
   masm::InstOrigin origin = masm::InstOrigin::kFromIR;
+  masm::Op op = masm::Op::kMov;
   std::string function;
+  /// Static (block, inst) coordinates of the landing instruction — the
+  /// key used by bench/analysis_static_coverage to test containment in
+  /// the ferrum-check unprotected-site set.
+  int block = 0;
+  int inst = 0;
 };
 
 struct AuditReport {

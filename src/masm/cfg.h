@@ -26,6 +26,27 @@ inline bool has_xmm(LiveSet set, int index) {
 inline bool has_flags(LiveSet set) { return (set & kFlagsBit) != 0; }
 
 /// Registers read / written by one instruction, as LiveSet masks.
+///
+/// The masks for the protection pseudo-ops are load-bearing — the spare
+/// register scan, the requisition machinery, the VM's fault-site
+/// enumeration and the ferrum-check verifier all consume them, and an
+/// omission silently shrinks live sets (a register scavenged while its
+/// value is still needed). The non-obvious cases:
+///
+///   * `vptest a, b` reads BOTH xmm operands and defines only FLAGS —
+///     it is the consumer that keeps batched capture registers alive up
+///     to the check point;
+///   * `pinsrq $lane, src, x` and `vinserti128 $1, src, y` are
+///     read-modify-writes: the destination register appears in `use` as
+///     well as `def`, because the untouched lanes survive;
+///   * `push r` / `pop r` read AND write %rsp (pointer bump) on top of
+///     the value transfer — requisition push/pop balance depends on rsp
+///     appearing in both masks;
+///   * `call __ferrum_detect` (kDetectTrap) uses/defs nothing: it never
+///     returns, so nothing downstream can be live through it;
+///   * a sub-64-bit GPR def (e.g. `setcc %r10b`, `movl` into a spare)
+///     also counts as a use of that register — the preserved upper bits
+///     may still carry a parked value.
 struct UseDef {
   LiveSet use = 0;
   LiveSet def = 0;

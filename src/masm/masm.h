@@ -168,6 +168,14 @@ struct AsmFunction {
   std::string name;
   std::vector<AsmBlock> blocks;
 
+  /// ABI metadata: how many integer / floating-point arguments the
+  /// function receives (System V order: %rdi..%r9, %xmm0..%xmm7). Filled
+  /// by the backend; parsed assembly leaves both at 0, which disables the
+  /// verifier's call argument-register discipline for that callee. Not
+  /// part of the printed form.
+  int int_args = 0;
+  int fp_args = 0;
+
   /// Index of a block by label, -1 if absent.
   int block_index(const std::string& label) const;
   std::size_t inst_count() const;

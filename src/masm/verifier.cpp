@@ -1,7 +1,10 @@
 #include "masm/verifier.h"
 
 #include <sstream>
+#include <unordered_map>
 #include <unordered_set>
+
+#include "masm/cfg.h"
 
 namespace ferrum::masm {
 
@@ -11,10 +14,34 @@ bool is_terminatorish(Op op) {
   return op == Op::kJmp || op == Op::kJcc || op == Op::kRet;
 }
 
-const std::unordered_set<std::string>& intrinsics() {
-  static const std::unordered_set<std::string> names = {"print_int",
-                                                        "print_f64"};
+/// Known intrinsics and their (int, fp) argument counts.
+const std::unordered_map<std::string, std::pair<int, int>>& intrinsics() {
+  static const std::unordered_map<std::string, std::pair<int, int>> names = {
+      {"print_int", {1, 0}}, {"print_f64", {0, 1}}};
   return names;
+}
+
+/// Integer-argument registers, System V order (mirrors the backend).
+constexpr Gpr kIntArgRegs[] = {Gpr::kRdi, Gpr::kRsi, Gpr::kRdx,
+                               Gpr::kRcx, Gpr::kR8,  Gpr::kR9};
+
+/// Register set a callee expects to find populated.
+LiveSet arg_regs_mask(int int_args, int fp_args) {
+  LiveSet mask = 0;
+  for (int i = 0; i < int_args && i < 6; ++i) mask |= gpr_bit(kIntArgRegs[i]);
+  for (int i = 0; i < fp_args && i < 8; ++i) mask |= xmm_bit(i);
+  return mask;
+}
+
+/// Caller-saved state a call clobbers (the callee may trash these).
+LiveSet call_clobber_mask() {
+  LiveSet mask = 0;
+  for (Gpr reg : {Gpr::kRax, Gpr::kRcx, Gpr::kRdx, Gpr::kRsi, Gpr::kRdi,
+                  Gpr::kR8, Gpr::kR9, Gpr::kR10, Gpr::kR11}) {
+    mask |= gpr_bit(reg);
+  }
+  for (int i = 0; i < kXmmCount; ++i) mask |= xmm_bit(i);
+  return mask;
 }
 
 class Verifier {
@@ -62,6 +89,104 @@ class Verifier {
         }
         check_inst(fn, block, inst, labels);
       }
+    }
+    check_call_discipline(fn);
+  }
+
+  /// Register set a call's callee expects populated, or 0 if unknowable
+  /// (unknown callee, or parsed assembly whose arg counts default to 0).
+  LiveSet required_args(const AsmInst& inst) const {
+    if (inst.nops != 1 || inst.ops[0].kind != Operand::Kind::kFunc) return 0;
+    const std::string& callee = inst.ops[0].label;
+    if (const AsmFunction* f = program_.find_function(callee)) {
+      return arg_regs_mask(f->int_args, f->fp_args);
+    }
+    auto it = intrinsics().find(callee);
+    return it == intrinsics().end() ? 0
+                                    : arg_regs_mask(it->second.first,
+                                                    it->second.second);
+  }
+
+  /// Forward must-analysis of definitely-assigned registers: at every
+  /// call, the callee's argument registers must be assigned on all paths
+  /// from function entry. Catches protection or backend rewrites that
+  /// clobber a marshalled argument (a call clobbers caller-saved state,
+  /// so an argument surviving one call does not satisfy the next).
+  void check_call_discipline(const AsmFunction& fn) {
+    const int block_count = static_cast<int>(fn.blocks.size());
+    const LiveSet top = ~LiveSet{0};
+    // Entry state: the function's own incoming arguments plus the stack
+    // registers, which the ABI guarantees are valid on entry.
+    const LiveSet entry = arg_regs_mask(fn.int_args, fn.fp_args) |
+                          gpr_bit(Gpr::kRsp) | gpr_bit(Gpr::kRbp);
+
+    // Walks one block from `state`, meeting each outgoing edge's state
+    // into `edge_in`. Protection checks put jcc mid-block, so the state
+    // exported to a branch target is the state at that jcc, not the
+    // block's final state (build_cfg's block-granular edges would both
+    // miss those branches and be less precise).
+    auto transfer = [&](int b, LiveSet state, std::vector<LiveSet>* edge_in,
+                        std::vector<std::string>* missing) {
+      const AsmBlock& block = fn.blocks[b];
+      for (const AsmInst& inst : block.insts) {
+        if (inst.op == Op::kCall) {
+          const LiveSet required = required_args(inst);
+          if (missing != nullptr && (state & required) != required) {
+            std::ostringstream os;
+            os << "." << block.label << ": " << inst.to_string()
+               << " argument register(s) not definitely assigned:";
+            for (int i = 0; i < 6; ++i) {
+              if ((required & ~state & gpr_bit(kIntArgRegs[i])) != 0) {
+                os << " %" << gpr_name(kIntArgRegs[i], 8);
+              }
+            }
+            for (int i = 0; i < 8; ++i) {
+              if ((required & ~state & xmm_bit(i)) != 0) os << " %xmm" << i;
+            }
+            missing->push_back(os.str());
+          }
+          // The callee clobbers caller-saved state and hands back its
+          // return registers.
+          state = (state & ~call_clobber_mask()) | gpr_bit(Gpr::kRax) |
+                  xmm_bit(0);
+        } else if (inst.op == Op::kJcc || inst.op == Op::kJmp) {
+          const int target = fn.block_index(inst.ops[0].label);
+          if (target >= 0 && edge_in != nullptr) {
+            (*edge_in)[target] &= state;
+          }
+          if (inst.op == Op::kJmp) return;  // nothing below executes
+        } else if (inst.op == Op::kRet || inst.op == Op::kDetectTrap) {
+          return;
+        } else {
+          state |= use_def_of(inst).def;
+        }
+      }
+      // Implicit fall-through to the next block in layout order.
+      if (b + 1 < block_count && edge_in != nullptr) {
+        (*edge_in)[b + 1] &= state;
+      }
+    };
+
+    // Round-robin must-fixpoint. Blocks never reached stay at top and are
+    // skipped when reporting (dead blocks would flag phantom problems).
+    std::vector<LiveSet> in(block_count, top);
+    in[0] = entry;
+    bool changed = true;
+    while (changed) {
+      std::vector<LiveSet> next(block_count, top);
+      next[0] = entry;
+      for (int b = 0; b < block_count; ++b) {
+        if (in[b] == top && b != 0) continue;  // not yet reached
+        transfer(b, in[b], &next, nullptr);
+      }
+      changed = next != in;
+      in = std::move(next);
+    }
+    for (int b = 0; b < block_count; ++b) {
+      if (in[b] == top && b != 0) continue;  // unreachable
+      std::vector<std::string> missing;
+      transfer(b, in[b], nullptr, &missing);
+      for (const std::string& message : missing) problem(fn, message);
     }
   }
 

@@ -2,6 +2,7 @@
 
 #include <chrono>
 
+#include "check/check.h"
 #include "frontend/codegen.h"
 #include "ir/verifier.h"
 #include "masm/verifier.h"
@@ -115,6 +116,24 @@ Build build(std::string_view source, Technique technique,
     const std::string problems = masm::verify_program_to_string(result.program);
     if (!problems.empty()) {
       throw std::runtime_error("protection produced malformed assembly:\n" +
+                               problems);
+    }
+  }
+  if (technique != Technique::kNone) {
+    // Static protection lint: prove the emitted protection idioms are
+    // well-formed (fresh check operands, guarded detects, balanced
+    // requisitions, ...). Any violation means the protection pass
+    // emitted a check that cannot detect what it claims to.
+    PassScope scope(result, "protect-check");
+    check::CheckOptions check_options;
+    check_options.store_data_sites = options.ferrum.protect_store_data;
+    result.check_report = check::check_program(result.program, check_options);
+    if (!result.check_report.clean()) {
+      std::string problems;
+      for (const check::Violation& violation : result.check_report.violations) {
+        problems += "  " + check::to_string(violation) + "\n";
+      }
+      throw std::runtime_error("protect-check found invariant violations:\n" +
                                problems);
     }
   }

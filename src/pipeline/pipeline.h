@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "backend/backend.h"
+#include "check/check.h"
 #include "eddi/asm_protect.h"
 #include "eddi/ir_eddi.h"
 #include "ir/ir.h"
@@ -41,10 +42,15 @@ struct Build {
   eddi::AsmProtectStats asm_stats;
   /// Wall-clock seconds spent in the assembly-level protection pass.
   double protect_seconds = 0.0;
+  /// ferrum-check report from the protect-check pass (runs for every
+  /// protected technique; empty/default for kNone). A violation here is
+  /// a pipeline bug and build() throws, so a returned Build always
+  /// carries a clean report — its value is the coverage classification.
+  check::CheckReport check_report;
   /// Wall-clock seconds per pipeline pass, in execution order (stages
   /// that did not run for this technique are absent). Stage names:
   /// "frontend", "ir-protect", "ir-verify", "lower", "asm-verify",
-  /// "protect", "protect-verify".
+  /// "protect", "protect-verify", "protect-check".
   std::vector<std::pair<std::string, double>> pass_seconds;
 };
 

@@ -154,7 +154,10 @@ Json to_json(const fault::AuditReport& report) {
     entry["bit"] = escape.bit;
     entry["kind"] = vm::fault_kind_name(escape.kind);
     entry["origin"] = masm::origin_name(escape.origin);
+    entry["op"] = masm::op_mnemonic(escape.op);
     entry["function"] = escape.function;
+    entry["block"] = escape.block;
+    entry["inst"] = escape.inst;
     escapes.push_back(entry);
   }
   json["escapes"] = escapes;

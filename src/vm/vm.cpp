@@ -286,6 +286,8 @@ class Machine {
         landing.origin = inst.origin;
         landing.op = inst.op;
         landing.function = program_.functions[fidx_].name;
+        landing.block = bidx_;
+        landing.inst = iidx_;
         fault_landing_ = landing;
         fault_step_ = steps_;
       }

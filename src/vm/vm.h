@@ -63,6 +63,11 @@ struct FaultLanding {
   masm::InstOrigin origin = masm::InstOrigin::kFromIR;
   masm::Op op = masm::Op::kMov;
   std::string function;
+  /// Static coordinates of the instruction the fault landed on, so a
+  /// dynamic escape can be keyed against the static coverage table
+  /// (check::SiteRecord uses the same block/inst indices).
+  int block = 0;
+  int inst = 0;
 };
 
 struct VmOptions {

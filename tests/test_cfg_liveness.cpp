@@ -158,5 +158,73 @@ TEST(UsedRegisters, ScanIsComplete) {
   EXPECT_FALSE(has_xmm(used, 7));
 }
 
+// The UseDef masks of the protection pseudo-ops are contract: the spare
+// register scan, the requisition machinery and ferrum-check all consume
+// them (see the table in cfg.h). Each test pins one non-obvious case.
+
+AsmInst parse_inst(const char* body) {
+  AsmProgram program =
+      parse_ok(("f:\n.a:\n\t" + std::string(body) + "\n\tret\n").c_str());
+  return program.functions[0].blocks[0].insts[0];
+}
+
+TEST(UseDef, VptestReadsBothOperandsDefinesOnlyFlags) {
+  const UseDef ud = use_def_of(parse_inst("vptest\t%ymm14, %ymm13"));
+  EXPECT_TRUE(has_xmm(ud.use, 14));
+  EXPECT_TRUE(has_xmm(ud.use, 13));
+  EXPECT_EQ(ud.def, kFlagsBit);
+}
+
+TEST(UseDef, PinsrqIsReadModifyWrite) {
+  const UseDef ud = use_def_of(parse_inst("pinsrq\t$1, %rcx, %xmm5"));
+  EXPECT_TRUE(has_gpr(ud.use, Gpr::kRcx));
+  // Lane 0 survives the insert, so the destination is read as well.
+  EXPECT_TRUE(has_xmm(ud.use, 5));
+  EXPECT_TRUE(has_xmm(ud.def, 5));
+  EXPECT_FALSE(has_flags(ud.def));
+}
+
+TEST(UseDef, Vinserti128IsReadModifyWrite) {
+  const UseDef ud = use_def_of(parse_inst("vinserti128\t$1, %xmm2, %ymm7"));
+  EXPECT_TRUE(has_xmm(ud.use, 2));
+  EXPECT_TRUE(has_xmm(ud.use, 7));
+  EXPECT_TRUE(has_xmm(ud.def, 7));
+}
+
+TEST(UseDef, PushPopBumpRsp) {
+  const UseDef push = use_def_of(parse_inst("pushq\t%r12"));
+  EXPECT_TRUE(has_gpr(push.use, Gpr::kR12));
+  EXPECT_TRUE(has_gpr(push.use, Gpr::kRsp));
+  EXPECT_TRUE(has_gpr(push.def, Gpr::kRsp));
+  EXPECT_FALSE(has_gpr(push.def, Gpr::kR12));
+
+  const UseDef pop = use_def_of(parse_inst("popq\t%r12"));
+  EXPECT_TRUE(has_gpr(pop.use, Gpr::kRsp));
+  EXPECT_TRUE(has_gpr(pop.def, Gpr::kR12));
+  EXPECT_TRUE(has_gpr(pop.def, Gpr::kRsp));
+}
+
+TEST(UseDef, DetectTrapIsInert) {
+  // Never returns: nothing can be live through it, so both masks are
+  // empty and liveness ends at the trap.
+  const UseDef ud = use_def_of(AsmInst(Op::kDetectTrap, {}));
+  EXPECT_EQ(ud.use, 0u);
+  EXPECT_EQ(ud.def, 0u);
+}
+
+TEST(UseDef, NarrowGprDefCountsAsUse) {
+  // setcc writes one byte; the upper bits (a parked requisition value,
+  // a batched capture) survive, so the register is read as well.
+  const UseDef set = use_def_of(parse_inst("setl\t%r10b"));
+  EXPECT_TRUE(has_flags(set.use));
+  EXPECT_TRUE(has_gpr(set.use, Gpr::kR10));
+  EXPECT_TRUE(has_gpr(set.def, Gpr::kR10));
+
+  // A full-width def is a clean kill: no self-use.
+  const UseDef mov = use_def_of(parse_inst("movq\t$1, %r10"));
+  EXPECT_FALSE(has_gpr(mov.use, Gpr::kR10));
+  EXPECT_TRUE(has_gpr(mov.def, Gpr::kR10));
+}
+
 }  // namespace
 }  // namespace ferrum::masm

@@ -423,19 +423,22 @@ TEST(PassTiming, PipelineRecordsStagesInOrder) {
     stages.push_back(stage);
     EXPECT_GE(seconds, 0.0) << stage;
   }
-  const std::vector<std::string> want = {"frontend", "lower", "asm-verify",
-                                         "protect", "protect-verify"};
+  const std::vector<std::string> want = {"frontend",       "lower",
+                                         "asm-verify",     "protect",
+                                         "protect-verify", "protect-check"};
   EXPECT_EQ(stages, want);
   EXPECT_GE(build.asm_stats.pass_seconds, 0.0);
+  EXPECT_TRUE(build.check_report.clean());
+  EXPECT_GT(build.check_report.total_sites(), 0u);
 
   auto ir_build = pipeline::build(w.source, Technique::kIrEddi);
   std::vector<std::string> ir_stages;
   for (const auto& [stage, seconds] : ir_build.pass_seconds) {
     ir_stages.push_back(stage);
   }
-  const std::vector<std::string> ir_want = {"frontend", "ir-protect",
-                                            "ir-verify", "lower",
-                                            "asm-verify"};
+  const std::vector<std::string> ir_want = {"frontend",   "ir-protect",
+                                            "ir-verify",  "lower",
+                                            "asm-verify", "protect-check"};
   EXPECT_EQ(ir_stages, ir_want);
   EXPECT_GE(ir_build.ir_stats.pass_seconds, 0.0);
 }
