@@ -1,9 +1,12 @@
-// Substrate microbenchmarks: VM interpretation throughput and the cost of
-// enabling the timing model, per technique. Not a paper experiment, but
-// documents what one fault-injection trial costs.
+// Substrate microbenchmarks: VM interpretation throughput, the cost of
+// enabling the timing model, and campaign trial throughput cold vs
+// checkpointed, per technique. Not a paper experiment, but documents what
+// one fault-injection trial costs — and what the snapshot/fast-forward
+// engine buys back.
 #include <benchmark/benchmark.h>
 
 #include "bench_util.h"
+#include "fault/campaign.h"
 #include "pipeline/pipeline.h"
 #include "telemetry/export.h"
 #include "vm/vm.h"
@@ -57,6 +60,50 @@ int main(int argc, char** argv) {
         row["profile"] = telemetry::to_json(*result.profile);
         report.metrics()["techniques"]
             [pipeline::technique_name(technique)] = row;
+      }
+    }
+
+    // Campaign throughput, cold vs checkpointed, per technique. Outcome
+    // counts are deterministic and identical on both paths (asserted into
+    // `metrics`); trials/sec and the speedup are wall-clock observability.
+    {
+      const int trials = benchutil::env_trials(256);
+      const int jobs = benchutil::env_jobs();
+      const int stride = benchutil::env_ckpt_stride();
+      for (Technique technique : techniques) {
+        auto build = pipeline::build(w.source, technique);
+        fault::CampaignOptions campaign;
+        campaign.trials = trials;
+        campaign.jobs = jobs;
+        campaign.ckpt_stride = 0;
+        const auto cold = fault::run_campaign(build.program, campaign);
+        campaign.ckpt_stride = stride == 0 ? 64 : stride;
+        const auto warm = fault::run_campaign(build.program, campaign);
+
+        const char* name = pipeline::technique_name(technique);
+        report.metrics()["campaign"][name] = telemetry::to_json(cold);
+        report.metrics()["campaign_equivalent"][name] =
+            telemetry::to_json(cold).dump() == telemetry::to_json(warm).dump();
+
+        telemetry::Json row = telemetry::Json::object();
+        row["trials"] = trials;
+        const double cold_tps = cold.wall_seconds > 0.0
+                                    ? trials / cold.wall_seconds
+                                    : 0.0;
+        const double warm_tps = warm.wall_seconds > 0.0
+                                    ? trials / warm.wall_seconds
+                                    : 0.0;
+        row["cold_trials_per_second"] = cold_tps;
+        row["ckpt_trials_per_second"] = warm_tps;
+        row["speedup"] = cold_tps > 0.0 ? warm_tps / cold_tps : 0.0;
+        row["cold"] = telemetry::wallclock_json(cold);
+        row["ckpt"] = telemetry::wallclock_json(warm);
+        report.wallclock()["campaign_throughput"][name] = row;
+        std::printf(
+            "campaign %-8s cold %10.1f trials/s   ckpt(stride=%d) %10.1f "
+            "trials/s   speedup %5.2fx\n",
+            name, cold_tps, static_cast<int>(warm.ckpt.stride), warm_tps,
+            cold_tps > 0.0 ? warm_tps / cold_tps : 0.0);
       }
     }
     report.write();

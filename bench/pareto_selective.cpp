@@ -20,6 +20,7 @@ int main() {
   const auto wall_start = std::chrono::steady_clock::now();
   const int trials = benchutil::env_trials(400);
   const int jobs = benchutil::env_jobs();
+  const int ckpt_stride = benchutil::env_ckpt_stride();
   benchutil::BenchReport report("pareto_selective");
   report.metrics()["trials"] = trials;
   std::printf("Extension — selective FERRUM: coverage vs overhead "
@@ -37,6 +38,7 @@ int main() {
     fault::CampaignOptions campaign;
     campaign.trials = trials;
     campaign.jobs = jobs;
+    campaign.ckpt_stride = ckpt_stride;
     vm::VmOptions timed;
     timed.timing = true;
 

@@ -17,6 +17,7 @@
 #include <chrono>
 #include <cstdio>
 #include <map>
+#include <memory>
 #include <optional>
 #include <string>
 #include <vector>
@@ -29,6 +30,7 @@
 #include "pipeline/pipeline.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "vm/engine.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -65,6 +67,7 @@ int main() {
   const auto wall_start = std::chrono::steady_clock::now();
   const int trials = benchutil::env_trials(600);
   const int jobs = benchutil::env_jobs();
+  const int ckpt_stride = benchutil::env_ckpt_stride();
   benchutil::BenchReport report("table1_matrix");
   report.metrics()["trials"] = trials;
   std::printf("Table I — measured protection capability per fault class\n");
@@ -90,7 +93,17 @@ int main() {
       // HYBRID reflects its paper configuration (AS_1 without load-back).
       vm::VmOptions vm_options;
       vm_options.fault_store_data = true;
-      const vm::VmResult golden = vm::run(build.program, vm_options);
+      // Decode once, checkpoint the golden run, and fast-forward every
+      // trial — the same engine discipline as fault::run_campaign.
+      const vm::PredecodedProgram decoded(build.program);
+      vm::CheckpointSet ckpts;
+      vm::Engine golden_engine(decoded, vm_options);
+      const vm::VmResult golden =
+          ckpt_stride > 0
+              ? golden_engine.run_capturing(
+                    vm_options, static_cast<std::uint64_t>(ckpt_stride),
+                    ckpts)
+              : golden_engine.run(vm_options, nullptr, 0);
       if (!golden.ok()) {
         std::printf("golden run failed for %s\n", w.name.c_str());
         return 1;
@@ -111,10 +124,19 @@ int main() {
         bool sdc = false;
       };
       std::vector<TrialSlot> slots(specs.size());
-      pool.parallel_for(specs.size(), [&](std::size_t begin,
-                                          std::size_t end) {
+      std::vector<std::unique_ptr<vm::Engine>> engines(
+          static_cast<std::size_t>(pool.workers()));
+      pool.parallel_for_indexed(specs.size(), [&](int worker,
+                                                  std::size_t begin,
+                                                  std::size_t end) {
+        auto& engine = engines[static_cast<std::size_t>(worker)];
+        if (engine == nullptr) {
+          engine = std::make_unique<vm::Engine>(decoded, faulty);
+        }
         for (std::size_t i = begin; i < end; ++i) {
-          const vm::VmResult run = vm::run(build.program, faulty, &specs[i]);
+          const vm::VmResult run =
+              ckpt_stride > 0 ? engine->run_from(ckpts, faulty, &specs[i], 1)
+                              : engine->run(faulty, &specs[i], 1);
           slots[i].landing = run.fault_landing;
           slots[i].sdc = run.ok() && run.output != golden.output;
         }

@@ -44,7 +44,7 @@ int usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s <run|asm|ir|audit|campaign|lint> <file.c|file.s>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
-               "       [--trials=N] [--jobs=N] [--timing]\n"
+               "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
                "       [--lint[=json]] [--stats=<file.json>]\n"
                "(lint runs the ferrum-check static protection verifier: "
                "violations on stderr, non-zero exit when the protection "
@@ -52,6 +52,10 @@ int usage(const char* argv0) {
                " a .s input is linted directly, without the pipeline)\n"
                "(--jobs defaults to FERRUM_JOBS, then hardware "
                "concurrency; results are identical for any value;\n"
+               " --ckpt-stride defaults to FERRUM_CKPT_STRIDE, then 64 — "
+               "golden-run checkpoint spacing for campaign/audit "
+               "fast-forwarding; 0 disables checkpointing; results are "
+               "bit-identical for every stride;\n"
                " --stats writes run/campaign/audit telemetry as JSON — "
                "the 'metrics' section is deterministic, 'wallclock' is "
                "not)\n",
@@ -109,6 +113,7 @@ int main(int argc, char** argv) {
                                               : Technique::kNone;
   int trials = env_trials();
   int jobs = env_jobs();
+  int ckpt_stride = env_ckpt_stride();
   bool timing = false;
   bool lint = command == "lint";
   bool lint_json = false;
@@ -136,6 +141,12 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--jobs=", 0) == 0) {
       if (!parse_int(arg.c_str() + 7, jobs) || jobs < 1) {
         std::fprintf(stderr, "bad --jobs value '%s'\n", arg.c_str() + 7);
+        return 2;
+      }
+    } else if (arg.rfind("--ckpt-stride=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 14, ckpt_stride) || ckpt_stride < 0) {
+        std::fprintf(stderr, "bad --ckpt-stride value '%s'\n",
+                     arg.c_str() + 14);
         return 2;
       }
     } else if (arg == "--timing") {
@@ -263,6 +274,7 @@ int main(int argc, char** argv) {
   if (command == "audit") {
     fault::AuditOptions audit_options;
     audit_options.jobs = jobs;
+    audit_options.ckpt_stride = ckpt_stride;
     const fault::AuditReport report =
         fault::audit_program(build.program, audit_options);
     std::printf("sites=%llu injections=%llu detected=%llu benign=%llu "
@@ -296,6 +308,7 @@ int main(int argc, char** argv) {
     fault::CampaignOptions options;
     options.trials = trials;
     options.jobs = jobs;
+    options.ckpt_stride = ckpt_stride;
     const auto result = fault::run_campaign(build.program, options);
     std::printf("trials=%d benign=%d sdc=%d detected=%d crash=%d "
                 "sdc_rate=%.4f\n",

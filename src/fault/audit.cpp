@@ -1,16 +1,32 @@
 #include "fault/audit.h"
 
 #include <chrono>
+#include <iterator>
+#include <memory>
 #include <stdexcept>
 
 #include "fault/step_budget.h"
 #include "support/parallel.h"
+#include "vm/engine.h"
 
 namespace ferrum::fault {
 
 AuditReport audit_program(const masm::AsmProgram& program,
                           const AuditOptions& options) {
-  const vm::VmResult golden = vm::run(program, options.vm);
+  const vm::PredecodedProgram decoded(program);
+
+  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+                            !options.vm.profile &&
+                            options.vm.trace_limit == 0;
+  vm::CheckpointSet ckpts;
+
+  vm::Engine golden_engine(decoded, options.vm);
+  const vm::VmResult golden =
+      fast_forward
+          ? golden_engine.run_capturing(
+                options.vm,
+                static_cast<std::uint64_t>(options.ckpt_stride), ckpts)
+          : golden_engine.run(options.vm, nullptr, 0);
   if (!golden.ok()) {
     throw std::runtime_error(std::string("audit golden run failed: ") +
                              vm::exit_status_name(golden.status));
@@ -35,19 +51,27 @@ AuditReport audit_program(const masm::AsmProgram& program,
       static_cast<std::size_t>(golden.fi_sites));
   ThreadPool pool(options.jobs);
   report.sites_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  std::vector<std::unique_ptr<vm::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
   const auto wall_start = std::chrono::steady_clock::now();
   pool.parallel_for_indexed(
       static_cast<std::size_t>(golden.fi_sites),
       [&](int worker, std::size_t begin, std::size_t end) {
         report.sites_per_worker[static_cast<std::size_t>(worker)] +=
             end - begin;
+        auto& engine = engines[static_cast<std::size_t>(worker)];
+        if (engine == nullptr) {
+          engine = std::make_unique<vm::Engine>(decoded, faulty);
+        }
         for (std::size_t site = begin; site < end; ++site) {
           SitePartial& partial = partials[site];
           for (int bit : options.probe_bits) {
             vm::FaultSpec fault;
             fault.site = site;
             fault.bit = bit;
-            const vm::VmResult run = vm::run(program, faulty, &fault);
+            const vm::VmResult run =
+                fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
+                             : engine->run(faulty, &fault, 1);
             ++partial.injections;
             if (run.status == vm::ExitStatus::kDetected) {
               ++partial.detected;
@@ -76,15 +100,28 @@ AuditReport audit_program(const masm::AsmProgram& program,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  report.ckpt.stride = fast_forward ? static_cast<int>(ckpts.stride()) : 0;
+  report.ckpt.checkpoints = ckpts.size();
+  report.ckpt.snapshot_bytes = ckpts.snapshot_bytes();
+  for (const auto& engine : engines) {
+    if (engine != nullptr) report.ckpt.ff.merge(engine->stats());
+  }
 
+  // Merge in site order with one up-front reservation; the escape lists
+  // splice over with bulk moves instead of element-by-element growth.
+  std::size_t total_escapes = 0;
+  for (const SitePartial& partial : partials) {
+    total_escapes += partial.escapes.size();
+  }
+  report.escapes.reserve(total_escapes);
   for (SitePartial& partial : partials) {
     report.injections += partial.injections;
     report.detected += partial.detected;
     report.benign += partial.benign;
     report.crashed += partial.crashed;
-    for (AuditEscape& escape : partial.escapes) {
-      report.escapes.push_back(std::move(escape));
-    }
+    report.escapes.insert(report.escapes.end(),
+                          std::make_move_iterator(partial.escapes.begin()),
+                          std::make_move_iterator(partial.escapes.end()));
   }
   return report;
 }

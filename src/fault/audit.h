@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "masm/masm.h"
+#include "vm/engine.h"
 #include "vm/vm.h"
 
 namespace ferrum::fault {
@@ -23,6 +24,12 @@ struct AuditOptions {
   /// reduces in site order, so the AuditReport — including the order of
   /// `escapes` — is identical for every jobs value.
   int jobs = 1;
+  /// Golden-run checkpoint stride in dynamic FI sites (FERRUM_CKPT_STRIDE):
+  /// each probe restores the nearest snapshot at-or-before its site. The
+  /// audit is quadratic (sites x steps) when cold, so this is the knob
+  /// that makes larger programs auditable. 0 disables fast-forwarding;
+  /// the report is bit-identical either way.
+  int ckpt_stride = 64;
 };
 
 struct AuditEscape {
@@ -52,6 +59,9 @@ struct AuditReport {
   std::vector<std::uint64_t> sites_per_worker;
   /// Wall-clock seconds spent sweeping the sites.
   double wall_seconds = 0.0;
+  /// Checkpoint/fast-forward accounting (stride-dependent, exported only
+  /// in the wallclock section of BENCH artifacts).
+  vm::CheckpointTelemetry ckpt;
 
   bool fully_covered() const { return escapes.empty(); }
 };

@@ -6,9 +6,12 @@
 #include <optional>
 #include <stdexcept>
 
+#include <memory>
+
 #include "fault/step_budget.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "vm/engine.h"
 
 namespace ferrum::fault {
 
@@ -65,8 +68,29 @@ Outcome classify(const vm::VmResult& result,
 
 CampaignResult run_campaign(const masm::AsmProgram& program,
                             const CampaignOptions& options) {
-  // Golden profiling run: output + dynamic FI-site count.
-  const vm::VmResult golden = vm::run(program, options.vm);
+  // The decoded program is shared read-only by the golden run and every
+  // worker's trial engine; resolve()-style hash lookups happen once per
+  // campaign instead of once per run.
+  const vm::PredecodedProgram decoded(program);
+
+  // Checkpoints need the full prefix to be re-creatable from a snapshot;
+  // timing/profile/trace state is not checkpointed, so those runs stay
+  // cold. Declared before the engines so restores never outlive the
+  // pages they point at.
+  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+                            !options.vm.profile &&
+                            options.vm.trace_limit == 0;
+  vm::CheckpointSet ckpts;
+
+  // Golden profiling run: output + dynamic FI-site count (and, when
+  // fast-forwarding, the checkpoints every trial restores from).
+  vm::Engine golden_engine(decoded, options.vm);
+  const vm::VmResult golden =
+      fast_forward
+          ? golden_engine.run_capturing(
+                options.vm,
+                static_cast<std::uint64_t>(options.ckpt_stride), ckpts)
+          : golden_engine.run(options.vm, nullptr, 0);
   if (!golden.ok()) {
     throw std::runtime_error(std::string("golden run failed: ") +
                              vm::exit_status_name(golden.status));
@@ -111,6 +135,11 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   std::vector<TrialSlot> slots(trials);
   ThreadPool pool(options.jobs);
   result.trials_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  // One reusable Engine per worker (created lazily on the thread that
+  // uses it): the arena is allocated once and reset by dirty-page diff,
+  // never re-zeroed wholesale, and restores read the shared CheckpointSet.
+  std::vector<std::unique_ptr<vm::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
   const auto wall_start = std::chrono::steady_clock::now();
   pool.parallel_for_indexed(trials, [&](int worker, std::size_t begin,
                                         std::size_t end) {
@@ -118,11 +147,15 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
     // exactly one thread, but which worker claims which chunk is
     // scheduling-dependent (see ThreadPool::parallel_for_indexed).
     result.trials_per_worker[static_cast<std::size_t>(worker)] += end - begin;
+    auto& engine = engines[static_cast<std::size_t>(worker)];
+    if (engine == nullptr) {
+      engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
+    }
     for (std::size_t trial = begin; trial < end; ++trial) {
-      const std::vector<vm::FaultSpec> faults(
-          specs.begin() + static_cast<std::ptrdiff_t>(trial * per_run),
-          specs.begin() + static_cast<std::ptrdiff_t>((trial + 1) * per_run));
-      const vm::VmResult run = vm::run_multi(program, faulty_vm, faults);
+      const vm::FaultSpec* faults = specs.data() + trial * per_run;
+      const vm::VmResult run =
+          fast_forward ? engine->run_from(ckpts, faulty_vm, faults, per_run)
+                       : engine->run(faulty_vm, faults, per_run);
       TrialSlot& slot = slots[trial];
       slot.outcome = classify(run, golden.output);
       if (slot.outcome == Outcome::kDetected && run.fault_injected) {
@@ -138,6 +171,15 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
           .count();
+  result.ckpt.stride =
+      fast_forward ? static_cast<int>(ckpts.stride()) : 0;
+  result.ckpt.checkpoints = ckpts.size();
+  result.ckpt.snapshot_bytes = ckpts.snapshot_bytes();
+  // Unordered uint64 sums over the worker engines — deterministic for a
+  // fixed stride even though worker-chunk assignment is not.
+  for (const auto& engine : engines) {
+    if (engine != nullptr) result.ckpt.ff.merge(engine->stats());
+  }
 
   for (const TrialSlot& slot : slots) {
     ++result.counts[static_cast<int>(slot.outcome)];

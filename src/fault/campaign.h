@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "masm/masm.h"
+#include "vm/engine.h"
 #include "vm/vm.h"
 
 namespace ferrum::fault {
@@ -32,6 +33,12 @@ struct CampaignOptions {
   /// before any run starts and results reduce in trial order, so the
   /// CampaignResult is bit-identical for every jobs value.
   int jobs = 1;
+  /// Golden-run checkpoint stride in dynamic FI sites (FERRUM_CKPT_STRIDE):
+  /// each faulty trial restores the nearest snapshot at-or-before its
+  /// fault site instead of re-executing from main(). 0 disables
+  /// fast-forwarding (cold trials). Any value yields bit-identical
+  /// deterministic results — the stride only moves wall-clock.
+  int ckpt_stride = 64;
 };
 
 /// Where the SDC-causing faults landed, for the root-cause analysis of
@@ -69,6 +76,10 @@ struct CampaignResult {
   std::vector<std::uint64_t> trials_per_worker;
   /// Wall-clock seconds spent executing the trial runs.
   double wall_seconds = 0.0;
+  /// Checkpoint/fast-forward accounting for the trial runs. Deterministic
+  /// for a fixed stride, but stride-dependent — exported only in the
+  /// wallclock section of BENCH artifacts.
+  vm::CheckpointTelemetry ckpt;
 
   double mean_detection_latency() const {
     return latency_samples == 0

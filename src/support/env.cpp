@@ -47,4 +47,8 @@ int env_jobs() {
   return env_int("FERRUM_JOBS", ThreadPool::hardware_workers());
 }
 
+int env_ckpt_stride(int fallback) {
+  return env_int("FERRUM_CKPT_STRIDE", fallback, /*min_value=*/0);
+}
+
 }  // namespace ferrum

@@ -36,4 +36,10 @@ int env_scale(int fallback = 2);
 /// value; the knob only changes wall-clock time.
 int env_jobs();
 
+/// FERRUM_CKPT_STRIDE — golden-run checkpoint stride (in dynamic FI
+/// sites) for campaign/audit fast-forwarding. Floor 0: zero disables
+/// checkpointing (cold trials). Like FERRUM_JOBS, the value only moves
+/// wall-clock time — results are bit-identical for every stride.
+int env_ckpt_stride(int fallback = 64);
+
 }  // namespace ferrum

@@ -16,6 +16,23 @@ std::uint64_t log2_bucket_upper(int i) {
   return (std::uint64_t{1} << i) - 1;
 }
 
+// Checkpoint/fast-forward accounting shared by the campaign and audit
+// wallclock views. Deterministic for a fixed FERRUM_CKPT_STRIDE but not
+// across strides, so it lives with the observability data to keep the
+// metrics sections byte-identical for every stride.
+Json ckpt_json(const vm::CheckpointTelemetry& ckpt) {
+  Json json = Json::object();
+  json["stride"] = ckpt.stride;
+  json["checkpoints"] = ckpt.checkpoints;
+  json["snapshot_bytes"] = ckpt.snapshot_bytes;
+  json["trials"] = ckpt.ff.trials;
+  json["restores"] = ckpt.ff.restores;
+  json["steps_skipped"] = ckpt.ff.steps_skipped;
+  json["steps_executed"] = ckpt.ff.steps_executed;
+  json["fast_forward_ratio"] = ckpt.ff.ratio();
+  return json;
+}
+
 }  // namespace
 
 Json to_json(const vm::VmProfile& profile) {
@@ -136,6 +153,7 @@ Json wallclock_json(const fault::CampaignResult& result) {
   const int trials = result.trials();
   json["trials_per_second"] =
       result.wall_seconds > 0.0 ? trials / result.wall_seconds : 0.0;
+  json["ckpt"] = ckpt_json(result.ckpt);
   return json;
 }
 
@@ -171,6 +189,7 @@ Json wallclock_json(const fault::AuditReport& report) {
     per_worker.push_back(count);
   json["sites_per_worker"] = per_worker;
   json["wall_seconds"] = report.wall_seconds;
+  json["ckpt"] = ckpt_json(report.ckpt);
   return json;
 }
 

@@ -1,0 +1,1154 @@
+#include "vm/engine.h"
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <cstring>
+#include <unordered_map>
+
+namespace ferrum::vm {
+
+using masm::AsmFunction;
+using masm::AsmInst;
+using masm::AsmProgram;
+using masm::Cond;
+using masm::Gpr;
+using masm::MemRef;
+using masm::Op;
+using masm::Operand;
+
+namespace {
+
+struct Trap {
+  ExitStatus status;
+};
+
+/// Return addresses are tagged so that corrupted data popped by `ret` is
+/// recognisably invalid (-> crash, like a wild jump on real hardware).
+/// The encoding is part of the fault model (return addresses live in
+/// memory and are flippable), so it must match the historical VM exactly.
+constexpr std::uint64_t kRetTag = 0x7e00'0000'0000'0000ULL;
+constexpr std::uint64_t kExitSentinel = kRetTag | 0xffff'ffffULL;
+
+struct Flags {
+  bool zf = false, sf = false, of = false, cf = false;
+};
+
+}  // namespace
+
+// ----------------------------------------------------------- predecode --
+
+PredecodedProgram::PredecodedProgram(const AsmProgram& program)
+    : program_(&program) {
+  std::unordered_map<std::string, int> function_by_name;
+  for (std::size_t f = 0; f < program.functions.size(); ++f) {
+    // operator[] (not emplace): duplicate names resolve to the last
+    // definition, as in the historical resolve().
+    function_by_name[program.functions[f].name] = static_cast<int>(f);
+  }
+  auto main_it = function_by_name.find("main");
+  main_index_ = main_it == function_by_name.end() ? -1 : main_it->second;
+
+  code_.reserve(program.inst_count() + program.functions.size());
+  func_entry_pc_.reserve(program.functions.size());
+  block_base_pc_.reserve(program.functions.size());
+  for (std::size_t f = 0; f < program.functions.size(); ++f) {
+    const AsmFunction& fn = program.functions[f];
+    std::unordered_map<std::string, int> labels;
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      labels[fn.blocks[b].label] = static_cast<int>(b);
+    }
+    auto& bases = block_base_pc_.emplace_back();
+    bases.reserve(fn.blocks.size() + 1);
+    // First pass: lay out block start pcs (blocks are contiguous, so the
+    // old interpreter's fall-through-to-next-block is just pc + 1).
+    std::int32_t pc = static_cast<std::int32_t>(code_.size());
+    for (const auto& block : fn.blocks) {
+      bases.push_back(pc);
+      pc += static_cast<std::int32_t>(block.insts.size());
+    }
+    bases.push_back(pc);  // sentinel position
+    func_entry_pc_.push_back(bases.front());
+    // Second pass: emit decoded instructions with resolved targets.
+    for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+      const auto& block = fn.blocks[b];
+      for (std::size_t i = 0; i < block.insts.size(); ++i) {
+        const AsmInst& inst = block.insts[i];
+        DecodedInst d;
+        d.inst = &inst;
+        d.fidx = static_cast<std::int32_t>(f);
+        d.bidx = static_cast<std::int32_t>(b);
+        d.iidx = static_cast<std::int32_t>(i);
+        if (inst.op == Op::kJmp || inst.op == Op::kJcc) {
+          auto it = labels.find(inst.ops[0].label);
+          d.target_pc = it == labels.end()
+                            ? -1
+                            : bases[static_cast<std::size_t>(it->second)];
+        } else if (inst.op == Op::kCall) {
+          const std::string& callee = inst.ops[0].label;
+          // Builtin check precedes function lookup, matching exec_call's
+          // historical order (a user function named print_int is
+          // unreachable, exactly as before).
+          if (callee == "print_int") {
+            d.callee = kCalleePrintInt;
+          } else if (callee == "print_f64") {
+            d.callee = kCalleePrintF64;
+          } else {
+            auto it = function_by_name.find(callee);
+            d.callee = it == function_by_name.end() ? -1 : it->second;
+          }
+        }
+        code_.push_back(d);
+      }
+    }
+    // End-of-function sentinel: executing it means control fell past the
+    // function's last block -> kTrapInvalid without counting a step.
+    DecodedInst sentinel;
+    sentinel.fidx = static_cast<std::int32_t>(f);
+    sentinel.bidx = static_cast<std::int32_t>(fn.blocks.size());
+    code_.push_back(sentinel);
+  }
+  if (code_.empty()) {
+    // Degenerate programs (no functions) still need a pc to sit on.
+    code_.push_back(DecodedInst{});
+    func_entry_pc_.push_back(0);
+    block_base_pc_.push_back({0});
+  }
+}
+
+// --------------------------------------------------------- checkpoints --
+
+CheckpointSet::CheckpointSet()
+    : live_page_bytes_(std::make_shared<std::atomic<std::uint64_t>>(0)) {}
+
+void CheckpointSet::begin(std::uint64_t stride) {
+  checkpoints_.clear();
+  table_entries_ = 0;
+  stride_ = stride == 0 ? 1 : stride;
+}
+
+std::shared_ptr<const PageImage> CheckpointSet::make_page(
+    const std::uint8_t* bytes, std::size_t size) {
+  auto* image = new PageImage;
+  std::memcpy(image->bytes, bytes, size);
+  if (size < kCkptPageSize) {
+    std::memset(image->bytes + size, 0, kCkptPageSize - size);
+  }
+  auto counter = live_page_bytes_;
+  counter->fetch_add(kCkptPageSize, std::memory_order_relaxed);
+  return std::shared_ptr<const PageImage>(
+      image, [counter](const PageImage* p) {
+        counter->fetch_sub(kCkptPageSize, std::memory_order_relaxed);
+        delete p;
+      });
+}
+
+void CheckpointSet::add(Checkpoint checkpoint) {
+  table_entries_ += checkpoint.pages.size();
+  checkpoints_.push_back(std::move(checkpoint));
+  // Adaptive thinning: drop every other checkpoint and double the stride
+  // when the set grows past the count cap or the page budget. The
+  // trigger depends only on the golden instruction stream, so the
+  // surviving set — and therefore which checkpoint any trial restores —
+  // is deterministic.
+  while (checkpoints_.size() > 2 &&
+         (checkpoints_.size() > kMaxLiveCheckpoints ||
+          live_page_bytes_->load(std::memory_order_relaxed) >
+              kPageBudgetBytes)) {
+    thin();
+  }
+}
+
+void CheckpointSet::thin() {
+  std::vector<Checkpoint> kept;
+  kept.reserve(checkpoints_.size() / 2 + 1);
+  table_entries_ = 0;
+  for (std::size_t i = 0; i < checkpoints_.size(); i += 2) {
+    table_entries_ += checkpoints_[i].pages.size();
+    kept.push_back(std::move(checkpoints_[i]));
+  }
+  checkpoints_ = std::move(kept);
+  stride_ *= 2;
+}
+
+std::uint64_t CheckpointSet::snapshot_bytes() const {
+  return live_page_bytes_->load(std::memory_order_relaxed) +
+         static_cast<std::uint64_t>(table_entries_) *
+             sizeof(std::shared_ptr<const PageImage>);
+}
+
+const Checkpoint& CheckpointSet::nearest_at_or_before(
+    std::uint64_t site) const {
+  // First checkpoint with fi_sites > site, then step back one. Capture
+  // always records a checkpoint at site 0, so the predecessor exists.
+  auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), site,
+      [](std::uint64_t s, const Checkpoint& c) { return s < c.fi_sites; });
+  return *(it - 1);
+}
+
+// -------------------------------------------------------------- engine --
+
+class Engine::Impl {
+ public:
+  Impl(const PredecodedProgram& program, const VmOptions& options)
+      : program_(program),
+        code_(program.code().data()),
+        memory_(options.memory_bytes),
+        npages_((options.memory_bytes + kCkptPageSize - 1) / kCkptPageSize),
+        current_page_(npages_),
+        dirty_(npages_, 0) {
+    compute_layout();
+  }
+
+  VmResult run(const VmOptions& options, const FaultSpec* faults,
+               std::size_t fault_count, FastForwardStats& stats) {
+    return execute(options, faults, fault_count, nullptr, nullptr, stats);
+  }
+
+  VmResult run_capturing(const VmOptions& options, std::uint64_t stride,
+                         CheckpointSet& out, FastForwardStats& stats) {
+    out.begin(stride);
+    return execute(options, nullptr, 0, nullptr, &out, stats);
+  }
+
+  VmResult run_from(const CheckpointSet& checkpoints, const VmOptions& options,
+                    const FaultSpec* faults, std::size_t fault_count,
+                    FastForwardStats& stats) {
+    if (checkpoints.empty()) {
+      return execute(options, faults, fault_count, nullptr, nullptr, stats);
+    }
+    std::uint64_t min_site = ~std::uint64_t{0};
+    for (std::size_t i = 0; i < fault_count; ++i) {
+      min_site = std::min(min_site, faults[i].site);
+    }
+    if (fault_count == 0) min_site = 0;
+    const Checkpoint& resume = checkpoints.nearest_at_or_before(min_site);
+    return execute(options, faults, fault_count, &resume, nullptr, stats);
+  }
+
+ private:
+  // ----------------------------------------------------------- layout --
+
+  /// Global addresses and the heap bound depend only on the program and
+  /// the arena size, so they are computed once per Engine. The historical
+  /// kTrapMemory for oversized globals is deferred to run time.
+  void compute_layout() {
+    std::size_t cursor = 0x1000;
+    for (const auto& global : program_.source().globals) {
+      cursor = (cursor + 15) & ~std::size_t{15};
+      global_addr_.push_back(cursor);
+      if (cursor + static_cast<std::size_t>(global.size_bytes) >
+          memory_.size() / 2) {
+        layout_ok_ = false;
+        return;
+      }
+      cursor += static_cast<std::size_t>(global.size_bytes);
+    }
+    heap_end_ = cursor;
+  }
+
+  /// Writes global initialisers into the (all-zero) arena, marking the
+  /// touched pages dirty so the next prepare can undo them.
+  void write_globals() {
+    const auto& globals = program_.source().globals;
+    for (std::size_t g = 0; g < globals.size(); ++g) {
+      const auto& global = globals[g];
+      const std::size_t size =
+          std::min<std::size_t>(global.init.size(),
+                                static_cast<std::size_t>(global.size_bytes));
+      if (size == 0) continue;
+      const std::size_t addr = static_cast<std::size_t>(global_addr_[g]);
+      std::memcpy(memory_.data() + addr, global.init.data(), size);
+      mark_dirty_range(addr, size);
+    }
+  }
+
+  // --------------------------------------------------- page bookkeeping --
+
+  void mark_dirty_range(std::size_t addr, std::size_t size) {
+    const std::size_t first = addr >> kCkptPageBits;
+    const std::size_t last = (addr + size - 1) >> kCkptPageBits;
+    for (std::size_t p = first; p <= last; ++p) dirty_[p] = 1;
+  }
+
+  std::size_t page_bytes(std::size_t page) const {
+    const std::size_t start = page << kCkptPageBits;
+    return std::min(kCkptPageSize, memory_.size() - start);
+  }
+
+  /// Resets the arena to all-zero by undoing only pages known to differ.
+  void prepare_cold() {
+    for (std::size_t p = 0; p < npages_; ++p) {
+      if (!dirty_[p] && current_page_[p] == nullptr) continue;
+      std::memset(memory_.data() + (p << kCkptPageBits), 0, page_bytes(p));
+      current_page_[p].reset();
+      dirty_[p] = 0;
+    }
+  }
+
+  /// Resets the arena to a checkpoint's memory image. Pages whose current
+  /// content provably equals the target (same PageImage, not dirtied) are
+  /// skipped — the per-trial cost is the *diff*, not the arena size.
+  void prepare_from(const Checkpoint& checkpoint) {
+    for (std::size_t p = 0; p < npages_; ++p) {
+      const auto& desired = checkpoint.pages[p];
+      if (!dirty_[p] && current_page_[p].get() == desired.get()) continue;
+      if (desired == nullptr) {
+        std::memset(memory_.data() + (p << kCkptPageBits), 0, page_bytes(p));
+      } else {
+        std::memcpy(memory_.data() + (p << kCkptPageBits), desired->bytes,
+                    page_bytes(p));
+      }
+      current_page_[p] = desired;
+      dirty_[p] = 0;
+    }
+  }
+
+  void do_capture(CheckpointSet& out) {
+    for (std::size_t p = 0; p < npages_; ++p) {
+      if (!dirty_[p]) continue;
+      current_page_[p] =
+          out.make_page(memory_.data() + (p << kCkptPageBits), page_bytes(p));
+      dirty_[p] = 0;
+    }
+    Checkpoint ck;
+    ck.pc = pc_;
+    ck.steps = steps_;
+    ck.fi_sites = fi_sites_;
+    std::memcpy(ck.gpr, gpr_, sizeof(gpr_));
+    std::memcpy(ck.xmm, xmm_, sizeof(xmm_));
+    ck.zf = flags_.zf;
+    ck.sf = flags_.sf;
+    ck.of = flags_.of;
+    ck.cf = flags_.cf;
+    ck.output = output_;
+    ck.pages = current_page_;
+    out.add(std::move(ck));
+    // Thinning inside add() may have doubled the stride and dropped the
+    // freshly added checkpoint; follow whatever survived.
+    next_capture_at_ = last_site(out) + out.stride();
+    while (next_capture_at_ <= fi_sites_) next_capture_at_ += out.stride();
+  }
+
+  static std::uint64_t last_site(const CheckpointSet& out) {
+    return out.nearest_at_or_before(~std::uint64_t{0}).fi_sites;
+  }
+
+  // ------------------------------------------------------------- run --
+
+  VmResult execute(const VmOptions& options, const FaultSpec* faults,
+                   std::size_t fault_count, const Checkpoint* resume,
+                   CheckpointSet* capture, FastForwardStats& stats) {
+    options_ = &options;
+    faults_ = faults;
+    fault_count_ = fault_count;
+    steps_ = 0;
+    fi_sites_ = 0;
+    fault_step_ = 0;
+    fault_injected_ = false;
+    fault_landing_.reset();
+    output_.clear();
+    trace_.clear();
+    touched_addr_ = 0;
+    halted_ = false;
+    timing_.reset();
+    if (options.timing) timing_.emplace(options.timing_params);
+    profile_ = VmProfile{};
+    if (options.profile) {
+      block_hits_.assign(program_.source().functions.size(), {});
+      for (std::size_t f = 0; f < block_hits_.size(); ++f) {
+        block_hits_[f].assign(program_.source().functions[f].blocks.size(), 0);
+      }
+    }
+
+    VmResult result;
+    try {
+      if (resume != nullptr) {
+        prepare_from(*resume);
+        std::memcpy(gpr_, resume->gpr, sizeof(gpr_));
+        std::memcpy(xmm_, resume->xmm, sizeof(xmm_));
+        flags_.zf = resume->zf;
+        flags_.sf = resume->sf;
+        flags_.of = resume->of;
+        flags_.cf = resume->cf;
+        output_ = resume->output;
+        steps_ = resume->steps;
+        fi_sites_ = resume->fi_sites;
+        pc_ = resume->pc;
+      } else {
+        prepare_cold();
+        std::memset(gpr_, 0, sizeof(gpr_));
+        std::memset(xmm_, 0, sizeof(xmm_));
+        flags_ = Flags{};
+        if (!layout_ok_) throw Trap{ExitStatus::kTrapMemory};
+        write_globals();
+        if (program_.main_index() < 0) throw Trap{ExitStatus::kTrapInvalid};
+        // Set up the stack and the exit sentinel.
+        gpr_[static_cast<int>(Gpr::kRsp)] = memory_.size() - 64;
+        push64(kExitSentinel);
+        pc_ = program_.entry_pc(program_.main_index());
+        if (capture != nullptr) {
+          next_capture_at_ = 0;  // checkpoint 0 right at the start
+          do_capture(*capture);
+        }
+      }
+      loop(capture);
+      result.return_value =
+          static_cast<std::int64_t>(gpr_[static_cast<int>(Gpr::kRax)]);
+    } catch (const Trap& trap) {
+      result.status = trap.status;
+    }
+    result.output = std::move(output_);
+    result.trace = std::move(trace_);
+    result.steps = steps_;
+    result.fi_sites = fi_sites_;
+    result.fault_injected = fault_injected_;
+    result.fault_landing = fault_landing_;
+    result.fault_step = fault_step_;
+    if (options.timing) {
+      result.cycles = timing_->cycles();
+      result.timing_stats = timing_->stats();
+    }
+    if (options.profile) {
+      finalize_hot_blocks();
+      result.profile = std::move(profile_);
+    }
+    stats.trials += 1;
+    if (resume != nullptr) {
+      stats.restores += 1;
+      stats.steps_skipped += resume->steps;
+      stats.steps_executed += result.steps - resume->steps;
+    } else {
+      stats.steps_executed += result.steps;
+    }
+    options_ = nullptr;
+    faults_ = nullptr;
+    fault_count_ = 0;
+    return result;
+  }
+
+  void loop(CheckpointSet* capture) {
+    const bool profiling = options_->profile;
+    const bool timing_on = options_->timing;
+    const std::size_t trace_limit = options_->trace_limit;
+    const std::uint64_t max_steps = options_->max_steps;
+    for (;;) {
+      const DecodedInst& d = code_[pc_];
+      if (d.inst == nullptr) throw Trap{ExitStatus::kTrapInvalid};
+      const AsmInst& inst = *d.inst;
+      if (++steps_ > max_steps) throw Trap{ExitStatus::kTrapSteps};
+      if (profiling) {
+        ++profile_.op_counts[static_cast<int>(inst.op)];
+        ++profile_.origin_counts[static_cast<int>(inst.origin)];
+        ++block_hits_[static_cast<std::size_t>(d.fidx)]
+                     [static_cast<std::size_t>(d.bidx)];
+      }
+      if (trace_.size() < trace_limit) {
+        const auto& fn = program_.source().functions[d.fidx];
+        trace_.push_back(fn.name + "/" + fn.blocks[d.bidx].label + ": " +
+                         inst.to_string());
+      }
+      touched_addr_ = 0;
+      next_pc_ = pc_ + 1;
+      exec(inst, d);
+      if (timing_on) timing_->step(inst, touched_addr_);
+      pc_ = next_pc_;
+      if (halted_) return;
+      if (capture != nullptr && fi_sites_ >= next_capture_at_) {
+        do_capture(*capture);
+      }
+    }
+  }
+
+  // ------------------------------------------------------------ memory --
+
+  void check_range(std::uint64_t addr, int size) {
+    if (addr < 0x1000 ||
+        addr + static_cast<std::uint64_t>(size) > memory_.size()) {
+      throw Trap{ExitStatus::kTrapMemory};
+    }
+  }
+
+  std::uint64_t load(std::uint64_t addr, int size) {
+    check_range(addr, size);
+    std::uint64_t value = 0;
+    std::memcpy(&value, memory_.data() + addr, static_cast<std::size_t>(size));
+    return value;
+  }
+
+  void store(std::uint64_t addr, int size, std::uint64_t value) {
+    check_range(addr, size);
+    std::memcpy(memory_.data() + addr, &value, static_cast<std::size_t>(size));
+    // Single choke point for all program writes: record which pages have
+    // diverged from the provenance table (writes can straddle a page).
+    const std::size_t first = static_cast<std::size_t>(addr) >> kCkptPageBits;
+    const std::size_t last =
+        (static_cast<std::size_t>(addr) + static_cast<std::size_t>(size) - 1) >>
+        kCkptPageBits;
+    dirty_[first] = 1;
+    if (last != first) dirty_[last] = 1;
+  }
+
+  void push64(std::uint64_t value) {
+    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
+    rsp -= 8;
+    if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
+    store(rsp, 8, value);
+  }
+
+  std::uint64_t pop64() {
+    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
+    const std::uint64_t value = load(rsp, 8);
+    rsp += 8;
+    return value;
+  }
+
+  // ----------------------------------------------------------- operands --
+
+  std::uint64_t effective_address(const MemRef& mem) {
+    std::uint64_t addr = 0;
+    if (mem.global_id >= 0) {
+      if (mem.global_id >= static_cast<int>(global_addr_.size())) {
+        throw Trap{ExitStatus::kTrapInvalid};
+      }
+      addr = global_addr_[mem.global_id];
+    } else if (mem.base != Gpr::kNone) {
+      addr = gpr_[static_cast<int>(mem.base)];
+    }
+    addr += static_cast<std::uint64_t>(mem.disp);
+    if (mem.index != Gpr::kNone) {
+      addr += gpr_[static_cast<int>(mem.index)] *
+              static_cast<std::uint64_t>(mem.scale);
+    }
+    return addr;
+  }
+
+  std::uint64_t read_gpr(Gpr reg, int width) {
+    const std::uint64_t raw = gpr_[static_cast<int>(reg)];
+    switch (width) {
+      case 1: return raw & 0xff;
+      case 4: return raw & 0xffff'ffffULL;
+      default: return raw;
+    }
+  }
+
+  /// x86 merge semantics: 32-bit writes zero-extend, 8-bit writes merge.
+  std::uint64_t merged_gpr_value(Gpr reg, int width, std::uint64_t value) {
+    switch (width) {
+      case 1:
+        return (gpr_[static_cast<int>(reg)] & ~0xffULL) | (value & 0xff);
+      case 4:
+        return value & 0xffff'ffffULL;
+      default:
+        return value;
+    }
+  }
+
+  std::uint64_t read_operand(const Operand& op) {
+    switch (op.kind) {
+      case Operand::Kind::kReg:
+        return read_gpr(op.reg, op.width);
+      case Operand::Kind::kImm:
+        return static_cast<std::uint64_t>(op.imm);
+      case Operand::Kind::kMem: {
+        const std::uint64_t addr = effective_address(op.mem);
+        touched_addr_ = addr;
+        return load(addr, op.width);
+      }
+      case Operand::Kind::kXmm:
+        return xmm_[op.xmm][0];
+      default:
+        throw Trap{ExitStatus::kTrapInvalid};
+    }
+  }
+
+  std::int64_t read_signed(const Operand& op) {
+    const std::uint64_t raw = read_operand(op);
+    switch (op.width) {
+      case 1: return static_cast<std::int8_t>(raw & 0xff);
+      case 4: return static_cast<std::int32_t>(raw & 0xffff'ffffULL);
+      default: return static_cast<std::int64_t>(raw);
+    }
+  }
+
+  // ----------------------------------------------- fault machinery --
+
+  /// Registers one FI site; returns the matching fault spec when this
+  /// site is one of the sampled ones, or nullptr.
+  const FaultSpec* fi_site(FaultKind kind, const AsmInst& inst,
+                           const DecodedInst& d) {
+    const std::uint64_t id = fi_sites_++;
+    if (options_->profile) ++profile_.site_counts[static_cast<int>(kind)];
+    for (std::size_t i = 0; i < fault_count_; ++i) {
+      const FaultSpec& spec = faults_[i];
+      if (id != spec.site) continue;
+      if (!fault_injected_) {
+        FaultLanding landing;
+        landing.kind = kind;
+        landing.origin = inst.origin;
+        landing.op = inst.op;
+        landing.function = program_.source().functions[d.fidx].name;
+        landing.block = d.bidx;
+        landing.inst = d.iidx;
+        fault_landing_ = landing;
+        fault_step_ = steps_;
+      }
+      fault_injected_ = true;
+      return &spec;
+    }
+    return nullptr;
+  }
+
+  /// Mask of `burst` adjacent bits, wrapping within `width` bits.
+  static std::uint64_t burst_mask(const FaultSpec& spec, int width) {
+    std::uint64_t mask = 0;
+    for (int i = 0; i < spec.burst; ++i) {
+      mask |= std::uint64_t{1} << ((spec.bit + i) % width);
+    }
+    return mask;
+  }
+
+  /// Writes a GPR (with merge semantics), applying a fault if sampled.
+  void write_gpr_faultable(Gpr reg, int width, std::uint64_t value,
+                           const AsmInst& inst, const DecodedInst& d) {
+    std::uint64_t merged = merged_gpr_value(reg, width, value);
+    if (const FaultSpec* spec = fi_site(FaultKind::kGprWrite, inst, d)) {
+      merged ^= burst_mask(*spec, 64);
+    }
+    gpr_[static_cast<int>(reg)] = merged;
+  }
+
+  void write_flags_faultable(Flags flags, const AsmInst& inst,
+                             const DecodedInst& d) {
+    if (const FaultSpec* spec = fi_site(FaultKind::kFlagsWrite, inst, d)) {
+      const std::uint64_t mask = burst_mask(*spec, 4);
+      if (mask & 1) flags.zf = !flags.zf;
+      if (mask & 2) flags.sf = !flags.sf;
+      if (mask & 4) flags.of = !flags.of;
+      if (mask & 8) flags.cf = !flags.cf;
+    }
+    flags_ = flags;
+  }
+
+  void store_faultable(std::uint64_t addr, int size, std::uint64_t value,
+                       const AsmInst& inst, const DecodedInst& d) {
+    if (options_->fault_store_data) {
+      if (const FaultSpec* spec = fi_site(FaultKind::kStoreData, inst, d)) {
+        value ^= burst_mask(*spec, size * 8);
+      }
+    }
+    touched_addr_ = addr;
+    store(addr, size, value);
+  }
+
+  /// Writes xmm lane(s); `lane_count` 64-bit lanes starting at `lane`.
+  void write_xmm_faultable(int reg, int lane, int lane_count,
+                           const std::uint64_t* values, const AsmInst& inst,
+                           const DecodedInst& d) {
+    std::uint64_t lanes[4];
+    std::memcpy(lanes, values,
+                static_cast<std::size_t>(lane_count) * sizeof(std::uint64_t));
+    if (const FaultSpec* spec = fi_site(FaultKind::kXmmWrite, inst, d)) {
+      const int total_bits = lane_count * 64;
+      for (int i = 0; i < spec->burst; ++i) {
+        const int target = (spec->bit + i) % total_bits;
+        lanes[target / 64] ^= std::uint64_t{1} << (target % 64);
+      }
+    }
+    for (int i = 0; i < lane_count; ++i) xmm_[reg][lane + i] = lanes[i];
+  }
+
+  // ---------------------------------------------------------- execution --
+
+  bool eval_cond(Cond cc) const {
+    switch (cc) {
+      case Cond::kE: return flags_.zf;
+      case Cond::kNe: return !flags_.zf;
+      case Cond::kL: return flags_.sf != flags_.of;
+      case Cond::kLe: return flags_.zf || flags_.sf != flags_.of;
+      case Cond::kG: return !flags_.zf && flags_.sf == flags_.of;
+      case Cond::kGe: return flags_.sf == flags_.of;
+      case Cond::kA: return !flags_.cf && !flags_.zf;
+      case Cond::kAe: return !flags_.cf;
+      case Cond::kB: return flags_.cf;
+      case Cond::kBe: return flags_.cf || flags_.zf;
+    }
+    return false;
+  }
+
+  static std::int64_t sign_at(std::uint64_t value, int width) {
+    switch (width) {
+      case 1: return static_cast<std::int8_t>(value & 0xff);
+      case 4: return static_cast<std::int32_t>(value & 0xffff'ffffULL);
+      default: return static_cast<std::int64_t>(value);
+    }
+  }
+
+  Flags flags_of_sub(std::uint64_t a, std::uint64_t b, int width) {
+    // a - b at the given width.
+    const std::uint64_t mask =
+        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
+    const std::uint64_t result = (a - b) & mask;
+    Flags flags;
+    flags.zf = result == 0;
+    flags.sf = sign_at(result, width) < 0;
+    flags.cf = (a & mask) < (b & mask);
+    const std::int64_t sa = sign_at(a, width);
+    const std::int64_t sb = sign_at(b, width);
+    const std::int64_t sr = sign_at(result, width);
+    flags.of = ((sa < 0) != (sb < 0)) && ((sr < 0) != (sa < 0));
+    return flags;
+  }
+
+  Flags flags_of_result(std::uint64_t result, int width) {
+    Flags flags;
+    const std::uint64_t mask =
+        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
+    flags.zf = (result & mask) == 0;
+    flags.sf = sign_at(result, width) < 0;
+    return flags;
+  }
+
+  double as_f64(std::uint64_t raw) const {
+    double value;
+    std::memcpy(&value, &raw, sizeof(value));
+    return value;
+  }
+  std::uint64_t from_f64(double value) const {
+    std::uint64_t raw;
+    std::memcpy(&raw, &value, sizeof(raw));
+    return raw;
+  }
+
+  /// Executes one instruction. Control transfers set next_pc_; the
+  /// default next_pc_ = pc_ + 1 covers both straight-line flow and the
+  /// old interpreter's free fall-through into the next block.
+  void exec(const AsmInst& inst, const DecodedInst& d) {
+    switch (inst.op) {
+      case Op::kMov: {
+        const std::uint64_t value = read_operand(inst.ops[0]);
+        if (inst.ops[1].is_mem()) {
+          store_faultable(effective_address(inst.ops[1].mem),
+                          inst.ops[1].width, value, inst, d);
+        } else {
+          write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst,
+                              d);
+        }
+        return;
+      }
+      case Op::kMovsx: {
+        const std::int64_t value = read_signed(inst.ops[0]);
+        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
+                            static_cast<std::uint64_t>(value), inst, d);
+        return;
+      }
+      case Op::kMovzx: {
+        const std::uint64_t value = read_operand(inst.ops[0]);
+        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst,
+                            d);
+        return;
+      }
+      case Op::kLea: {
+        const std::uint64_t addr = effective_address(inst.ops[0].mem);
+        write_gpr_faultable(inst.ops[1].reg, 8, addr, inst, d);
+        return;
+      }
+      case Op::kPush: {
+        std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
+        rsp -= 8;
+        if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
+        store_faultable(rsp, 8, read_operand(inst.ops[0]), inst, d);
+        return;
+      }
+      case Op::kPop: {
+        const std::uint64_t value = pop64();
+        write_gpr_faultable(inst.ops[0].reg, 8, value, inst, d);
+        return;
+      }
+      case Op::kAdd: case Op::kSub: case Op::kImul: case Op::kAnd:
+      case Op::kOr: case Op::kXor: case Op::kShl: case Op::kSar:
+      case Op::kIdiv: case Op::kIrem:
+        exec_alu(inst, d);
+        return;
+      case Op::kCmp: {
+        const std::uint64_t b = read_operand(inst.ops[0]);
+        const std::uint64_t a = read_operand(inst.ops[1]);
+        write_flags_faultable(flags_of_sub(a, b, inst.ops[1].width), inst, d);
+        return;
+      }
+      case Op::kTest: {
+        const std::uint64_t b = read_operand(inst.ops[0]);
+        const std::uint64_t a = read_operand(inst.ops[1]);
+        Flags flags = flags_of_result(a & b, inst.ops[1].width);
+        write_flags_faultable(flags, inst, d);
+        return;
+      }
+      case Op::kSetcc: {
+        const std::uint64_t value = eval_cond(inst.cc) ? 1 : 0;
+        if (inst.ops[0].is_mem()) {
+          store_faultable(effective_address(inst.ops[0].mem), 1, value, inst,
+                          d);
+        } else {
+          write_gpr_faultable(inst.ops[0].reg, 1, value, inst, d);
+        }
+        return;
+      }
+      case Op::kJcc: {
+        bool taken = eval_cond(inst.cc);
+        if (fi_site(FaultKind::kBranchDecision, inst, d) != nullptr) {
+          taken = !taken;
+        }
+        if (taken) {
+          if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
+          next_pc_ = d.target_pc;
+        }
+        return;
+      }
+      case Op::kJmp:
+        if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
+        next_pc_ = d.target_pc;
+        return;
+      case Op::kCall:
+        exec_call(inst, d);
+        return;
+      case Op::kRet: {
+        const std::uint64_t addr = pop64();
+        if (addr == kExitSentinel) {
+          halted_ = true;
+          return;
+        }
+        if ((addr & 0xff00'0000'0000'0000ULL) != kRetTag) {
+          throw Trap{ExitStatus::kTrapInvalid};
+        }
+        const int fidx = static_cast<int>((addr >> 40) & 0xffff);
+        const int bidx = static_cast<int>((addr >> 20) & 0xfffff);
+        const int iidx = static_cast<int>(addr & 0xfffff);
+        if (fidx >= program_.function_count() ||
+            bidx >= program_.block_count(fidx)) {
+          throw Trap{ExitStatus::kTrapInvalid};
+        }
+        // An iidx past the block's end fell through to the next block in
+        // the old interpreter; the clamp to the next block's base pc (the
+        // sentinel when bidx is the last block) reproduces that exactly.
+        next_pc_ = std::min(program_.block_pc(fidx, bidx) + iidx,
+                            program_.block_pc(fidx, bidx + 1));
+        return;
+      }
+      case Op::kDetectTrap:
+        throw Trap{ExitStatus::kDetected};
+      case Op::kMovsd: {
+        if (inst.ops[0].is_xmm() && inst.ops[1].is_xmm()) {
+          std::uint64_t lane = xmm_[inst.ops[0].xmm][0];
+          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+        } else if (inst.ops[1].is_xmm()) {
+          std::uint64_t lane = read_operand(inst.ops[0]);
+          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+        } else {
+          store_faultable(effective_address(inst.ops[1].mem), 8,
+                          xmm_[inst.ops[0].xmm][0], inst, d);
+        }
+        return;
+      }
+      case Op::kAddsd: case Op::kSubsd: case Op::kMulsd: case Op::kDivsd: {
+        const double b = as_f64(inst.ops[0].is_xmm()
+                                    ? xmm_[inst.ops[0].xmm][0]
+                                    : read_operand(inst.ops[0]));
+        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
+        double result = 0.0;
+        switch (inst.op) {
+          case Op::kAddsd: result = a + b; break;
+          case Op::kSubsd: result = a - b; break;
+          case Op::kMulsd: result = a * b; break;
+          default: result = a / b; break;
+        }
+        std::uint64_t lane = from_f64(result);
+        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+        return;
+      }
+      case Op::kSqrtsd: {
+        const double a = as_f64(inst.ops[0].is_xmm()
+                                    ? xmm_[inst.ops[0].xmm][0]
+                                    : read_operand(inst.ops[0]));
+        std::uint64_t lane = from_f64(std::sqrt(a));
+        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+        return;
+      }
+      case Op::kUcomisd: {
+        const double b = as_f64(inst.ops[0].is_xmm()
+                                    ? xmm_[inst.ops[0].xmm][0]
+                                    : read_operand(inst.ops[0]));
+        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
+        Flags flags;
+        if (a != a || b != b) {
+          flags.zf = flags.cf = true;  // unordered
+        } else {
+          flags.zf = a == b;
+          flags.cf = a < b;
+        }
+        write_flags_faultable(flags, inst, d);
+        return;
+      }
+      case Op::kCvtsi2sd: {
+        const std::int64_t value = read_signed(inst.ops[0]);
+        std::uint64_t lane = from_f64(static_cast<double>(value));
+        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+        return;
+      }
+      case Op::kCvttsd2si: {
+        const double value = as_f64(xmm_[inst.ops[0].xmm][0]);
+        std::int64_t result;
+        if (value != value || value < -9.3e18 || value > 9.3e18) {
+          result = INT64_MIN;  // x86 integer-indefinite
+        } else {
+          result = static_cast<std::int64_t>(value);
+        }
+        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
+                            static_cast<std::uint64_t>(result), inst, d);
+        return;
+      }
+      case Op::kMovq: {
+        if (inst.ops[1].is_xmm()) {
+          // gpr/mem -> xmm low lane; lane1 zeroed (SSE movq semantics).
+          std::uint64_t lanes[2] = {read_operand(inst.ops[0]), 0};
+          write_xmm_faultable(inst.ops[1].xmm, 0, 2, lanes, inst, d);
+        } else {
+          const std::uint64_t value = xmm_[inst.ops[0].xmm][0];
+          if (inst.ops[1].is_mem()) {
+            store_faultable(effective_address(inst.ops[1].mem),
+                            inst.ops[1].width, value, inst, d);
+          } else {
+            write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value,
+                                inst, d);
+          }
+        }
+        return;
+      }
+      case Op::kPinsrq: {
+        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
+        std::uint64_t value = read_operand(inst.ops[1]);
+        write_xmm_faultable(inst.ops[2].xmm, lane, 1, &value, inst, d);
+        return;
+      }
+      case Op::kVinserti128: {
+        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
+        std::uint64_t lanes[2] = {xmm_[inst.ops[1].xmm][0],
+                                  xmm_[inst.ops[1].xmm][1]};
+        write_xmm_faultable(inst.ops[2].xmm, lane * 2, 2, lanes, inst, d);
+        return;
+      }
+      case Op::kVpxor: {
+        // XMM form (VEX semantics): lanes 0-1 computed, upper lanes zeroed.
+        const int active = inst.ops[0].ymm ? 4 : 2;
+        std::uint64_t lanes[4] = {0, 0, 0, 0};
+        for (int i = 0; i < active; ++i) {
+          lanes[i] = xmm_[inst.ops[0].xmm][i] ^ xmm_[inst.ops[1].xmm][i];
+        }
+        write_xmm_faultable(inst.ops[2].xmm, 0, 4, lanes, inst, d);
+        return;
+      }
+      case Op::kVptest: {
+        const int active = inst.ops[0].ymm ? 4 : 2;
+        std::uint64_t accum = 0;
+        for (int i = 0; i < active; ++i) {
+          accum |= xmm_[inst.ops[0].xmm][i] & xmm_[inst.ops[1].xmm][i];
+        }
+        Flags flags;
+        flags.zf = accum == 0;
+        write_flags_faultable(flags, inst, d);
+        return;
+      }
+    }
+    throw Trap{ExitStatus::kTrapInvalid};
+  }
+
+  void exec_alu(const AsmInst& inst, const DecodedInst& d) {
+    const int width = inst.ops[1].width;
+    const std::uint64_t mask =
+        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
+    const std::uint64_t b = read_operand(inst.ops[0]) & mask;
+    const bool to_mem = inst.ops[1].is_mem();
+    const std::uint64_t a =
+        (to_mem ? load(effective_address(inst.ops[1].mem), width)
+                : read_gpr(inst.ops[1].reg, width)) & mask;
+    std::uint64_t result = 0;
+    Flags flags;
+    switch (inst.op) {
+      case Op::kAdd: {
+        result = (a + b) & mask;
+        flags = flags_of_result(result, width);
+        flags.cf = result < a;
+        const std::int64_t sa = sign_at(a, width), sb = sign_at(b, width),
+                           sr = sign_at(result, width);
+        flags.of = ((sa < 0) == (sb < 0)) && ((sr < 0) != (sa < 0));
+        break;
+      }
+      case Op::kSub: {
+        flags = flags_of_sub(a, b, width);
+        result = (a - b) & mask;
+        break;
+      }
+      case Op::kImul: {
+        const std::int64_t product = sign_at(a, width) * sign_at(b, width);
+        result = static_cast<std::uint64_t>(product) & mask;
+        flags = flags_of_result(result, width);
+        break;
+      }
+      case Op::kAnd: result = a & b; flags = flags_of_result(result, width); break;
+      case Op::kOr: result = a | b; flags = flags_of_result(result, width); break;
+      case Op::kXor: result = a ^ b; flags = flags_of_result(result, width); break;
+      case Op::kShl: {
+        const int count = static_cast<int>(b) & (width == 8 ? 63 : 31);
+        result = (a << count) & mask;
+        flags = flags_of_result(result, width);
+        break;
+      }
+      case Op::kSar: {
+        const int count = static_cast<int>(b) & (width == 8 ? 63 : 31);
+        result = static_cast<std::uint64_t>(sign_at(a, width) >> count) & mask;
+        flags = flags_of_result(result, width);
+        break;
+      }
+      case Op::kIdiv:
+      case Op::kIrem: {
+        const std::int64_t sa = sign_at(a, width);
+        const std::int64_t sb = sign_at(b, width);
+        if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
+          throw Trap{ExitStatus::kTrapDivide};
+        }
+        const std::int64_t value = inst.op == Op::kIdiv ? sa / sb : sa % sb;
+        result = static_cast<std::uint64_t>(value) & mask;
+        flags = flags_of_result(result, width);
+        break;
+      }
+      default:
+        throw Trap{ExitStatus::kTrapInvalid};
+    }
+    // Order matters: flags site first, then the destination write site —
+    // each ALU instruction still registers only the destination-register
+    // (or store) site; flags changes ride along un-sampled to keep one
+    // site per instruction, as in the paper's injector.
+    flags_ = flags;
+    if (to_mem) {
+      store_faultable(effective_address(inst.ops[1].mem), width, result, inst,
+                      d);
+    } else {
+      write_gpr_faultable(inst.ops[1].reg, width, result, inst, d);
+    }
+  }
+
+  void exec_call(const AsmInst& inst, const DecodedInst& d) {
+    if (d.callee == kCalleePrintInt) {
+      output_.push_back(gpr_[static_cast<int>(Gpr::kRdi)]);
+      return;
+    }
+    if (d.callee == kCalleePrintF64) {
+      output_.push_back(xmm_[0][0]);
+      return;
+    }
+    if (d.callee < 0) throw Trap{ExitStatus::kTrapInvalid};
+    const std::uint64_t ret_addr =
+        kRetTag | (static_cast<std::uint64_t>(d.fidx) << 40) |
+        (static_cast<std::uint64_t>(d.bidx) << 20) |
+        static_cast<std::uint64_t>(d.iidx + 1);
+    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
+    rsp -= 8;
+    if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
+    store_faultable(rsp, 8, ret_addr, inst, d);
+    next_pc_ = program_.entry_pc(d.callee);
+  }
+
+  /// Converts the raw per-block instruction tallies into the profile's
+  /// sorted, capped hot-block list (deterministic tie-break by name).
+  void finalize_hot_blocks() {
+    std::vector<VmProfile::BlockCount> blocks;
+    for (std::size_t f = 0; f < block_hits_.size(); ++f) {
+      for (std::size_t b = 0; b < block_hits_[f].size(); ++b) {
+        if (block_hits_[f][b] == 0) continue;
+        VmProfile::BlockCount entry;
+        entry.function = program_.source().functions[f].name;
+        entry.label = program_.source().functions[f].blocks[b].label;
+        entry.instructions = block_hits_[f][b];
+        blocks.push_back(std::move(entry));
+      }
+    }
+    std::sort(blocks.begin(), blocks.end(),
+              [](const VmProfile::BlockCount& a,
+                 const VmProfile::BlockCount& b) {
+                if (a.instructions != b.instructions) {
+                  return a.instructions > b.instructions;
+                }
+                if (a.function != b.function) return a.function < b.function;
+                return a.label < b.label;
+              });
+    if (blocks.size() > VmProfile::kMaxHotBlocks) {
+      blocks.resize(VmProfile::kMaxHotBlocks);
+    }
+    profile_.hot_blocks = std::move(blocks);
+  }
+
+  // ------------------------------------------------------------- state --
+
+  const PredecodedProgram& program_;
+  const DecodedInst* code_;
+
+  std::vector<std::uint8_t> memory_;
+  const std::size_t npages_;
+  /// Provenance per page: the checkpoint PageImage the page's content
+  /// last equalled (null = all-zero), valid when dirty_ is clear. Held
+  /// as shared_ptr so thinned-away checkpoints cannot dangle it.
+  std::vector<std::shared_ptr<const PageImage>> current_page_;
+  std::vector<std::uint8_t> dirty_;
+
+  std::uint64_t gpr_[masm::kGprCount] = {};
+  std::uint64_t xmm_[masm::kXmmCount][4] = {};
+  Flags flags_;
+  std::vector<std::uint64_t> global_addr_;
+  std::uint64_t heap_end_ = 0;
+  bool layout_ok_ = true;
+
+  std::int32_t pc_ = 0;
+  std::int32_t next_pc_ = 0;
+  bool halted_ = false;
+  std::uint64_t next_capture_at_ = 0;
+
+  const VmOptions* options_ = nullptr;
+  const FaultSpec* faults_ = nullptr;
+  std::size_t fault_count_ = 0;
+
+  std::uint64_t steps_ = 0;
+  std::uint64_t fi_sites_ = 0;
+  std::uint64_t fault_step_ = 0;
+  bool fault_injected_ = false;
+  std::optional<FaultLanding> fault_landing_;
+  std::vector<std::uint64_t> output_;
+  std::vector<std::string> trace_;
+  std::uint64_t touched_addr_ = 0;
+  std::optional<TimingModel> timing_;
+  VmProfile profile_;
+  // Dynamic instructions per [function][block] (profiling only).
+  std::vector<std::vector<std::uint64_t>> block_hits_;
+};
+
+Engine::Engine(const PredecodedProgram& program, const VmOptions& options)
+    : impl_(std::make_unique<Impl>(program, options)) {}
+
+Engine::~Engine() = default;
+
+VmResult Engine::run(const VmOptions& options, const FaultSpec* faults,
+                     std::size_t fault_count) {
+  return impl_->run(options, faults, fault_count, stats_);
+}
+
+VmResult Engine::run_capturing(const VmOptions& options, std::uint64_t stride,
+                               CheckpointSet& out) {
+  return impl_->run_capturing(options, stride, out, stats_);
+}
+
+VmResult Engine::run_from(const CheckpointSet& checkpoints,
+                          const VmOptions& options, const FaultSpec* faults,
+                          std::size_t fault_count) {
+  return impl_->run_from(checkpoints, options, faults, fault_count, stats_);
+}
+
+}  // namespace ferrum::vm

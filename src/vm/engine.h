@@ -1,0 +1,240 @@
+// Snapshot/fast-forward execution engine.
+//
+// Two pieces, both shared across every trial of a fault-injection
+// campaign:
+//
+//  * PredecodedProgram — a flat, dense decoding of an AsmProgram with
+//    pre-resolved branch/call targets, so the interpreter's inner loop
+//    does zero hash lookups (`labels.find` per jump in the old VM) and
+//    the decode work is paid once per campaign instead of per run.
+//
+//  * CheckpointSet — VM snapshots captured during the golden profiling
+//    run every `stride` dynamic fault-injection sites: registers, flags,
+//    control position, steps/site counters, output prefix, and memory as
+//    copy-on-write 16 KiB pages (only pages dirtied since the previous
+//    checkpoint are copied, never the full arena). A faulty trial
+//    restores the nearest checkpoint at-or-before its first fault site
+//    and executes only the suffix.
+//
+// Determinism contract (asserted by tests/test_engine.cpp, not just
+// claimed): a fast-forwarded trial is bit-identical to cold execution —
+// status, output, return_value, steps, fi_sites, fault_step and
+// fault_landing all match, for every stride and worker count. The
+// argument: the VM is deterministic and a fault at site F leaves the
+// prefix before F untouched, so the golden-run state at any site S <= F
+// equals the cold trial's state at S; restoring it and running the
+// suffix replays exactly the cold instruction stream.
+//
+// Thread-safety: PredecodedProgram and CheckpointSet are immutable after
+// construction/capture and may be shared read-only across ThreadPool
+// workers. Engine holds the mutable scratch (arena, registers, dirty
+// tracking) and must be per-worker.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "masm/masm.h"
+#include "vm/vm.h"
+
+namespace ferrum::vm {
+
+/// One predecoded instruction. `inst` points into the source AsmProgram,
+/// which must outlive the PredecodedProgram.
+struct DecodedInst {
+  /// Null marks the end-of-function sentinel: control falling past the
+  /// last block of a function traps (kTrapInvalid) without counting a
+  /// step, exactly like the old per-block interpreter.
+  const masm::AsmInst* inst = nullptr;
+  /// kJmp/kJcc: flat index of the target block's first instruction;
+  /// -1 when the label does not resolve (traps at execution).
+  std::int32_t target_pc = -1;
+  /// kCall: callee function index, kCalleePrintInt/kCalleePrintF64 for
+  /// the output builtins, or -1 for an unknown callee (traps).
+  std::int32_t callee = -1;
+  /// Static coordinates (function / block / instruction-in-block), used
+  /// for fault landings, trace rendering and return-address encoding.
+  std::int32_t fidx = 0;
+  std::int32_t bidx = 0;
+  std::int32_t iidx = 0;
+};
+
+constexpr std::int32_t kCalleePrintInt = -2;
+constexpr std::int32_t kCalleePrintF64 = -3;
+
+class PredecodedProgram {
+ public:
+  explicit PredecodedProgram(const masm::AsmProgram& program);
+
+  const masm::AsmProgram& source() const { return *program_; }
+  const std::vector<DecodedInst>& code() const { return code_; }
+  /// Flat pc of function `f`'s entry (its first block, or its sentinel
+  /// when the function has no blocks).
+  std::int32_t entry_pc(int f) const { return func_entry_pc_[static_cast<std::size_t>(f)]; }
+  /// Flat pc of block `b`'s first instruction in function `f`. Index
+  /// `blocks.size()` is valid and names the function's sentinel.
+  std::int32_t block_pc(int f, int b) const {
+    return block_base_pc_[static_cast<std::size_t>(f)][static_cast<std::size_t>(b)];
+  }
+  int function_count() const { return static_cast<int>(func_entry_pc_.size()); }
+  int block_count(int f) const {
+    return static_cast<int>(block_base_pc_[static_cast<std::size_t>(f)].size()) - 1;
+  }
+  /// Index of `main`, -1 when absent (running such a program traps).
+  int main_index() const { return main_index_; }
+
+ private:
+  const masm::AsmProgram* program_;
+  std::vector<DecodedInst> code_;
+  std::vector<std::int32_t> func_entry_pc_;
+  /// Per function: block start pcs plus one trailing entry for the
+  /// end-of-function sentinel.
+  std::vector<std::vector<std::int32_t>> block_base_pc_;
+  int main_index_ = -1;
+};
+
+// ---------------------------------------------------------------- pages --
+
+/// Copy-on-write page granularity. 16 KiB keeps the per-checkpoint page
+/// table small (memory_bytes / 16 KiB entries) while page copies stay a
+/// single cheap memcpy.
+constexpr int kCkptPageBits = 14;
+constexpr std::size_t kCkptPageSize = std::size_t{1} << kCkptPageBits;
+
+struct PageImage {
+  std::uint8_t bytes[kCkptPageSize];
+};
+
+/// One golden-run snapshot. Everything the VM needs to resume from an
+/// instruction boundary: architectural state, control position, counters
+/// and the output prefix. Memory is a full page table where entry p is
+/// the page's content at capture time (null = still all-zero); pages not
+/// dirtied between checkpoints share the same PageImage.
+struct Checkpoint {
+  std::int32_t pc = 0;
+  std::uint64_t steps = 0;
+  std::uint64_t fi_sites = 0;
+  std::uint64_t gpr[masm::kGprCount] = {};
+  std::uint64_t xmm[masm::kXmmCount][4] = {};
+  bool zf = false, sf = false, of = false, cf = false;
+  std::vector<std::uint64_t> output;
+  std::vector<std::shared_ptr<const PageImage>> pages;
+};
+
+class CheckpointSet {
+ public:
+  /// Live checkpoints are capped: when the count exceeds this, every
+  /// other checkpoint is dropped and the stride doubles (deterministic —
+  /// the decision depends only on the golden instruction stream).
+  static constexpr std::size_t kMaxLiveCheckpoints = 512;
+  /// Page-copy budget; crossing it also triggers thinning.
+  static constexpr std::uint64_t kPageBudgetBytes = 48ull << 20;
+
+  CheckpointSet();
+
+  bool empty() const { return checkpoints_.empty(); }
+  std::size_t size() const { return checkpoints_.size(); }
+  /// Effective stride after thinning (>= the requested stride).
+  std::uint64_t stride() const { return stride_; }
+  /// Bytes held by live page copies plus the page tables themselves.
+  std::uint64_t snapshot_bytes() const;
+  /// The latest checkpoint with fi_sites <= site (always defined once
+  /// capture ran: checkpoint 0 sits at site 0).
+  const Checkpoint& nearest_at_or_before(std::uint64_t site) const;
+
+  // Capture-side interface (Engine::run_capturing only).
+  void begin(std::uint64_t stride);
+  void add(Checkpoint checkpoint);
+  std::shared_ptr<const PageImage> make_page(const std::uint8_t* bytes,
+                                             std::size_t size);
+
+ private:
+  void thin();
+
+  std::vector<Checkpoint> checkpoints_;
+  std::uint64_t stride_ = 0;
+  std::size_t table_entries_ = 0;
+  /// Owned by page deleters so frees during thinning are accounted even
+  /// after this set is gone.
+  std::shared_ptr<std::atomic<std::uint64_t>> live_page_bytes_;
+};
+
+/// Fast-forward accounting, summed across a campaign's worker engines.
+/// Deterministic for a fixed program/seed/stride (which checkpoint each
+/// trial restores does not depend on scheduling), but stride-dependent —
+/// so it is reported under the wallclock/observability section of the
+/// bench artifacts, keeping the metrics sections byte-identical across
+/// FERRUM_CKPT_STRIDE values.
+struct FastForwardStats {
+  std::uint64_t trials = 0;         // runs executed by this engine
+  std::uint64_t restores = 0;       // trials that restored a checkpoint
+  std::uint64_t steps_skipped = 0;  // golden-prefix steps not re-executed
+  std::uint64_t steps_executed = 0; // suffix steps actually interpreted
+
+  void merge(const FastForwardStats& other) {
+    trials += other.trials;
+    restores += other.restores;
+    steps_skipped += other.steps_skipped;
+    steps_executed += other.steps_executed;
+  }
+  /// Fraction of would-be-cold work skipped: skipped / (skipped + executed).
+  double ratio() const {
+    const double total =
+        static_cast<double>(steps_skipped) + static_cast<double>(steps_executed);
+    return total > 0.0 ? static_cast<double>(steps_skipped) / total : 0.0;
+  }
+};
+
+/// Checkpoint telemetry surfaced by campaigns/audits in the BENCH
+/// artifacts' wallclock (observability) section.
+struct CheckpointTelemetry {
+  /// Effective capture stride after thinning; 0 = cold execution (knob
+  /// disabled or the run needed the full prefix for timing/profiling).
+  int stride = 0;
+  std::uint64_t checkpoints = 0;
+  std::uint64_t snapshot_bytes = 0;
+  FastForwardStats ff;
+};
+
+/// Reusable interpreter scratch: one arena + register file, reset between
+/// runs by dirty-page restore instead of a fresh 16 MB allocation per
+/// trial. One Engine per thread; the decoded program and checkpoint set
+/// it reads are shared.
+class Engine {
+ public:
+  /// `options.memory_bytes` fixes the arena size for the Engine's whole
+  /// lifetime; later run calls reuse it (their memory_bytes is ignored).
+  Engine(const PredecodedProgram& program, const VmOptions& options);
+  ~Engine();
+  Engine(const Engine&) = delete;
+  Engine& operator=(const Engine&) = delete;
+
+  /// Cold run from the initial state (equivalent to vm::run_multi).
+  VmResult run(const VmOptions& options, const FaultSpec* faults,
+               std::size_t fault_count);
+
+  /// Golden run that captures a checkpoint every `stride` dynamic FI
+  /// sites (plus one at site 0). Must be fault-free usage: pass no
+  /// faults to the subsequent run_from calls that predate the capture
+  /// options — i.e. capture and trials must agree on fault_store_data.
+  VmResult run_capturing(const VmOptions& options, std::uint64_t stride,
+                         CheckpointSet& out);
+
+  /// Faulty trial fast-forwarded from the nearest checkpoint at-or-
+  /// before the first fault site. `checkpoints` must come from a
+  /// run_capturing on the same program with the same fault_store_data
+  /// setting; options must not enable profile/timing/trace (those need
+  /// the prefix — callers fall back to run()).
+  VmResult run_from(const CheckpointSet& checkpoints, const VmOptions& options,
+                    const FaultSpec* faults, std::size_t fault_count);
+
+  const FastForwardStats& stats() const { return stats_; }
+
+ private:
+  class Impl;
+  std::unique_ptr<Impl> impl_;
+  FastForwardStats stats_;
+};
+
+}  // namespace ferrum::vm

@@ -1,21 +1,13 @@
+// Thin single-run entry points. The interpreter itself lives in
+// vm/engine.cpp; these wrappers predecode and run once, which matches the
+// historical per-run cost profile. Campaign-scale callers construct a
+// PredecodedProgram + per-worker Engines directly and amortise both the
+// decode and the arena across trials.
 #include "vm/vm.h"
 
-#include <algorithm>
-#include <cmath>
-#include <cstring>
-#include <unordered_map>
+#include "vm/engine.h"
 
 namespace ferrum::vm {
-
-using masm::AsmBlock;
-using masm::AsmFunction;
-using masm::AsmInst;
-using masm::AsmProgram;
-using masm::Cond;
-using masm::Gpr;
-using masm::MemRef;
-using masm::Op;
-using masm::Operand;
 
 const char* exit_status_name(ExitStatus status) {
   switch (status) {
@@ -40,804 +32,23 @@ const char* fault_kind_name(FaultKind kind) {
   return "?";
 }
 
-namespace {
-
-struct Trap {
-  ExitStatus status;
-};
-
-/// Return addresses are tagged so that corrupted data popped by `ret` is
-/// recognisably invalid (-> crash, like a wild jump on real hardware).
-constexpr std::uint64_t kRetTag = 0x7e00'0000'0000'0000ULL;
-constexpr std::uint64_t kExitSentinel = kRetTag | 0xffff'ffffULL;
-
-struct Flags {
-  bool zf = false, sf = false, of = false, cf = false;
-};
-
-class Machine {
- public:
-  Machine(const AsmProgram& program, const VmOptions& options,
-          std::vector<FaultSpec> faults)
-      : program_(program),
-        options_(options),
-        faults_(std::move(faults)),
-        memory_(options.memory_bytes),
-        timing_(options.timing_params) {}
-
-  VmResult run() {
-    VmResult result;
-    try {
-      resolve();
-      layout_globals();
-      const int main_index = function_index("main");
-      if (main_index < 0) throw Trap{ExitStatus::kTrapInvalid};
-      // Set up the stack and the exit sentinel.
-      gpr_[static_cast<int>(Gpr::kRsp)] = memory_.size() - 64;
-      push64(kExitSentinel);
-      fidx_ = main_index;
-      bidx_ = 0;
-      iidx_ = 0;
-      loop();
-      result.return_value =
-          static_cast<std::int64_t>(gpr_[static_cast<int>(Gpr::kRax)]);
-    } catch (const Trap& trap) {
-      result.status = trap.status;
-    }
-    result.output = std::move(output_);
-    result.trace = std::move(trace_);
-    result.steps = steps_;
-    result.fi_sites = fi_sites_;
-    result.fault_injected = fault_injected_;
-    result.fault_landing = fault_landing_;
-    result.fault_step = fault_step_;
-    if (options_.timing) {
-      result.cycles = timing_.cycles();
-      result.timing_stats = timing_.stats();
-    }
-    if (options_.profile) {
-      finalize_hot_blocks();
-      result.profile = std::move(profile_);
-    }
-    return result;
-  }
-
- private:
-  // ------------------------------------------------------------- loading --
-
-  void resolve() {
-    for (std::size_t f = 0; f < program_.functions.size(); ++f) {
-      function_by_name_[program_.functions[f].name] = static_cast<int>(f);
-      const AsmFunction& fn = program_.functions[f];
-      auto& labels = labels_by_fn_.emplace_back();
-      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
-        labels[fn.blocks[b].label] = static_cast<int>(b);
-      }
-      if (options_.profile) block_hits_.emplace_back(fn.blocks.size(), 0);
-    }
-  }
-
-  /// Converts the raw per-block instruction tallies into the profile's
-  /// sorted, capped hot-block list (deterministic tie-break by name).
-  void finalize_hot_blocks() {
-    std::vector<VmProfile::BlockCount> blocks;
-    for (std::size_t f = 0; f < block_hits_.size(); ++f) {
-      for (std::size_t b = 0; b < block_hits_[f].size(); ++b) {
-        if (block_hits_[f][b] == 0) continue;
-        VmProfile::BlockCount entry;
-        entry.function = program_.functions[f].name;
-        entry.label = program_.functions[f].blocks[b].label;
-        entry.instructions = block_hits_[f][b];
-        blocks.push_back(std::move(entry));
-      }
-    }
-    std::sort(blocks.begin(), blocks.end(),
-              [](const VmProfile::BlockCount& a,
-                 const VmProfile::BlockCount& b) {
-                if (a.instructions != b.instructions) {
-                  return a.instructions > b.instructions;
-                }
-                if (a.function != b.function) return a.function < b.function;
-                return a.label < b.label;
-              });
-    if (blocks.size() > VmProfile::kMaxHotBlocks) {
-      blocks.resize(VmProfile::kMaxHotBlocks);
-    }
-    profile_.hot_blocks = std::move(blocks);
-  }
-
-  int function_index(const std::string& name) const {
-    auto it = function_by_name_.find(name);
-    return it == function_by_name_.end() ? -1 : it->second;
-  }
-
-  void layout_globals() {
-    std::size_t cursor = 0x1000;
-    for (const auto& global : program_.globals) {
-      cursor = (cursor + 15) & ~std::size_t{15};
-      global_addr_.push_back(cursor);
-      if (cursor + global.size_bytes > memory_.size() / 2) {
-        throw Trap{ExitStatus::kTrapMemory};
-      }
-      std::memcpy(memory_.data() + cursor, global.init.data(),
-                  std::min<std::size_t>(global.init.size(),
-                                        static_cast<std::size_t>(
-                                            global.size_bytes)));
-      cursor += static_cast<std::size_t>(global.size_bytes);
-    }
-    heap_end_ = cursor;
-  }
-
-  // -------------------------------------------------------------- memory --
-
-  void check_range(std::uint64_t addr, int size) {
-    if (addr < 0x1000 ||
-        addr + static_cast<std::uint64_t>(size) > memory_.size()) {
-      throw Trap{ExitStatus::kTrapMemory};
-    }
-  }
-
-  std::uint64_t load(std::uint64_t addr, int size) {
-    check_range(addr, size);
-    std::uint64_t value = 0;
-    std::memcpy(&value, memory_.data() + addr, static_cast<std::size_t>(size));
-    return value;
-  }
-
-  void store(std::uint64_t addr, int size, std::uint64_t value) {
-    check_range(addr, size);
-    std::memcpy(memory_.data() + addr, &value, static_cast<std::size_t>(size));
-  }
-
-  void push64(std::uint64_t value) {
-    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
-    rsp -= 8;
-    if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
-    store(rsp, 8, value);
-  }
-
-  std::uint64_t pop64() {
-    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
-    const std::uint64_t value = load(rsp, 8);
-    rsp += 8;
-    return value;
-  }
-
-  // ----------------------------------------------------------- operands --
-
-  std::uint64_t effective_address(const MemRef& mem) {
-    std::uint64_t addr = 0;
-    if (mem.global_id >= 0) {
-      if (mem.global_id >= static_cast<int>(global_addr_.size())) {
-        throw Trap{ExitStatus::kTrapInvalid};
-      }
-      addr = global_addr_[mem.global_id];
-    } else if (mem.base != Gpr::kNone) {
-      addr = gpr_[static_cast<int>(mem.base)];
-    }
-    addr += static_cast<std::uint64_t>(mem.disp);
-    if (mem.index != Gpr::kNone) {
-      addr += gpr_[static_cast<int>(mem.index)] *
-              static_cast<std::uint64_t>(mem.scale);
-    }
-    return addr;
-  }
-
-  std::uint64_t read_gpr(Gpr reg, int width) {
-    const std::uint64_t raw = gpr_[static_cast<int>(reg)];
-    switch (width) {
-      case 1: return raw & 0xff;
-      case 4: return raw & 0xffff'ffffULL;
-      default: return raw;
-    }
-  }
-
-  /// x86 merge semantics: 32-bit writes zero-extend, 8-bit writes merge.
-  std::uint64_t merged_gpr_value(Gpr reg, int width, std::uint64_t value) {
-    switch (width) {
-      case 1:
-        return (gpr_[static_cast<int>(reg)] & ~0xffULL) | (value & 0xff);
-      case 4:
-        return value & 0xffff'ffffULL;
-      default:
-        return value;
-    }
-  }
-
-  std::uint64_t read_operand(const Operand& op) {
-    switch (op.kind) {
-      case Operand::Kind::kReg:
-        return read_gpr(op.reg, op.width);
-      case Operand::Kind::kImm:
-        return static_cast<std::uint64_t>(op.imm);
-      case Operand::Kind::kMem: {
-        const std::uint64_t addr = effective_address(op.mem);
-        touched_addr_ = addr;
-        return load(addr, op.width);
-      }
-      case Operand::Kind::kXmm:
-        return xmm_[op.xmm][0];
-      default:
-        throw Trap{ExitStatus::kTrapInvalid};
-    }
-  }
-
-  std::int64_t read_signed(const Operand& op) {
-    const std::uint64_t raw = read_operand(op);
-    switch (op.width) {
-      case 1: return static_cast<std::int8_t>(raw & 0xff);
-      case 4: return static_cast<std::int32_t>(raw & 0xffff'ffffULL);
-      default: return static_cast<std::int64_t>(raw);
-    }
-  }
-
-  // ------------------------------------------------------ fault machinery --
-
-  /// Registers one FI site; returns the matching fault spec when this
-  /// site is one of the sampled ones, or nullptr.
-  const FaultSpec* fi_site(FaultKind kind, const AsmInst& inst) {
-    const std::uint64_t id = fi_sites_++;
-    if (options_.profile) ++profile_.site_counts[static_cast<int>(kind)];
-    for (const FaultSpec& spec : faults_) {
-      if (id != spec.site) continue;
-      if (!fault_injected_) {
-        FaultLanding landing;
-        landing.kind = kind;
-        landing.origin = inst.origin;
-        landing.op = inst.op;
-        landing.function = program_.functions[fidx_].name;
-        landing.block = bidx_;
-        landing.inst = iidx_;
-        fault_landing_ = landing;
-        fault_step_ = steps_;
-      }
-      fault_injected_ = true;
-      return &spec;
-    }
-    return nullptr;
-  }
-
-  /// Mask of `burst` adjacent bits, wrapping within `width` bits.
-  static std::uint64_t burst_mask(const FaultSpec& spec, int width) {
-    std::uint64_t mask = 0;
-    for (int i = 0; i < spec.burst; ++i) {
-      mask |= std::uint64_t{1} << ((spec.bit + i) % width);
-    }
-    return mask;
-  }
-
-  /// Writes a GPR (with merge semantics), applying a fault if sampled.
-  void write_gpr_faultable(Gpr reg, int width, std::uint64_t value,
-                           const AsmInst& inst) {
-    std::uint64_t merged = merged_gpr_value(reg, width, value);
-    if (const FaultSpec* spec = fi_site(FaultKind::kGprWrite, inst)) {
-      merged ^= burst_mask(*spec, 64);
-    }
-    gpr_[static_cast<int>(reg)] = merged;
-  }
-
-  void write_flags_faultable(Flags flags, const AsmInst& inst) {
-    if (const FaultSpec* spec = fi_site(FaultKind::kFlagsWrite, inst)) {
-      const std::uint64_t mask = burst_mask(*spec, 4);
-      if (mask & 1) flags.zf = !flags.zf;
-      if (mask & 2) flags.sf = !flags.sf;
-      if (mask & 4) flags.of = !flags.of;
-      if (mask & 8) flags.cf = !flags.cf;
-    }
-    flags_ = flags;
-  }
-
-  void store_faultable(std::uint64_t addr, int size, std::uint64_t value,
-                       const AsmInst& inst) {
-    if (options_.fault_store_data) {
-      if (const FaultSpec* spec = fi_site(FaultKind::kStoreData, inst)) {
-        value ^= burst_mask(*spec, size * 8);
-      }
-    }
-    touched_addr_ = addr;
-    store(addr, size, value);
-  }
-
-  /// Writes xmm lane(s); `lane_count` 64-bit lanes starting at `lane`.
-  void write_xmm_faultable(int reg, int lane, int lane_count,
-                           const std::uint64_t* values, const AsmInst& inst) {
-    std::uint64_t lanes[4];
-    std::memcpy(lanes, values,
-                static_cast<std::size_t>(lane_count) * sizeof(std::uint64_t));
-    if (const FaultSpec* spec = fi_site(FaultKind::kXmmWrite, inst)) {
-      const int total_bits = lane_count * 64;
-      for (int i = 0; i < spec->burst; ++i) {
-        const int target = (spec->bit + i) % total_bits;
-        lanes[target / 64] ^= std::uint64_t{1} << (target % 64);
-      }
-    }
-    for (int i = 0; i < lane_count; ++i) xmm_[reg][lane + i] = lanes[i];
-  }
-
-  // ----------------------------------------------------------- execution --
-
-  void loop() {
-    for (;;) {
-      if (fidx_ < 0 ||
-          fidx_ >= static_cast<int>(program_.functions.size())) {
-        throw Trap{ExitStatus::kTrapInvalid};
-      }
-      const AsmFunction& fn = program_.functions[fidx_];
-      if (bidx_ >= static_cast<int>(fn.blocks.size())) {
-        throw Trap{ExitStatus::kTrapInvalid};
-      }
-      const AsmBlock& block = fn.blocks[bidx_];
-      if (iidx_ >= static_cast<int>(block.insts.size())) {
-        // Fall through to the next block.
-        ++bidx_;
-        iidx_ = 0;
-        if (bidx_ >= static_cast<int>(fn.blocks.size())) {
-          throw Trap{ExitStatus::kTrapInvalid};
-        }
-        continue;
-      }
-      const AsmInst& inst = block.insts[iidx_];
-      if (++steps_ > options_.max_steps) throw Trap{ExitStatus::kTrapSteps};
-      if (options_.profile) {
-        ++profile_.op_counts[static_cast<int>(inst.op)];
-        ++profile_.origin_counts[static_cast<int>(inst.origin)];
-        ++block_hits_[static_cast<std::size_t>(fidx_)]
-                     [static_cast<std::size_t>(bidx_)];
-      }
-      if (trace_.size() < options_.trace_limit) {
-        trace_.push_back(fn.name + "/" + block.label + ": " +
-                         inst.to_string());
-      }
-      touched_addr_ = 0;
-      const bool jumped = exec(inst);
-      if (options_.timing) timing_.step(inst, touched_addr_);
-      if (!jumped) ++iidx_;
-      if (halted_) return;
-    }
-  }
-
-  void jump_to_label(const std::string& label) {
-    const auto& labels = labels_by_fn_[fidx_];
-    auto it = labels.find(label);
-    if (it == labels.end()) throw Trap{ExitStatus::kTrapInvalid};
-    bidx_ = it->second;
-    iidx_ = 0;
-  }
-
-  bool eval_cond(Cond cc) const {
-    switch (cc) {
-      case Cond::kE: return flags_.zf;
-      case Cond::kNe: return !flags_.zf;
-      case Cond::kL: return flags_.sf != flags_.of;
-      case Cond::kLe: return flags_.zf || flags_.sf != flags_.of;
-      case Cond::kG: return !flags_.zf && flags_.sf == flags_.of;
-      case Cond::kGe: return flags_.sf == flags_.of;
-      case Cond::kA: return !flags_.cf && !flags_.zf;
-      case Cond::kAe: return !flags_.cf;
-      case Cond::kB: return flags_.cf;
-      case Cond::kBe: return flags_.cf || flags_.zf;
-    }
-    return false;
-  }
-
-  static std::int64_t sign_at(std::uint64_t value, int width) {
-    switch (width) {
-      case 1: return static_cast<std::int8_t>(value & 0xff);
-      case 4: return static_cast<std::int32_t>(value & 0xffff'ffffULL);
-      default: return static_cast<std::int64_t>(value);
-    }
-  }
-
-  Flags flags_of_sub(std::uint64_t a, std::uint64_t b, int width) {
-    // a - b at the given width.
-    const std::uint64_t mask =
-        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
-    const std::uint64_t result = (a - b) & mask;
-    Flags flags;
-    flags.zf = result == 0;
-    flags.sf = sign_at(result, width) < 0;
-    flags.cf = (a & mask) < (b & mask);
-    const std::int64_t sa = sign_at(a, width);
-    const std::int64_t sb = sign_at(b, width);
-    const std::int64_t sr = sign_at(result, width);
-    flags.of = ((sa < 0) != (sb < 0)) && ((sr < 0) != (sa < 0));
-    return flags;
-  }
-
-  Flags flags_of_result(std::uint64_t result, int width) {
-    Flags flags;
-    const std::uint64_t mask =
-        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
-    flags.zf = (result & mask) == 0;
-    flags.sf = sign_at(result, width) < 0;
-    return flags;
-  }
-
-  double as_f64(std::uint64_t raw) const {
-    double value;
-    std::memcpy(&value, &raw, sizeof(value));
-    return value;
-  }
-  std::uint64_t from_f64(double value) const {
-    std::uint64_t raw;
-    std::memcpy(&raw, &value, sizeof(raw));
-    return raw;
-  }
-
-  /// Executes one instruction; returns true when control transferred.
-  bool exec(const AsmInst& inst) {
-    switch (inst.op) {
-      case Op::kMov: {
-        const std::uint64_t value = read_operand(inst.ops[0]);
-        if (inst.ops[1].is_mem()) {
-          store_faultable(effective_address(inst.ops[1].mem),
-                          inst.ops[1].width, value, inst);
-        } else {
-          write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst);
-        }
-        return false;
-      }
-      case Op::kMovsx: {
-        const std::int64_t value = read_signed(inst.ops[0]);
-        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
-                            static_cast<std::uint64_t>(value), inst);
-        return false;
-      }
-      case Op::kMovzx: {
-        const std::uint64_t value = read_operand(inst.ops[0]);
-        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst);
-        return false;
-      }
-      case Op::kLea: {
-        const std::uint64_t addr = effective_address(inst.ops[0].mem);
-        write_gpr_faultable(inst.ops[1].reg, 8, addr, inst);
-        return false;
-      }
-      case Op::kPush: {
-        std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
-        rsp -= 8;
-        if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
-        store_faultable(rsp, 8, read_operand(inst.ops[0]), inst);
-        return false;
-      }
-      case Op::kPop: {
-        const std::uint64_t value = pop64();
-        write_gpr_faultable(inst.ops[0].reg, 8, value, inst);
-        return false;
-      }
-      case Op::kAdd: case Op::kSub: case Op::kImul: case Op::kAnd:
-      case Op::kOr: case Op::kXor: case Op::kShl: case Op::kSar:
-      case Op::kIdiv: case Op::kIrem:
-        return exec_alu(inst);
-      case Op::kCmp: {
-        const std::uint64_t b = read_operand(inst.ops[0]);
-        const std::uint64_t a = read_operand(inst.ops[1]);
-        write_flags_faultable(flags_of_sub(a, b, inst.ops[1].width), inst);
-        return false;
-      }
-      case Op::kTest: {
-        const std::uint64_t b = read_operand(inst.ops[0]);
-        const std::uint64_t a = read_operand(inst.ops[1]);
-        Flags flags = flags_of_result(a & b, inst.ops[1].width);
-        write_flags_faultable(flags, inst);
-        return false;
-      }
-      case Op::kSetcc: {
-        const std::uint64_t value = eval_cond(inst.cc) ? 1 : 0;
-        if (inst.ops[0].is_mem()) {
-          store_faultable(effective_address(inst.ops[0].mem), 1, value, inst);
-        } else {
-          write_gpr_faultable(inst.ops[0].reg, 1, value, inst);
-        }
-        return false;
-      }
-      case Op::kJcc: {
-        bool taken = eval_cond(inst.cc);
-        if (fi_site(FaultKind::kBranchDecision, inst) != nullptr) {
-          taken = !taken;
-        }
-        if (taken) {
-          jump_to_label(inst.ops[0].label);
-          return true;
-        }
-        return false;
-      }
-      case Op::kJmp:
-        jump_to_label(inst.ops[0].label);
-        return true;
-      case Op::kCall:
-        return exec_call(inst);
-      case Op::kRet: {
-        const std::uint64_t addr = pop64();
-        if (addr == kExitSentinel) {
-          halted_ = true;
-          return true;
-        }
-        if ((addr & 0xff00'0000'0000'0000ULL) != kRetTag) {
-          throw Trap{ExitStatus::kTrapInvalid};
-        }
-        fidx_ = static_cast<int>((addr >> 40) & 0xffff);
-        bidx_ = static_cast<int>((addr >> 20) & 0xfffff);
-        iidx_ = static_cast<int>(addr & 0xfffff);
-        if (fidx_ >= static_cast<int>(program_.functions.size()) ||
-            bidx_ >= static_cast<int>(program_.functions[fidx_].blocks.size())) {
-          throw Trap{ExitStatus::kTrapInvalid};
-        }
-        return true;
-      }
-      case Op::kDetectTrap:
-        throw Trap{ExitStatus::kDetected};
-      case Op::kMovsd: {
-        if (inst.ops[0].is_xmm() && inst.ops[1].is_xmm()) {
-          std::uint64_t lane = xmm_[inst.ops[0].xmm][0];
-          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst);
-        } else if (inst.ops[1].is_xmm()) {
-          std::uint64_t lane = read_operand(inst.ops[0]);
-          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst);
-        } else {
-          store_faultable(effective_address(inst.ops[1].mem), 8,
-                          xmm_[inst.ops[0].xmm][0], inst);
-        }
-        return false;
-      }
-      case Op::kAddsd: case Op::kSubsd: case Op::kMulsd: case Op::kDivsd: {
-        const double b = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
-        double result = 0.0;
-        switch (inst.op) {
-          case Op::kAddsd: result = a + b; break;
-          case Op::kSubsd: result = a - b; break;
-          case Op::kMulsd: result = a * b; break;
-          default: result = a / b; break;
-        }
-        std::uint64_t lane = from_f64(result);
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst);
-        return false;
-      }
-      case Op::kSqrtsd: {
-        const double a = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        std::uint64_t lane = from_f64(std::sqrt(a));
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst);
-        return false;
-      }
-      case Op::kUcomisd: {
-        const double b = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
-        Flags flags;
-        if (a != a || b != b) {
-          flags.zf = flags.cf = true;  // unordered
-        } else {
-          flags.zf = a == b;
-          flags.cf = a < b;
-        }
-        write_flags_faultable(flags, inst);
-        return false;
-      }
-      case Op::kCvtsi2sd: {
-        const std::int64_t value = read_signed(inst.ops[0]);
-        std::uint64_t lane = from_f64(static_cast<double>(value));
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst);
-        return false;
-      }
-      case Op::kCvttsd2si: {
-        const double value = as_f64(xmm_[inst.ops[0].xmm][0]);
-        std::int64_t result;
-        if (value != value || value < -9.3e18 || value > 9.3e18) {
-          result = INT64_MIN;  // x86 integer-indefinite
-        } else {
-          result = static_cast<std::int64_t>(value);
-        }
-        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
-                            static_cast<std::uint64_t>(result), inst);
-        return false;
-      }
-      case Op::kMovq: {
-        if (inst.ops[1].is_xmm()) {
-          // gpr/mem -> xmm low lane; lane1 zeroed (SSE movq semantics).
-          std::uint64_t lanes[2] = {read_operand(inst.ops[0]), 0};
-          write_xmm_faultable(inst.ops[1].xmm, 0, 2, lanes, inst);
-        } else {
-          const std::uint64_t value = xmm_[inst.ops[0].xmm][0];
-          if (inst.ops[1].is_mem()) {
-            store_faultable(effective_address(inst.ops[1].mem),
-                            inst.ops[1].width, value, inst);
-          } else {
-            write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value,
-                                inst);
-          }
-        }
-        return false;
-      }
-      case Op::kPinsrq: {
-        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
-        std::uint64_t value = read_operand(inst.ops[1]);
-        write_xmm_faultable(inst.ops[2].xmm, lane, 1, &value, inst);
-        return false;
-      }
-      case Op::kVinserti128: {
-        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
-        std::uint64_t lanes[2] = {xmm_[inst.ops[1].xmm][0],
-                                  xmm_[inst.ops[1].xmm][1]};
-        write_xmm_faultable(inst.ops[2].xmm, lane * 2, 2, lanes, inst);
-        return false;
-      }
-      case Op::kVpxor: {
-        // XMM form (VEX semantics): lanes 0-1 computed, upper lanes zeroed.
-        const int active = inst.ops[0].ymm ? 4 : 2;
-        std::uint64_t lanes[4] = {0, 0, 0, 0};
-        for (int i = 0; i < active; ++i) {
-          lanes[i] = xmm_[inst.ops[0].xmm][i] ^ xmm_[inst.ops[1].xmm][i];
-        }
-        write_xmm_faultable(inst.ops[2].xmm, 0, 4, lanes, inst);
-        return false;
-      }
-      case Op::kVptest: {
-        const int active = inst.ops[0].ymm ? 4 : 2;
-        std::uint64_t accum = 0;
-        for (int i = 0; i < active; ++i) {
-          accum |= xmm_[inst.ops[0].xmm][i] & xmm_[inst.ops[1].xmm][i];
-        }
-        Flags flags;
-        flags.zf = accum == 0;
-        write_flags_faultable(flags, inst);
-        return false;
-      }
-    }
-    throw Trap{ExitStatus::kTrapInvalid};
-  }
-
-  bool exec_alu(const AsmInst& inst) {
-    const int width = inst.ops[1].width;
-    const std::uint64_t mask =
-        width == 8 ? ~0ULL : (std::uint64_t{1} << (width * 8)) - 1;
-    const std::uint64_t b = read_operand(inst.ops[0]) & mask;
-    const bool to_mem = inst.ops[1].is_mem();
-    const std::uint64_t a =
-        (to_mem ? load(effective_address(inst.ops[1].mem), width)
-                : read_gpr(inst.ops[1].reg, width)) & mask;
-    std::uint64_t result = 0;
-    Flags flags;
-    switch (inst.op) {
-      case Op::kAdd: {
-        result = (a + b) & mask;
-        flags = flags_of_result(result, width);
-        flags.cf = result < a;
-        const std::int64_t sa = sign_at(a, width), sb = sign_at(b, width),
-                           sr = sign_at(result, width);
-        flags.of = ((sa < 0) == (sb < 0)) && ((sr < 0) != (sa < 0));
-        break;
-      }
-      case Op::kSub: {
-        flags = flags_of_sub(a, b, width);
-        result = (a - b) & mask;
-        break;
-      }
-      case Op::kImul: {
-        const std::int64_t product = sign_at(a, width) * sign_at(b, width);
-        result = static_cast<std::uint64_t>(product) & mask;
-        flags = flags_of_result(result, width);
-        break;
-      }
-      case Op::kAnd: result = a & b; flags = flags_of_result(result, width); break;
-      case Op::kOr: result = a | b; flags = flags_of_result(result, width); break;
-      case Op::kXor: result = a ^ b; flags = flags_of_result(result, width); break;
-      case Op::kShl: {
-        const int count = static_cast<int>(b) & (width == 8 ? 63 : 31);
-        result = (a << count) & mask;
-        flags = flags_of_result(result, width);
-        break;
-      }
-      case Op::kSar: {
-        const int count = static_cast<int>(b) & (width == 8 ? 63 : 31);
-        result = static_cast<std::uint64_t>(sign_at(a, width) >> count) & mask;
-        flags = flags_of_result(result, width);
-        break;
-      }
-      case Op::kIdiv:
-      case Op::kIrem: {
-        const std::int64_t sa = sign_at(a, width);
-        const std::int64_t sb = sign_at(b, width);
-        if (sb == 0 || (sa == INT64_MIN && sb == -1)) {
-          throw Trap{ExitStatus::kTrapDivide};
-        }
-        const std::int64_t value = inst.op == Op::kIdiv ? sa / sb : sa % sb;
-        result = static_cast<std::uint64_t>(value) & mask;
-        flags = flags_of_result(result, width);
-        break;
-      }
-      default:
-        throw Trap{ExitStatus::kTrapInvalid};
-    }
-    // Order matters: flags site first, then the destination write site —
-    // each ALU instruction still registers only the destination-register
-    // (or store) site; flags changes ride along un-sampled to keep one
-    // site per instruction, as in the paper's injector.
-    flags_ = flags;
-    if (to_mem) {
-      store_faultable(effective_address(inst.ops[1].mem), width, result, inst);
-    } else {
-      write_gpr_faultable(inst.ops[1].reg, width, result, inst);
-    }
-    return false;
-  }
-
-  bool exec_call(const AsmInst& inst) {
-    const std::string& callee = inst.ops[0].label;
-    if (callee == "print_int") {
-      output_.push_back(gpr_[static_cast<int>(Gpr::kRdi)]);
-      return false;
-    }
-    if (callee == "print_f64") {
-      output_.push_back(xmm_[0][0]);
-      return false;
-    }
-    const int target = function_index(callee);
-    if (target < 0) throw Trap{ExitStatus::kTrapInvalid};
-    const std::uint64_t ret_addr =
-        kRetTag | (static_cast<std::uint64_t>(fidx_) << 40) |
-        (static_cast<std::uint64_t>(bidx_) << 20) |
-        static_cast<std::uint64_t>(iidx_ + 1);
-    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
-    rsp -= 8;
-    if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
-    store_faultable(rsp, 8, ret_addr, inst);
-    fidx_ = target;
-    bidx_ = 0;
-    iidx_ = 0;
-    return true;
-  }
-
-  const AsmProgram& program_;
-  const VmOptions& options_;
-  std::vector<FaultSpec> faults_;
-
-  std::vector<std::uint8_t> memory_;
-  std::uint64_t gpr_[masm::kGprCount] = {};
-  std::uint64_t xmm_[masm::kXmmCount][4] = {};
-  Flags flags_;
-  std::vector<std::uint64_t> global_addr_;
-  std::uint64_t heap_end_ = 0;
-
-  int fidx_ = 0, bidx_ = 0, iidx_ = 0;
-  bool halted_ = false;
-
-  std::unordered_map<std::string, int> function_by_name_;
-  std::vector<std::unordered_map<std::string, int>> labels_by_fn_;
-
-  std::uint64_t steps_ = 0;
-  std::uint64_t fi_sites_ = 0;
-  std::uint64_t fault_step_ = 0;
-  bool fault_injected_ = false;
-  std::optional<FaultLanding> fault_landing_;
-  std::vector<std::uint64_t> output_;
-  std::vector<std::string> trace_;
-  std::uint64_t touched_addr_ = 0;
-  TimingModel timing_;
-  VmProfile profile_;
-  // Dynamic instructions per [function][block] (profiling only).
-  std::vector<std::vector<std::uint64_t>> block_hits_;
-};
-
-}  // namespace
-
 VmResult run(const masm::AsmProgram& program, const VmOptions& options,
              const FaultSpec* fault) {
-  std::vector<FaultSpec> faults;
-  if (fault != nullptr) faults.push_back(*fault);
-  Machine machine(program, options, std::move(faults));
-  return machine.run();
+  PredecodedProgram decoded(program);
+  Engine engine(decoded, options);
+  return engine.run(options, fault, fault != nullptr ? 1 : 0);
+}
+
+VmResult run_multi(const masm::AsmProgram& program, const VmOptions& options,
+                   const FaultSpec* faults, std::size_t fault_count) {
+  PredecodedProgram decoded(program);
+  Engine engine(decoded, options);
+  return engine.run(options, faults, fault_count);
 }
 
 VmResult run_multi(const masm::AsmProgram& program, const VmOptions& options,
                    const std::vector<FaultSpec>& faults) {
-  Machine machine(program, options, faults);
-  return machine.run();
+  return run_multi(program, options, faults.data(), faults.size());
 }
 
 }  // namespace ferrum::vm

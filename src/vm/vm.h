@@ -129,4 +129,10 @@ VmResult run(const masm::AsmProgram& program, const VmOptions& options = {},
 VmResult run_multi(const masm::AsmProgram& program, const VmOptions& options,
                    const std::vector<FaultSpec>& faults);
 
+/// Span-style overload: reads `fault_count` specs starting at `faults`
+/// without copying them — campaign trials point into the pre-drawn spec
+/// pool instead of materialising a fresh vector per trial.
+VmResult run_multi(const masm::AsmProgram& program, const VmOptions& options,
+                   const FaultSpec* faults, std::size_t fault_count);
+
 }  // namespace ferrum::vm

@@ -6,6 +6,8 @@
 #include <thread>
 #include <vector>
 
+#include "fault/campaign.h"
+#include "pipeline/pipeline.h"
 #include "support/parallel.h"
 
 namespace ferrum {
@@ -114,6 +116,32 @@ TEST(ThreadPoolTest, ManySequentialJobsOnOnePool) {
     });
     EXPECT_EQ(total.load(), round);
   }
+}
+
+TEST(ThreadPoolTest, CheckpointedCampaignSharesSnapshotsAcrossWorkers) {
+  // TSan-preset coverage for the fast-forward engine: the CheckpointSet
+  // is captured once on the calling thread and then read concurrently by
+  // every worker's Engine; a missing happens-before edge or a hidden
+  // write to the shared snapshots shows up here under
+  // -DFERRUM_SANITIZE=thread. A tight stride maximises concurrent
+  // restores from the same pages.
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 12; i++) s += i * i;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 96;
+  options.ckpt_stride = 4;
+  options.jobs = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  options.jobs = 8;
+  const auto parallel = fault::run_campaign(build.program, options);
+  EXPECT_EQ(serial.counts, parallel.counts);
+  EXPECT_EQ(serial.sdc_breakdown, parallel.sdc_breakdown);
+  EXPECT_GT(parallel.ckpt.ff.restores, 0u);
 }
 
 TEST(ThreadPoolTest, FreeFunctionCoversRange) {
