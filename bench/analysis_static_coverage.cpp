@@ -27,6 +27,7 @@
 
 #include "bench_util.h"
 #include "check/check.h"
+#include "check/prune.h"
 #include "fault/audit.h"
 #include "pipeline/pipeline.h"
 #include "telemetry/export.h"
@@ -145,6 +146,7 @@ int main() {
                                   Technique::kHybrid, Technique::kFerrum};
   std::uint64_t total_escapes = 0;
   std::uint64_t total_contained = 0;
+  std::uint64_t total_dead_escapes = 0;
   for (const Kernel& kernel : kernels(scale)) {
     telemetry::Json kernel_json = telemetry::Json::object();
     for (Technique technique : techniques) {
@@ -170,6 +172,29 @@ int main() {
                               check::site_kind_name(site.kind)});
         }
       }
+      // Dead-escape containment (ferrum-prune soundness from the other
+      // side): a bit the liveness analysis proves dead must never show up
+      // as a dynamic SDC escape.
+      const check::prune::PruneReport prune =
+          check::prune::prune_program(build.program);
+      std::uint64_t dead_escapes = 0;
+      for (const fault::AuditEscape& escape : audit.escapes) {
+        for (std::size_t f = 0; f < build.program.functions.size(); ++f) {
+          if (build.program.functions[f].name != escape.function) continue;
+          const check::prune::PruneSite* site = prune.find(
+              static_cast<int>(f), escape.block, escape.inst);
+          if (site != nullptr && site->bit_dead(escape.bit)) {
+            ++dead_escapes;
+            std::fprintf(stderr,
+                         "dead-escape MISS: %s/%s escape at %s b%d#%d bit %d "
+                         "is statically dead\n",
+                         kernel.name, pipeline::technique_name(technique),
+                         escape.function.c_str(), escape.block, escape.inst,
+                         escape.bit);
+          }
+          break;
+        }
+      }
       std::uint64_t contained = 0;
       std::set<SiteKey> escaped_keys;
       for (const fault::AuditEscape& escape : audit.escapes) {
@@ -189,6 +214,7 @@ int main() {
       }
       total_escapes += audit.escapes.size();
       total_contained += contained;
+      total_dead_escapes += dead_escapes;
       const double containment =
           audit.escapes.empty()
               ? 1.0
@@ -220,6 +246,7 @@ int main() {
       cell["contained_escapes"] = contained;
       cell["containment"] = containment;
       cell["tightness"] = tightness;
+      cell["dead_escapes"] = dead_escapes;
       kernel_json[pipeline::technique_name(technique)] = cell;
     }
     report.metrics()["kernels"][kernel.name] = kernel_json;
@@ -234,9 +261,13 @@ int main() {
               "soundness bug.\n",
               static_cast<unsigned long long>(total_contained),
               static_cast<unsigned long long>(total_escapes), agreement);
+  std::printf("Dead-escape containment: %llu escapes on statically-dead "
+              "bits (anything above 0 is a ferrum-prune soundness bug).\n",
+              static_cast<unsigned long long>(total_dead_escapes));
   report.metrics()["total_escapes"] = total_escapes;
   report.metrics()["contained_escapes"] = total_contained;
   report.metrics()["agreement"] = agreement;
+  report.metrics()["dead_escape_misses"] = total_dead_escapes;
   report.wallclock()["wall_seconds"] =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)

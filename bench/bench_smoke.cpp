@@ -145,6 +145,13 @@ void check_static_coverage(Json& artifact) {
     fail("analysis_static_coverage observed no escapes — containment "
          "check is vacuous");
   }
+  const Json* dead = metrics.find("dead_escape_misses");
+  if (dead == nullptr) {
+    fail("analysis_static_coverage metrics lack 'dead_escape_misses'");
+  } else if (dead->as_uint() != 0) {
+    fail("analysis_static_coverage found escapes on statically-dead bits — "
+         "a ferrum-prune liveness soundness bug");
+  }
 }
 
 }  // namespace

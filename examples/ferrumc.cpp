@@ -7,7 +7,10 @@
 //   ferrumc asm prog.c --tech=hybrid       # dump protected assembly
 //   ferrumc ir prog.c --tech=ir-eddi       # dump protected IR
 //   ferrumc audit prog.c                   # exhaustive FERRUM audit
+//   ferrumc audit prog.c --prune           # class-extrapolated audit
 //   ferrumc campaign prog.c --tech=ferrum --trials=1000
+//   ferrumc campaign prog.c --prune        # pilot-extrapolated campaign
+//   ferrumc sites prog.c --tech=ferrum     # fault-site liveness/classes
 //   ferrumc run prog.c --tech=ferrum --timing --stats=out.json
 //   ferrumc lint prog.c --tech=ferrum      # static protection verifier
 //   ferrumc lint prog.s --lint=json        # lint assembly, JSON report
@@ -16,6 +19,13 @@
 // the built assembly and exits non-zero when a protection invariant is
 // violated. A `.s` input is parsed as MiniASM directly, so mutated or
 // handwritten protection idioms can be linted without the pipeline.
+// `--lint=json` also embeds the ferrum-prune site table (per-site
+// dead-bit mask + equivalence class) next to the check report.
+//
+// `sites` dumps the ferrum-prune analysis itself as JSON; `--prune` on
+// audit/campaign collapses the injection space with it (statically-dead
+// flips are benign without running, live flips are answered by one pilot
+// per equivalence class; see src/check/prune.h).
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -24,6 +34,7 @@
 #include <string>
 
 #include "check/check.h"
+#include "check/prune.h"
 #include "fault/audit.h"
 #include "fault/campaign.h"
 #include "ir/printer.h"
@@ -42,10 +53,15 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <run|asm|ir|audit|campaign|lint> <file.c|file.s>\n"
+               "usage: %s <run|asm|ir|audit|campaign|lint|sites> "
+               "<file.c|file.s>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
-               "       [--lint[=json]] [--stats=<file.json>]\n"
+               "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
+               "(sites dumps the ferrum-prune fault-site liveness/"
+               "equivalence analysis as JSON; --prune makes audit/campaign "
+               "inject one pilot per equivalence class and skip "
+               "statically-dead flips, extrapolating the full result)\n"
                "(lint runs the ferrum-check static protection verifier: "
                "violations on stderr, non-zero exit when the protection "
                "invariants do not hold; --lint=json dumps the full report;\n"
@@ -109,14 +125,16 @@ int main(int argc, char** argv) {
   const std::string command = argv[1];
   const std::string path = argv[2];
   Technique technique =
-      command == "audit" || command == "lint" ? Technique::kFerrum
-                                              : Technique::kNone;
+      command == "audit" || command == "lint" || command == "sites"
+          ? Technique::kFerrum
+          : Technique::kNone;
   int trials = env_trials();
   int jobs = env_jobs();
   int ckpt_stride = env_ckpt_stride();
   bool timing = false;
   bool lint = command == "lint";
   bool lint_json = false;
+  bool prune = false;
   std::string stats_path;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -151,6 +169,8 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--timing") {
       timing = true;
+    } else if (arg == "--prune") {
+      prune = true;
     } else {
       return usage(argv[0]);
     }
@@ -195,7 +215,14 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "%s\n", check::to_string(violation).c_str());
     }
     if (lint_json) {
-      std::fputs(check::to_json(report).dump().c_str(), stdout);
+      // The JSON view carries the prune analysis next to the check
+      // report, so one artifact holds the full static fault-site table:
+      // protection status (check) + dead-bit mask and equivalence class
+      // (prune) per site.
+      telemetry::Json out = check::to_json(report);
+      out["prune"] = check::prune::to_json(
+          check::prune::prune_program(build.program), build.program);
+      std::fputs(out.dump().c_str(), stdout);
       std::fputc('\n', stdout);
     } else {
       std::printf("violations=%zu protected=%llu benign=%llu "
@@ -240,6 +267,23 @@ int main(int argc, char** argv) {
     pass_seconds.push_back(entry);
   }
 
+  if (command == "sites") {
+    const check::prune::PruneReport report =
+        check::prune::prune_program(build.program);
+    std::fputs(check::prune::to_json(report, build.program).dump().c_str(),
+               stdout);
+    std::fputc('\n', stdout);
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "sites";
+      metrics["technique"] = pipeline::technique_name(technique);
+      metrics["prune"] = check::prune::to_json(report, build.program);
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
+    return 0;
+  }
   if (command == "run") {
     vm::VmOptions options;
     options.timing = timing;
@@ -275,6 +319,13 @@ int main(int argc, char** argv) {
     fault::AuditOptions audit_options;
     audit_options.jobs = jobs;
     audit_options.ckpt_stride = ckpt_stride;
+    check::prune::PruneReport prune_report;
+    if (prune) {
+      check::prune::PruneOptions prune_options;
+      prune_options.store_data_sites = audit_options.vm.fault_store_data;
+      prune_report = check::prune::prune_program(build.program, prune_options);
+      audit_options.prune = &prune_report;
+    }
     const fault::AuditReport report =
         fault::audit_program(build.program, audit_options);
     std::printf("sites=%llu injections=%llu detected=%llu benign=%llu "
@@ -285,6 +336,17 @@ int main(int argc, char** argv) {
                 static_cast<unsigned long long>(report.benign),
                 static_cast<unsigned long long>(report.crashed),
                 report.escapes.size());
+    if (report.prune.enabled) {
+      std::printf("prune: classes=%llu pilots=%llu dead=%llu "
+                  "extrapolated=%llu reduction=%.1fx\n",
+                  static_cast<unsigned long long>(report.prune.classes),
+                  static_cast<unsigned long long>(
+                      report.prune.pilot_injections),
+                  static_cast<unsigned long long>(report.prune.dead_probes),
+                  static_cast<unsigned long long>(
+                      report.prune.extrapolated_probes),
+                  report.prune.reduction);
+    }
     for (const auto& escape : report.escapes) {
       std::printf("ESCAPE site=%llu bit=%d kind=%s op=%s fn=%s b%d#%d\n",
                   static_cast<unsigned long long>(escape.site), escape.bit,
@@ -309,6 +371,13 @@ int main(int argc, char** argv) {
     options.trials = trials;
     options.jobs = jobs;
     options.ckpt_stride = ckpt_stride;
+    check::prune::PruneReport prune_report;
+    if (prune) {
+      check::prune::PruneOptions prune_options;
+      prune_options.store_data_sites = options.vm.fault_store_data;
+      prune_report = check::prune::prune_program(build.program, prune_options);
+      options.prune = &prune_report;
+    }
     const auto result = fault::run_campaign(build.program, options);
     std::printf("trials=%d benign=%d sdc=%d detected=%d crash=%d "
                 "sdc_rate=%.4f\n",
@@ -316,6 +385,15 @@ int main(int argc, char** argv) {
                 result.count(fault::Outcome::kSdc),
                 result.count(fault::Outcome::kDetected),
                 result.count(fault::Outcome::kCrash), result.sdc_rate());
+    if (result.prune.enabled) {
+      std::printf("prune: pilots=%llu dead=%llu replayed=%llu "
+                  "reduction=%.1fx\n",
+                  static_cast<unsigned long long>(result.prune.pilot_runs),
+                  static_cast<unsigned long long>(result.prune.dead_trials),
+                  static_cast<unsigned long long>(
+                      result.prune.replayed_trials),
+                  result.prune.reduction);
+    }
     if (!stats_path.empty()) {
       telemetry::Json metrics = telemetry::Json::object();
       metrics["command"] = "campaign";

@@ -45,14 +45,7 @@ std::string to_string(const Violation& violation) {
 }
 
 const char* site_kind_name(SiteKind kind) {
-  switch (kind) {
-    case SiteKind::kGprWrite: return "gpr-write";
-    case SiteKind::kXmmWrite: return "xmm-write";
-    case SiteKind::kFlagsWrite: return "flags-write";
-    case SiteKind::kStoreData: return "store-data";
-    case SiteKind::kBranchDecision: return "branch-decision";
-  }
-  return "?";
+  return masm::fault_site_kind_name(kind);
 }
 
 const char* site_status_name(SiteStatus status) {

@@ -37,6 +37,7 @@
 #include <string>
 #include <vector>
 
+#include "masm/fault_site.h"
 #include "masm/masm.h"
 #include "telemetry/json.h"
 
@@ -68,10 +69,10 @@ struct Violation {
 
 std::string to_string(const Violation& violation);
 
-/// Mirrors vm::FaultKind; site_kind_name returns the same strings as
-/// vm::fault_kind_name so static and dynamic artifacts key identically.
-enum class SiteKind { kGprWrite, kXmmWrite, kFlagsWrite, kStoreData,
-                      kBranchDecision };
+/// Same type as vm::FaultKind (masm/fault_site.h), so static and dynamic
+/// artifacts key identically by construction; site_kind_name returns the
+/// shared strings.
+using SiteKind = masm::FaultSiteKind;
 const char* site_kind_name(SiteKind kind);
 
 enum class SiteStatus { kProtected, kBenign, kUnprotected };

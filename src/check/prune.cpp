@@ -1,0 +1,815 @@
+#include "check/prune.h"
+
+#include <map>
+#include <sstream>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+namespace ferrum::check::prune {
+namespace {
+
+using masm::AsmFunction;
+using masm::AsmInst;
+using masm::AsmProgram;
+using masm::Cond;
+using masm::FaultSiteKind;
+using masm::Gpr;
+using masm::MemRef;
+using masm::Op;
+using masm::Operand;
+
+// ------------------------------------------------------------ bit state --
+
+// Flag bit numbering matches the VM's burst_mask(spec, 4) decode:
+// bit 0 = zf, 1 = sf, 2 = of, 3 = cf.
+constexpr std::uint8_t kZf = 1, kSf = 2, kOf = 4, kCf = 8;
+constexpr std::uint8_t kAllFlags = kZf | kSf | kOf | kCf;
+
+/// Per-program-point live-bit set: 64 bits per GPR, 64 per XMM lane
+/// (full 256-bit YMM backing store), 4 flag bits. Memory is deliberately
+/// absent — every store keeps its full source live instead (see the
+/// soundness argument in prune.h).
+struct BitState {
+  std::array<std::uint64_t, masm::kGprCount> gpr{};
+  std::array<std::array<std::uint64_t, 4>, masm::kXmmCount> xmm{};
+  std::uint8_t flags = 0;
+
+  bool operator==(const BitState& o) const {
+    return gpr == o.gpr && xmm == o.xmm && flags == o.flags;
+  }
+  void join(const BitState& o) {
+    for (int r = 0; r < masm::kGprCount; ++r) gpr[r] |= o.gpr[r];
+    for (int x = 0; x < masm::kXmmCount; ++x) {
+      for (int l = 0; l < 4; ++l) xmm[x][l] |= o.xmm[x][l];
+    }
+    flags |= o.flags;
+  }
+  static BitState all() {
+    BitState s;
+    s.gpr.fill(~std::uint64_t{0});
+    for (auto& x : s.xmm) x.fill(~std::uint64_t{0});
+    s.flags = kAllFlags;
+    return s;
+  }
+};
+
+std::uint64_t width_mask(int width) {
+  switch (width) {
+    case 1: return 0xffULL;
+    case 4: return 0xffff'ffffULL;
+    default: return ~std::uint64_t{0};
+  }
+}
+
+void use_gpr(BitState& s, Gpr reg, std::uint64_t mask) {
+  if (reg != Gpr::kNone) s.gpr[static_cast<int>(reg)] |= mask;
+}
+
+/// Mirrors merged_gpr_value: an 8-bit write merges (upper bits pass
+/// through), 32/64-bit writes replace the whole register.
+void kill_gpr(BitState& s, Gpr reg, int width) {
+  if (reg == Gpr::kNone) return;
+  if (width == 1) {
+    s.gpr[static_cast<int>(reg)] &= ~0xffULL;
+  } else {
+    s.gpr[static_cast<int>(reg)] = 0;
+  }
+}
+
+/// Address registers are fully observed: a flipped base/index bit moves
+/// the access (different outcome or a memory trap).
+void use_mem(BitState& s, const MemRef& mem) {
+  use_gpr(s, mem.base, ~std::uint64_t{0});
+  use_gpr(s, mem.index, ~std::uint64_t{0});
+}
+
+void use_xmm_lane(BitState& s, int xmm, int lane) {
+  s.xmm[xmm][lane] = ~std::uint64_t{0};
+}
+
+/// Generic operand read (GPR at access width, memory address registers,
+/// immediates nothing). XMM operands read by the scalar/shuffle ops are
+/// handled per-opcode at lane granularity; hitting one here falls back to
+/// the conservative whole-register read.
+void use_operand(BitState& s, const Operand& op) {
+  switch (op.kind) {
+    case Operand::Kind::kReg:
+      use_gpr(s, op.reg, width_mask(op.width));
+      return;
+    case Operand::Kind::kMem:
+      use_mem(s, op.mem);
+      return;
+    case Operand::Kind::kXmm:
+      for (int l = 0; l < 4; ++l) use_xmm_lane(s, op.xmm, l);
+      return;
+    default:
+      return;
+  }
+}
+
+/// Scalar-double source: xmm low lane or a memory/GPR operand.
+void use_scalar_src(BitState& s, const Operand& op) {
+  if (op.is_xmm()) {
+    use_xmm_lane(s, op.xmm, 0);
+  } else {
+    use_operand(s, op);
+  }
+}
+
+/// Flag bits eval_cond reads for each condition.
+std::uint8_t cond_flags(Cond cc) {
+  switch (cc) {
+    case Cond::kE: case Cond::kNe: return kZf;
+    case Cond::kL: case Cond::kGe: return kSf | kOf;
+    case Cond::kLe: case Cond::kG: return kZf | kSf | kOf;
+    case Cond::kA: case Cond::kBe: return kCf | kZf;
+    case Cond::kAe: case Cond::kB: return kCf;
+  }
+  return kAllFlags;
+}
+
+// ------------------------------------------------------------- analyzer --
+
+/// Callee behaviour summary for the interprocedural transfer at calls:
+/// live_before = {rsp} ∪ l0 ∪ (live_after ∩ la).
+///   l0 — live-in with exit liveness ∅   (bits the callee may read);
+///   la — live-in with exit liveness ALL (l0 plus bits not surely killed
+///        on every path, i.e. an upper bound on pass-through).
+struct Summary {
+  BitState l0;
+  BitState la;
+};
+
+constexpr int kCalleePrintInt = -2;
+constexpr int kCalleePrintF64 = -3;
+constexpr int kCalleeUnknown = -1;
+
+class Analyzer {
+ public:
+  Analyzer(const AsmProgram& program, const PruneOptions& options)
+      : prog_(program), opts_(options) {
+    const int nfuncs = static_cast<int>(prog_.functions.size());
+    std::unordered_map<std::string, int> by_name;
+    for (int f = 0; f < nfuncs; ++f) by_name.emplace(prog_.functions[f].name, f);
+    tables_.resize(static_cast<std::size_t>(nfuncs));
+    for (int f = 0; f < nfuncs; ++f) {
+      const AsmFunction& fn = prog_.functions[f];
+      std::unordered_map<std::string, int> block_by_label;
+      for (int b = 0; b < static_cast<int>(fn.blocks.size()); ++b) {
+        block_by_label.emplace(fn.blocks[b].label, b);
+      }
+      auto& t = tables_[static_cast<std::size_t>(f)];
+      t.target.resize(fn.blocks.size());
+      t.callee.resize(fn.blocks.size());
+      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto& insts = fn.blocks[b].insts;
+        t.target[b].assign(insts.size(), -1);
+        t.callee[b].assign(insts.size(), kCalleeUnknown);
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+          const AsmInst& inst = insts[i];
+          if (inst.op == Op::kJmp || inst.op == Op::kJcc) {
+            auto it = block_by_label.find(inst.ops[0].label);
+            if (it != block_by_label.end()) t.target[b][i] = it->second;
+          } else if (inst.op == Op::kCall) {
+            // Builtin check precedes the function lookup, mirroring the
+            // decoder (a user function named print_int is unreachable).
+            const std::string& callee = inst.ops[0].label;
+            if (callee == "print_int") {
+              t.callee[b][i] = kCalleePrintInt;
+            } else if (callee == "print_f64") {
+              t.callee[b][i] = kCalleePrintF64;
+            } else {
+              auto it = by_name.find(callee);
+              if (it != by_name.end()) t.callee[b][i] = it->second;
+            }
+          }
+        }
+      }
+    }
+    summaries_.resize(static_cast<std::size_t>(nfuncs));
+    ret_live_.resize(static_cast<std::size_t>(nfuncs));
+  }
+
+  PruneReport run() {
+    compute_summaries();
+    compute_ret_liveness();
+    return build_report();
+  }
+
+ private:
+  struct FnTables {
+    /// Resolved jcc/jmp target block index per instruction, -1 when the
+    /// label does not resolve (the VM traps on that edge).
+    std::vector<std::vector<int>> target;
+    /// Resolved callee per kCall: function index, kCalleePrint*, or
+    /// kCalleeUnknown (traps before the return-address push).
+    std::vector<std::vector<int>> callee;
+  };
+
+  /// Backward transfer of one instruction: s holds liveness *after* the
+  /// instruction on entry and *before* it on exit. Kills first, uses
+  /// second (live_before = use ∪ (after \ kill)).
+  void transfer(int f, int b, int i, const AsmInst& inst, BitState& s,
+                const std::vector<BitState>& live_in,
+                const BitState& exit_seed) const {
+    const FnTables& t = tables_[static_cast<std::size_t>(f)];
+    switch (inst.op) {
+      case Op::kMov:
+        if (inst.ops[1].is_mem()) {
+          use_mem(s, inst.ops[1].mem);
+          use_operand(s, inst.ops[0]);
+        } else {
+          kill_gpr(s, inst.ops[1].reg, inst.ops[1].width);
+          use_operand(s, inst.ops[0]);
+        }
+        return;
+      case Op::kMovsx:
+      case Op::kMovzx:
+        kill_gpr(s, inst.ops[1].reg, inst.ops[1].width);
+        use_operand(s, inst.ops[0]);
+        return;
+      case Op::kLea:
+        kill_gpr(s, inst.ops[1].reg, 8);
+        use_mem(s, inst.ops[0].mem);
+        return;
+      case Op::kPush:
+        // rsp is read (bump + address) and written; the pushed source is
+        // fully observed by the store — this is the edge that keeps
+        // spill/requisition round trips live.
+        use_gpr(s, Gpr::kRsp, ~std::uint64_t{0});
+        use_operand(s, inst.ops[0]);
+        return;
+      case Op::kPop:
+        kill_gpr(s, inst.ops[0].reg, 8);
+        use_gpr(s, Gpr::kRsp, ~std::uint64_t{0});
+        return;
+      case Op::kAdd: case Op::kSub: case Op::kImul: case Op::kAnd:
+      case Op::kOr: case Op::kXor: case Op::kShl: case Op::kSar:
+      case Op::kIdiv: case Op::kIrem: {
+        const int width = inst.ops[1].width;
+        s.flags = 0;  // every ALU op replaces the whole flag set
+        if (inst.ops[1].is_mem()) {
+          use_mem(s, inst.ops[1].mem);
+        } else {
+          kill_gpr(s, inst.ops[1].reg, width);
+          use_gpr(s, inst.ops[1].reg, width_mask(width));  // RMW read
+        }
+        use_operand(s, inst.ops[0]);
+        return;
+      }
+      case Op::kCmp:
+      case Op::kTest:
+        s.flags = 0;
+        use_operand(s, inst.ops[0]);
+        use_operand(s, inst.ops[1]);
+        return;
+      case Op::kSetcc:
+        if (inst.ops[0].is_mem()) {
+          use_mem(s, inst.ops[0].mem);
+        } else {
+          kill_gpr(s, inst.ops[0].reg, 1);
+        }
+        s.flags |= cond_flags(inst.cc);
+        return;
+      case Op::kJcc: {
+        // s currently holds the fall-through liveness; join the taken
+        // edge (an unresolved label traps: nothing live on that edge).
+        const int target = t.target[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(i)];
+        if (target >= 0) s.join(live_in[static_cast<std::size_t>(target)]);
+        s.flags |= cond_flags(inst.cc);
+        return;
+      }
+      case Op::kJmp: {
+        const int target = t.target[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(i)];
+        s = target >= 0 ? live_in[static_cast<std::size_t>(target)]
+                        : BitState{};
+        return;
+      }
+      case Op::kCall: {
+        const int callee = t.callee[static_cast<std::size_t>(b)]
+                                   [static_cast<std::size_t>(i)];
+        if (callee == kCalleePrintInt) {
+          use_gpr(s, Gpr::kRdi, ~std::uint64_t{0});  // the full printed word
+          return;
+        }
+        if (callee == kCalleePrintF64) {
+          use_xmm_lane(s, 0, 0);
+          return;
+        }
+        if (callee < 0) {
+          s = BitState{};  // unknown callee traps before any effect
+          return;
+        }
+        const Summary& sum = summaries_[static_cast<std::size_t>(callee)];
+        BitState before = sum.l0;
+        BitState pass = s;
+        for (int r = 0; r < masm::kGprCount; ++r) {
+          pass.gpr[r] &= sum.la.gpr[r];
+          before.gpr[r] |= pass.gpr[r];
+        }
+        for (int x = 0; x < masm::kXmmCount; ++x) {
+          for (int l = 0; l < 4; ++l) {
+            pass.xmm[x][l] &= sum.la.xmm[x][l];
+            before.xmm[x][l] |= pass.xmm[x][l];
+          }
+        }
+        before.flags |= static_cast<std::uint8_t>(s.flags & sum.la.flags);
+        use_gpr(before, Gpr::kRsp, ~std::uint64_t{0});  // return-address push
+        s = before;
+        return;
+      }
+      case Op::kRet:
+        s = exit_seed;
+        use_gpr(s, Gpr::kRsp, ~std::uint64_t{0});  // the pop
+        return;
+      case Op::kDetectTrap:
+        s = BitState{};  // never returns
+        return;
+      case Op::kMovsd:
+        if (inst.ops[1].is_xmm()) {
+          s.xmm[inst.ops[1].xmm][0] = 0;
+          use_scalar_src(s, inst.ops[0]);
+        } else {
+          use_mem(s, inst.ops[1].mem);
+          use_xmm_lane(s, inst.ops[0].xmm, 0);
+        }
+        return;
+      case Op::kAddsd: case Op::kSubsd: case Op::kMulsd: case Op::kDivsd:
+        s.xmm[inst.ops[1].xmm][0] = 0;
+        use_xmm_lane(s, inst.ops[1].xmm, 0);  // RMW read of the low lane
+        use_scalar_src(s, inst.ops[0]);
+        return;
+      case Op::kSqrtsd:
+        s.xmm[inst.ops[1].xmm][0] = 0;
+        use_scalar_src(s, inst.ops[0]);
+        return;
+      case Op::kUcomisd:
+        s.flags = 0;
+        use_scalar_src(s, inst.ops[0]);
+        use_xmm_lane(s, inst.ops[1].xmm, 0);
+        return;
+      case Op::kCvtsi2sd:
+        s.xmm[inst.ops[1].xmm][0] = 0;
+        use_operand(s, inst.ops[0]);
+        return;
+      case Op::kCvttsd2si:
+        kill_gpr(s, inst.ops[1].reg, inst.ops[1].width);
+        use_xmm_lane(s, inst.ops[0].xmm, 0);
+        return;
+      case Op::kMovq:
+        if (inst.ops[1].is_xmm()) {
+          s.xmm[inst.ops[1].xmm][0] = 0;
+          s.xmm[inst.ops[1].xmm][1] = 0;  // movq zeroes lane 1
+          use_operand(s, inst.ops[0]);
+        } else if (inst.ops[1].is_mem()) {
+          use_mem(s, inst.ops[1].mem);
+          use_xmm_lane(s, inst.ops[0].xmm, 0);
+        } else {
+          kill_gpr(s, inst.ops[1].reg, inst.ops[1].width);
+          use_xmm_lane(s, inst.ops[0].xmm, 0);
+        }
+        return;
+      case Op::kPinsrq: {
+        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
+        s.xmm[inst.ops[2].xmm][lane] = 0;  // other lanes pass through
+        use_operand(s, inst.ops[1]);
+        return;
+      }
+      case Op::kVinserti128: {
+        const int base = (static_cast<int>(inst.ops[0].imm) & 1) * 2;
+        s.xmm[inst.ops[2].xmm][base] = 0;
+        s.xmm[inst.ops[2].xmm][base + 1] = 0;
+        use_xmm_lane(s, inst.ops[1].xmm, 0);
+        use_xmm_lane(s, inst.ops[1].xmm, 1);
+        return;
+      }
+      case Op::kVpxor: {
+        const int active = inst.ops[0].ymm ? 4 : 2;
+        for (int l = 0; l < 4; ++l) s.xmm[inst.ops[2].xmm][l] = 0;
+        for (int l = 0; l < active; ++l) {
+          use_xmm_lane(s, inst.ops[0].xmm, l);
+          use_xmm_lane(s, inst.ops[1].xmm, l);
+        }
+        return;
+      }
+      case Op::kVptest: {
+        const int active = inst.ops[0].ymm ? 4 : 2;
+        s.flags = 0;
+        for (int l = 0; l < active; ++l) {
+          use_xmm_lane(s, inst.ops[0].xmm, l);
+          use_xmm_lane(s, inst.ops[1].xmm, l);
+        }
+        return;
+      }
+    }
+  }
+
+  /// One backward sweep of block b. `s` enters holding the liveness past
+  /// the block's last instruction (free fall-through into block b+1, or
+  /// nothing past the function's end — falling off traps). Optionally
+  /// records the after-state of every instruction.
+  BitState walk_block(int f, int b, BitState s,
+                      const std::vector<BitState>& live_in,
+                      const BitState& exit_seed,
+                      std::vector<BitState>* after_out) const {
+    const auto& insts =
+        prog_.functions[static_cast<std::size_t>(f)]
+            .blocks[static_cast<std::size_t>(b)].insts;
+    if (after_out != nullptr) after_out->resize(insts.size());
+    for (int i = static_cast<int>(insts.size()) - 1; i >= 0; --i) {
+      if (after_out != nullptr) {
+        (*after_out)[static_cast<std::size_t>(i)] = s;
+      }
+      transfer(f, b, i, insts[static_cast<std::size_t>(i)], s, live_in,
+               exit_seed);
+    }
+    return s;
+  }
+
+  /// Round-robin backward fixpoint over the function's blocks,
+  /// reflecting the VM's free fall-through (block b runs into block b+1
+  /// unless a terminator transfers elsewhere; falling past the last
+  /// block traps). Returns per-block live-in states.
+  std::vector<BitState> analyze_function(int f,
+                                         const BitState& exit_seed) const {
+    const AsmFunction& fn = prog_.functions[static_cast<std::size_t>(f)];
+    const int nblocks = static_cast<int>(fn.blocks.size());
+    std::vector<BitState> live_in(static_cast<std::size_t>(nblocks));
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int b = nblocks - 1; b >= 0; --b) {
+        BitState seed = b + 1 < nblocks
+                            ? live_in[static_cast<std::size_t>(b + 1)]
+                            : BitState{};
+        BitState in = walk_block(f, b, std::move(seed), live_in, exit_seed,
+                                 nullptr);
+        if (!(in == live_in[static_cast<std::size_t>(b)])) {
+          live_in[static_cast<std::size_t>(b)] = in;
+          changed = true;
+        }
+      }
+    }
+    return live_in;
+  }
+
+  /// After-states for every instruction of f under a converged live_in.
+  std::vector<std::vector<BitState>> record_function(
+      int f, const std::vector<BitState>& live_in,
+      const BitState& exit_seed) const {
+    const AsmFunction& fn = prog_.functions[static_cast<std::size_t>(f)];
+    const int nblocks = static_cast<int>(fn.blocks.size());
+    std::vector<std::vector<BitState>> after(
+        static_cast<std::size_t>(nblocks));
+    for (int b = 0; b < nblocks; ++b) {
+      BitState seed = b + 1 < nblocks
+                          ? live_in[static_cast<std::size_t>(b + 1)]
+                          : BitState{};
+      walk_block(f, b, std::move(seed), live_in, exit_seed,
+                 &after[static_cast<std::size_t>(b)]);
+    }
+    return after;
+  }
+
+  /// Bottom-up may-read / pass-through summaries: optimistic ∅ start,
+  /// iterate to the least fixpoint (monotone — recursion converges).
+  void compute_summaries() {
+    const int nfuncs = static_cast<int>(prog_.functions.size());
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int f = 0; f < nfuncs; ++f) {
+        const auto l0_in = analyze_function(f, BitState{});
+        const auto la_in = analyze_function(f, BitState::all());
+        BitState l0 = l0_in.empty() ? BitState{} : l0_in.front();
+        BitState la = la_in.empty() ? BitState{} : la_in.front();
+        Summary& sum = summaries_[static_cast<std::size_t>(f)];
+        if (!(sum.l0 == l0) || !(sum.la == la)) {
+          sum.l0 = l0;
+          sum.la = la;
+          changed = true;
+        }
+      }
+    }
+  }
+
+  /// Top-down return-site liveness R(f): what a ret of f must preserve.
+  /// main's exit observes %rax (VmResult::return_value); every call site
+  /// of g adds its own live-after to R(g). Mutually recursive with the
+  /// final liveness, so iterate to fixpoint.
+  void compute_ret_liveness() {
+    const int nfuncs = static_cast<int>(prog_.functions.size());
+    for (int f = 0; f < nfuncs; ++f) {
+      if (prog_.functions[static_cast<std::size_t>(f)].name == "main") {
+        use_gpr(ret_live_[static_cast<std::size_t>(f)], Gpr::kRax,
+                ~std::uint64_t{0});
+      }
+    }
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      for (int f = 0; f < nfuncs; ++f) {
+        const auto live_in =
+            analyze_function(f, ret_live_[static_cast<std::size_t>(f)]);
+        const auto after = record_function(
+            f, live_in, ret_live_[static_cast<std::size_t>(f)]);
+        const FnTables& t = tables_[static_cast<std::size_t>(f)];
+        for (std::size_t b = 0; b < after.size(); ++b) {
+          for (std::size_t i = 0; i < after[b].size(); ++i) {
+            const int callee = t.callee[b][i];
+            if (prog_.functions[static_cast<std::size_t>(f)]
+                    .blocks[b].insts[i].op != Op::kCall ||
+                callee < 0) {
+              continue;
+            }
+            BitState& r = ret_live_[static_cast<std::size_t>(callee)];
+            BitState joined = r;
+            joined.join(after[b][i]);
+            if (!(joined == r)) {
+              r = joined;
+              changed = true;
+            }
+          }
+        }
+      }
+    }
+  }
+
+  // ------------------------------------------------- report construction --
+
+  /// Register-granular taint footprint used by the propagation-slice
+  /// signatures (equivalence only — never feeds the dead masks).
+  struct TaintSet {
+    std::uint32_t gprs = 0;
+    std::uint32_t xmms = 0;
+    bool flags = false;
+    bool empty() const { return gprs == 0 && xmms == 0 && !flags; }
+  };
+
+  static TaintSet reads_of(const AsmInst& inst) {
+    const masm::RegEffects eff = masm::effects_of(inst);
+    TaintSet t;
+    for (Gpr r : eff.gpr_reads) t.gprs |= 1u << static_cast<int>(r);
+    for (int x : eff.xmm_reads) t.xmms |= 1u << x;
+    t.flags = eff.reads_flags;
+    return t;
+  }
+  static TaintSet writes_of(const AsmInst& inst) {
+    const masm::RegEffects eff = masm::effects_of(inst);
+    TaintSet t;
+    for (Gpr r : eff.gpr_writes) t.gprs |= 1u << static_cast<int>(r);
+    for (int x : eff.xmm_writes) t.xmms |= 1u << x;
+    t.flags = eff.writes_flags;
+    return t;
+  }
+
+  /// Relative dataflow slice from the site to its first sync point
+  /// (store / tainted branch / call / ret / detect), FastFlip-style. Two
+  /// sites with the same slice corrupt the program through the same
+  /// consumer chain and land in one class. Scoped to the block: a slice
+  /// that survives to the block boundary is keyed on the residual taint.
+  std::string slice_signature(int f, int b, int i,
+                              const masm::StaticSiteInfo& info) const {
+    const auto& insts = prog_.functions[static_cast<std::size_t>(f)]
+                            .blocks[static_cast<std::size_t>(b)].insts;
+    TaintSet taint;
+    switch (info.kind) {
+      case FaultSiteKind::kGprWrite:
+        taint.gprs = 1u << static_cast<int>(info.reg);
+        break;
+      case FaultSiteKind::kXmmWrite:
+        taint.xmms = 1u << info.xmm;
+        break;
+      case FaultSiteKind::kFlagsWrite:
+        taint.flags = true;
+        break;
+      default:
+        return "";  // store/branch sites are keyed per static site
+    }
+    std::ostringstream sig;
+    constexpr int kMaxWalk = 48;
+    constexpr int kMaxEvents = 12;
+    int events = 0;
+    int walked = 0;
+    for (std::size_t j = static_cast<std::size_t>(i) + 1;
+         j < insts.size() && walked < kMaxWalk && events < kMaxEvents;
+         ++j, ++walked) {
+      const AsmInst& inst = insts[j];
+      const TaintSet reads = reads_of(inst);
+      const bool tainted_read = (reads.gprs & taint.gprs) != 0 ||
+                                (reads.xmms & taint.xmms) != 0 ||
+                                (reads.flags && taint.flags);
+      if (tainted_read) {
+        sig << "+" << (j - static_cast<std::size_t>(i)) << ":"
+            << masm::op_mnemonic(inst.op);
+        ++events;
+        const bool sync = inst.op == Op::kJcc || inst.op == Op::kCall ||
+                          inst.op == Op::kRet ||
+                          (inst.nops > 0 && inst.dst().is_mem()) ||
+                          inst.op == Op::kPush;
+        if (sync) {
+          sig << "!";
+          return sig.str();
+        }
+        const TaintSet writes = writes_of(inst);
+        taint.gprs |= writes.gprs;
+        taint.xmms |= writes.xmms;
+        taint.flags = taint.flags || writes.flags;
+        sig << ";";
+      } else {
+        const TaintSet writes = writes_of(inst);
+        taint.gprs &= ~writes.gprs;
+        taint.xmms &= ~writes.xmms;
+        if (writes.flags) taint.flags = false;
+        if (taint.empty()) {
+          sig << "dies+" << (j - static_cast<std::size_t>(i));
+          return sig.str();
+        }
+        if (inst.op == Op::kJmp || inst.op == Op::kRet ||
+            inst.op == Op::kDetectTrap) {
+          // Control leaves the block with live taint.
+          sig << "leave+" << (j - static_cast<std::size_t>(i));
+          return sig.str();
+        }
+      }
+    }
+    sig << "end:g" << std::hex << taint.gprs << ":x" << taint.xmms
+        << (taint.flags ? ":F" : "");
+    return sig.str();
+  }
+
+  PruneReport build_report() {
+    PruneReport report;
+    report.store_data_sites = opts_.store_data_sites;
+    const int nfuncs = static_cast<int>(prog_.functions.size());
+    report.site_at_.resize(static_cast<std::size_t>(nfuncs));
+    std::map<std::string, std::uint32_t> class_by_signature;
+
+    for (int f = 0; f < nfuncs; ++f) {
+      const AsmFunction& fn = prog_.functions[static_cast<std::size_t>(f)];
+      const auto live_in =
+          analyze_function(f, ret_live_[static_cast<std::size_t>(f)]);
+      const auto after =
+          record_function(f, live_in, ret_live_[static_cast<std::size_t>(f)]);
+      const FnTables& t = tables_[static_cast<std::size_t>(f)];
+      auto& fn_index = report.site_at_[static_cast<std::size_t>(f)];
+      fn_index.resize(fn.blocks.size());
+      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const auto& insts = fn.blocks[b].insts;
+        fn_index[b].assign(insts.size(), -1);
+        for (std::size_t i = 0; i < insts.size(); ++i) {
+          const AsmInst& inst = insts[i];
+          const bool pushes_ret =
+              inst.op != Op::kCall || t.callee[b][i] >= 0;
+          const masm::StaticSiteInfo info =
+              masm::static_site_of(inst, opts_.store_data_sites, pushes_ret);
+          if (!info.has_site) continue;
+
+          PruneSite site;
+          site.function = f;
+          site.block = static_cast<int>(b);
+          site.inst = static_cast<int>(i);
+          site.kind = info.kind;
+          site.bit_space = info.bit_space;
+
+          const BitState& live = after[b][i];
+          switch (info.kind) {
+            case FaultSiteKind::kGprWrite:
+              // The flip lands on the merged 64-bit value, so deadness
+              // is over all 64 bits of the destination — including the
+              // preserved upper bits of a narrow write.
+              site.dead_mask[0] = ~live.gpr[static_cast<int>(info.reg)];
+              break;
+            case FaultSiteKind::kXmmWrite:
+              for (int l = 0; l < info.lane_count; ++l) {
+                site.dead_mask[static_cast<std::size_t>(l)] =
+                    ~live.xmm[info.xmm][info.lane_base + l];
+              }
+              break;
+            case FaultSiteKind::kFlagsWrite:
+              site.dead_mask[0] =
+                  static_cast<std::uint64_t>(~live.flags & kAllFlags);
+              break;
+            case FaultSiteKind::kStoreData:
+              // Memory is untracked: no store bit is ever claimed dead.
+              break;
+            case FaultSiteKind::kBranchDecision:
+              // Flipping `taken` is invisible exactly when the taken
+              // edge and the fall-through resolve to the same next pc:
+              // the jcc ends its block and targets the next block.
+              if (i + 1 == insts.size() &&
+                  t.target[b][i] == static_cast<int>(b) + 1) {
+                site.dead_mask[0] = 1;
+              }
+              break;
+          }
+
+          int dead = site.dead_bits();
+          report.dead_bits += static_cast<std::uint64_t>(dead);
+          report.total_bits += static_cast<std::uint64_t>(site.bit_space);
+          if (dead == site.bit_space) {
+            site.class_id = kDeadClass;
+            ++report.fully_dead_sites;
+          } else {
+            std::ostringstream key;
+            key << masm::fault_site_kind_name(info.kind) << ":bs"
+                << site.bit_space << ":dm" << std::hex << site.dead_mask[0]
+                << "," << site.dead_mask[1] << "," << site.dead_mask[2]
+                << "," << site.dead_mask[3] << std::dec << ":f" << f << ":b"
+                << b;
+            const std::string slice = slice_signature(
+                f, static_cast<int>(b), static_cast<int>(i), info);
+            if (slice.empty()) {
+              key << ":i" << i;  // store/branch: one class per static site
+            } else {
+              key << ":" << slice;
+            }
+            auto [it, inserted] = class_by_signature.emplace(
+                key.str(), static_cast<std::uint32_t>(report.classes.size()));
+            site.class_id = it->second;
+            if (inserted) {
+              PruneClass cls;
+              cls.id = it->second;
+              cls.signature = it->first;
+              cls.representative =
+                  static_cast<std::uint32_t>(report.sites.size());
+              report.classes.push_back(std::move(cls));
+            }
+            ++report.classes[it->second].static_members;
+          }
+          fn_index[b][i] = static_cast<std::int32_t>(report.sites.size());
+          report.sites.push_back(site);
+        }
+      }
+    }
+    return report;
+  }
+
+  const AsmProgram& prog_;
+  PruneOptions opts_;
+  std::vector<FnTables> tables_;
+  std::vector<Summary> summaries_;
+  std::vector<BitState> ret_live_;
+};
+
+}  // namespace
+
+PruneReport prune_program(const AsmProgram& program,
+                          const PruneOptions& options) {
+  return Analyzer(program, options).run();
+}
+
+telemetry::Json to_json(const PruneReport& report,
+                        const AsmProgram& program) {
+  telemetry::Json root = telemetry::Json::object();
+  telemetry::Json& summary = root["summary"];
+  summary["sites"] = static_cast<std::uint64_t>(report.sites.size());
+  summary["classes"] = static_cast<std::uint64_t>(report.classes.size());
+  summary["fully_dead_sites"] = report.fully_dead_sites;
+  summary["dead_bits"] = report.dead_bits;
+  summary["total_bits"] = report.total_bits;
+  summary["dead_fraction"] = report.dead_fraction();
+  summary["store_data_sites"] = report.store_data_sites;
+
+  telemetry::Json classes = telemetry::Json::array();
+  for (const PruneClass& cls : report.classes) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry["id"] = static_cast<std::uint64_t>(cls.id);
+    entry["signature"] = cls.signature;
+    entry["static_members"] = static_cast<std::uint64_t>(cls.static_members);
+    entry["representative"] = static_cast<std::uint64_t>(cls.representative);
+    classes.push_back(std::move(entry));
+  }
+  root["classes"] = std::move(classes);
+
+  telemetry::Json sites = telemetry::Json::array();
+  for (const PruneSite& site : report.sites) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry["function"] =
+        program.functions[static_cast<std::size_t>(site.function)].name;
+    entry["block"] = static_cast<std::int64_t>(site.block);
+    entry["inst"] = static_cast<std::int64_t>(site.inst);
+    entry["kind"] = masm::fault_site_kind_name(site.kind);
+    entry["bit_space"] = static_cast<std::int64_t>(site.bit_space);
+    entry["dead_bits"] = static_cast<std::int64_t>(site.dead_bits());
+    telemetry::Json mask = telemetry::Json::array();
+    const int words = (site.bit_space + 63) / 64;
+    for (int w = 0; w < words; ++w) {
+      mask.push_back(site.dead_mask[static_cast<std::size_t>(w)]);
+    }
+    entry["dead_mask"] = std::move(mask);
+    if (site.fully_dead()) {
+      entry["class"] = "dead";
+    } else {
+      entry["class"] = static_cast<std::uint64_t>(site.class_id);
+    }
+    sites.push_back(std::move(entry));
+  }
+  root["sites"] = std::move(sites);
+  return root;
+}
+
+}  // namespace ferrum::check::prune

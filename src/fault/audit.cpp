@@ -4,15 +4,234 @@
 #include <iterator>
 #include <memory>
 #include <stdexcept>
+#include <unordered_map>
 
+// Types and inline lookups only — the prune analysis itself runs in
+// ferrum_check and reaches this layer as a const pointer, so ferrum_fault
+// takes no link dependency on it (telemetry links fault back into check).
+#include "check/prune.h"
+#include "fault/prune_map.h"
 #include "fault/step_budget.h"
 #include "support/parallel.h"
 #include "vm/engine.h"
 
 namespace ferrum::fault {
 
+namespace {
+
+/// Class-extrapolated audit: one pilot injection per (class, effective
+/// bit, stratum); every other live probe inherits its pilot's outcome,
+/// dead probes are benign by the liveness proof. The report keeps the
+/// exhaustive frame (injections/detected/... count every probe) so it is
+/// directly comparable with audit_program without prune.
+AuditReport audit_pruned(const masm::AsmProgram& program,
+                         const AuditOptions& options) {
+  const check::prune::PruneReport& prune = *options.prune;
+  if (prune.store_data_sites != options.vm.fault_store_data) {
+    throw std::invalid_argument(
+        "prune report store_data_sites must match vm.fault_store_data");
+  }
+  const vm::PredecodedProgram decoded(program);
+  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+                            !options.vm.profile &&
+                            options.vm.trace_limit == 0;
+  vm::CheckpointSet ckpts;
+  vm::Engine golden_engine(decoded, options.vm);
+  std::vector<std::int32_t> site_pcs;
+  golden_engine.set_site_pc_sink(&site_pcs);
+  const vm::VmResult golden =
+      fast_forward
+          ? golden_engine.run_capturing(
+                options.vm,
+                static_cast<std::uint64_t>(options.ckpt_stride), ckpts)
+          : golden_engine.run(options.vm, nullptr, 0);
+  golden_engine.set_site_pc_sink(nullptr);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("audit golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+
+  AuditReport report;
+  report.sites = golden.fi_sites;
+  report.prune.enabled = true;
+  report.prune.static_sites = prune.sites.size();
+  report.prune.classes = prune.classes.size();
+  report.prune.dead_fraction_static = prune.dead_fraction();
+
+  // Dynamic site -> (static record, temporal stratum). The golden site
+  // map makes this exact: site_pcs[id] is the pc that registered dynamic
+  // site id.
+  const std::size_t nsites = static_cast<std::size_t>(golden.fi_sites);
+  const std::size_t nbits = options.probe_bits.size();
+  const detail::DynSiteMap dyn =
+      detail::map_dynamic_sites(decoded, site_pcs, prune, golden.fi_sites);
+  const std::vector<std::int32_t>& dyn_static = dyn.static_site;
+  const std::vector<std::uint32_t>& dyn_stratum = dyn.stratum;
+
+  // Serial pilot plan: walk probes in (site, probe-bit) order; the first
+  // probe of each pilot key becomes the pilot. Deterministic and
+  // jobs-invariant by construction.
+  struct Pilot {
+    std::uint64_t site = 0;
+    int bit = 0;
+  };
+  std::vector<Pilot> pilots;
+  std::unordered_map<std::uint64_t, std::uint32_t> pilot_by_key;
+  std::vector<std::int32_t> probe_pilot(nsites * nbits, -1);
+  for (std::size_t id = 0; id < nsites; ++id) {
+    const std::int32_t s = dyn_static[id];
+    for (std::size_t k = 0; k < nbits; ++k) {
+      const int bit = options.probe_bits[k];
+      const std::size_t probe = id * nbits + k;
+      if (s < 0) {
+        // No static record: sound fallback, inject this probe itself.
+        probe_pilot[probe] = static_cast<std::int32_t>(pilots.size());
+        pilots.push_back({id, bit});
+        ++report.prune.unmatched_probes;
+        continue;
+      }
+      const check::prune::PruneSite& site =
+          prune.sites[static_cast<std::size_t>(s)];
+      if (site.bit_dead(bit)) continue;  // stays -1: provably benign
+      const std::uint64_t key = detail::pilot_key(
+          site.class_id, bit % site.bit_space, dyn_stratum[id]);
+      auto [it, inserted] = pilot_by_key.emplace(
+          key, static_cast<std::uint32_t>(pilots.size()));
+      if (inserted) pilots.push_back({id, bit});
+      probe_pilot[probe] = static_cast<std::int32_t>(it->second);
+    }
+  }
+
+  // Execute the pilots across the pool; per-pilot slots merge in pilot
+  // order, so the report is identical for every jobs value.
+  vm::VmOptions faulty = options.vm;
+  faulty.max_steps = faulty_step_budget(golden.steps);
+  std::vector<ProbeOutcome> outcomes(pilots.size(), ProbeOutcome::kBenign);
+  std::vector<vm::FaultLanding> landings(pilots.size());
+  ThreadPool pool(options.jobs);
+  report.sites_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  std::vector<std::unique_ptr<vm::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.parallel_for_indexed(
+      pilots.size(), [&](int worker, std::size_t begin, std::size_t end) {
+        report.sites_per_worker[static_cast<std::size_t>(worker)] +=
+            end - begin;
+        auto& engine = engines[static_cast<std::size_t>(worker)];
+        if (engine == nullptr) {
+          engine = std::make_unique<vm::Engine>(decoded, faulty);
+        }
+        for (std::size_t p = begin; p < end; ++p) {
+          vm::FaultSpec fault;
+          fault.site = pilots[p].site;
+          fault.bit = pilots[p].bit;
+          const vm::VmResult run =
+              fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
+                           : engine->run(faulty, &fault, 1);
+          if (run.status == vm::ExitStatus::kDetected) {
+            outcomes[p] = ProbeOutcome::kDetected;
+          } else if (!run.ok()) {
+            outcomes[p] = ProbeOutcome::kCrashed;
+          } else if (run.output == golden.output) {
+            outcomes[p] = ProbeOutcome::kBenign;
+          } else {
+            outcomes[p] = ProbeOutcome::kSdc;
+            if (run.fault_landing.has_value()) {
+              landings[p] = *run.fault_landing;
+            }
+          }
+        }
+      });
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.ckpt.stride = fast_forward ? static_cast<int>(ckpts.stride()) : 0;
+  report.ckpt.checkpoints = ckpts.size();
+  report.ckpt.snapshot_bytes = ckpts.snapshot_bytes();
+  for (const auto& engine : engines) {
+    if (engine != nullptr) report.ckpt.ff.merge(engine->stats());
+  }
+
+  // Extrapolate in probe order. Escape coordinates are exact — each
+  // probe's own static record, not the pilot's — only the outcome is
+  // inherited from the pilot.
+  for (std::size_t id = 0; id < nsites; ++id) {
+    const std::int32_t s = dyn_static[id];
+    for (std::size_t k = 0; k < nbits; ++k) {
+      const int bit = options.probe_bits[k];
+      const std::int32_t p = probe_pilot[id * nbits + k];
+      ++report.injections;
+      if (p < 0) {
+        ++report.benign;
+        ++report.prune.dead_probes;
+        continue;
+      }
+      const bool is_pilot = pilots[static_cast<std::size_t>(p)].site == id &&
+                            pilots[static_cast<std::size_t>(p)].bit == bit;
+      if (!is_pilot) ++report.prune.extrapolated_probes;
+      switch (outcomes[static_cast<std::size_t>(p)]) {
+        case ProbeOutcome::kDetected:
+          ++report.detected;
+          break;
+        case ProbeOutcome::kCrashed:
+          ++report.crashed;
+          break;
+        case ProbeOutcome::kBenign:
+          ++report.benign;
+          break;
+        case ProbeOutcome::kSdc: {
+          AuditEscape escape;
+          escape.site = id;
+          escape.bit = bit;
+          if (s >= 0) {
+            const check::prune::PruneSite& site =
+                prune.sites[static_cast<std::size_t>(s)];
+            const auto& fn =
+                program.functions[static_cast<std::size_t>(site.function)];
+            const masm::AsmInst& inst =
+                fn.blocks[static_cast<std::size_t>(site.block)]
+                    .insts[static_cast<std::size_t>(site.inst)];
+            escape.kind = site.kind;
+            escape.origin = inst.origin;
+            escape.op = inst.op;
+            escape.function = fn.name;
+            escape.block = site.block;
+            escape.inst = site.inst;
+          } else {
+            const vm::FaultLanding& landing =
+                landings[static_cast<std::size_t>(p)];
+            escape.kind = landing.kind;
+            escape.origin = landing.origin;
+            escape.op = landing.op;
+            escape.function = landing.function;
+            escape.block = landing.block;
+            escape.inst = landing.inst;
+          }
+          report.escapes.push_back(std::move(escape));
+          break;
+        }
+      }
+    }
+  }
+  report.prune.pilot_keys = pilots.size();
+  report.prune.pilot_injections = pilots.size();
+  report.prune.reduction =
+      pilots.empty() ? 1.0
+                     : static_cast<double>(report.injections) /
+                           static_cast<double>(pilots.size());
+  report.prune.pilots.reserve(pilots.size());
+  for (std::size_t p = 0; p < pilots.size(); ++p) {
+    report.prune.pilots.push_back({pilots[p].site, pilots[p].bit, outcomes[p]});
+  }
+  return report;
+}
+
+}  // namespace
+
 AuditReport audit_program(const masm::AsmProgram& program,
                           const AuditOptions& options) {
+  if (options.prune != nullptr) return audit_pruned(program, options);
   const vm::PredecodedProgram decoded(program);
 
   const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&

@@ -13,6 +13,10 @@
 #include "vm/engine.h"
 #include "vm/vm.h"
 
+namespace ferrum::check::prune {
+struct PruneReport;
+}
+
 namespace ferrum::fault {
 
 struct AuditOptions {
@@ -30,6 +34,16 @@ struct AuditOptions {
   /// that makes larger programs auditable. 0 disables fast-forwarding;
   /// the report is bit-identical either way.
   int ckpt_stride = 64;
+  /// Prune mode: a static liveness/equivalence report for this program
+  /// (check::prune::prune_program, computed with store_data_sites ==
+  /// vm.fault_store_data). Statically-dead (site, bit) probes are counted
+  /// benign without injection; live probes are answered by one *pilot*
+  /// injection per (equivalence class, effective bit, temporal stratum)
+  /// and extrapolated with exact cardinality accounting. The top-level
+  /// counters and escape list then *estimate* the exhaustive audit (same
+  /// totals frame); AuditReport::prune records what actually ran.
+  /// Deterministic and jobs-invariant, like the exhaustive sweep.
+  const check::prune::PruneReport* prune = nullptr;
 };
 
 struct AuditEscape {
@@ -46,6 +60,43 @@ struct AuditEscape {
   int inst = 0;
 };
 
+/// Outcome category of one audit probe (the audit's four-way
+/// classification: detector fired / abnormal exit / output matches golden
+/// / silent data corruption).
+enum class ProbeOutcome : std::uint8_t { kDetected, kCrashed, kBenign, kSdc };
+
+/// One pilot injection executed by the prune mode: the (site, bit) probe
+/// that represented its (equivalence class, effective bit, temporal
+/// stratum) key, and the outcome every probe of that key inherited.
+/// Deterministic — bench/analysis_prune_accuracy re-injects each pilot
+/// and requires the identical outcome the exhaustive audit would see.
+struct AuditPilot {
+  std::uint64_t site = 0;
+  int bit = 0;
+  ProbeOutcome outcome = ProbeOutcome::kBenign;
+};
+
+/// What the prune mode actually executed vs. accounted. The temporal
+/// stratum refines classes dynamically: occurrence n of a static site
+/// falls in stratum floor(log2(n)), so a loop-resident site is piloted at
+/// a logarithmic spread of iterations instead of once.
+struct PruneAuditStats {
+  bool enabled = false;
+  std::uint64_t static_sites = 0;   // sites in the prune report
+  std::uint64_t classes = 0;        // live static equivalence classes
+  std::uint64_t pilot_keys = 0;     // (class, bit, stratum) pilots executed
+  std::uint64_t pilot_injections = 0;  // injections actually run
+  std::uint64_t dead_probes = 0;    // probes skipped as provably dead
+  std::uint64_t extrapolated_probes = 0;  // probes answered by a pilot
+  std::uint64_t unmatched_probes = 0;  // no static record: swept exhaustively
+  double dead_fraction_static = 0.0;   // dead bits / total bits, static
+  /// Exhaustive-equivalent injections / injections executed (>= 1).
+  double reduction = 0.0;
+  /// The pilots actually injected, in deterministic plan order (the JSON
+  /// export carries only their count; the list is for cross-validation).
+  std::vector<AuditPilot> pilots;
+};
+
 struct AuditReport {
   std::uint64_t sites = 0;
   std::uint64_t injections = 0;
@@ -53,6 +104,12 @@ struct AuditReport {
   std::uint64_t benign = 0;
   std::uint64_t crashed = 0;
   std::vector<AuditEscape> escapes;  // SDCs — empty means fully covered
+  /// Prune-mode accounting (enabled == false for exhaustive audits).
+  /// When enabled, the counters above are class-extrapolated estimates of
+  /// the exhaustive audit; `injections` still counts every probe the
+  /// exhaustive frame would perform, while prune.pilot_injections counts
+  /// the runs that actually happened.
+  PruneAuditStats prune;
 
   // --- Observability only (scheduling-dependent, NOT deterministic) ---
   /// Sites swept by each pool worker (index 0 = the calling thread).

@@ -3,11 +3,15 @@
 #include <bit>
 #include <chrono>
 #include <cmath>
+#include <memory>
 #include <optional>
 #include <stdexcept>
+#include <unordered_map>
 
-#include <memory>
-
+// Types and inline lookups only — see fault/prune_map.h for why this adds
+// no link dependency on ferrum_check.
+#include "check/prune.h"
+#include "fault/prune_map.h"
 #include "fault/step_budget.h"
 #include "support/parallel.h"
 #include "support/rng.h"
@@ -64,10 +68,201 @@ Outcome classify(const vm::VmResult& result,
   }
 }
 
+struct TrialSlot {
+  Outcome outcome = Outcome::kBenign;
+  std::optional<std::uint64_t> latency;
+  std::optional<vm::FaultLanding> sdc_landing;
+};
+
+/// Class-extrapolated campaign: the fault set is drawn exactly like the
+/// unpruned campaign; statically-dead flips are benign without running,
+/// every other trial is answered by one pilot run per (class, effective
+/// bit, stratum). The result keeps the unpruned frame — counts sum to
+/// options.trials — so sdc_rate() estimates the unpruned campaign.
+CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
+                                   const CampaignOptions& options) {
+  const check::prune::PruneReport& prune = *options.prune;
+  if (options.faults_per_run > 1) {
+    throw std::invalid_argument(
+        "campaign prune mode requires faults_per_run == 1");
+  }
+  if (prune.store_data_sites != options.vm.fault_store_data) {
+    throw std::invalid_argument(
+        "prune report store_data_sites must match vm.fault_store_data");
+  }
+
+  const vm::PredecodedProgram decoded(program);
+  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+                            !options.vm.profile &&
+                            options.vm.trace_limit == 0;
+  vm::CheckpointSet ckpts;
+  vm::Engine golden_engine(decoded, options.vm);
+  std::vector<std::int32_t> site_pcs;
+  golden_engine.set_site_pc_sink(&site_pcs);
+  const vm::VmResult golden =
+      fast_forward
+          ? golden_engine.run_capturing(
+                options.vm,
+                static_cast<std::uint64_t>(options.ckpt_stride), ckpts)
+          : golden_engine.run(options.vm, nullptr, 0);
+  golden_engine.set_site_pc_sink(nullptr);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+  if (golden.fi_sites == 0) {
+    throw std::runtime_error("program has no fault-injection sites");
+  }
+
+  CampaignResult result;
+  result.total_sites = golden.fi_sites;
+  result.golden_steps = golden.steps;
+  result.prune.enabled = true;
+  result.prune.dead_fraction_static = prune.dead_fraction();
+
+  vm::VmOptions faulty_vm = options.vm;
+  faulty_vm.max_steps = faulty_step_budget(golden.steps);
+
+  // Identical serial draw to the unpruned campaign (per_run == 1), so a
+  // pruned and an unpruned campaign over the same seed judge the same
+  // sampled fault set.
+  const std::size_t trials =
+      options.trials < 0 ? 0 : static_cast<std::size_t>(options.trials);
+  std::vector<vm::FaultSpec> specs(trials);
+  Rng rng(options.seed);
+  for (vm::FaultSpec& fault : specs) {
+    fault.site = rng.next_below(golden.fi_sites);
+    fault.bit = static_cast<int>(rng.next_below(64));
+    fault.burst = options.burst < 1 ? 1 : options.burst;
+  }
+
+  const detail::DynSiteMap dyn =
+      detail::map_dynamic_sites(decoded, site_pcs, prune, golden.fi_sites);
+
+  // Serial pilot plan in trial order: deterministic and jobs-invariant.
+  std::vector<std::size_t> pilots;  // trial index of each pilot run
+  std::unordered_map<std::uint64_t, std::uint32_t> pilot_by_key;
+  std::vector<std::int32_t> trial_pilot(trials, -1);  // -1 = dead flip
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const vm::FaultSpec& spec = specs[trial];
+    const std::int32_t s =
+        dyn.static_site[static_cast<std::size_t>(spec.site)];
+    if (s < 0) {
+      // No static record: sound fallback, run this trial directly.
+      trial_pilot[trial] = static_cast<std::int32_t>(pilots.size());
+      pilots.push_back(trial);
+      ++result.prune.unmatched_trials;
+      continue;
+    }
+    const check::prune::PruneSite& site =
+        prune.sites[static_cast<std::size_t>(s)];
+    if (site.flip_dead(spec.bit, spec.burst)) continue;  // provably benign
+    const std::uint64_t key = detail::pilot_key(
+        site.class_id, spec.bit % site.bit_space,
+        dyn.stratum[static_cast<std::size_t>(spec.site)]);
+    auto [it, inserted] =
+        pilot_by_key.emplace(key, static_cast<std::uint32_t>(pilots.size()));
+    if (inserted) pilots.push_back(trial);
+    trial_pilot[trial] = static_cast<std::int32_t>(it->second);
+  }
+
+  // Execute only the pilots across the pool; per-pilot slots merge in
+  // trial order below.
+  std::vector<TrialSlot> slots(pilots.size());
+  ThreadPool pool(options.jobs);
+  result.trials_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
+  std::vector<std::unique_ptr<vm::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
+  const auto wall_start = std::chrono::steady_clock::now();
+  pool.parallel_for_indexed(
+      pilots.size(), [&](int worker, std::size_t begin, std::size_t end) {
+        result.trials_per_worker[static_cast<std::size_t>(worker)] +=
+            end - begin;
+        auto& engine = engines[static_cast<std::size_t>(worker)];
+        if (engine == nullptr) {
+          engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
+        }
+        for (std::size_t p = begin; p < end; ++p) {
+          const vm::FaultSpec* fault = specs.data() + pilots[p];
+          const vm::VmResult run =
+              fast_forward ? engine->run_from(ckpts, faulty_vm, fault, 1)
+                           : engine->run(faulty_vm, fault, 1);
+          TrialSlot& slot = slots[p];
+          slot.outcome = classify(run, golden.output);
+          if (slot.outcome == Outcome::kDetected && run.fault_injected) {
+            slot.latency = run.steps - run.fault_step;
+          }
+          if (slot.outcome == Outcome::kSdc && run.fault_landing.has_value()) {
+            slot.sdc_landing = run.fault_landing;
+          }
+        }
+      });
+  result.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  result.ckpt.stride = fast_forward ? static_cast<int>(ckpts.stride()) : 0;
+  result.ckpt.checkpoints = ckpts.size();
+  result.ckpt.snapshot_bytes = ckpts.snapshot_bytes();
+  for (const auto& engine : engines) {
+    if (engine != nullptr) result.ckpt.ff.merge(engine->stats());
+  }
+
+  // Trial-order reduction with extrapolation: every drawn trial is
+  // counted; outcome/latency come from its pilot, SDC-breakdown
+  // coordinates from the trial's OWN static record (only the outcome is
+  // inherited).
+  for (std::size_t trial = 0; trial < trials; ++trial) {
+    const std::int32_t p = trial_pilot[trial];
+    if (p < 0) {
+      ++result.counts[static_cast<int>(Outcome::kBenign)];
+      ++result.prune.dead_trials;
+      continue;
+    }
+    const TrialSlot& slot = slots[static_cast<std::size_t>(p)];
+    if (pilots[static_cast<std::size_t>(p)] != trial) {
+      ++result.prune.replayed_trials;
+    }
+    ++result.counts[static_cast<int>(slot.outcome)];
+    if (slot.latency.has_value()) {
+      result.latency_sum += *slot.latency;
+      if (*slot.latency > result.latency_max) result.latency_max = *slot.latency;
+      ++result.latency_samples;
+      ++result.latency_histogram[std::bit_width(*slot.latency)];
+    }
+    if (slot.outcome == Outcome::kSdc) {
+      const std::int32_t s =
+          dyn.static_site[static_cast<std::size_t>(specs[trial].site)];
+      std::string key;
+      if (s >= 0) {
+        const check::prune::PruneSite& site =
+            prune.sites[static_cast<std::size_t>(s)];
+        const masm::AsmInst& inst =
+            program.functions[static_cast<std::size_t>(site.function)]
+                .blocks[static_cast<std::size_t>(site.block)]
+                .insts[static_cast<std::size_t>(site.inst)];
+        key = std::string(masm::fault_site_kind_name(site.kind)) + "/" +
+              masm::origin_name(inst.origin);
+      } else if (slot.sdc_landing.has_value()) {
+        key = std::string(vm::fault_kind_name(slot.sdc_landing->kind)) + "/" +
+              masm::origin_name(slot.sdc_landing->origin);
+      }
+      if (!key.empty()) ++result.sdc_breakdown[key];
+    }
+  }
+  result.prune.pilot_runs = pilots.size();
+  result.prune.reduction =
+      pilots.empty() ? 0.0
+                     : static_cast<double>(trials) /
+                           static_cast<double>(pilots.size());
+  return result;
+}
+
 }  // namespace
 
 CampaignResult run_campaign(const masm::AsmProgram& program,
                             const CampaignOptions& options) {
+  if (options.prune != nullptr) return run_campaign_pruned(program, options);
   // The decoded program is shared read-only by the golden run and every
   // worker's trial engine; resolve()-style hash lookups happen once per
   // campaign instead of once per run.
@@ -127,11 +322,6 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   // Execute the trials across the pool; each trial writes only its own
   // slot, and the reduction below walks the slots in trial order, so the
   // result does not depend on scheduling.
-  struct TrialSlot {
-    Outcome outcome = Outcome::kBenign;
-    std::optional<std::uint64_t> latency;
-    std::optional<vm::FaultLanding> sdc_landing;
-  };
   std::vector<TrialSlot> slots(trials);
   ThreadPool pool(options.jobs);
   result.trials_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);

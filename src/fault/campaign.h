@@ -14,6 +14,10 @@
 #include "vm/engine.h"
 #include "vm/vm.h"
 
+namespace ferrum::check::prune {
+struct PruneReport;
+}
+
 namespace ferrum::fault {
 
 enum class Outcome : std::uint8_t { kBenign, kSdc, kDetected, kCrash };
@@ -39,11 +43,33 @@ struct CampaignOptions {
   /// fast-forwarding (cold trials). Any value yields bit-identical
   /// deterministic results — the stride only moves wall-clock.
   int ckpt_stride = 64;
+  /// Prune mode: a static liveness/equivalence report for this program
+  /// (check::prune::prune_program, computed with store_data_sites ==
+  /// vm.fault_store_data). The fault set is drawn exactly as without
+  /// pruning (same seed, same sequence); trials whose flip is statically
+  /// dead are classified benign without running, and the remaining trials
+  /// are answered by one *pilot* run per (equivalence class, effective
+  /// bit, temporal stratum), its outcome/latency/landing replicated to
+  /// every trial of the key. Deterministic and jobs-invariant. Requires
+  /// faults_per_run == 1 (throws std::invalid_argument otherwise).
+  const check::prune::PruneReport* prune = nullptr;
 };
 
 /// Where the SDC-causing faults landed, for the root-cause analysis of
 /// Sec IV-B1 (key: "<fault-kind>/<origin>").
 using SdcBreakdown = std::map<std::string, int>;
+
+/// What campaign prune mode actually executed vs. accounted.
+struct CampaignPruneStats {
+  bool enabled = false;
+  std::uint64_t pilot_runs = 0;        // trial runs actually executed
+  std::uint64_t replayed_trials = 0;   // trials answered by another pilot
+  std::uint64_t dead_trials = 0;       // statically-dead flips, never run
+  std::uint64_t unmatched_trials = 0;  // no static record: run directly
+  double dead_fraction_static = 0.0;   // dead bits / total bits, static
+  /// trials / pilot_runs (>= 1); 0 when nothing ran.
+  double reduction = 0.0;
+};
 
 struct CampaignResult {
   std::array<int, 4> counts{};  // indexed by Outcome
@@ -68,6 +94,11 @@ struct CampaignResult {
   /// reduction, so it is deterministic like the rest of the result.
   static constexpr int kLatencyBuckets = 65;
   std::array<std::uint64_t, kLatencyBuckets> latency_histogram{};
+  /// Prune-mode accounting (enabled == false for unpruned campaigns).
+  /// When enabled, counts/latency/breakdown are class-extrapolated
+  /// estimates of the unpruned campaign over the same drawn fault set;
+  /// prune.pilot_runs counts the runs that actually happened.
+  CampaignPruneStats prune;
 
   // --- Observability only (scheduling-dependent, NOT deterministic) ---
   /// Trials executed by each pool worker (index 0 = the calling thread).

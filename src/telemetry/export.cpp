@@ -140,6 +140,17 @@ Json to_json(const fault::CampaignResult& result) {
   Json breakdown = Json::object();
   for (const auto& [key, count] : result.sdc_breakdown) breakdown[key] = count;
   json["sdc_breakdown"] = breakdown;
+
+  if (result.prune.enabled) {
+    Json prune = Json::object();
+    prune["pilot_runs"] = result.prune.pilot_runs;
+    prune["replayed_trials"] = result.prune.replayed_trials;
+    prune["dead_trials"] = result.prune.dead_trials;
+    prune["unmatched_trials"] = result.prune.unmatched_trials;
+    prune["dead_fraction_static"] = result.prune.dead_fraction_static;
+    prune["reduction"] = result.prune.reduction;
+    json["prune"] = prune;
+  }
   return json;
 }
 
@@ -179,6 +190,20 @@ Json to_json(const fault::AuditReport& report) {
     escapes.push_back(entry);
   }
   json["escapes"] = escapes;
+
+  if (report.prune.enabled) {
+    Json prune = Json::object();
+    prune["static_sites"] = report.prune.static_sites;
+    prune["classes"] = report.prune.classes;
+    prune["pilot_keys"] = report.prune.pilot_keys;
+    prune["pilot_injections"] = report.prune.pilot_injections;
+    prune["dead_probes"] = report.prune.dead_probes;
+    prune["extrapolated_probes"] = report.prune.extrapolated_probes;
+    prune["unmatched_probes"] = report.prune.unmatched_probes;
+    prune["dead_fraction_static"] = report.prune.dead_fraction_static;
+    prune["reduction"] = report.prune.reduction;
+    json["prune"] = prune;
+  }
   return json;
 }
 

@@ -24,7 +24,9 @@ Json to_json(const vm::VmProfile& profile);
 Json to_json(const vm::TimingStats& stats);
 
 /// Deterministic campaign results: trials, outcome counters, SDC rate,
-/// detection-latency summary + log2 histogram, SDC breakdown.
+/// detection-latency summary + log2 histogram, SDC breakdown, and a
+/// "prune" section (pilot/dead/replay accounting) when the campaign ran
+/// in prune mode.
 Json to_json(const fault::CampaignResult& result);
 
 /// Scheduling-dependent campaign observability: per-worker trial counts
@@ -32,7 +34,8 @@ Json to_json(const fault::CampaignResult& result);
 Json wallclock_json(const fault::CampaignResult& result);
 
 /// Deterministic audit results: site/injection/outcome counters and the
-/// escape list.
+/// escape list, plus a "prune" section (class/pilot/dead accounting)
+/// when the audit ran in prune mode.
 Json to_json(const fault::AuditReport& report);
 
 /// Scheduling-dependent audit observability.

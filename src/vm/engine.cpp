@@ -227,6 +227,10 @@ class Engine::Impl {
     return execute(options, faults, fault_count, &resume, nullptr, stats);
   }
 
+  void set_site_pc_sink(std::vector<std::int32_t>* sink) {
+    site_pc_sink_ = sink;
+  }
+
  private:
   // ----------------------------------------------------------- layout --
 
@@ -579,6 +583,7 @@ class Engine::Impl {
   const FaultSpec* fi_site(FaultKind kind, const AsmInst& inst,
                            const DecodedInst& d) {
     const std::uint64_t id = fi_sites_++;
+    if (site_pc_sink_ != nullptr) site_pc_sink_->push_back(pc_);
     if (options_->profile) ++profile_.site_counts[static_cast<int>(kind)];
     for (std::size_t i = 0; i < fault_count_; ++i) {
       const FaultSpec& spec = faults_[i];
@@ -1116,6 +1121,8 @@ class Engine::Impl {
   const FaultSpec* faults_ = nullptr;
   std::size_t fault_count_ = 0;
 
+  std::vector<std::int32_t>* site_pc_sink_ = nullptr;
+
   std::uint64_t steps_ = 0;
   std::uint64_t fi_sites_ = 0;
   std::uint64_t fault_step_ = 0;
@@ -1149,6 +1156,10 @@ VmResult Engine::run_from(const CheckpointSet& checkpoints,
                           const VmOptions& options, const FaultSpec* faults,
                           std::size_t fault_count) {
   return impl_->run_from(checkpoints, options, faults, fault_count, stats_);
+}
+
+void Engine::set_site_pc_sink(std::vector<std::int32_t>* sink) {
+  impl_->set_site_pc_sink(sink);
 }
 
 }  // namespace ferrum::vm

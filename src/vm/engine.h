@@ -229,6 +229,12 @@ class Engine {
   VmResult run_from(const CheckpointSet& checkpoints, const VmOptions& options,
                     const FaultSpec* faults, std::size_t fault_count);
 
+  /// While `sink` is non-null, every dynamic FI site registered by
+  /// subsequent runs appends the flat pc of its instruction — the
+  /// golden-run site map that lets the prune mode resolve dynamic site
+  /// ids to static instructions (code()[pc]). Pass nullptr to stop.
+  void set_site_pc_sink(std::vector<std::int32_t>* sink);
+
   const FastForwardStats& stats() const { return stats_; }
 
  private:

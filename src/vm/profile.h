@@ -10,6 +10,7 @@
 #include <string>
 #include <vector>
 
+#include "masm/fault_site.h"
 #include "masm/masm.h"
 
 namespace ferrum::vm {
@@ -23,7 +24,7 @@ struct VmProfile {
   /// Dynamic fault-injection sites registered, by FaultKind index.
   /// (Store-data sites appear only under VmOptions::fault_store_data,
   /// mirroring what the injector can actually sample.)
-  std::array<std::uint64_t, 5> site_counts{};
+  std::array<std::uint64_t, masm::kFaultSiteKindCount> site_counts{};
 
   struct BlockCount {
     std::string function;

@@ -22,14 +22,7 @@ const char* exit_status_name(ExitStatus status) {
 }
 
 const char* fault_kind_name(FaultKind kind) {
-  switch (kind) {
-    case FaultKind::kGprWrite: return "gpr-write";
-    case FaultKind::kXmmWrite: return "xmm-write";
-    case FaultKind::kFlagsWrite: return "flags-write";
-    case FaultKind::kStoreData: return "store-data";
-    case FaultKind::kBranchDecision: return "branch-decision";
-  }
-  return "?";
+  return masm::fault_site_kind_name(kind);
 }
 
 VmResult run(const masm::AsmProgram& program, const VmOptions& options,

@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "masm/fault_site.h"
 #include "masm/masm.h"
 #include "vm/profile.h"
 #include "vm/timing.h"
@@ -37,13 +38,9 @@ enum class ExitStatus : std::uint8_t {
 
 const char* exit_status_name(ExitStatus status);
 
-enum class FaultKind : std::uint8_t {
-  kGprWrite,
-  kXmmWrite,
-  kFlagsWrite,
-  kStoreData,
-  kBranchDecision,
-};
+/// The site taxonomy is shared with the static layers (check::SiteKind,
+/// check::prune) via masm/fault_site.h so it cannot drift.
+using FaultKind = masm::FaultSiteKind;
 
 const char* fault_kind_name(FaultKind kind);
 

@@ -6,6 +6,7 @@
 #include <thread>
 #include <vector>
 
+#include "check/prune.h"
 #include "fault/campaign.h"
 #include "pipeline/pipeline.h"
 #include "support/parallel.h"
@@ -142,6 +143,39 @@ TEST(ThreadPoolTest, CheckpointedCampaignSharesSnapshotsAcrossWorkers) {
   EXPECT_EQ(serial.counts, parallel.counts);
   EXPECT_EQ(serial.sdc_breakdown, parallel.sdc_breakdown);
   EXPECT_GT(parallel.ckpt.ff.restores, 0u);
+}
+
+TEST(ThreadPoolTest, PrunedCampaignIsJobsInvariant) {
+  // TSan-preset coverage for prune mode: the shared PruneReport and the
+  // golden-run CheckpointSet are read concurrently by every worker while
+  // pilot runs execute; the serial pre-draw plus trial-order reduction
+  // must keep the extrapolated result bit-identical to the single-worker
+  // run (counts, breakdown, latency, and the prune accounting itself).
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 12; i++) s += i * i;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kFerrum);
+  const check::prune::PruneReport prune =
+      check::prune::prune_program(build.program);
+  fault::CampaignOptions options;
+  options.trials = 96;
+  options.ckpt_stride = 4;
+  options.prune = &prune;
+  options.jobs = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  options.jobs = 8;
+  const auto parallel = fault::run_campaign(build.program, options);
+  EXPECT_EQ(serial.counts, parallel.counts);
+  EXPECT_EQ(serial.sdc_breakdown, parallel.sdc_breakdown);
+  EXPECT_EQ(serial.latency_sum, parallel.latency_sum);
+  EXPECT_EQ(serial.prune.pilot_runs, parallel.prune.pilot_runs);
+  EXPECT_EQ(serial.prune.dead_trials, parallel.prune.dead_trials);
+  EXPECT_EQ(serial.prune.replayed_trials, parallel.prune.replayed_trials);
+  EXPECT_TRUE(parallel.prune.enabled);
+  EXPECT_LT(parallel.prune.pilot_runs, 96u);  // pruning actually pruned
 }
 
 TEST(ThreadPoolTest, FreeFunctionCoversRange) {
