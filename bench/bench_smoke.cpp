@@ -154,6 +154,87 @@ void check_static_coverage(Json& artifact) {
   }
 }
 
+/// Schema + invariant check on bench_vm's dispatch/batch telemetry: the
+/// wallclock section must carry the per-technique dispatch rates and the
+/// batch-width sweep, and the metrics section must assert that switch vs
+/// threaded dispatch and scalar vs batched campaigns agree exactly.
+void check_bench_vm(const Json& artifact) {
+  const Json* metrics = artifact.find("metrics");
+  const Json* wallclock = artifact.find("wallclock");
+  if (metrics == nullptr || wallclock == nullptr) return;  // already failed
+  for (const char* section : {"dispatch_equivalent", "campaign_equivalent"}) {
+    const Json* flags = metrics->find(section);
+    if (flags == nullptr) {
+      fail(std::string("bench_vm metrics lack '") + section + "'");
+      continue;
+    }
+    if (flags->fields().empty()) {
+      fail(std::string("bench_vm '") + section + "' has no techniques");
+    }
+    for (const auto& [technique, flag] : flags->fields()) {
+      if (!flag.as_bool()) {
+        fail("bench_vm " + std::string(section) + "['" + technique +
+             "'] is false — dispatch/batch paths diverged from the "
+             "reference interpreter");
+      }
+    }
+  }
+  const Json* dispatch = wallclock->find("dispatch");
+  if (dispatch == nullptr || dispatch->fields().empty()) {
+    fail("bench_vm wallclock lacks a populated 'dispatch' section");
+  } else {
+    for (const auto& [technique, row] : dispatch->fields()) {
+      for (const char* key :
+           {"threaded_available", "switch_minst_per_second",
+            "threaded_minst_per_second", "speedup"}) {
+        if (row.find(key) == nullptr) {
+          fail("bench_vm dispatch['" + technique + "'] lacks '" + key + "'");
+        }
+      }
+    }
+  }
+  const Json* campaign = wallclock->find("campaign_throughput");
+  if (campaign == nullptr || campaign->fields().empty()) {
+    fail("bench_vm wallclock lacks a populated 'campaign_throughput'");
+  } else {
+    for (const auto& [technique, row] : campaign->fields()) {
+      for (const char* key :
+           {"cold_trials_per_second", "switch_scalar_trials_per_second",
+            "ckpt_trials_per_second", "speedup_vs_switch_scalar"}) {
+        if (row.find(key) == nullptr) {
+          fail("bench_vm campaign_throughput['" + technique + "'] lacks '" +
+               key + "'");
+        }
+      }
+      // The rejoin counter must ride with the checkpoint accounting.
+      const Json* ckpt = row.find("ckpt");
+      const Json* ff = ckpt != nullptr ? ckpt->find("ckpt") : nullptr;
+      if (ff == nullptr || ff->find("rejoins") == nullptr) {
+        fail("bench_vm campaign_throughput['" + technique +
+             "'] lacks ckpt.rejoins");
+      }
+    }
+  }
+  const Json* batch = wallclock->find("batch");
+  if (batch == nullptr) {
+    fail("bench_vm wallclock lacks a 'batch' section");
+  } else {
+    for (const char* width : {"width1", "width4", "width8"}) {
+      const Json* row = batch->find(width);
+      if (row == nullptr) {
+        fail(std::string("bench_vm batch section lacks '") + width + "'");
+        continue;
+      }
+      for (const char* key : {"trials_per_second", "speedup_vs_width1"}) {
+        if (row->find(key) == nullptr) {
+          fail(std::string("bench_vm batch['") + width + "'] lacks '" +
+               key + "'");
+        }
+      }
+    }
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -225,6 +306,10 @@ int main(int argc, char** argv) {
   if (auto coverage = check_artifact(out_dir, "analysis_static_coverage");
       coverage.has_value()) {
     check_static_coverage(*coverage);
+  }
+
+  if (const auto vm = check_artifact(out_dir, "bench_vm"); vm.has_value()) {
+    check_bench_vm(*vm);
   }
 
   if (failures == 0) std::printf("bench_smoke: all checks passed\n");

@@ -1,9 +1,12 @@
-// Substrate microbenchmarks: VM interpretation throughput, the cost of
-// enabling the timing model, and campaign trial throughput cold vs
-// checkpointed, per technique. Not a paper experiment, but documents what
-// one fault-injection trial costs — and what the snapshot/fast-forward
-// engine buys back.
+// Substrate microbenchmarks: VM interpretation throughput (switch vs
+// threaded dispatch), the cost of enabling the timing model, and campaign
+// trial throughput cold vs checkpointed vs lockstep-batched, per
+// technique. Not a paper experiment, but documents what one
+// fault-injection trial costs — and what the snapshot/fast-forward engine
+// and the threaded/batched inner loop buy back.
 #include <benchmark/benchmark.h>
+
+#include <chrono>
 
 #include "bench_util.h"
 #include "fault/campaign.h"
@@ -17,11 +20,13 @@ using pipeline::Technique;
 
 namespace {
 
-void BM_VmRun(benchmark::State& state, Technique technique, bool timing) {
+void BM_VmRun(benchmark::State& state, Technique technique, bool timing,
+              vm::DispatchMode dispatch = vm::DispatchMode::kAuto) {
   const auto& w = workloads::by_name("pathfinder");
   auto build = pipeline::build(w.source, technique);
   vm::VmOptions options;
   options.timing = timing;
+  options.dispatch = dispatch;
   std::uint64_t steps = 0;
   for (auto _ : state) {
     const auto result = vm::run(build.program, options);
@@ -35,6 +40,32 @@ void BM_VmRun(benchmark::State& state, Technique technique, bool timing) {
   state.counters["dyn_insts"] = static_cast<double>(steps);
   state.SetItemsProcessed(static_cast<std::int64_t>(steps) *
                           state.iterations());
+}
+
+/// Best-of-`reps` Minst/s for one dispatch mode (steady-clock; the
+/// best-of filters scheduler noise on the shared CI machine).
+double minst_per_second(const masm::AsmProgram& program,
+                        vm::DispatchMode dispatch, int reps) {
+  vm::VmOptions options;
+  options.dispatch = dispatch;
+  double best = 0.0;
+  for (int rep = 0; rep < reps; ++rep) {
+    const auto start = std::chrono::steady_clock::now();
+    const auto result = vm::run(program, options);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start)
+            .count();
+    if (!result.ok() || seconds <= 0.0) continue;
+    const double rate =
+        static_cast<double>(result.steps) / seconds / 1e6;
+    if (rate > best) best = rate;
+  }
+  return best;
+}
+
+double trials_per_second(const fault::CampaignResult& result, int trials) {
+  return result.wall_seconds > 0.0 ? trials / result.wall_seconds : 0.0;
 }
 
 }  // namespace
@@ -63,47 +94,139 @@ int main(int argc, char** argv) {
       }
     }
 
-    // Campaign throughput, cold vs checkpointed, per technique. Outcome
-    // counts are deterministic and identical on both paths (asserted into
-    // `metrics`); trials/sec and the speedup are wall-clock observability.
+    // Dispatch throughput: functional Minst/s under the portable switch
+    // loop vs the computed-goto threaded loop, per technique. The result
+    // equivalence flag goes under `metrics` (it must hold everywhere);
+    // the rates are wall-clock observability.
+    {
+      const bool threaded = vm::threaded_dispatch_available();
+      for (Technique technique : techniques) {
+        auto build = pipeline::build(w.source, technique);
+        vm::VmOptions sw;
+        sw.dispatch = vm::DispatchMode::kSwitch;
+        const auto sw_run = vm::run(build.program, sw);
+        bool equivalent = sw_run.ok();
+        double threaded_rate = 0.0;
+        if (threaded) {
+          vm::VmOptions th;
+          th.dispatch = vm::DispatchMode::kThreaded;
+          const auto th_run = vm::run(build.program, th);
+          equivalent = equivalent && th_run.status == sw_run.status &&
+                       th_run.output == sw_run.output &&
+                       th_run.steps == sw_run.steps &&
+                       th_run.fi_sites == sw_run.fi_sites &&
+                       th_run.return_value == sw_run.return_value;
+          threaded_rate =
+              minst_per_second(build.program, vm::DispatchMode::kThreaded, 3);
+        }
+        const double switch_rate =
+            minst_per_second(build.program, vm::DispatchMode::kSwitch, 3);
+        const char* name = pipeline::technique_name(technique);
+        report.metrics()["dispatch_equivalent"][name] = equivalent;
+        telemetry::Json row = telemetry::Json::object();
+        row["threaded_available"] = threaded;
+        row["switch_minst_per_second"] = switch_rate;
+        row["threaded_minst_per_second"] = threaded_rate;
+        row["speedup"] =
+            switch_rate > 0.0 ? threaded_rate / switch_rate : 0.0;
+        report.wallclock()["dispatch"][name] = row;
+        std::printf("dispatch %-8s switch %7.1f Minst/s   threaded %7.1f "
+                    "Minst/s   speedup %5.2fx\n",
+                    name, switch_rate, threaded_rate,
+                    switch_rate > 0.0 ? threaded_rate / switch_rate : 0.0);
+      }
+    }
+
+    // Campaign throughput per technique, three engine configurations:
+    //   cold          stride=0, switch dispatch, scalar — the reference
+    //   switch_scalar checkpointed, switch dispatch, scalar, golden
+    //                 rejoin off — the pre-threading engine (PR 4's
+    //                 "ckpt" row), the speedup baseline
+    //   default       checkpointed, threaded dispatch, FERRUM_BATCH-wide
+    //                 lockstep, golden rejoin — what run_campaign does
+    //                 out of the box
+    // Outcome counts are deterministic and identical on every path
+    // (asserted into `metrics`); trials/sec and speedups are wall-clock.
     {
       const int trials = benchutil::env_trials(256);
       const int jobs = benchutil::env_jobs();
-      const int stride = benchutil::env_ckpt_stride();
+      const int stride_knob = benchutil::env_ckpt_stride();
+      const int stride = stride_knob == 0 ? 64 : stride_knob;
+      const int batch = benchutil::env_batch();
       for (Technique technique : techniques) {
         auto build = pipeline::build(w.source, technique);
         fault::CampaignOptions campaign;
         campaign.trials = trials;
         campaign.jobs = jobs;
+        campaign.vm.dispatch = vm::DispatchMode::kSwitch;
+        campaign.vm.golden_rejoin = false;
+        campaign.batch = 1;
         campaign.ckpt_stride = 0;
         const auto cold = fault::run_campaign(build.program, campaign);
-        campaign.ckpt_stride = stride == 0 ? 64 : stride;
-        const auto warm = fault::run_campaign(build.program, campaign);
+        campaign.ckpt_stride = stride;
+        const auto scalar = fault::run_campaign(build.program, campaign);
+        campaign.vm.dispatch = vm::DispatchMode::kAuto;
+        campaign.vm.golden_rejoin = true;
+        campaign.batch = batch;
+        const auto fast = fault::run_campaign(build.program, campaign);
 
         const char* name = pipeline::technique_name(technique);
         report.metrics()["campaign"][name] = telemetry::to_json(cold);
+        const std::string cold_dump = telemetry::to_json(cold).dump();
         report.metrics()["campaign_equivalent"][name] =
-            telemetry::to_json(cold).dump() == telemetry::to_json(warm).dump();
+            cold_dump == telemetry::to_json(scalar).dump() &&
+            cold_dump == telemetry::to_json(fast).dump();
 
         telemetry::Json row = telemetry::Json::object();
         row["trials"] = trials;
-        const double cold_tps = cold.wall_seconds > 0.0
-                                    ? trials / cold.wall_seconds
-                                    : 0.0;
-        const double warm_tps = warm.wall_seconds > 0.0
-                                    ? trials / warm.wall_seconds
-                                    : 0.0;
+        row["batch"] = batch;
+        const double cold_tps = trials_per_second(cold, trials);
+        const double scalar_tps = trials_per_second(scalar, trials);
+        const double fast_tps = trials_per_second(fast, trials);
         row["cold_trials_per_second"] = cold_tps;
-        row["ckpt_trials_per_second"] = warm_tps;
-        row["speedup"] = cold_tps > 0.0 ? warm_tps / cold_tps : 0.0;
+        row["switch_scalar_trials_per_second"] = scalar_tps;
+        row["ckpt_trials_per_second"] = fast_tps;
+        row["speedup"] = cold_tps > 0.0 ? fast_tps / cold_tps : 0.0;
+        row["speedup_vs_switch_scalar"] =
+            scalar_tps > 0.0 ? fast_tps / scalar_tps : 0.0;
         row["cold"] = telemetry::wallclock_json(cold);
-        row["ckpt"] = telemetry::wallclock_json(warm);
+        row["ckpt"] = telemetry::wallclock_json(fast);
         report.wallclock()["campaign_throughput"][name] = row;
         std::printf(
-            "campaign %-8s cold %10.1f trials/s   ckpt(stride=%d) %10.1f "
-            "trials/s   speedup %5.2fx\n",
-            name, cold_tps, static_cast<int>(warm.ckpt.stride), warm_tps,
-            cold_tps > 0.0 ? warm_tps / cold_tps : 0.0);
+            "campaign %-8s cold %9.1f trials/s   ckpt+switch %9.1f "
+            "trials/s   ckpt+threaded+batch%d %9.1f trials/s   vs-scalar "
+            "%5.2fx\n",
+            name, cold_tps, scalar_tps, batch, fast_tps,
+            scalar_tps > 0.0 ? fast_tps / scalar_tps : 0.0);
+      }
+
+      // Batch-width sweep on the FERRUM build: trials/s at widths
+      // {1, 4, 8} under the default (threaded) dispatch, all
+      // checkpointed — isolates what lockstep prefix sharing adds on
+      // top of threading.
+      {
+        auto build = pipeline::build(w.source, Technique::kFerrum);
+        fault::CampaignOptions campaign;
+        campaign.trials = trials;
+        campaign.jobs = jobs;
+        campaign.ckpt_stride = stride;
+        double width1_tps = 0.0;
+        for (int width : {1, 4, 8}) {
+          campaign.batch = width;
+          const auto result = fault::run_campaign(build.program, campaign);
+          const double tps = trials_per_second(result, trials);
+          if (width == 1) width1_tps = tps;
+          telemetry::Json row = telemetry::Json::object();
+          row["trials_per_second"] = tps;
+          row["speedup_vs_width1"] =
+              width1_tps > 0.0 ? tps / width1_tps : 0.0;
+          row["ckpt"] = telemetry::wallclock_json(result);
+          report.wallclock()["batch"]["width" + std::to_string(width)] =
+              row;
+          std::printf("batch    width=%d %9.1f trials/s   vs width1 "
+                      "%5.2fx\n",
+                      width, tps, width1_tps > 0.0 ? tps / width1_tps : 0.0);
+        }
       }
     }
     report.write();
@@ -114,12 +237,20 @@ int main(int argc, char** argv) {
         BM_VmRun(s, Technique::kNone, false);
       })->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark(
+      "VmRun/raw_switch", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kNone, false, vm::DispatchMode::kSwitch);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
       "VmRun/raw_timing", [](benchmark::State& s) {
         BM_VmRun(s, Technique::kNone, true);
       })->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark(
       "VmRun/ferrum", [](benchmark::State& s) {
         BM_VmRun(s, Technique::kFerrum, false);
+      })->Unit(benchmark::kMicrosecond);
+  benchmark::RegisterBenchmark(
+      "VmRun/ferrum_switch", [](benchmark::State& s) {
+        BM_VmRun(s, Technique::kFerrum, false, vm::DispatchMode::kSwitch);
       })->Unit(benchmark::kMicrosecond);
   benchmark::RegisterBenchmark(
       "VmRun/hybrid", [](benchmark::State& s) {

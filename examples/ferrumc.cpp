@@ -57,6 +57,7 @@ int usage(const char* argv0) {
                "<file.c|file.s>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
+               "       [--dispatch=switch|threaded] [--batch=N]\n"
                "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
                "(sites dumps the ferrum-prune fault-site liveness/"
                "equivalence analysis as JSON; --prune makes audit/campaign "
@@ -72,6 +73,11 @@ int usage(const char* argv0) {
                "golden-run checkpoint spacing for campaign/audit "
                "fast-forwarding; 0 disables checkpointing; results are "
                "bit-identical for every stride;\n"
+               " --dispatch picks the interpreter inner loop (defaults "
+               "to FERRUM_DISPATCH, then threaded when the build has it); "
+               "--batch defaults to FERRUM_BATCH, then 8 — lockstep lanes "
+               "per campaign/audit engine call, 1 = scalar; both knobs "
+               "never change results, only wall-clock;\n"
                " --stats writes run/campaign/audit telemetry as JSON — "
                "the 'metrics' section is deterministic, 'wallclock' is "
                "not)\n",
@@ -131,6 +137,8 @@ int main(int argc, char** argv) {
   int trials = env_trials();
   int jobs = env_jobs();
   int ckpt_stride = env_ckpt_stride();
+  int batch = env_batch();
+  vm::DispatchMode dispatch = vm::DispatchMode::kAuto;
   bool timing = false;
   bool lint = command == "lint";
   bool lint_json = false;
@@ -167,6 +175,24 @@ int main(int argc, char** argv) {
                      arg.c_str() + 14);
         return 2;
       }
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 8, batch) || batch < 1) {
+        std::fprintf(stderr, "bad --batch value '%s'\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (arg == "--dispatch=switch") {
+      dispatch = vm::DispatchMode::kSwitch;
+    } else if (arg == "--dispatch=threaded") {
+      if (!vm::threaded_dispatch_available()) {
+        std::fprintf(stderr,
+                     "this build has no threaded dispatch "
+                     "(FERRUM_DISPATCH=switch at configure time)\n");
+        return 2;
+      }
+      dispatch = vm::DispatchMode::kThreaded;
+    } else if (arg.rfind("--dispatch=", 0) == 0) {
+      std::fprintf(stderr, "bad --dispatch value '%s'\n", arg.c_str() + 11);
+      return 2;
     } else if (arg == "--timing") {
       timing = true;
     } else if (arg == "--prune") {
@@ -288,6 +314,7 @@ int main(int argc, char** argv) {
     vm::VmOptions options;
     options.timing = timing;
     options.profile = !stats_path.empty();
+    options.dispatch = dispatch;
     const vm::VmResult result = vm::run(build.program, options);
     for (std::uint64_t value : result.output) {
       std::printf("%lld\n", static_cast<long long>(value));
@@ -319,6 +346,8 @@ int main(int argc, char** argv) {
     fault::AuditOptions audit_options;
     audit_options.jobs = jobs;
     audit_options.ckpt_stride = ckpt_stride;
+    audit_options.batch = batch;
+    audit_options.vm.dispatch = dispatch;
     check::prune::PruneReport prune_report;
     if (prune) {
       check::prune::PruneOptions prune_options;
@@ -371,6 +400,8 @@ int main(int argc, char** argv) {
     options.trials = trials;
     options.jobs = jobs;
     options.ckpt_stride = ckpt_stride;
+    options.batch = batch;
+    options.vm.dispatch = dispatch;
     check::prune::PruneReport prune_report;
     if (prune) {
       check::prune::PruneOptions prune_options;

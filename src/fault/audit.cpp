@@ -1,5 +1,6 @@
 #include "fault/audit.h"
 
+#include <algorithm>
 #include <chrono>
 #include <iterator>
 #include <memory>
@@ -18,6 +19,14 @@
 namespace ferrum::fault {
 
 namespace {
+
+/// Effective lockstep width for Engine::run_batch (mirrors the campaign
+/// gate): timing/profile/trace audits stay scalar.
+std::size_t batch_width(int batch, const vm::VmOptions& vm) {
+  if (batch <= 1) return 1;
+  if (vm.timing || vm.profile || vm.trace_limit != 0) return 1;
+  return static_cast<std::size_t>(batch);
+}
 
 /// Class-extrapolated audit: one pilot injection per (class, effective
 /// bit, stratum); every other live probe inherits its pilot's outcome,
@@ -113,6 +122,7 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
   const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t width = batch_width(options.batch, options.vm);
   pool.parallel_for_indexed(
       pilots.size(), [&](int worker, std::size_t begin, std::size_t end) {
         report.sites_per_worker[static_cast<std::size_t>(worker)] +=
@@ -121,13 +131,7 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
         if (engine == nullptr) {
           engine = std::make_unique<vm::Engine>(decoded, faulty);
         }
-        for (std::size_t p = begin; p < end; ++p) {
-          vm::FaultSpec fault;
-          fault.site = pilots[p].site;
-          fault.bit = pilots[p].bit;
-          const vm::VmResult run =
-              fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
-                           : engine->run(faulty, &fault, 1);
+        const auto record = [&](std::size_t p, const vm::VmResult& run) {
           if (run.status == vm::ExitStatus::kDetected) {
             outcomes[p] = ProbeOutcome::kDetected;
           } else if (!run.ok()) {
@@ -139,6 +143,38 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
             if (run.fault_landing.has_value()) {
               landings[p] = *run.fault_landing;
             }
+          }
+        };
+        if (width <= 1) {
+          for (std::size_t p = begin; p < end; ++p) {
+            vm::FaultSpec fault;
+            fault.site = pilots[p].site;
+            fault.bit = pilots[p].bit;
+            const vm::VmResult run =
+                fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
+                             : engine->run(faulty, &fault, 1);
+            record(p, run);
+          }
+          return;
+        }
+        // Lockstep over the pilot plan. The plan walks dynamic sites in
+        // ascending order, so consecutive pilots already share a prefix
+        // window — no per-chunk sort is needed here.
+        std::vector<vm::FaultSpec> group(width);
+        std::vector<vm::Engine::BatchTrial> lanes(width);
+        std::vector<vm::VmResult> runs(width);
+        for (std::size_t base = begin; base < end; base += width) {
+          const std::size_t n = std::min(width, end - base);
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            group[lane].site = pilots[base + lane].site;
+            group[lane].bit = pilots[base + lane].bit;
+            lanes[lane].faults = &group[lane];
+            lanes[lane].fault_count = 1;
+          }
+          engine->run_batch(fast_forward ? &ckpts : nullptr, faulty,
+                            lanes.data(), n, runs.data());
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            record(base + lane, runs[lane]);
           }
         }
       });
@@ -273,6 +309,7 @@ AuditReport audit_program(const masm::AsmProgram& program,
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
   const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t width = batch_width(options.batch, options.vm);
   pool.parallel_for_indexed(
       static_cast<std::size_t>(golden.fi_sites),
       [&](int worker, std::size_t begin, std::size_t end) {
@@ -282,36 +319,70 @@ AuditReport audit_program(const masm::AsmProgram& program,
         if (engine == nullptr) {
           engine = std::make_unique<vm::Engine>(decoded, faulty);
         }
-        for (std::size_t site = begin; site < end; ++site) {
+        const auto record = [&](std::size_t site, int bit,
+                                const vm::VmResult& run) {
           SitePartial& partial = partials[site];
-          for (int bit : options.probe_bits) {
-            vm::FaultSpec fault;
-            fault.site = site;
-            fault.bit = bit;
-            const vm::VmResult run =
-                fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
-                             : engine->run(faulty, &fault, 1);
-            ++partial.injections;
-            if (run.status == vm::ExitStatus::kDetected) {
-              ++partial.detected;
-            } else if (!run.ok()) {
-              ++partial.crashed;
-            } else if (run.output == golden.output) {
-              ++partial.benign;
-            } else {
-              AuditEscape escape;
-              escape.site = site;
-              escape.bit = bit;
-              if (run.fault_landing.has_value()) {
-                escape.kind = run.fault_landing->kind;
-                escape.origin = run.fault_landing->origin;
-                escape.op = run.fault_landing->op;
-                escape.function = run.fault_landing->function;
-                escape.block = run.fault_landing->block;
-                escape.inst = run.fault_landing->inst;
-              }
-              partial.escapes.push_back(std::move(escape));
+          ++partial.injections;
+          if (run.status == vm::ExitStatus::kDetected) {
+            ++partial.detected;
+          } else if (!run.ok()) {
+            ++partial.crashed;
+          } else if (run.output == golden.output) {
+            ++partial.benign;
+          } else {
+            AuditEscape escape;
+            escape.site = site;
+            escape.bit = bit;
+            if (run.fault_landing.has_value()) {
+              escape.kind = run.fault_landing->kind;
+              escape.origin = run.fault_landing->origin;
+              escape.op = run.fault_landing->op;
+              escape.function = run.fault_landing->function;
+              escape.block = run.fault_landing->block;
+              escape.inst = run.fault_landing->inst;
             }
+            partial.escapes.push_back(std::move(escape));
+          }
+        };
+        if (width <= 1) {
+          for (std::size_t site = begin; site < end; ++site) {
+            for (int bit : options.probe_bits) {
+              vm::FaultSpec fault;
+              fault.site = site;
+              fault.bit = bit;
+              const vm::VmResult run =
+                  fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
+                               : engine->run(faulty, &fault, 1);
+              record(site, bit, run);
+            }
+          }
+          return;
+        }
+        // Lockstep over the chunk's flattened (site, bit) probes. The
+        // flattening walks sites in ascending order, so one batch's
+        // lanes cluster on neighbouring sites and share most of the
+        // fault-free prefix walk. Probes still record into their own
+        // site's partial — the site-order merge below is unchanged.
+        const std::size_t nbits = options.probe_bits.size();
+        const std::size_t nprobes = (end - begin) * nbits;
+        std::vector<vm::FaultSpec> group(width);
+        std::vector<vm::Engine::BatchTrial> lanes(width);
+        std::vector<vm::VmResult> runs(width);
+        for (std::size_t base = 0; base < nprobes; base += width) {
+          const std::size_t n = std::min(width, nprobes - base);
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            const std::size_t probe = base + lane;
+            group[lane].site = begin + probe / nbits;
+            group[lane].bit = options.probe_bits[probe % nbits];
+            lanes[lane].faults = &group[lane];
+            lanes[lane].fault_count = 1;
+          }
+          engine->run_batch(fast_forward ? &ckpts : nullptr, faulty,
+                            lanes.data(), n, runs.data());
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            const std::size_t probe = base + lane;
+            record(begin + probe / nbits, options.probe_bits[probe % nbits],
+                   runs[lane]);
           }
         }
       });

@@ -34,6 +34,13 @@ struct AuditOptions {
   /// that makes larger programs auditable. 0 disables fast-forwarding;
   /// the report is bit-identical either way.
   int ckpt_stride = 64;
+  /// Lockstep batch width (FERRUM_BATCH): each worker hands `batch`
+  /// (site, bit) probes at a time to vm::Engine::run_batch, which walks
+  /// their shared fault-free prefix once and forks a journaled lane per
+  /// probe. <= 1 keeps every probe on the scalar run/run_from path. The
+  /// report is bit-identical for every width — the knob, like jobs and
+  /// ckpt_stride, only moves wall-clock.
+  int batch = 8;
   /// Prune mode: a static liveness/equivalence report for this program
   /// (check::prune::prune_program, computed with store_data_sites ==
   /// vm.fault_store_data). Statically-dead (site, bit) probes are counted

@@ -1,5 +1,6 @@
 #include "fault/campaign.h"
 
+#include <algorithm>
 #include <bit>
 #include <chrono>
 #include <cmath>
@@ -73,6 +74,27 @@ struct TrialSlot {
   std::optional<std::uint64_t> latency;
   std::optional<vm::FaultLanding> sdc_landing;
 };
+
+void record_trial(TrialSlot& slot, const vm::VmResult& run,
+                  const std::vector<std::uint64_t>& golden_output) {
+  slot.outcome = classify(run, golden_output);
+  if (slot.outcome == Outcome::kDetected && run.fault_injected) {
+    // Latency anchors on the FIRST injected fault (see CampaignResult).
+    slot.latency = run.steps - run.fault_step;
+  }
+  if (slot.outcome == Outcome::kSdc && run.fault_landing.has_value()) {
+    slot.sdc_landing = run.fault_landing;
+  }
+}
+
+/// Effective lockstep width: batching needs the full VmResult-only
+/// contract of Engine::run_batch, so timing/profile/trace campaigns
+/// stay scalar (exactly like fast_forward).
+std::size_t batch_width(int batch, const vm::VmOptions& vm) {
+  if (batch <= 1) return 1;
+  if (vm.timing || vm.profile || vm.trace_limit != 0) return 1;
+  return static_cast<std::size_t>(batch);
+}
 
 /// Class-extrapolated campaign: the fault set is drawn exactly like the
 /// unpruned campaign; statically-dead flips are benign without running,
@@ -173,6 +195,7 @@ CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
   result.trials_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
+  const std::size_t width = batch_width(options.batch, options.vm);
   const auto wall_start = std::chrono::steady_clock::now();
   pool.parallel_for_indexed(
       pilots.size(), [&](int worker, std::size_t begin, std::size_t end) {
@@ -182,18 +205,41 @@ CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
         if (engine == nullptr) {
           engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
         }
-        for (std::size_t p = begin; p < end; ++p) {
-          const vm::FaultSpec* fault = specs.data() + pilots[p];
-          const vm::VmResult run =
-              fast_forward ? engine->run_from(ckpts, faulty_vm, fault, 1)
-                           : engine->run(faulty_vm, fault, 1);
-          TrialSlot& slot = slots[p];
-          slot.outcome = classify(run, golden.output);
-          if (slot.outcome == Outcome::kDetected && run.fault_injected) {
-            slot.latency = run.steps - run.fault_step;
+        if (width <= 1) {
+          for (std::size_t p = begin; p < end; ++p) {
+            const vm::FaultSpec* fault = specs.data() + pilots[p];
+            const vm::VmResult run =
+                fast_forward ? engine->run_from(ckpts, faulty_vm, fault, 1)
+                             : engine->run(faulty_vm, fault, 1);
+            record_trial(slots[p], run, golden.output);
           }
-          if (slot.outcome == Outcome::kSdc && run.fault_landing.has_value()) {
-            slot.sdc_landing = run.fault_landing;
+          return;
+        }
+        // Lockstep over the pilots: grouping by site shares the prefix
+        // walk; slot p is still written from runs[lane] of its own
+        // pilot, so the trial-order reduction is width-invariant.
+        std::vector<std::size_t> order;
+        order.reserve(end - begin);
+        for (std::size_t p = begin; p < end; ++p) order.push_back(p);
+        std::sort(order.begin(), order.end(),
+                  [&](std::size_t a, std::size_t b) {
+                    const std::uint64_t sa = specs[pilots[a]].site;
+                    const std::uint64_t sb = specs[pilots[b]].site;
+                    return sa != sb ? sa < sb : a < b;
+                  });
+        std::vector<vm::Engine::BatchTrial> lanes(width);
+        std::vector<vm::VmResult> runs(width);
+        for (std::size_t base = 0; base < order.size(); base += width) {
+          const std::size_t n = std::min(width, order.size() - base);
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            lanes[lane].faults = specs.data() + pilots[order[base + lane]];
+            lanes[lane].fault_count = 1;
+          }
+          engine->run_batch(fast_forward ? &ckpts : nullptr, faulty_vm,
+                            lanes.data(), n, runs.data());
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            record_trial(slots[order[base + lane]], runs[lane],
+                         golden.output);
           }
         }
       });
@@ -330,6 +376,7 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   // never re-zeroed wholesale, and restores read the shared CheckpointSet.
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
+  const std::size_t width = batch_width(options.batch, options.vm);
   const auto wall_start = std::chrono::steady_clock::now();
   pool.parallel_for_indexed(trials, [&](int worker, std::size_t begin,
                                         std::size_t end) {
@@ -341,19 +388,50 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
     if (engine == nullptr) {
       engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
     }
-    for (std::size_t trial = begin; trial < end; ++trial) {
-      const vm::FaultSpec* faults = specs.data() + trial * per_run;
-      const vm::VmResult run =
-          fast_forward ? engine->run_from(ckpts, faulty_vm, faults, per_run)
-                       : engine->run(faulty_vm, faults, per_run);
-      TrialSlot& slot = slots[trial];
-      slot.outcome = classify(run, golden.output);
-      if (slot.outcome == Outcome::kDetected && run.fault_injected) {
-        // Latency anchors on the FIRST injected fault (see CampaignResult).
-        slot.latency = run.steps - run.fault_step;
+    if (width <= 1) {
+      for (std::size_t trial = begin; trial < end; ++trial) {
+        const vm::FaultSpec* faults = specs.data() + trial * per_run;
+        const vm::VmResult run =
+            fast_forward ? engine->run_from(ckpts, faulty_vm, faults, per_run)
+                         : engine->run(faulty_vm, faults, per_run);
+        record_trial(slots[trial], run, golden.output);
       }
-      if (slot.outcome == Outcome::kSdc && run.fault_landing.has_value()) {
-        slot.sdc_landing = run.fault_landing;
+      return;
+    }
+    // Lockstep batches: order the chunk's trials by earliest fault site
+    // so the lanes grouped into one run_batch call share as much of the
+    // fault-free prefix as possible. The ordering is wall-clock only —
+    // each trial still lands in its own slot and the reduction below
+    // walks slots in trial order.
+    std::vector<std::size_t> order;
+    order.reserve(end - begin);
+    for (std::size_t trial = begin; trial < end; ++trial) {
+      order.push_back(trial);
+    }
+    const auto first_site = [&](std::size_t trial) {
+      std::uint64_t site = specs[trial * per_run].site;
+      for (std::size_t f = 1; f < per_run; ++f) {
+        site = std::min(site, specs[trial * per_run + f].site);
+      }
+      return site;
+    };
+    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+      const std::uint64_t sa = first_site(a);
+      const std::uint64_t sb = first_site(b);
+      return sa != sb ? sa < sb : a < b;
+    });
+    std::vector<vm::Engine::BatchTrial> lanes(width);
+    std::vector<vm::VmResult> runs(width);
+    for (std::size_t base = 0; base < order.size(); base += width) {
+      const std::size_t n = std::min(width, order.size() - base);
+      for (std::size_t lane = 0; lane < n; ++lane) {
+        lanes[lane].faults = specs.data() + order[base + lane] * per_run;
+        lanes[lane].fault_count = per_run;
+      }
+      engine->run_batch(fast_forward ? &ckpts : nullptr, faulty_vm,
+                        lanes.data(), n, runs.data());
+      for (std::size_t lane = 0; lane < n; ++lane) {
+        record_trial(slots[order[base + lane]], runs[lane], golden.output);
       }
     }
   });

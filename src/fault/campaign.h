@@ -43,6 +43,15 @@ struct CampaignOptions {
   /// fast-forwarding (cold trials). Any value yields bit-identical
   /// deterministic results — the stride only moves wall-clock.
   int ckpt_stride = 64;
+  /// Lockstep batch width (FERRUM_BATCH): each worker hands `batch`
+  /// trials at a time to vm::Engine::run_batch, which walks their shared
+  /// fault-free prefix once, forks a lane at each trial's first fault
+  /// site and undoes the lane's stores with a page journal. Values <= 1
+  /// keep every trial on the scalar run/run_from path (the identical
+  /// pre-batching code path). Like jobs and ckpt_stride the knob only
+  /// moves wall-clock: results are bit-identical for every width, and
+  /// timing/profile/trace runs fall back to scalar automatically.
+  int batch = 8;
   /// Prune mode: a static liveness/equivalence report for this program
   /// (check::prune::prune_program, computed with store_data_sites ==
   /// vm.fault_store_data). The fault set is drawn exactly as without

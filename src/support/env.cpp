@@ -51,4 +51,8 @@ int env_ckpt_stride(int fallback) {
   return env_int("FERRUM_CKPT_STRIDE", fallback, /*min_value=*/0);
 }
 
+int env_batch(int fallback) {
+  return env_int("FERRUM_BATCH", fallback, /*min_value=*/1);
+}
+
 }  // namespace ferrum

@@ -3,10 +3,23 @@
 #include <algorithm>
 #include <atomic>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <unordered_map>
 
+// Threaded dispatch needs the GNU computed-goto extension (&&label).
+// FERRUM_FORCE_SWITCH_DISPATCH (the CMake FERRUM_DISPATCH=switch option)
+// forces the portable switch loop even on GNU-compatible compilers.
+#if defined(__GNUC__) && !defined(FERRUM_FORCE_SWITCH_DISPATCH)
+#define FERRUM_THREADED_DISPATCH 1
+#else
+#define FERRUM_THREADED_DISPATCH 0
+#endif
+
 namespace ferrum::vm {
+
+bool threaded_dispatch_available() { return FERRUM_THREADED_DISPATCH != 0; }
 
 using masm::AsmFunction;
 using masm::AsmInst;
@@ -33,6 +46,48 @@ constexpr std::uint64_t kExitSentinel = kRetTag | 0xffff'ffffULL;
 struct Flags {
   bool zf = false, sf = false, of = false, cf = false;
 };
+
+/// Runtime default for VmOptions::dispatch == kAuto: the FERRUM_DISPATCH
+/// environment knob, read once. Unset/empty means threaded-if-available.
+DispatchMode default_dispatch_mode() {
+  static const DispatchMode mode = [] {
+    const char* value = std::getenv("FERRUM_DISPATCH");
+    if (value == nullptr || *value == '\0') return DispatchMode::kThreaded;
+    if (std::strcmp(value, "switch") == 0) return DispatchMode::kSwitch;
+    if (std::strcmp(value, "threaded") == 0) return DispatchMode::kThreaded;
+    std::fprintf(stderr,
+                 "ferrum: ignoring FERRUM_DISPATCH=%s (want switch|threaded)\n",
+                 value);
+    return DispatchMode::kThreaded;
+  }();
+  return mode;
+}
+
+/// Reg/mem operand widths the VM defines. Anything else — notably the
+/// 2-byte width no masm producer emits but hand-built programs could —
+/// used to fall through width switches to a silent 64-bit access; the
+/// decoder now rejects it (kTagBadWidth -> kTrapInvalid at execution).
+bool operand_widths_ok(const AsmInst& inst) {
+  for (int i = 0; i < inst.nops; ++i) {
+    const Operand& op = inst.ops[i];
+    if (op.kind != Operand::Kind::kReg && op.kind != Operand::Kind::kMem) {
+      continue;
+    }
+    if (op.width != 1 && op.width != 4 && op.width != 8) return false;
+  }
+  return true;
+}
+
+bool is_fusable_alu(Op op) {
+  switch (op) {
+    case Op::kAdd: case Op::kSub: case Op::kImul: case Op::kAnd:
+    case Op::kOr: case Op::kXor: case Op::kShl: case Op::kSar:
+    case Op::kIdiv: case Op::kIrem:
+      return true;
+    default:
+      return false;
+  }
+}
 
 }  // namespace
 
@@ -114,6 +169,38 @@ PredecodedProgram::PredecodedProgram(const AsmProgram& program)
     func_entry_pc_.push_back(0);
     block_base_pc_.push_back({0});
   }
+  // Dispatch tags. First every instruction individually: its own Op, or
+  // kTagBadWidth when an operand carries a width the VM does not define.
+  for (DecodedInst& d : code_) {
+    if (d.inst == nullptr) {
+      d.tag = kTagSentinel;
+    } else {
+      d.tag = operand_widths_ok(*d.inst)
+                  ? static_cast<std::uint8_t>(d.inst->op)
+                  : static_cast<std::uint8_t>(kTagBadWidth);
+    }
+  }
+  // Superinstruction fusion for the dominant adjacent pairs (the PR 2
+  // profiler's cmp+jcc and load+op). Only the *first* instruction of a
+  // pair changes tag; the second keeps its own, so a branch targeting it
+  // still dispatches it singly. Neither half may be a sentinel or a
+  // rejected-width instruction, and since every function ends in a
+  // sentinel a pair can never straddle a function boundary. The fused
+  // handlers execute both halves with full per-instruction bookkeeping
+  // (step counting, FI-site numbering, trap order), so fusion is
+  // invisible to everything but the dispatch count.
+  for (std::size_t i = 0; i + 1 < code_.size(); ++i) {
+    DecodedInst& a = code_[i];
+    const DecodedInst& b = code_[i + 1];
+    if (a.tag >= kTagSentinel || b.tag >= kTagSentinel) continue;
+    const Op first = a.inst->op;
+    const Op second = b.inst->op;
+    if (first == Op::kCmp && second == Op::kJcc) {
+      a.tag = kTagCmpJcc;
+    } else if (first == Op::kMov && is_fusable_alu(second)) {
+      a.tag = kTagMovAlu;
+    }
+  }
 }
 
 // --------------------------------------------------------- checkpoints --
@@ -187,6 +274,13 @@ const Checkpoint& CheckpointSet::nearest_at_or_before(
   return *(it - 1);
 }
 
+const Checkpoint* CheckpointSet::next_after(std::uint64_t site) const {
+  auto it = std::upper_bound(
+      checkpoints_.begin(), checkpoints_.end(), site,
+      [](std::uint64_t s, const Checkpoint& c) { return s < c.fi_sites; });
+  return it == checkpoints_.end() ? nullptr : &*it;
+}
+
 // -------------------------------------------------------------- engine --
 
 class Engine::Impl {
@@ -197,26 +291,42 @@ class Engine::Impl {
         memory_(options.memory_bytes),
         npages_((options.memory_bytes + kCkptPageSize - 1) / kCkptPageSize),
         current_page_(npages_),
-        dirty_(npages_, 0) {
+        dirty_(npages_, 0),
+        journaled_(npages_, 0) {
     compute_layout();
   }
 
   VmResult run(const VmOptions& options, const FaultSpec* faults,
                std::size_t fault_count, FastForwardStats& stats) {
-    return execute(options, faults, fault_count, nullptr, nullptr, stats);
+    return execute(options, faults, fault_count, nullptr, nullptr, stats,
+                   nullptr);
   }
 
   VmResult run_capturing(const VmOptions& options, std::uint64_t stride,
                          CheckpointSet& out, FastForwardStats& stats) {
     out.begin(stride);
-    return execute(options, nullptr, 0, nullptr, &out, stats);
+    VmResult result = execute(options, nullptr, 0, nullptr, &out, stats,
+                              nullptr);
+    // A clean golden run also defines the golden final state; faulty
+    // trials that re-converge to a checkpoint adopt it (golden rejoin).
+    if (result.ok()) {
+      GoldenSummary summary;
+      summary.valid = true;
+      summary.steps = result.steps;
+      summary.fi_sites = result.fi_sites;
+      summary.return_value = result.return_value;
+      summary.output = result.output;
+      out.set_summary(std::move(summary));
+    }
+    return result;
   }
 
   VmResult run_from(const CheckpointSet& checkpoints, const VmOptions& options,
                     const FaultSpec* faults, std::size_t fault_count,
                     FastForwardStats& stats) {
     if (checkpoints.empty()) {
-      return execute(options, faults, fault_count, nullptr, nullptr, stats);
+      return execute(options, faults, fault_count, nullptr, nullptr, stats,
+                     nullptr);
     }
     std::uint64_t min_site = ~std::uint64_t{0};
     for (std::size_t i = 0; i < fault_count; ++i) {
@@ -224,7 +334,123 @@ class Engine::Impl {
     }
     if (fault_count == 0) min_site = 0;
     const Checkpoint& resume = checkpoints.nearest_at_or_before(min_site);
-    return execute(options, faults, fault_count, &resume, nullptr, stats);
+    return execute(options, faults, fault_count, &resume, nullptr, stats,
+                   &checkpoints);
+  }
+
+  void run_batch(const CheckpointSet* checkpoints, const VmOptions& options,
+                 const Engine::BatchTrial* trials, std::size_t count,
+                 VmResult* results, FastForwardStats& stats) {
+    if (count == 0) return;
+    // Per-trial introspection (profile/timing/trace) cannot ride a
+    // shared walk; fall back to scalar execution — results identical.
+    if (options.timing || options.profile || options.trace_limit != 0) {
+      const bool ff = checkpoints != nullptr && !checkpoints->empty();
+      for (std::size_t i = 0; i < count; ++i) {
+        results[i] = ff ? run_from(*checkpoints, options, trials[i].faults,
+                                   trials[i].fault_count, stats)
+                        : run(options, trials[i].faults,
+                              trials[i].fault_count, stats);
+      }
+      return;
+    }
+
+    // Lane order: ascending first-fault site, ties in input order, so
+    // the shared walk only ever moves forward through the golden stream.
+    struct Lane {
+      std::uint64_t site;
+      std::size_t idx;
+    };
+    std::vector<Lane> lanes(count);
+    for (std::size_t i = 0; i < count; ++i) {
+      std::uint64_t min_site = ~std::uint64_t{0};
+      for (std::size_t k = 0; k < trials[i].fault_count; ++k) {
+        min_site = std::min(min_site, trials[i].faults[k].site);
+      }
+      if (trials[i].fault_count == 0) min_site = 0;
+      lanes[i] = Lane{min_site, i};
+    }
+    std::stable_sort(lanes.begin(), lanes.end(),
+                     [](const Lane& a, const Lane& b) {
+                       return a.site < b.site;
+                     });
+
+    options_ = &options;
+    faults_ = nullptr;
+    fault_count_ = 0;
+    site_observers_ = options.profile || site_pc_sink_ != nullptr;
+    steps_ = 0;
+    fi_sites_ = 0;
+    fault_step_ = 0;
+    fault_injected_ = false;
+    fault_landing_.reset();
+    output_.clear();
+    trace_.clear();
+    touched_addr_ = 0;
+    halted_ = false;
+    timing_.reset();
+    profile_ = VmProfile{};
+    rejoin_ = checkpoints;
+
+    const bool have_ckpts = checkpoints != nullptr && !checkpoints->empty();
+    // Once the golden walk halts (or traps) before a lane's site, that
+    // lane's fault can never fire: its result is the walk's end state.
+    bool walk_over = false;
+    ExitStatus walk_status = ExitStatus::kOk;
+
+    stats.batches += 1;
+    stats.lanes += count;
+
+    try {
+      if (have_ckpts) {
+        restore_checkpoint(checkpoints->nearest_at_or_before(lanes[0].site));
+      } else {
+        start_cold();
+      }
+    } catch (const Trap& trap) {
+      walk_over = true;
+      walk_status = trap.status;
+    }
+
+    ForkPoint fork;
+    for (const Lane& lane : lanes) {
+      if (!walk_over) {
+        // Hop forward through a checkpoint when one sits closer to the
+        // lane's site than the current walk position.
+        if (have_ckpts) {
+          const Checkpoint& c = checkpoints->nearest_at_or_before(lane.site);
+          if (c.fi_sites > fi_sites_) restore_checkpoint(c);
+        }
+        const std::uint64_t walk_start_steps = steps_;
+        try {
+          if (loop(nullptr, lane.site) == LoopExit::kHalted) walk_over = true;
+        } catch (const Trap& trap) {
+          walk_over = true;
+          walk_status = trap.status;
+        }
+        stats.walk_steps += steps_ - walk_start_steps;
+      }
+      VmResult& result = results[lane.idx];
+      if (walk_over) {
+        result = VmResult{};
+        result.status = walk_status;
+        if (walk_status == ExitStatus::kOk) {
+          result.return_value =
+              static_cast<std::int64_t>(gpr_[static_cast<int>(Gpr::kRax)]);
+        }
+        result.output = output_;
+        result.steps = steps_;
+        result.fi_sites = fi_sites_;
+        stats.trials += 1;
+        stats.steps_skipped += steps_;
+        continue;
+      }
+      save_fork(fork);
+      run_suffix(trials[lane.idx], result, stats);
+      restore_fork(fork);
+    }
+    options_ = nullptr;
+    rejoin_ = nullptr;
   }
 
   void set_site_pc_sink(std::vector<std::int32_t>* sink) {
@@ -339,19 +565,283 @@ class Engine::Impl {
     return out.nearest_at_or_before(~std::uint64_t{0}).fi_sites;
   }
 
+  // ------------------------------------------- lockstep batch forking --
+
+  /// Walk state saved at a lane's fork point. Memory is not copied:
+  /// suffix writes are journalled copy-on-first-write (see store()) and
+  /// undone page-by-page on unfork. The output log is append-only, so
+  /// its length suffices to restore it.
+  struct ForkPoint {
+    std::int32_t pc = 0;
+    std::uint64_t steps = 0;
+    std::uint64_t fi_sites = 0;
+    std::uint64_t gpr[masm::kGprCount];
+    std::uint64_t xmm[masm::kXmmCount][4];
+    Flags flags;
+    std::size_t output_size = 0;
+  };
+
+  void save_fork(ForkPoint& fork) const {
+    fork.pc = pc_;
+    fork.steps = steps_;
+    fork.fi_sites = fi_sites_;
+    std::memcpy(fork.gpr, gpr_, sizeof(gpr_));
+    std::memcpy(fork.xmm, xmm_, sizeof(xmm_));
+    fork.flags = flags_;
+    fork.output_size = output_.size();
+  }
+
+  void restore_fork(const ForkPoint& fork) {
+    pc_ = fork.pc;
+    steps_ = fork.steps;
+    fi_sites_ = fork.fi_sites;
+    std::memcpy(gpr_, fork.gpr, sizeof(gpr_));
+    std::memcpy(xmm_, fork.xmm, sizeof(xmm_));
+    flags_ = fork.flags;
+    output_.resize(fork.output_size);
+    halted_ = false;
+  }
+
+  /// Saves page `p`'s pre-image on its first suffix write. Buffers are
+  /// pooled so steady-state batching allocates nothing.
+  void journal_page(std::size_t p) {
+    if (journaled_[p]) return;
+    journaled_[p] = 1;
+    std::unique_ptr<PageImage> image;
+    if (!journal_pool_.empty()) {
+      image = std::move(journal_pool_.back());
+      journal_pool_.pop_back();
+    } else {
+      image = std::make_unique<PageImage>();
+    }
+    std::memcpy(image->bytes, memory_.data() + (p << kCkptPageBits),
+                page_bytes(p));
+    journal_.emplace_back(p, std::move(image));
+  }
+
+  /// Undoes every journalled page, returning memory to the fork point.
+  /// dirty_ bits stay set — conservative but correct: a later prepare
+  /// simply restores those pages from provenance again.
+  void journal_restore() {
+    for (auto& entry : journal_) {
+      std::memcpy(memory_.data() + (entry.first << kCkptPageBits),
+                  entry.second->bytes, page_bytes(entry.first));
+      journaled_[entry.first] = 0;
+      journal_pool_.push_back(std::move(entry.second));
+    }
+    journal_.clear();
+  }
+
+  /// Runs one lane's faulty suffix from the current (forked) walk state
+  /// to completion and assembles its VmResult, then undoes its memory
+  /// writes. Register/counter state is the caller's to restore.
+  void run_suffix(const Engine::BatchTrial& trial, VmResult& result,
+                  FastForwardStats& stats) {
+    faults_ = trial.faults;
+    fault_count_ = trial.fault_count;
+    fault_injected_ = false;
+    fault_landing_.reset();
+    fault_step_ = 0;
+    rejoined_ = false;
+    rejoin_skipped_ = 0;
+    const std::uint64_t fork_steps = steps_;
+    journaling_ = true;
+    result = VmResult{};
+    try {
+      run_loop_to_completion(*options_, nullptr);
+      result.return_value =
+          static_cast<std::int64_t>(gpr_[static_cast<int>(Gpr::kRax)]);
+    } catch (const Trap& trap) {
+      result.status = trap.status;
+    }
+    journaling_ = false;
+    journal_restore();
+    result.output = output_;
+    result.steps = steps_;
+    result.fi_sites = fi_sites_;
+    result.fault_injected = fault_injected_;
+    result.fault_landing = fault_landing_;
+    result.fault_step = fault_step_;
+    faults_ = nullptr;
+    fault_count_ = 0;
+    stats.trials += 1;
+    stats.restores += 1;
+    if (rejoined_) stats.rejoins += 1;
+    stats.steps_skipped += fork_steps + rejoin_skipped_;
+    stats.steps_executed += result.steps - fork_steps - rejoin_skipped_;
+  }
+
   // ------------------------------------------------------------- run --
+
+  /// Restores architectural state, counters and memory to a checkpoint.
+  void restore_checkpoint(const Checkpoint& resume) {
+    prepare_from(resume);
+    std::memcpy(gpr_, resume.gpr, sizeof(gpr_));
+    std::memcpy(xmm_, resume.xmm, sizeof(xmm_));
+    flags_.zf = resume.zf;
+    flags_.sf = resume.sf;
+    flags_.of = resume.of;
+    flags_.cf = resume.cf;
+    output_ = resume.output;
+    steps_ = resume.steps;
+    fi_sites_ = resume.fi_sites;
+    pc_ = resume.pc;
+  }
+
+  /// Cold start: zeroed arena/registers, globals written, stack + exit
+  /// sentinel set up, pc at main's entry. Throws the historical traps
+  /// for oversized globals and missing main.
+  void start_cold() {
+    prepare_cold();
+    std::memset(gpr_, 0, sizeof(gpr_));
+    std::memset(xmm_, 0, sizeof(xmm_));
+    flags_ = Flags{};
+    if (!layout_ok_) throw Trap{ExitStatus::kTrapMemory};
+    write_globals();
+    if (program_.main_index() < 0) throw Trap{ExitStatus::kTrapInvalid};
+    gpr_[static_cast<int>(Gpr::kRsp)] = memory_.size() - 64;
+    push64(kExitSentinel);
+    pc_ = program_.entry_pc(program_.main_index());
+  }
+
+  /// Whether this run wants the threaded loop at all (build + mode).
+  bool want_threaded(const VmOptions& options) const {
+#if FERRUM_THREADED_DISPATCH
+    DispatchMode mode = options.dispatch;
+    if (mode == DispatchMode::kAuto) mode = default_dispatch_mode();
+    return mode == DispatchMode::kThreaded;
+#else
+    (void)options;
+    return false;
+#endif
+  }
+
+  /// The threaded loop carries no per-step introspection (profiling,
+  /// timing, tracing) and no capture hook; runs needing those stay on
+  /// the reference switch loop.
+  bool use_threaded_loop(const VmOptions& options,
+                         const CheckpointSet* capture) const {
+    return want_threaded(options) && capture == nullptr && !options.timing &&
+           !options.profile && options.trace_limit == 0;
+  }
+
+  static constexpr std::uint64_t kNoPause = ~std::uint64_t{0};
+
+  enum class LoopExit : std::uint8_t { kHalted, kPaused };
+
+  /// Whether this run can attempt golden rejoin: checkpoints with a
+  /// clean golden summary are in play, no per-step introspection wants
+  /// the real instruction stream, and the golden run itself fits the
+  /// trial's step budget (so the adopted tail provably contains no
+  /// kTrapSteps the trial would have hit).
+  bool can_rejoin(const VmOptions& options) const {
+    return rejoin_ != nullptr && options.golden_rejoin &&
+           rejoin_->summary().valid && !site_observers_ && !options.timing &&
+           !options.profile && options.trace_limit == 0 &&
+           rejoin_->summary().steps <= options.max_steps;
+  }
+
+  /// Exact state comparison against a golden checkpoint, taken at the
+  /// same inter-instruction position capture used. Memory is compared as
+  /// a diff: pages whose provenance pointer already equals the golden
+  /// page (and were not dirtied since) are skipped without touching
+  /// their bytes — consecutive checkpoints share unchanged PageImages,
+  /// so the byte-compared set is roughly the trial's write footprint.
+  bool state_matches(const Checkpoint& b) const {
+    if (pc_ != b.pc || steps_ != b.steps || fi_sites_ != b.fi_sites) {
+      return false;
+    }
+    if (flags_.zf != b.zf || flags_.sf != b.sf || flags_.of != b.of ||
+        flags_.cf != b.cf) {
+      return false;
+    }
+    if (std::memcmp(gpr_, b.gpr, sizeof(gpr_)) != 0) return false;
+    if (std::memcmp(xmm_, b.xmm, sizeof(xmm_)) != 0) return false;
+    if (output_ != b.output) return false;
+    static const PageImage kZeroPage = {};
+    for (std::size_t p = 0; p < npages_; ++p) {
+      const PageImage* golden = b.pages[p].get();
+      if (!dirty_[p] && current_page_[p].get() == golden) continue;
+      const std::uint8_t* want = golden ? golden->bytes : kZeroPage.bytes;
+      if (std::memcmp(memory_.data() + (p << kCkptPageBits), want,
+                      page_bytes(p)) != 0) {
+        return false;
+      }
+    }
+    return true;
+  }
+
+  /// The tail from a matched boundary is the golden tail; skip straight
+  /// to the golden final state. Only rax (the return value), the output
+  /// log and the counters are observable past this point — memory and
+  /// the other registers are dead on halt.
+  void adopt_golden_tail(const GoldenSummary& summary) {
+    rejoin_skipped_ = summary.steps - steps_;
+    rejoined_ = true;
+    steps_ = summary.steps;
+    fi_sites_ = summary.fi_sites;
+    output_ = summary.output;
+    gpr_[static_cast<int>(Gpr::kRax)] =
+        static_cast<std::uint64_t>(summary.return_value);
+    halted_ = true;
+  }
+
+  /// One inner-loop run on the selected dispatch path.
+  LoopExit run_loop(CheckpointSet* capture, std::uint64_t stop_at_sites,
+                    bool threaded) {
+#if FERRUM_THREADED_DISPATCH
+    if (threaded) return loop_threaded(stop_at_sites);
+#else
+    (void)threaded;
+#endif
+    return loop(capture, stop_at_sites);
+  }
+
+  void run_loop_to_completion(const VmOptions& options,
+                              CheckpointSet* capture) {
+    const bool threaded = use_threaded_loop(options, capture);
+    if (can_rejoin(options)) {
+      // Once every sampled fault has fired (fi_sites_ has passed the
+      // largest spec site) the trial is deterministic again; pause at
+      // each golden checkpoint boundary ahead and compare. An exact
+      // match proves the remaining tail golden — adopt it. A mismatch
+      // (fault still propagating) just moves on to the next boundary.
+      std::uint64_t last_site = 0;
+      for (std::size_t i = 0; i < fault_count_; ++i) {
+        last_site = std::max(last_site, faults_[i].site);
+      }
+      for (;;) {
+        const Checkpoint* b =
+            rejoin_->next_after(std::max(fi_sites_, last_site));
+        if (b == nullptr) break;  // past the last boundary — run it out
+        if (run_loop(capture, b->fi_sites, threaded) == LoopExit::kHalted) {
+          return;
+        }
+        if (state_matches(*b)) {
+          adopt_golden_tail(rejoin_->summary());
+          return;
+        }
+      }
+    }
+    run_loop(capture, kNoPause, threaded);
+  }
 
   VmResult execute(const VmOptions& options, const FaultSpec* faults,
                    std::size_t fault_count, const Checkpoint* resume,
-                   CheckpointSet* capture, FastForwardStats& stats) {
+                   CheckpointSet* capture, FastForwardStats& stats,
+                   const CheckpointSet* rejoin) {
     options_ = &options;
     faults_ = faults;
     fault_count_ = fault_count;
+    site_observers_ = options.profile || site_pc_sink_ != nullptr;
     steps_ = 0;
     fi_sites_ = 0;
     fault_step_ = 0;
     fault_injected_ = false;
     fault_landing_.reset();
+    rejoin_ = rejoin;
+    rejoined_ = false;
+    rejoin_skipped_ = 0;
     output_.clear();
     trace_.clear();
     touched_addr_ = 0;
@@ -369,35 +859,15 @@ class Engine::Impl {
     VmResult result;
     try {
       if (resume != nullptr) {
-        prepare_from(*resume);
-        std::memcpy(gpr_, resume->gpr, sizeof(gpr_));
-        std::memcpy(xmm_, resume->xmm, sizeof(xmm_));
-        flags_.zf = resume->zf;
-        flags_.sf = resume->sf;
-        flags_.of = resume->of;
-        flags_.cf = resume->cf;
-        output_ = resume->output;
-        steps_ = resume->steps;
-        fi_sites_ = resume->fi_sites;
-        pc_ = resume->pc;
+        restore_checkpoint(*resume);
       } else {
-        prepare_cold();
-        std::memset(gpr_, 0, sizeof(gpr_));
-        std::memset(xmm_, 0, sizeof(xmm_));
-        flags_ = Flags{};
-        if (!layout_ok_) throw Trap{ExitStatus::kTrapMemory};
-        write_globals();
-        if (program_.main_index() < 0) throw Trap{ExitStatus::kTrapInvalid};
-        // Set up the stack and the exit sentinel.
-        gpr_[static_cast<int>(Gpr::kRsp)] = memory_.size() - 64;
-        push64(kExitSentinel);
-        pc_ = program_.entry_pc(program_.main_index());
+        start_cold();
         if (capture != nullptr) {
           next_capture_at_ = 0;  // checkpoint 0 right at the start
           do_capture(*capture);
         }
       }
-      loop(capture);
+      run_loop_to_completion(options, capture);
       result.return_value =
           static_cast<std::int64_t>(gpr_[static_cast<int>(Gpr::kRax)]);
     } catch (const Trap& trap) {
@@ -419,25 +889,34 @@ class Engine::Impl {
       result.profile = std::move(profile_);
     }
     stats.trials += 1;
+    if (rejoined_) stats.rejoins += 1;
     if (resume != nullptr) {
       stats.restores += 1;
-      stats.steps_skipped += resume->steps;
-      stats.steps_executed += result.steps - resume->steps;
+      stats.steps_skipped += resume->steps + rejoin_skipped_;
+      stats.steps_executed += result.steps - resume->steps - rejoin_skipped_;
     } else {
-      stats.steps_executed += result.steps;
+      stats.steps_skipped += rejoin_skipped_;
+      stats.steps_executed += result.steps - rejoin_skipped_;
     }
     options_ = nullptr;
     faults_ = nullptr;
     fault_count_ = 0;
+    rejoin_ = nullptr;
     return result;
   }
 
-  void loop(CheckpointSet* capture) {
+  /// Reference interpreter loop (one switch per step), also the only
+  /// loop carrying per-step introspection. `stop_at_sites` pauses the
+  /// run at the first instruction boundary where fi_sites_ has reached
+  /// that count — the lockstep batch walk's fork points; kNoPause runs
+  /// to halt/trap.
+  LoopExit loop(CheckpointSet* capture, std::uint64_t stop_at_sites) {
     const bool profiling = options_->profile;
     const bool timing_on = options_->timing;
     const std::size_t trace_limit = options_->trace_limit;
     const std::uint64_t max_steps = options_->max_steps;
     for (;;) {
+      if (fi_sites_ >= stop_at_sites) return LoopExit::kPaused;
       const DecodedInst& d = code_[pc_];
       if (d.inst == nullptr) throw Trap{ExitStatus::kTrapInvalid};
       const AsmInst& inst = *d.inst;
@@ -458,7 +937,7 @@ class Engine::Impl {
       exec(inst, d);
       if (timing_on) timing_->step(inst, touched_addr_);
       pc_ = next_pc_;
-      if (halted_) return;
+      if (halted_) return LoopExit::kHalted;
       if (capture != nullptr && fi_sites_ >= next_capture_at_) {
         do_capture(*capture);
       }
@@ -483,13 +962,19 @@ class Engine::Impl {
 
   void store(std::uint64_t addr, int size, std::uint64_t value) {
     check_range(addr, size);
-    std::memcpy(memory_.data() + addr, &value, static_cast<std::size_t>(size));
     // Single choke point for all program writes: record which pages have
-    // diverged from the provenance table (writes can straddle a page).
+    // diverged from the provenance table (writes can straddle a page),
+    // and — inside a batched lane's faulty suffix — save each page's
+    // pre-image before its first modification so the unfork can undo it.
     const std::size_t first = static_cast<std::size_t>(addr) >> kCkptPageBits;
     const std::size_t last =
         (static_cast<std::size_t>(addr) + static_cast<std::size_t>(size) - 1) >>
         kCkptPageBits;
+    if (journaling_) {
+      journal_page(first);
+      if (last != first) journal_page(last);
+    }
+    std::memcpy(memory_.data() + addr, &value, static_cast<std::size_t>(size));
     dirty_[first] = 1;
     if (last != first) dirty_[last] = 1;
   }
@@ -528,12 +1013,19 @@ class Engine::Impl {
     return addr;
   }
 
+  // Width switches below enumerate the supported widths explicitly and
+  // trap on anything else; the decoder already rejects unsupported
+  // widths (kTagBadWidth), so the default arms are belt-and-braces
+  // against a width the decode pass missed — never a silent 64-bit
+  // access.
+
   std::uint64_t read_gpr(Gpr reg, int width) {
     const std::uint64_t raw = gpr_[static_cast<int>(reg)];
     switch (width) {
       case 1: return raw & 0xff;
       case 4: return raw & 0xffff'ffffULL;
-      default: return raw;
+      case 8: return raw;
+      default: throw Trap{ExitStatus::kTrapInvalid};
     }
   }
 
@@ -544,8 +1036,10 @@ class Engine::Impl {
         return (gpr_[static_cast<int>(reg)] & ~0xffULL) | (value & 0xff);
       case 4:
         return value & 0xffff'ffffULL;
-      default:
+      case 8:
         return value;
+      default:
+        throw Trap{ExitStatus::kTrapInvalid};
     }
   }
 
@@ -572,19 +1066,28 @@ class Engine::Impl {
     switch (op.width) {
       case 1: return static_cast<std::int8_t>(raw & 0xff);
       case 4: return static_cast<std::int32_t>(raw & 0xffff'ffffULL);
-      default: return static_cast<std::int64_t>(raw);
+      case 8: return static_cast<std::int64_t>(raw);
+      default: throw Trap{ExitStatus::kTrapInvalid};
     }
   }
 
   // ----------------------------------------------- fault machinery --
+
+  /// Off-hot-path site observers: the prune mode's pc sink and the
+  /// profiler's per-kind tallies. Both sit behind the single
+  /// site_observers_ flag so the common case (neither active) pays one
+  /// predictable branch per site instead of two.
+  void observe_site(FaultKind kind) {
+    if (site_pc_sink_ != nullptr) site_pc_sink_->push_back(pc_);
+    if (options_->profile) ++profile_.site_counts[static_cast<int>(kind)];
+  }
 
   /// Registers one FI site; returns the matching fault spec when this
   /// site is one of the sampled ones, or nullptr.
   const FaultSpec* fi_site(FaultKind kind, const AsmInst& inst,
                            const DecodedInst& d) {
     const std::uint64_t id = fi_sites_++;
-    if (site_pc_sink_ != nullptr) site_pc_sink_->push_back(pc_);
-    if (options_->profile) ++profile_.site_counts[static_cast<int>(kind)];
+    if (site_observers_) observe_site(kind);
     for (std::size_t i = 0; i < fault_count_; ++i) {
       const FaultSpec& spec = faults_[i];
       if (id != spec.site) continue;
@@ -686,7 +1189,8 @@ class Engine::Impl {
     switch (width) {
       case 1: return static_cast<std::int8_t>(value & 0xff);
       case 4: return static_cast<std::int32_t>(value & 0xffff'ffffULL);
-      default: return static_cast<std::int64_t>(value);
+      case 8: return static_cast<std::int64_t>(value);
+      default: throw Trap{ExitStatus::kTrapInvalid};
     }
   }
 
@@ -726,246 +1230,495 @@ class Engine::Impl {
     return raw;
   }
 
-  /// Executes one instruction. Control transfers set next_pc_; the
-  /// default next_pc_ = pc_ + 1 covers both straight-line flow and the
-  /// old interpreter's free fall-through into the next block.
-  void exec(const AsmInst& inst, const DecodedInst& d) {
+  // Per-opcode bodies, shared verbatim by the switch loop's exec() and
+  // the threaded loop's computed-goto handlers — the two dispatch modes
+  // can only differ in how they reach these, never in what they do.
+  // Control transfers set next_pc_; the default next_pc_ = pc_ + 1
+  // covers both straight-line flow and the old interpreter's free
+  // fall-through into the next block.
+
+  void exec_mov(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t value = read_operand(inst.ops[0]);
+    if (inst.ops[1].is_mem()) {
+      store_faultable(effective_address(inst.ops[1].mem), inst.ops[1].width,
+                      value, inst, d);
+    } else {
+      write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst, d);
+    }
+  }
+
+  void exec_movsx(const AsmInst& inst, const DecodedInst& d) {
+    const std::int64_t value = read_signed(inst.ops[0]);
+    write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
+                        static_cast<std::uint64_t>(value), inst, d);
+  }
+
+  void exec_movzx(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t value = read_operand(inst.ops[0]);
+    write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst, d);
+  }
+
+  void exec_lea(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t addr = effective_address(inst.ops[0].mem);
+    write_gpr_faultable(inst.ops[1].reg, 8, addr, inst, d);
+  }
+
+  void exec_push(const AsmInst& inst, const DecodedInst& d) {
+    std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
+    rsp -= 8;
+    if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
+    store_faultable(rsp, 8, read_operand(inst.ops[0]), inst, d);
+  }
+
+  void exec_pop(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t value = pop64();
+    write_gpr_faultable(inst.ops[0].reg, 8, value, inst, d);
+  }
+
+  void exec_cmp(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t b = read_operand(inst.ops[0]);
+    const std::uint64_t a = read_operand(inst.ops[1]);
+    write_flags_faultable(flags_of_sub(a, b, inst.ops[1].width), inst, d);
+  }
+
+  void exec_test(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t b = read_operand(inst.ops[0]);
+    const std::uint64_t a = read_operand(inst.ops[1]);
+    Flags flags = flags_of_result(a & b, inst.ops[1].width);
+    write_flags_faultable(flags, inst, d);
+  }
+
+  void exec_setcc(const AsmInst& inst, const DecodedInst& d) {
+    const std::uint64_t value = eval_cond(inst.cc) ? 1 : 0;
+    if (inst.ops[0].is_mem()) {
+      store_faultable(effective_address(inst.ops[0].mem), 1, value, inst, d);
+    } else {
+      write_gpr_faultable(inst.ops[0].reg, 1, value, inst, d);
+    }
+  }
+
+  void exec_jcc(const AsmInst& inst, const DecodedInst& d) {
+    bool taken = eval_cond(inst.cc);
+    if (fi_site(FaultKind::kBranchDecision, inst, d) != nullptr) {
+      taken = !taken;
+    }
+    if (taken) {
+      if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
+      next_pc_ = d.target_pc;
+    }
+  }
+
+  void exec_jmp(const AsmInst&, const DecodedInst& d) {
+    if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
+    next_pc_ = d.target_pc;
+  }
+
+  void exec_ret(const AsmInst&, const DecodedInst&) {
+    const std::uint64_t addr = pop64();
+    if (addr == kExitSentinel) {
+      halted_ = true;
+      return;
+    }
+    if ((addr & 0xff00'0000'0000'0000ULL) != kRetTag) {
+      throw Trap{ExitStatus::kTrapInvalid};
+    }
+    const int fidx = static_cast<int>((addr >> 40) & 0xffff);
+    const int bidx = static_cast<int>((addr >> 20) & 0xfffff);
+    const int iidx = static_cast<int>(addr & 0xfffff);
+    if (fidx >= program_.function_count() ||
+        bidx >= program_.block_count(fidx)) {
+      throw Trap{ExitStatus::kTrapInvalid};
+    }
+    // An iidx past the block's end fell through to the next block in
+    // the old interpreter; the clamp to the next block's base pc (the
+    // sentinel when bidx is the last block) reproduces that exactly.
+    next_pc_ = std::min(program_.block_pc(fidx, bidx) + iidx,
+                        program_.block_pc(fidx, bidx + 1));
+  }
+
+  void exec_movsd(const AsmInst& inst, const DecodedInst& d) {
+    if (inst.ops[0].is_xmm() && inst.ops[1].is_xmm()) {
+      std::uint64_t lane = xmm_[inst.ops[0].xmm][0];
+      write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+    } else if (inst.ops[1].is_xmm()) {
+      std::uint64_t lane = read_operand(inst.ops[0]);
+      write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+    } else {
+      store_faultable(effective_address(inst.ops[1].mem), 8,
+                      xmm_[inst.ops[0].xmm][0], inst, d);
+    }
+  }
+
+  void exec_sse_arith(const AsmInst& inst, const DecodedInst& d) {
+    const double b = as_f64(inst.ops[0].is_xmm() ? xmm_[inst.ops[0].xmm][0]
+                                                 : read_operand(inst.ops[0]));
+    const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
+    double result = 0.0;
     switch (inst.op) {
-      case Op::kMov: {
-        const std::uint64_t value = read_operand(inst.ops[0]);
-        if (inst.ops[1].is_mem()) {
-          store_faultable(effective_address(inst.ops[1].mem),
-                          inst.ops[1].width, value, inst, d);
-        } else {
-          write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst,
-                              d);
-        }
-        return;
-      }
-      case Op::kMovsx: {
-        const std::int64_t value = read_signed(inst.ops[0]);
-        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
-                            static_cast<std::uint64_t>(value), inst, d);
-        return;
-      }
-      case Op::kMovzx: {
-        const std::uint64_t value = read_operand(inst.ops[0]);
+      case Op::kAddsd: result = a + b; break;
+      case Op::kSubsd: result = a - b; break;
+      case Op::kMulsd: result = a * b; break;
+      default: result = a / b; break;
+    }
+    std::uint64_t lane = from_f64(result);
+    write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+  }
+
+  void exec_sqrtsd(const AsmInst& inst, const DecodedInst& d) {
+    const double a = as_f64(inst.ops[0].is_xmm() ? xmm_[inst.ops[0].xmm][0]
+                                                 : read_operand(inst.ops[0]));
+    std::uint64_t lane = from_f64(std::sqrt(a));
+    write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+  }
+
+  void exec_ucomisd(const AsmInst& inst, const DecodedInst& d) {
+    const double b = as_f64(inst.ops[0].is_xmm() ? xmm_[inst.ops[0].xmm][0]
+                                                 : read_operand(inst.ops[0]));
+    const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
+    Flags flags;
+    if (a != a || b != b) {
+      flags.zf = flags.cf = true;  // unordered
+    } else {
+      flags.zf = a == b;
+      flags.cf = a < b;
+    }
+    write_flags_faultable(flags, inst, d);
+  }
+
+  void exec_cvtsi2sd(const AsmInst& inst, const DecodedInst& d) {
+    const std::int64_t value = read_signed(inst.ops[0]);
+    std::uint64_t lane = from_f64(static_cast<double>(value));
+    write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
+  }
+
+  void exec_cvttsd2si(const AsmInst& inst, const DecodedInst& d) {
+    const double value = as_f64(xmm_[inst.ops[0].xmm][0]);
+    std::int64_t result;
+    if (value != value || value < -9.3e18 || value > 9.3e18) {
+      result = INT64_MIN;  // x86 integer-indefinite
+    } else {
+      result = static_cast<std::int64_t>(value);
+    }
+    write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
+                        static_cast<std::uint64_t>(result), inst, d);
+  }
+
+  void exec_movq(const AsmInst& inst, const DecodedInst& d) {
+    if (inst.ops[1].is_xmm()) {
+      // gpr/mem -> xmm low lane; lane1 zeroed (SSE movq semantics).
+      std::uint64_t lanes[2] = {read_operand(inst.ops[0]), 0};
+      write_xmm_faultable(inst.ops[1].xmm, 0, 2, lanes, inst, d);
+    } else {
+      const std::uint64_t value = xmm_[inst.ops[0].xmm][0];
+      if (inst.ops[1].is_mem()) {
+        store_faultable(effective_address(inst.ops[1].mem), inst.ops[1].width,
+                        value, inst, d);
+      } else {
         write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value, inst,
                             d);
-        return;
       }
-      case Op::kLea: {
-        const std::uint64_t addr = effective_address(inst.ops[0].mem);
-        write_gpr_faultable(inst.ops[1].reg, 8, addr, inst, d);
-        return;
-      }
-      case Op::kPush: {
-        std::uint64_t& rsp = gpr_[static_cast<int>(Gpr::kRsp)];
-        rsp -= 8;
-        if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
-        store_faultable(rsp, 8, read_operand(inst.ops[0]), inst, d);
-        return;
-      }
-      case Op::kPop: {
-        const std::uint64_t value = pop64();
-        write_gpr_faultable(inst.ops[0].reg, 8, value, inst, d);
-        return;
-      }
+    }
+  }
+
+  void exec_pinsrq(const AsmInst& inst, const DecodedInst& d) {
+    const int lane = static_cast<int>(inst.ops[0].imm) & 1;
+    std::uint64_t value = read_operand(inst.ops[1]);
+    write_xmm_faultable(inst.ops[2].xmm, lane, 1, &value, inst, d);
+  }
+
+  void exec_vinserti128(const AsmInst& inst, const DecodedInst& d) {
+    const int lane = static_cast<int>(inst.ops[0].imm) & 1;
+    std::uint64_t lanes[2] = {xmm_[inst.ops[1].xmm][0],
+                              xmm_[inst.ops[1].xmm][1]};
+    write_xmm_faultable(inst.ops[2].xmm, lane * 2, 2, lanes, inst, d);
+  }
+
+  void exec_vpxor(const AsmInst& inst, const DecodedInst& d) {
+    // XMM form (VEX semantics): lanes 0-1 computed, upper lanes zeroed.
+    const int active = inst.ops[0].ymm ? 4 : 2;
+    std::uint64_t lanes[4] = {0, 0, 0, 0};
+    for (int i = 0; i < active; ++i) {
+      lanes[i] = xmm_[inst.ops[0].xmm][i] ^ xmm_[inst.ops[1].xmm][i];
+    }
+    write_xmm_faultable(inst.ops[2].xmm, 0, 4, lanes, inst, d);
+  }
+
+  void exec_vptest(const AsmInst& inst, const DecodedInst& d) {
+    const int active = inst.ops[0].ymm ? 4 : 2;
+    std::uint64_t accum = 0;
+    for (int i = 0; i < active; ++i) {
+      accum |= xmm_[inst.ops[0].xmm][i] & xmm_[inst.ops[1].xmm][i];
+    }
+    Flags flags;
+    flags.zf = accum == 0;
+    write_flags_faultable(flags, inst, d);
+  }
+
+  /// Executes one instruction (reference switch dispatch).
+  void exec(const AsmInst& inst, const DecodedInst& d) {
+    if (d.tag == kTagBadWidth) throw Trap{ExitStatus::kTrapInvalid};
+    switch (inst.op) {
+      case Op::kMov: exec_mov(inst, d); return;
+      case Op::kMovsx: exec_movsx(inst, d); return;
+      case Op::kMovzx: exec_movzx(inst, d); return;
+      case Op::kLea: exec_lea(inst, d); return;
+      case Op::kPush: exec_push(inst, d); return;
+      case Op::kPop: exec_pop(inst, d); return;
       case Op::kAdd: case Op::kSub: case Op::kImul: case Op::kAnd:
       case Op::kOr: case Op::kXor: case Op::kShl: case Op::kSar:
       case Op::kIdiv: case Op::kIrem:
         exec_alu(inst, d);
         return;
-      case Op::kCmp: {
-        const std::uint64_t b = read_operand(inst.ops[0]);
-        const std::uint64_t a = read_operand(inst.ops[1]);
-        write_flags_faultable(flags_of_sub(a, b, inst.ops[1].width), inst, d);
+      case Op::kCmp: exec_cmp(inst, d); return;
+      case Op::kTest: exec_test(inst, d); return;
+      case Op::kSetcc: exec_setcc(inst, d); return;
+      case Op::kJcc: exec_jcc(inst, d); return;
+      case Op::kJmp: exec_jmp(inst, d); return;
+      case Op::kCall: exec_call(inst, d); return;
+      case Op::kRet: exec_ret(inst, d); return;
+      case Op::kDetectTrap: throw Trap{ExitStatus::kDetected};
+      case Op::kMovsd: exec_movsd(inst, d); return;
+      case Op::kAddsd: case Op::kSubsd: case Op::kMulsd: case Op::kDivsd:
+        exec_sse_arith(inst, d);
         return;
-      }
-      case Op::kTest: {
-        const std::uint64_t b = read_operand(inst.ops[0]);
-        const std::uint64_t a = read_operand(inst.ops[1]);
-        Flags flags = flags_of_result(a & b, inst.ops[1].width);
-        write_flags_faultable(flags, inst, d);
-        return;
-      }
-      case Op::kSetcc: {
-        const std::uint64_t value = eval_cond(inst.cc) ? 1 : 0;
-        if (inst.ops[0].is_mem()) {
-          store_faultable(effective_address(inst.ops[0].mem), 1, value, inst,
-                          d);
-        } else {
-          write_gpr_faultable(inst.ops[0].reg, 1, value, inst, d);
-        }
-        return;
-      }
-      case Op::kJcc: {
-        bool taken = eval_cond(inst.cc);
-        if (fi_site(FaultKind::kBranchDecision, inst, d) != nullptr) {
-          taken = !taken;
-        }
-        if (taken) {
-          if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
-          next_pc_ = d.target_pc;
-        }
-        return;
-      }
-      case Op::kJmp:
-        if (d.target_pc < 0) throw Trap{ExitStatus::kTrapInvalid};
-        next_pc_ = d.target_pc;
-        return;
-      case Op::kCall:
-        exec_call(inst, d);
-        return;
-      case Op::kRet: {
-        const std::uint64_t addr = pop64();
-        if (addr == kExitSentinel) {
-          halted_ = true;
-          return;
-        }
-        if ((addr & 0xff00'0000'0000'0000ULL) != kRetTag) {
-          throw Trap{ExitStatus::kTrapInvalid};
-        }
-        const int fidx = static_cast<int>((addr >> 40) & 0xffff);
-        const int bidx = static_cast<int>((addr >> 20) & 0xfffff);
-        const int iidx = static_cast<int>(addr & 0xfffff);
-        if (fidx >= program_.function_count() ||
-            bidx >= program_.block_count(fidx)) {
-          throw Trap{ExitStatus::kTrapInvalid};
-        }
-        // An iidx past the block's end fell through to the next block in
-        // the old interpreter; the clamp to the next block's base pc (the
-        // sentinel when bidx is the last block) reproduces that exactly.
-        next_pc_ = std::min(program_.block_pc(fidx, bidx) + iidx,
-                            program_.block_pc(fidx, bidx + 1));
-        return;
-      }
-      case Op::kDetectTrap:
-        throw Trap{ExitStatus::kDetected};
-      case Op::kMovsd: {
-        if (inst.ops[0].is_xmm() && inst.ops[1].is_xmm()) {
-          std::uint64_t lane = xmm_[inst.ops[0].xmm][0];
-          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
-        } else if (inst.ops[1].is_xmm()) {
-          std::uint64_t lane = read_operand(inst.ops[0]);
-          write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
-        } else {
-          store_faultable(effective_address(inst.ops[1].mem), 8,
-                          xmm_[inst.ops[0].xmm][0], inst, d);
-        }
-        return;
-      }
-      case Op::kAddsd: case Op::kSubsd: case Op::kMulsd: case Op::kDivsd: {
-        const double b = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
-        double result = 0.0;
-        switch (inst.op) {
-          case Op::kAddsd: result = a + b; break;
-          case Op::kSubsd: result = a - b; break;
-          case Op::kMulsd: result = a * b; break;
-          default: result = a / b; break;
-        }
-        std::uint64_t lane = from_f64(result);
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
-        return;
-      }
-      case Op::kSqrtsd: {
-        const double a = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        std::uint64_t lane = from_f64(std::sqrt(a));
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
-        return;
-      }
-      case Op::kUcomisd: {
-        const double b = as_f64(inst.ops[0].is_xmm()
-                                    ? xmm_[inst.ops[0].xmm][0]
-                                    : read_operand(inst.ops[0]));
-        const double a = as_f64(xmm_[inst.ops[1].xmm][0]);
-        Flags flags;
-        if (a != a || b != b) {
-          flags.zf = flags.cf = true;  // unordered
-        } else {
-          flags.zf = a == b;
-          flags.cf = a < b;
-        }
-        write_flags_faultable(flags, inst, d);
-        return;
-      }
-      case Op::kCvtsi2sd: {
-        const std::int64_t value = read_signed(inst.ops[0]);
-        std::uint64_t lane = from_f64(static_cast<double>(value));
-        write_xmm_faultable(inst.ops[1].xmm, 0, 1, &lane, inst, d);
-        return;
-      }
-      case Op::kCvttsd2si: {
-        const double value = as_f64(xmm_[inst.ops[0].xmm][0]);
-        std::int64_t result;
-        if (value != value || value < -9.3e18 || value > 9.3e18) {
-          result = INT64_MIN;  // x86 integer-indefinite
-        } else {
-          result = static_cast<std::int64_t>(value);
-        }
-        write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width,
-                            static_cast<std::uint64_t>(result), inst, d);
-        return;
-      }
-      case Op::kMovq: {
-        if (inst.ops[1].is_xmm()) {
-          // gpr/mem -> xmm low lane; lane1 zeroed (SSE movq semantics).
-          std::uint64_t lanes[2] = {read_operand(inst.ops[0]), 0};
-          write_xmm_faultable(inst.ops[1].xmm, 0, 2, lanes, inst, d);
-        } else {
-          const std::uint64_t value = xmm_[inst.ops[0].xmm][0];
-          if (inst.ops[1].is_mem()) {
-            store_faultable(effective_address(inst.ops[1].mem),
-                            inst.ops[1].width, value, inst, d);
-          } else {
-            write_gpr_faultable(inst.ops[1].reg, inst.ops[1].width, value,
-                                inst, d);
-          }
-        }
-        return;
-      }
-      case Op::kPinsrq: {
-        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
-        std::uint64_t value = read_operand(inst.ops[1]);
-        write_xmm_faultable(inst.ops[2].xmm, lane, 1, &value, inst, d);
-        return;
-      }
-      case Op::kVinserti128: {
-        const int lane = static_cast<int>(inst.ops[0].imm) & 1;
-        std::uint64_t lanes[2] = {xmm_[inst.ops[1].xmm][0],
-                                  xmm_[inst.ops[1].xmm][1]};
-        write_xmm_faultable(inst.ops[2].xmm, lane * 2, 2, lanes, inst, d);
-        return;
-      }
-      case Op::kVpxor: {
-        // XMM form (VEX semantics): lanes 0-1 computed, upper lanes zeroed.
-        const int active = inst.ops[0].ymm ? 4 : 2;
-        std::uint64_t lanes[4] = {0, 0, 0, 0};
-        for (int i = 0; i < active; ++i) {
-          lanes[i] = xmm_[inst.ops[0].xmm][i] ^ xmm_[inst.ops[1].xmm][i];
-        }
-        write_xmm_faultable(inst.ops[2].xmm, 0, 4, lanes, inst, d);
-        return;
-      }
-      case Op::kVptest: {
-        const int active = inst.ops[0].ymm ? 4 : 2;
-        std::uint64_t accum = 0;
-        for (int i = 0; i < active; ++i) {
-          accum |= xmm_[inst.ops[0].xmm][i] & xmm_[inst.ops[1].xmm][i];
-        }
-        Flags flags;
-        flags.zf = accum == 0;
-        write_flags_faultable(flags, inst, d);
-        return;
-      }
+      case Op::kSqrtsd: exec_sqrtsd(inst, d); return;
+      case Op::kUcomisd: exec_ucomisd(inst, d); return;
+      case Op::kCvtsi2sd: exec_cvtsi2sd(inst, d); return;
+      case Op::kCvttsd2si: exec_cvttsd2si(inst, d); return;
+      case Op::kMovq: exec_movq(inst, d); return;
+      case Op::kPinsrq: exec_pinsrq(inst, d); return;
+      case Op::kVinserti128: exec_vinserti128(inst, d); return;
+      case Op::kVpxor: exec_vpxor(inst, d); return;
+      case Op::kVptest: exec_vptest(inst, d); return;
     }
     throw Trap{ExitStatus::kTrapInvalid};
   }
+
+#if FERRUM_THREADED_DISPATCH
+  /// Threaded dispatch: one computed goto per decoded tag, so every
+  /// handler ends in its own indirect jump (per-site branch prediction
+  /// instead of the switch's single hot jump) and none of the reference
+  /// loop's per-step introspection checks are on the path. Fused tags
+  /// (cmp+jcc, mov+alu) execute both halves under one dispatch with full
+  /// per-instruction bookkeeping: the step counter is bumped and checked
+  /// per half, and pc_ is advanced between halves so FI-site pc sinks
+  /// and fault landings see exactly the unfused stream. Used only for
+  /// runs without profiling/timing/tracing/capture. `stop_at_sites`
+  /// pauses at the first instruction boundary where fi_sites_ reaches
+  /// that count — the same positions loop() pauses at, including between
+  /// the halves of a fused pair (resuming there dispatches the second
+  /// half singly via its own tag) — so golden-rejoin comparisons see
+  /// identical machine positions under either dispatch mode. kNoPause
+  /// runs to halt or trap.
+  LoopExit loop_threaded(std::uint64_t stop_at_sites) {
+    static const void* const kJump[kTagCount] = {
+        &&lbl_mov,         // kMov
+        &&lbl_movsx,       // kMovsx
+        &&lbl_movzx,       // kMovzx
+        &&lbl_lea,         // kLea
+        &&lbl_push,        // kPush
+        &&lbl_pop,         // kPop
+        &&lbl_alu,         // kAdd
+        &&lbl_alu,         // kSub
+        &&lbl_alu,         // kImul
+        &&lbl_alu,         // kAnd
+        &&lbl_alu,         // kOr
+        &&lbl_alu,         // kXor
+        &&lbl_alu,         // kShl
+        &&lbl_alu,         // kSar
+        &&lbl_alu,         // kIdiv
+        &&lbl_alu,         // kIrem
+        &&lbl_cmp,         // kCmp
+        &&lbl_test,        // kTest
+        &&lbl_setcc,       // kSetcc
+        &&lbl_jcc,         // kJcc
+        &&lbl_jmp,         // kJmp
+        &&lbl_call,        // kCall
+        &&lbl_ret,         // kRet
+        &&lbl_movsd,       // kMovsd
+        &&lbl_sse_arith,   // kAddsd
+        &&lbl_sse_arith,   // kSubsd
+        &&lbl_sse_arith,   // kMulsd
+        &&lbl_sse_arith,   // kDivsd
+        &&lbl_sqrtsd,      // kSqrtsd
+        &&lbl_ucomisd,     // kUcomisd
+        &&lbl_cvtsi2sd,    // kCvtsi2sd
+        &&lbl_cvttsd2si,   // kCvttsd2si
+        &&lbl_movq,        // kMovq
+        &&lbl_pinsrq,      // kPinsrq
+        &&lbl_vinserti128, // kVinserti128
+        &&lbl_vpxor,       // kVpxor
+        &&lbl_vptest,      // kVptest
+        &&lbl_detect,      // kDetectTrap
+        &&lbl_sentinel,    // kTagSentinel
+        &&lbl_bad_width,   // kTagBadWidth
+        &&lbl_cmp_jcc,     // kTagCmpJcc
+        &&lbl_mov_alu,     // kTagMovAlu
+    };
+    const DecodedInst* const code = code_;
+    const std::uint64_t max_steps = options_->max_steps;
+    const DecodedInst* d;
+
+// Fetch + per-instruction bookkeeping, in the reference loop's order:
+// the sentinel/bad-width tags dispatch *before* FERRUM_STEP so a
+// sentinel still traps without counting a step, exactly like the null-
+// inst check preceding the step increment in loop(). FERRUM_PAUSE is
+// the instruction-boundary pause check, mirroring the one at the top of
+// loop()'s iteration — one predictable compare per instruction
+// (stop_at_sites is kNoPause on non-rejoin runs, so it never fires).
+#define FERRUM_PAUSE() \
+  if (fi_sites_ >= stop_at_sites) return LoopExit::kPaused
+#define FERRUM_STEP()                                             \
+  d = code + pc_;                                                 \
+  if (++steps_ > max_steps) throw Trap{ExitStatus::kTrapSteps};   \
+  next_pc_ = pc_ + 1
+#define FERRUM_NEXT() \
+  pc_ = next_pc_;     \
+  FERRUM_PAUSE();     \
+  goto* kJump[code[pc_].tag]
+
+    FERRUM_PAUSE();
+    goto* kJump[code[pc_].tag];
+
+  lbl_mov:
+    FERRUM_STEP();
+    exec_mov(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_movsx:
+    FERRUM_STEP();
+    exec_movsx(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_movzx:
+    FERRUM_STEP();
+    exec_movzx(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_lea:
+    FERRUM_STEP();
+    exec_lea(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_push:
+    FERRUM_STEP();
+    exec_push(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_pop:
+    FERRUM_STEP();
+    exec_pop(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_alu:
+    FERRUM_STEP();
+    exec_alu(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_cmp:
+    FERRUM_STEP();
+    exec_cmp(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_test:
+    FERRUM_STEP();
+    exec_test(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_setcc:
+    FERRUM_STEP();
+    exec_setcc(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_jcc:
+    FERRUM_STEP();
+    exec_jcc(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_jmp:
+    FERRUM_STEP();
+    exec_jmp(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_call:
+    FERRUM_STEP();
+    exec_call(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_ret:
+    FERRUM_STEP();
+    exec_ret(*d->inst, *d);
+    if (halted_) {
+      pc_ = next_pc_;
+      return LoopExit::kHalted;
+    }
+    FERRUM_NEXT();
+  lbl_movsd:
+    FERRUM_STEP();
+    exec_movsd(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_sse_arith:
+    FERRUM_STEP();
+    exec_sse_arith(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_sqrtsd:
+    FERRUM_STEP();
+    exec_sqrtsd(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_ucomisd:
+    FERRUM_STEP();
+    exec_ucomisd(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_cvtsi2sd:
+    FERRUM_STEP();
+    exec_cvtsi2sd(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_cvttsd2si:
+    FERRUM_STEP();
+    exec_cvttsd2si(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_movq:
+    FERRUM_STEP();
+    exec_movq(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_pinsrq:
+    FERRUM_STEP();
+    exec_pinsrq(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_vinserti128:
+    FERRUM_STEP();
+    exec_vinserti128(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_vpxor:
+    FERRUM_STEP();
+    exec_vpxor(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_vptest:
+    FERRUM_STEP();
+    exec_vptest(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_detect:
+    FERRUM_STEP();
+    throw Trap{ExitStatus::kDetected};
+  lbl_sentinel:
+    // End-of-function sentinel: trap without counting a step.
+    throw Trap{ExitStatus::kTrapInvalid};
+  lbl_bad_width:
+    FERRUM_STEP();
+    throw Trap{ExitStatus::kTrapInvalid};
+  lbl_cmp_jcc:
+    // Fused pair: both halves with full bookkeeping, one dispatch. The
+    // mid-pair pause check keeps pause positions identical to loop()'s
+    // (the first half may register the FI site that reaches the stop
+    // count).
+    FERRUM_STEP();
+    exec_cmp(*d->inst, *d);
+    pc_ = next_pc_;
+    FERRUM_PAUSE();
+    FERRUM_STEP();
+    exec_jcc(*d->inst, *d);
+    FERRUM_NEXT();
+  lbl_mov_alu:
+    FERRUM_STEP();
+    exec_mov(*d->inst, *d);
+    pc_ = next_pc_;
+    FERRUM_PAUSE();
+    FERRUM_STEP();
+    exec_alu(*d->inst, *d);
+    FERRUM_NEXT();
+
+#undef FERRUM_PAUSE
+#undef FERRUM_STEP
+#undef FERRUM_NEXT
+  }
+#endif  // FERRUM_THREADED_DISPATCH
 
   void exec_alu(const AsmInst& inst, const DecodedInst& d) {
     const int width = inst.ops[1].width;
@@ -1104,6 +1857,13 @@ class Engine::Impl {
   /// as shared_ptr so thinned-away checkpoints cannot dangle it.
   std::vector<std::shared_ptr<const PageImage>> current_page_;
   std::vector<std::uint8_t> dirty_;
+  /// Copy-on-first-write journal of a batched lane's suffix (see
+  /// run_suffix): per-page saved flag, saved pre-images, and a buffer
+  /// pool so steady-state batching allocates nothing.
+  bool journaling_ = false;
+  std::vector<std::uint8_t> journaled_;
+  std::vector<std::pair<std::size_t, std::unique_ptr<PageImage>>> journal_;
+  std::vector<std::unique_ptr<PageImage>> journal_pool_;
 
   std::uint64_t gpr_[masm::kGprCount] = {};
   std::uint64_t xmm_[masm::kXmmCount][4] = {};
@@ -1120,8 +1880,17 @@ class Engine::Impl {
   const VmOptions* options_ = nullptr;
   const FaultSpec* faults_ = nullptr;
   std::size_t fault_count_ = 0;
+  /// Checkpoints eligible as golden-rejoin boundaries for the current
+  /// run (null = no rejoin), plus this run's rejoin outcome: whether the
+  /// tail was adopted, and how many golden-tail steps were elided.
+  const CheckpointSet* rejoin_ = nullptr;
+  bool rejoined_ = false;
+  std::uint64_t rejoin_skipped_ = 0;
 
   std::vector<std::int32_t>* site_pc_sink_ = nullptr;
+  /// True when any per-site observer (pc sink, profiler tallies) is
+  /// active this run; recomputed at every run entry.
+  bool site_observers_ = false;
 
   std::uint64_t steps_ = 0;
   std::uint64_t fi_sites_ = 0;
@@ -1156,6 +1925,12 @@ VmResult Engine::run_from(const CheckpointSet& checkpoints,
                           const VmOptions& options, const FaultSpec* faults,
                           std::size_t fault_count) {
   return impl_->run_from(checkpoints, options, faults, fault_count, stats_);
+}
+
+void Engine::run_batch(const CheckpointSet* checkpoints,
+                       const VmOptions& options, const BatchTrial* trials,
+                       std::size_t count, VmResult* results) {
+  impl_->run_batch(checkpoints, options, trials, count, results, stats_);
 }
 
 void Engine::set_site_pc_sink(std::vector<std::int32_t>* sink) {

@@ -40,6 +40,31 @@
 
 namespace ferrum::vm {
 
+/// Dispatch tag of one predecoded instruction. Values below
+/// masm::kOpCount are the instruction's own Op, executed singly; the
+/// remaining tags mark the end-of-function sentinel, decode-rejected
+/// operand widths, and the fused superinstruction pairs used by the
+/// threaded dispatch loop. Tags are part of the decode, so the fusion
+/// decision is paid once per campaign, never per trial.
+enum : std::uint8_t {
+  kTagSentinel = static_cast<std::uint8_t>(masm::kOpCount),
+  /// An operand carries a width the VM does not define (anything other
+  /// than 1, 4 or 8 bytes on a reg/mem operand — notably the 2-byte
+  /// width the decoder rejects loudly instead of silently reading the
+  /// full 64-bit register). Executing it traps kTrapInvalid after
+  /// counting the step, like any other invalid opcode use.
+  kTagBadWidth,
+  /// Fused cmp+jcc: the dominant decode pair (flags producer feeding the
+  /// conditional jump one instruction later). One dispatch executes
+  /// both; FI-site numbering, step counting and trap order are exactly
+  /// those of the unfused pair.
+  kTagCmpJcc,
+  /// Fused mov+alu (the profiler's load+op pair): a mov whose successor
+  /// is a two-address integer ALU op. Same exactness contract.
+  kTagMovAlu,
+  kTagCount,
+};
+
 /// One predecoded instruction. `inst` points into the source AsmProgram,
 /// which must outlive the PredecodedProgram.
 struct DecodedInst {
@@ -58,6 +83,10 @@ struct DecodedInst {
   std::int32_t fidx = 0;
   std::int32_t bidx = 0;
   std::int32_t iidx = 0;
+  /// Dispatch tag (see the enum above). The switch loop dispatches on
+  /// inst->op and only consults the tag for kTagBadWidth; the threaded
+  /// loop dispatches on the tag alone.
+  std::uint8_t tag = kTagSentinel;
 };
 
 constexpr std::int32_t kCalleePrintInt = -2;
@@ -122,6 +151,18 @@ struct Checkpoint {
   std::vector<std::shared_ptr<const PageImage>> pages;
 };
 
+/// Final state of the golden (fault-free) run, recorded by
+/// run_capturing alongside the checkpoints. Lets a faulty trial whose
+/// state re-converges to a golden checkpoint skip the provably-identical
+/// tail and adopt this result directly (see Engine's golden rejoin).
+struct GoldenSummary {
+  bool valid = false;
+  std::uint64_t steps = 0;
+  std::uint64_t fi_sites = 0;
+  std::int64_t return_value = 0;
+  std::vector<std::uint64_t> output;
+};
+
 class CheckpointSet {
  public:
   /// Live checkpoints are capped: when the count exceeds this, every
@@ -142,10 +183,17 @@ class CheckpointSet {
   /// The latest checkpoint with fi_sites <= site (always defined once
   /// capture ran: checkpoint 0 sits at site 0).
   const Checkpoint& nearest_at_or_before(std::uint64_t site) const;
+  /// The earliest checkpoint with fi_sites > site, or null when none —
+  /// the next golden boundary ahead of a running trial, where the rejoin
+  /// comparison happens.
+  const Checkpoint* next_after(std::uint64_t site) const;
+  /// Golden final state (valid only after a clean run_capturing).
+  const GoldenSummary& summary() const { return summary_; }
 
   // Capture-side interface (Engine::run_capturing only).
   void begin(std::uint64_t stride);
   void add(Checkpoint checkpoint);
+  void set_summary(GoldenSummary summary) { summary_ = std::move(summary); }
   std::shared_ptr<const PageImage> make_page(const std::uint8_t* bytes,
                                              std::size_t size);
 
@@ -153,6 +201,7 @@ class CheckpointSet {
   void thin();
 
   std::vector<Checkpoint> checkpoints_;
+  GoldenSummary summary_;
   std::uint64_t stride_ = 0;
   std::size_t table_entries_ = 0;
   /// Owned by page deleters so frees during thinning are accounted even
@@ -171,12 +220,27 @@ struct FastForwardStats {
   std::uint64_t restores = 0;       // trials that restored a checkpoint
   std::uint64_t steps_skipped = 0;  // golden-prefix steps not re-executed
   std::uint64_t steps_executed = 0; // suffix steps actually interpreted
+  // Lockstep batch accounting (run_batch only). walk_steps counts the
+  // shared golden-walk instructions each batch interpreted once on
+  // behalf of all its lanes — the amortised replay cost.
+  std::uint64_t batches = 0;
+  std::uint64_t lanes = 0;
+  std::uint64_t walk_steps = 0;
+  // Trials whose state re-converged to a golden checkpoint after the
+  // last fault fired, so the remaining tail was adopted from the golden
+  // summary instead of re-executed. Those elided steps count under
+  // steps_skipped.
+  std::uint64_t rejoins = 0;
 
   void merge(const FastForwardStats& other) {
     trials += other.trials;
     restores += other.restores;
     steps_skipped += other.steps_skipped;
     steps_executed += other.steps_executed;
+    batches += other.batches;
+    lanes += other.lanes;
+    walk_steps += other.walk_steps;
+    rejoins += other.rejoins;
   }
   /// Fraction of would-be-cold work skipped: skipped / (skipped + executed).
   double ratio() const {
@@ -228,6 +292,28 @@ class Engine {
   /// the prefix — callers fall back to run()).
   VmResult run_from(const CheckpointSet& checkpoints, const VmOptions& options,
                     const FaultSpec* faults, std::size_t fault_count);
+
+  /// One lane of a lockstep batch: the fault set of a single trial.
+  struct BatchTrial {
+    const FaultSpec* faults = nullptr;
+    std::size_t fault_count = 0;
+  };
+
+  /// Lockstep batched trials: all `count` lanes share one golden walk
+  /// through the decode stream. Lanes are ordered by first fault site;
+  /// the walk advances fault-free to each lane's site (hopping through
+  /// `checkpoints` when one is nearer than the current position), forks
+  /// the lane there — registers saved, memory writes journalled
+  /// copy-on-first-write — runs the faulty suffix to completion, then
+  /// unforks and continues. Each result is bit-identical to the scalar
+  /// run()/run_from() outcome: the walk state at site S is the cold
+  /// trial's state at S (same determinism argument as checkpoints).
+  /// `checkpoints` may be null/empty (cold walk). Options requiring the
+  /// full per-trial prefix (profile/timing/trace) fall back to scalar
+  /// execution per lane.
+  void run_batch(const CheckpointSet* checkpoints, const VmOptions& options,
+                 const BatchTrial* trials, std::size_t count,
+                 VmResult* results);
 
   /// While `sink` is non-null, every dynamic FI site registered by
   /// subsequent runs appends the flat pc of its instruction — the

@@ -7,7 +7,9 @@
 // single-run level where each VmResult field is compared directly.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
+#include <sstream>
 #include <string>
 #include <vector>
 
@@ -15,7 +17,10 @@
 #include "fault/campaign.h"
 #include "fault/step_budget.h"
 #include "masm/masm.h"
+#include "masm/parser.h"
 #include "pipeline/pipeline.h"
+#include "support/rng.h"
+#include "support/source_location.h"
 #include "telemetry/export.h"
 #include "vm/engine.h"
 #include "vm/vm.h"
@@ -59,6 +64,32 @@ std::string audit_json(const masm::AsmProgram& program,
   options.ckpt_stride = stride;
   options.jobs = jobs;
   return telemetry::to_json(fault::audit_program(program, options)).dump();
+}
+
+/// Field-by-field VmResult comparison — every deterministic field,
+/// including the landing record. Trace/profile/timing are excluded: the
+/// dispatch and batch paths under test never enable them.
+void expect_same_result(const vm::VmResult& want, const vm::VmResult& got,
+                        const std::string& context) {
+  EXPECT_EQ(want.status, got.status) << context;
+  EXPECT_EQ(want.output, got.output) << context;
+  EXPECT_EQ(want.return_value, got.return_value) << context;
+  EXPECT_EQ(want.steps, got.steps) << context;
+  EXPECT_EQ(want.fi_sites, got.fi_sites) << context;
+  EXPECT_EQ(want.fault_injected, got.fault_injected) << context;
+  EXPECT_EQ(want.fault_step, got.fault_step) << context;
+  ASSERT_EQ(want.fault_landing.has_value(), got.fault_landing.has_value())
+      << context;
+  if (want.fault_landing.has_value()) {
+    EXPECT_EQ(want.fault_landing->kind, got.fault_landing->kind) << context;
+    EXPECT_EQ(want.fault_landing->origin, got.fault_landing->origin)
+        << context;
+    EXPECT_EQ(want.fault_landing->op, got.fault_landing->op) << context;
+    EXPECT_EQ(want.fault_landing->function, got.fault_landing->function)
+        << context;
+    EXPECT_EQ(want.fault_landing->block, got.fault_landing->block) << context;
+    EXPECT_EQ(want.fault_landing->inst, got.fault_landing->inst) << context;
+  }
 }
 
 TEST(EngineEquivalence, CampaignAllWorkloadsAllTechniques) {
@@ -170,6 +201,11 @@ TEST(EngineEquivalence, AuditRealWorkload) {
   options.probe_bits = {17};
   const std::string cold = audit_json(build.program, options, 0, 8);
   EXPECT_EQ(cold, audit_json(build.program, options, 64, 8));
+  // Scalar probes (batch width 1) are the degenerate case of the
+  // lockstep walk and must take the same result path.
+  fault::AuditOptions scalar = options;
+  scalar.batch = 1;
+  EXPECT_EQ(cold, audit_json(build.program, scalar, 64, 8));
 }
 
 TEST(Engine, SingleRunMatchesColdVmRun) {
@@ -197,22 +233,7 @@ TEST(Engine, SingleRunMatchesColdVmRun) {
     const vm::VmResult cold = vm::run_multi(build.program, options, faults);
     const vm::VmResult warm =
         engine.run_from(ckpts, options, faults.data(), faults.size());
-    EXPECT_EQ(cold.status, warm.status);
-    EXPECT_EQ(cold.output, warm.output);
-    EXPECT_EQ(cold.return_value, warm.return_value);
-    EXPECT_EQ(cold.steps, warm.steps);
-    EXPECT_EQ(cold.fi_sites, warm.fi_sites);
-    EXPECT_EQ(cold.fault_injected, warm.fault_injected);
-    EXPECT_EQ(cold.fault_step, warm.fault_step);
-    ASSERT_EQ(cold.fault_landing.has_value(), warm.fault_landing.has_value());
-    if (cold.fault_landing.has_value()) {
-      EXPECT_EQ(cold.fault_landing->kind, warm.fault_landing->kind);
-      EXPECT_EQ(cold.fault_landing->origin, warm.fault_landing->origin);
-      EXPECT_EQ(cold.fault_landing->op, warm.fault_landing->op);
-      EXPECT_EQ(cold.fault_landing->function, warm.fault_landing->function);
-      EXPECT_EQ(cold.fault_landing->block, warm.fault_landing->block);
-      EXPECT_EQ(cold.fault_landing->inst, warm.fault_landing->inst);
-    }
+    expect_same_result(cold, warm, "warm vs cold");
   }
 }
 
@@ -295,6 +316,412 @@ TEST(Engine, PredecodeResolvesEveryTargetUpFront) {
     EXPECT_EQ(decoded.code()[static_cast<std::size_t>(sentinel_pc)].inst,
               nullptr);
   }
+}
+
+// ------------------------------------------------------------- dispatch --
+//
+// The threaded-dispatch tentpole's contract: switch and computed-goto
+// loops (and the lockstep batch walk on top of them) are byte-equivalent
+// down to every VmResult field, with or without golden rejoin.
+
+TEST(DispatchEquivalence, GoldenRunsAgreeOnAllWorkloads) {
+  if (!vm::threaded_dispatch_available()) {
+    GTEST_SKIP() << "switch-only build";
+  }
+  for (const auto& w : workloads::all()) {
+    for (Technique technique : kAllTechniques) {
+      auto build = pipeline::build(w.source, technique);
+      vm::VmOptions sw;
+      sw.dispatch = vm::DispatchMode::kSwitch;
+      const vm::VmResult a = vm::run(build.program, sw);
+      ASSERT_TRUE(a.ok()) << w.name;
+      vm::VmOptions th;
+      th.dispatch = vm::DispatchMode::kThreaded;
+      expect_same_result(a, vm::run(build.program, th),
+                         std::string(w.name) + " / " +
+                             pipeline::technique_name(technique));
+    }
+  }
+}
+
+/// Small random MiniC programs for the differential fuzz below: bounded
+/// loops, conditionals, array traffic and a helper call, all
+/// division-free (trapping paths are exercised separately by the width
+/// and step-budget tests, where the trap site is attributable).
+std::string fuzz_program(std::uint64_t seed) {
+  Rng rng(seed);
+  std::ostringstream out;
+  out << "int arr[8];\n"
+      << "int helper(int a, int b) { return a * 3 - b + a * b; }\n"
+      << "int main() {\n"
+      << "  int a = " << rng.next_in_range(-9, 9) << ";\n"
+      << "  int b = " << rng.next_in_range(1, 12) << ";\n"
+      << "  double d = 0.5;\n"
+      << "  for (int k = 0; k < 8; k++) { arr[k] = k * "
+      << rng.next_in_range(1, 7) << "; }\n";
+  const int statements = 3 + static_cast<int>(rng.next_below(5));
+  for (int s = 0; s < statements; ++s) {
+    const std::string t = "t" + std::to_string(s);
+    switch (rng.next_below(5)) {
+      case 0:
+        out << "  a = helper(a, " << rng.next_in_range(-20, 20) << ");\n";
+        break;
+      case 1:
+        out << "  for (int " << t << " = 0; " << t << " < "
+            << 2 + rng.next_below(6) << "; " << t << "++) { b += arr["
+            << rng.next_below(8) << "] + " << rng.next_in_range(-3, 3)
+            << "; }\n";
+        break;
+      case 2:
+        out << "  if (a " << (rng.next_bool(0.5) ? "<" : ">") << " b) { a = a "
+            << (rng.next_bool(0.5) ? "+" : "-") << " "
+            << rng.next_in_range(0, 15) << "; } else { b = b + a; }\n";
+        break;
+      case 3:
+        out << "  arr[" << rng.next_below(8) << "] = a * "
+            << rng.next_in_range(-5, 5) << " + b;\n";
+        break;
+      default:
+        out << "  d = d * 0.5 + " << rng.next_in_range(-3, 3) << ";\n";
+        break;
+    }
+  }
+  out << "  print_int(a);\n"
+      << "  print_int(b);\n"
+      << "  print_f64(d);\n"
+      << "  print_int(arr[" << rng.next_below(8) << "]);\n"
+      << "  return a + b;\n"
+      << "}\n";
+  return out.str();
+}
+
+TEST(DispatchEquivalence, DifferentialFuzzAcrossDispatchAndBatch) {
+  // Random programs x random fault plans, each plan executed five ways:
+  // cold switch (truth), cold threaded, scalar fast-forward with golden
+  // rejoin, lockstep batch over the whole plan set, and a cold batch
+  // walk. Any divergence in any VmResult field fails with the program
+  // source attached.
+  if (!vm::threaded_dispatch_available()) {
+    GTEST_SKIP() << "switch-only build";
+  }
+  for (std::uint64_t seed = 1; seed <= 6; ++seed) {
+    const std::string source = fuzz_program(seed * 0x9e3779b97f4a7c15ull);
+    for (Technique technique : {Technique::kNone, Technique::kFerrum}) {
+      auto build = pipeline::build(source, technique);
+      vm::VmOptions sw;
+      sw.dispatch = vm::DispatchMode::kSwitch;
+      const vm::VmResult golden = vm::run(build.program, sw);
+      ASSERT_TRUE(golden.ok()) << source;
+      vm::VmOptions th;
+      th.dispatch = vm::DispatchMode::kThreaded;
+      expect_same_result(golden, vm::run(build.program, th),
+                         "golden threaded\n" + source);
+
+      // Random fault plans: sites across (and a little past) the dynamic
+      // range, random bits, occasional double faults and bursts.
+      Rng rng(seed * 31337);
+      std::vector<std::vector<vm::FaultSpec>> plans;
+      for (int i = 0; i < 14; ++i) {
+        std::vector<vm::FaultSpec> plan;
+        const int nfaults = rng.next_bool(0.25) ? 2 : 1;
+        for (int f = 0; f < nfaults; ++f) {
+          vm::FaultSpec spec;
+          spec.site = rng.next_below(golden.fi_sites + golden.fi_sites / 8 + 1);
+          spec.bit = static_cast<int>(rng.next_below(64));
+          spec.burst = rng.next_bool(0.2) ? 2 : 1;
+          plan.push_back(spec);
+        }
+        plans.push_back(plan);
+      }
+
+      vm::VmOptions faulty;  // kAuto dispatch, golden rejoin on
+      faulty.max_steps = fault::faulty_step_budget(golden.steps);
+      vm::VmOptions faulty_sw = faulty;
+      faulty_sw.dispatch = vm::DispatchMode::kSwitch;
+      faulty_sw.golden_rejoin = false;
+
+      const vm::PredecodedProgram decoded(build.program);
+      vm::CheckpointSet ckpts;
+      vm::Engine engine(decoded, faulty);
+      ASSERT_TRUE(engine.run_capturing(faulty, 16, ckpts).ok()) << source;
+
+      std::vector<vm::VmResult> cold(plans.size());
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        cold[i] = vm::run_multi(build.program, faulty_sw, plans[i].data(),
+                                plans[i].size());
+      }
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        expect_same_result(
+            cold[i],
+            engine.run_from(ckpts, faulty, plans[i].data(), plans[i].size()),
+            "warm trial " + std::to_string(i) + "\n" + source);
+      }
+      std::vector<vm::Engine::BatchTrial> lanes(plans.size());
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        lanes[i] = {plans[i].data(), plans[i].size()};
+      }
+      std::vector<vm::VmResult> batched(plans.size());
+      engine.run_batch(&ckpts, faulty, lanes.data(), lanes.size(),
+                       batched.data());
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        expect_same_result(cold[i], batched[i],
+                           "batched trial " + std::to_string(i) + "\n" + source);
+      }
+      std::vector<vm::VmResult> cold_batched(plans.size());
+      engine.run_batch(nullptr, faulty_sw, lanes.data(), lanes.size(),
+                       cold_batched.data());
+      for (std::size_t i = 0; i < plans.size(); ++i) {
+        expect_same_result(
+            cold[i], cold_batched[i],
+            "cold batched trial " + std::to_string(i) + "\n" + source);
+      }
+    }
+  }
+}
+
+/// Hand-built program carrying a register operand of byte width `width`
+/// on its second instruction (the parser never emits undefined widths,
+/// so the regression must construct the AsmProgram directly).
+masm::AsmProgram width_program(int width) {
+  masm::AsmProgram program;
+  masm::AsmFunction fn;
+  fn.name = "main";
+  masm::AsmBlock block;
+  block.label = ".entry";
+  block.insts.push_back(masm::AsmInst(
+      masm::Op::kMov,
+      {masm::Operand::make_imm(7), masm::Operand::make_reg(masm::Gpr::kRax)}));
+  block.insts.push_back(
+      masm::AsmInst(masm::Op::kMov,
+                    {masm::Operand::make_reg(masm::Gpr::kRax, width),
+                     masm::Operand::make_reg(masm::Gpr::kRcx, width)}));
+  block.insts.push_back(masm::AsmInst(masm::Op::kRet, {}));
+  fn.blocks.push_back(std::move(block));
+  program.functions.push_back(std::move(fn));
+  return program;
+}
+
+TEST(Engine, UndefinedOperandWidthsTrapLoudlyInBothDispatchModes) {
+  // The width-2 bugfix: a 16-bit (or any other undefined-width) operand
+  // used to fall through mov's default case and silently move the full
+  // 64-bit register. The decoder now tags the instruction at predecode
+  // time and executing it traps kTrapInvalid — identically under switch
+  // and threaded dispatch, after counting the step.
+  for (int width : {2, 3, 5, 16}) {
+    const masm::AsmProgram program = width_program(width);
+    const vm::PredecodedProgram decoded(program);
+    int bad_tags = 0;
+    for (const vm::DecodedInst& d : decoded.code()) {
+      if (d.tag == vm::kTagBadWidth) ++bad_tags;
+    }
+    EXPECT_EQ(bad_tags, 1) << "width " << width;
+    for (vm::DispatchMode mode :
+         {vm::DispatchMode::kSwitch, vm::DispatchMode::kThreaded}) {
+      vm::VmOptions options;
+      options.dispatch = mode;
+      const vm::VmResult result = vm::run(program, options);
+      EXPECT_EQ(result.status, vm::ExitStatus::kTrapInvalid)
+          << "width " << width;
+      EXPECT_EQ(result.steps, 2u) << "width " << width;
+    }
+  }
+  // Control: the same shape at a defined width runs clean.
+  const vm::VmResult ok = vm::run(width_program(4));
+  EXPECT_TRUE(ok.ok());
+  EXPECT_EQ(ok.return_value, 7);
+}
+
+constexpr const char* kFusedBranchTargetAsm = R"(
+main:
+.entry:
+	movq	$6, %rcx
+	movq	$0, %rax
+	cmpq	$0, %rcx
+.check:
+	jne	.body
+	jmp	.done
+.body:
+	addq	%rcx, %rax
+	subq	$1, %rcx
+	cmpq	$0, %rcx
+	jmp	.check
+.done:
+	ret
+)";
+
+TEST(Engine, BranchIntoFusedPairSecondHalfDispatchesSingly) {
+  // The fusion edge case: .entry's trailing cmp fuses with .check's
+  // leading jne (pairs may span block boundaries), but .check is also a
+  // jump target — the back-edge from .body lands directly on the jcc
+  // second half. The second half must keep its own dispatch tag so that
+  // entering the pair mid-way executes it singly.
+  DiagEngine diags;
+  const masm::AsmProgram program =
+      masm::parse_program(kFusedBranchTargetAsm, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  const vm::PredecodedProgram decoded(program);
+  bool saw_fused = false;
+  for (std::size_t i = 0; i + 1 < decoded.code().size(); ++i) {
+    if (decoded.code()[i].tag != vm::kTagCmpJcc) continue;
+    saw_fused = true;
+    // Only the first instruction of the pair changes tag.
+    EXPECT_EQ(decoded.code()[i + 1].tag,
+              static_cast<std::uint8_t>(masm::Op::kJcc));
+  }
+  ASSERT_TRUE(saw_fused);
+
+  vm::VmOptions sw;
+  sw.dispatch = vm::DispatchMode::kSwitch;
+  const vm::VmResult a = vm::run(program, sw);
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a.return_value, 21);  // 6+5+4+3+2+1
+  vm::VmOptions th;
+  th.dispatch = vm::DispatchMode::kThreaded;
+  expect_same_result(a, vm::run(program, th), "fused branch target");
+}
+
+TEST(Engine, StepBudgetSweepAgreesAcrossDispatchModes) {
+  // Exhaust max_steps at every possible position — including between the
+  // halves of a fused pair — and require both loops to trap at the same
+  // step with the same partial state. A fused implementation that checks
+  // the budget once per pair instead of once per instruction fails here.
+  DiagEngine diags;
+  const masm::AsmProgram program =
+      masm::parse_program(kFusedBranchTargetAsm, diags);
+  ASSERT_FALSE(diags.has_errors()) << diags.render();
+  const vm::VmResult golden = vm::run(program);
+  ASSERT_TRUE(golden.ok());
+  for (std::uint64_t budget = 1; budget <= golden.steps + 1; ++budget) {
+    vm::VmOptions sw;
+    sw.dispatch = vm::DispatchMode::kSwitch;
+    sw.max_steps = budget;
+    const vm::VmResult a = vm::run(program, sw);
+    vm::VmOptions th = sw;
+    th.dispatch = vm::DispatchMode::kThreaded;
+    const vm::VmResult b = vm::run(program, th);
+    EXPECT_EQ(a.status, b.status) << "budget " << budget;
+    EXPECT_EQ(a.steps, b.steps) << "budget " << budget;
+    EXPECT_EQ(a.fi_sites, b.fi_sites) << "budget " << budget;
+    EXPECT_EQ(budget >= golden.steps, a.ok()) << "budget " << budget;
+  }
+}
+
+TEST(Engine, SitePcSinkRidesAlongWithoutPerturbingResults) {
+  // The site-pc sink (prune mode's golden site map) is an observer: with
+  // it attached, results and profiler tallies are unchanged, and it sees
+  // exactly one pc per dynamic site — under whichever loop the engine
+  // picks (the observer forces nothing; fi_site() feeds it on both).
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  const vm::PredecodedProgram decoded(build.program);
+  vm::VmOptions options;
+  vm::Engine engine(decoded, options);
+  vm::VmOptions profiled = options;
+  profiled.profile = true;
+
+  const vm::VmResult plain = engine.run(profiled, nullptr, 0);
+  ASSERT_TRUE(plain.ok());
+  ASSERT_TRUE(plain.profile.has_value());
+
+  std::vector<std::int32_t> sink;
+  engine.set_site_pc_sink(&sink);
+  const vm::VmResult observed = engine.run(profiled, nullptr, 0);
+  engine.set_site_pc_sink(nullptr);
+  ASSERT_TRUE(observed.ok());
+  EXPECT_EQ(sink.size(), observed.fi_sites);
+  expect_same_result(plain, observed, "sink attached");
+  ASSERT_TRUE(observed.profile.has_value());
+  std::uint64_t plain_sites = 0;
+  std::uint64_t observed_sites = 0;
+  for (std::size_t k = 0; k < plain.profile->site_counts.size(); ++k) {
+    plain_sites += plain.profile->site_counts[k];
+    observed_sites += observed.profile->site_counts[k];
+  }
+  EXPECT_EQ(plain_sites, plain.fi_sites);
+  EXPECT_EQ(observed_sites, observed.fi_sites);
+
+  // Without profiling (threaded loop eligible), the sink still sees
+  // every site and the result still matches.
+  sink.clear();
+  engine.set_site_pc_sink(&sink);
+  const vm::VmResult bare = engine.run(options, nullptr, 0);
+  engine.set_site_pc_sink(nullptr);
+  ASSERT_TRUE(bare.ok());
+  EXPECT_EQ(sink.size(), bare.fi_sites);
+  EXPECT_EQ(bare.fi_sites, plain.fi_sites);
+}
+
+TEST(Engine, GoldenRejoinIsResultExactAndAccounted) {
+  // Trials whose state re-converges to a golden checkpoint boundary
+  // adopt the golden tail. Exactness: every trial's result with rejoin
+  // on equals the same trial with rejoin off, field by field. The
+  // accounting must show actual rejoins, fewer interpreted steps, and an
+  // unchanged executed+skipped total (elided tails count as skipped).
+  const auto& w = workloads::by_name("bfs");
+  auto build = pipeline::build(w.source, Technique::kNone);
+  const vm::VmResult golden = vm::run(build.program);
+  ASSERT_TRUE(golden.ok());
+
+  vm::VmOptions off;
+  off.max_steps = fault::faulty_step_budget(golden.steps);
+  off.golden_rejoin = false;
+  vm::VmOptions on = off;
+  on.golden_rejoin = true;
+
+  const vm::PredecodedProgram decoded(build.program);
+  vm::Engine reference(decoded, off);
+  vm::Engine rejoining(decoded, on);
+  vm::CheckpointSet ckpts;
+  ASSERT_TRUE(reference.run_capturing(off, 32, ckpts).ok());
+  vm::CheckpointSet mirror;  // keeps the two engines' trial counts equal
+  ASSERT_TRUE(rejoining.run_capturing(on, 32, mirror).ok());
+  ASSERT_TRUE(ckpts.summary().valid);
+
+  const int n = 40;
+  for (int i = 0; i < n; ++i) {
+    vm::FaultSpec fault;
+    fault.site = golden.fi_sites * static_cast<std::uint64_t>(i) / n;
+    fault.bit = (i * 7) % 64;
+    expect_same_result(reference.run_from(ckpts, off, &fault, 1),
+                       rejoining.run_from(ckpts, on, &fault, 1),
+                       "site " + std::to_string(fault.site));
+  }
+  EXPECT_EQ(reference.stats().rejoins, 0u);
+  EXPECT_GT(rejoining.stats().rejoins, 0u);
+  EXPECT_GT(reference.stats().steps_executed, rejoining.stats().steps_executed);
+  EXPECT_EQ(reference.stats().steps_executed + reference.stats().steps_skipped,
+            rejoining.stats().steps_executed +
+                rejoining.stats().steps_skipped);
+}
+
+TEST(EngineEquivalence, BatchWidthStrideRejoinCross) {
+  // Campaign-level closure over the new engine knobs: batch width,
+  // stride, golden rejoin and dispatch must never change the
+  // deterministic campaign JSON. Truth is the scalar cold switch
+  // configuration with rejoin off.
+  const auto& w = workloads::by_name("bfs");
+  auto build = pipeline::build(w.source, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 48;
+  options.seed = 0xfeedbee5;
+  options.batch = 1;
+  options.vm.dispatch = vm::DispatchMode::kSwitch;
+  options.vm.golden_rejoin = false;
+  const std::string truth = campaign_json(build.program, options, 0, 1);
+  options.vm.dispatch = vm::DispatchMode::kAuto;
+  options.vm.golden_rejoin = true;
+  for (int batch : {1, 4, 8}) {
+    for (int stride : {0, 64}) {
+      for (int jobs : {1, 2}) {
+        options.batch = batch;
+        EXPECT_EQ(truth, campaign_json(build.program, options, stride, jobs))
+            << "batch=" << batch << " stride=" << stride << " jobs=" << jobs;
+      }
+    }
+  }
+  // Rejoin off with batching on: the remaining corner.
+  options.vm.golden_rejoin = false;
+  options.batch = 8;
+  EXPECT_EQ(truth, campaign_json(build.program, options, 64, 2));
 }
 
 }  // namespace

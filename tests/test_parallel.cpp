@@ -145,6 +145,38 @@ TEST(ThreadPoolTest, CheckpointedCampaignSharesSnapshotsAcrossWorkers) {
   EXPECT_GT(parallel.ckpt.ff.restores, 0u);
 }
 
+TEST(ThreadPoolTest, BatchedCampaignIsBatchAndJobsInvariant) {
+  // TSan-preset coverage for the lockstep batch walk and golden rejoin:
+  // each worker's Engine hands batches of lanes to run_batch while
+  // reading the shared CheckpointSet (including its GoldenSummary for
+  // rejoin comparisons) concurrently with every other worker. The
+  // batched multi-worker campaign must reproduce the scalar
+  // single-worker result exactly.
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 12; i++) s += i * i;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 96;
+  options.ckpt_stride = 4;
+  options.batch = 1;
+  options.vm.golden_rejoin = false;
+  options.jobs = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  options.batch = 8;
+  options.vm.golden_rejoin = true;
+  options.jobs = 8;
+  const auto batched = fault::run_campaign(build.program, options);
+  EXPECT_EQ(serial.counts, batched.counts);
+  EXPECT_EQ(serial.sdc_breakdown, batched.sdc_breakdown);
+  EXPECT_EQ(serial.latency_sum, batched.latency_sum);
+  EXPECT_GT(batched.ckpt.ff.batches, 0u);
+  EXPECT_GT(batched.ckpt.ff.lanes, batched.ckpt.ff.batches);
+}
+
 TEST(ThreadPoolTest, PrunedCampaignIsJobsInvariant) {
   // TSan-preset coverage for prune mode: the shared PruneReport and the
   // golden-run CheckpointSet are read concurrently by every worker while
