@@ -1,0 +1,155 @@
+// Campaign-service throughput: cold (every cell executes) vs warm (every
+// cell answered by the content-addressed store). The warm pass resubmits
+// the same cell set with different *engine* knobs — jobs/batch/stride are
+// not key material, so the store must still answer — and the artifact
+// asserts the service contract in-place: warm bytes byte-identical to
+// cold, and zero engine trials executed while warm.
+//
+// Knobs: FERRUM_TRIALS (per cell), FERRUM_SVC_WORKERS (service workers).
+// Artifact: BENCH_bench_service.json (schema in DESIGN.md).
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "fault/cell.h"
+#include "service/service.h"
+#include "support/env.h"
+#include "support/hash.h"
+#include "telemetry/json.h"
+
+using namespace ferrum;
+
+namespace {
+
+double seconds_since(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+struct PassResult {
+  double seconds = 0.0;
+  std::uint64_t trials_executed = 0;
+  std::vector<const service::CellOutcome*> outcomes;
+};
+
+PassResult run_pass(service::Daemon& daemon,
+                    std::vector<fault::CampaignCell> cells) {
+  const std::uint64_t executed_before =
+      daemon.metrics().counter("service/trials_executed").value();
+  const auto start = std::chrono::steady_clock::now();
+  const std::uint64_t job = daemon.submit(std::move(cells));
+  PassResult pass;
+  for (std::size_t i = 0; i < daemon.job_cells(job); ++i) {
+    const service::CellOutcome* outcome = daemon.wait_cell(job, i);
+    if (outcome == nullptr || !outcome->error.empty()) {
+      std::fprintf(stderr, "cell %zu failed: %s\n", i,
+                   outcome == nullptr ? "missing" : outcome->error.c_str());
+      std::exit(1);
+    }
+    pass.outcomes.push_back(outcome);
+  }
+  pass.seconds = seconds_since(start);
+  pass.trials_executed =
+      daemon.metrics().counter("service/trials_executed").value() -
+      executed_before;
+  return pass;
+}
+
+}  // namespace
+
+int main() {
+  const int trials = benchutil::env_trials(400);
+  service::ServiceOptions options;
+  options.workers = env_svc_workers(/*fallback=*/4);
+  service::Daemon daemon(options);
+
+  const char* kWorkloads[] = {"bfs", "kmeans", "pathfinder"};
+  const char* kTechniques[] = {"none", "ferrum"};
+  std::vector<fault::CampaignCell> cells;
+  for (const char* workload : kWorkloads) {
+    for (const char* technique : kTechniques) {
+      fault::CampaignCell cell;
+      cell.workload = workload;
+      cell.technique = technique;
+      cell.trials = trials;
+      cell.jobs = 1;  // per-cell engine stays scalar; the pool is the service
+      cells.push_back(cell);
+    }
+  }
+
+  const PassResult cold = run_pass(daemon, cells);
+
+  // Warm resubmission under different engine knobs: the key excludes
+  // them, so every cell must come back from the store.
+  std::vector<fault::CampaignCell> retuned = cells;
+  for (fault::CampaignCell& cell : retuned) {
+    cell.jobs = 2;
+    cell.batch = 1;
+    cell.ckpt_stride = 16;
+  }
+  const PassResult warm = run_pass(daemon, retuned);
+
+  bool byte_identical = true;
+  std::uint64_t cache_hits = 0;
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    if (warm.outcomes[i]->result_json != cold.outcomes[i]->result_json ||
+        warm.outcomes[i]->key != cold.outcomes[i]->key) {
+      byte_identical = false;
+    }
+    if (warm.outcomes[i]->cached) ++cache_hits;
+  }
+
+  std::printf("campaign service: %zu cells x %d trials, %d workers\n",
+              cells.size(), trials, options.workers);
+  benchutil::print_rule(64);
+  std::printf("%-28s %12s %16s\n", "pass", "seconds", "trials executed");
+  std::printf("%-28s %12.3f %16llu\n", "cold (execute all)", cold.seconds,
+              static_cast<unsigned long long>(cold.trials_executed));
+  std::printf("%-28s %12.3f %16llu\n", "warm (store answers)", warm.seconds,
+              static_cast<unsigned long long>(warm.trials_executed));
+  benchutil::print_rule(64);
+  const double speedup =
+      warm.seconds > 0.0 ? cold.seconds / warm.seconds : 0.0;
+  std::printf("warm speedup: %.1fx, cache hits: %llu/%zu, bytes %s\n",
+              speedup, static_cast<unsigned long long>(cache_hits),
+              cells.size(), byte_identical ? "identical" : "DIVERGED");
+
+  benchutil::BenchReport report("bench_service");
+  telemetry::Json& metrics = report.metrics();
+  metrics["cells"] = static_cast<std::uint64_t>(cells.size());
+  metrics["trials_per_cell"] = trials;
+  // The contract, asserted in-artifact: a warm pass returns the cold
+  // bytes verbatim and runs zero engine trials.
+  metrics["warm_matches_cold"] = byte_identical;
+  metrics["warm_trials_executed"] = warm.trials_executed;
+  metrics["cold_trials_executed"] = cold.trials_executed;
+  telemetry::Json per_cell = telemetry::Json::array();
+  for (std::size_t i = 0; i < cells.size(); ++i) {
+    telemetry::Json entry = telemetry::Json::object();
+    entry["workload"] = cells[i].workload;
+    entry["technique"] = cells[i].technique;
+    entry["key"] = cold.outcomes[i]->key;
+    entry["result_sha256"] = sha256_hex(cold.outcomes[i]->result_json);
+    per_cell.push_back(entry);
+  }
+  metrics["cells_detail"] = per_cell;
+  telemetry::Json& wallclock = report.wallclock();
+  wallclock["cold_seconds"] = cold.seconds;
+  wallclock["warm_seconds"] = warm.seconds;
+  wallclock["warm_speedup"] = speedup;
+  wallclock["workers"] = options.workers;
+  wallclock["cache_hits"] = cache_hits;
+  report.write();
+
+  if (!byte_identical || warm.trials_executed != 0) {
+    std::fprintf(stderr,
+                 "service contract violated: warm pass %s, %llu trials\n",
+                 byte_identical ? "matched" : "diverged",
+                 static_cast<unsigned long long>(warm.trials_executed));
+    return 1;
+  }
+  return 0;
+}

@@ -267,6 +267,7 @@ int main(int argc, char** argv) {
       {"analysis_static_coverage", ""},
       {"bench_pass_time", "--benchmark_list_tests=true"},
       {"bench_vm", "--benchmark_list_tests=true"},
+      {"bench_service", ""},
   };
   for (const Bench& bench : benches) {
     std::printf("smoke: %s\n", bench.name);
@@ -310,6 +311,24 @@ int main(int argc, char** argv) {
 
   if (const auto vm = check_artifact(out_dir, "bench_vm"); vm.has_value()) {
     check_bench_vm(*vm);
+  }
+
+  // The service bench asserts its own cold/warm contract and exits
+  // non-zero on violation; re-check the recorded verdict here so a
+  // future edit that stops asserting is still caught.
+  if (const auto service = check_artifact(out_dir, "bench_service");
+      service.has_value()) {
+    const Json* metrics = service->find("metrics");
+    const Json* matches =
+        metrics != nullptr ? metrics->find("warm_matches_cold") : nullptr;
+    const Json* warm_trials =
+        metrics != nullptr ? metrics->find("warm_trials_executed") : nullptr;
+    if (matches == nullptr || !matches->as_bool()) {
+      fail("bench_service warm pass not byte-identical to cold");
+    }
+    if (warm_trials == nullptr || warm_trials->as_uint() != 0) {
+      fail("bench_service warm pass executed engine trials");
+    }
   }
 
   if (failures == 0) std::printf("bench_smoke: all checks passed\n");

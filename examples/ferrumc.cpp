@@ -14,6 +14,18 @@
 //   ferrumc run prog.c --tech=ferrum --timing --stats=out.json
 //   ferrumc lint prog.c --tech=ferrum      # static protection verifier
 //   ferrumc lint prog.s --lint=json        # lint assembly, JSON report
+//   ferrumc serve                          # run the campaign daemon
+//   ferrumc submit prog.c --tech=ferrum    # campaign via the daemon
+//   ferrumc submit bfs --trials=2000       # a named Table II workload
+//   ferrumc submit --shutdown              # stop the daemon
+//
+// `serve` runs the campaign service in-process (identical to the
+// standalone ferrumd binary); `submit` sends one campaign cell to a
+// running daemon and prints the same summary line as `campaign`, plus
+// whether the content-addressed store answered it without executing.
+// Service knobs come from FERRUM_SVC_SOCKET / FERRUM_SVC_CACHE /
+// FERRUM_SVC_WORKERS (strict support/env parsing), overridable with
+// --socket / --cache-dir / --workers.
 //
 // `lint` (equivalently: any command with --lint) runs ferrum-check over
 // the built assembly and exits non-zero when a protection invariant is
@@ -37,7 +49,10 @@
 #include "check/prune.h"
 #include "fault/audit.h"
 #include "fault/campaign.h"
+#include "fault/cell.h"
 #include "ir/printer.h"
+#include "service/client.h"
+#include "service/service.h"
 #include "masm/masm.h"
 #include "masm/parser.h"
 #include "masm/verifier.h"
@@ -59,6 +74,18 @@ int usage(const char* argv0) {
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
                "       [--dispatch=switch|threaded] [--batch=N]\n"
                "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
+               "       %s serve [--socket=PATH] [--cache-dir=DIR] "
+               "[--workers=N]\n"
+               "       %s submit <file.c|workload> [--socket=PATH] "
+               "[--seed=N] [--burst=N]\n"
+               "       [--store-data] [campaign flags]  |  submit "
+               "--shutdown\n"
+               "(serve runs the campaign daemon on a unix socket; submit "
+               "sends one campaign cell to it and streams the result — "
+               "repeated submissions are answered byte-identically from "
+               "the content-addressed store without executing; service "
+               "knobs default to FERRUM_SVC_SOCKET / FERRUM_SVC_CACHE / "
+               "FERRUM_SVC_WORKERS)\n"
                "(sites dumps the ferrum-prune fault-site liveness/"
                "equivalence analysis as JSON; --prune makes audit/campaign "
                "inject one pilot per equivalence class and skip "
@@ -81,7 +108,7 @@ int usage(const char* argv0) {
                " --stats writes run/campaign/audit telemetry as JSON — "
                "the 'metrics' section is deterministic, 'wallclock' is "
                "not)\n",
-               argv0);
+               argv0, argv0, argv0);
   return 2;
 }
 
@@ -124,11 +151,56 @@ Technique parse_technique(const std::string& name) {
   std::exit(2);
 }
 
+/// `ferrumc serve`: the campaign daemon, in-process. Same loop as the
+/// standalone ferrumd binary; flags override the FERRUM_SVC_* env knobs.
+int serve_main(int argc, char** argv) {
+  std::string socket_path = env_svc_socket();
+  service::ServiceOptions options;
+  options.cache_dir = env_svc_cache_dir();
+  options.workers = env_svc_workers();
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      if (socket_path.empty()) {
+        std::fprintf(stderr, "bad --socket value (empty path)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 10, options.workers) ||
+          options.workers < 1) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", arg.c_str() + 10);
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+  std::string error;
+  Listener listener = Listener::bind_unix(socket_path, &error);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "cannot listen on %s: %s\n", socket_path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "serving on %s (workers=%d, cache=%s)\n",
+               socket_path.c_str(), options.workers,
+               options.cache_dir.empty() ? "<memory>"
+                                         : options.cache_dir.c_str());
+  service::Daemon daemon(std::move(options));
+  daemon.serve(listener);
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  if (argc < 3) return usage(argv[0]);
+  if (argc < 2) return usage(argv[0]);
   const std::string command = argv[1];
+  if (command == "serve") return serve_main(argc, argv);
+  if (argc < 3) return usage(argv[0]);
   const std::string path = argv[2];
   Technique technique =
       command == "audit" || command == "lint" || command == "sites"
@@ -139,11 +211,17 @@ int main(int argc, char** argv) {
   int ckpt_stride = env_ckpt_stride();
   int batch = env_batch();
   vm::DispatchMode dispatch = vm::DispatchMode::kAuto;
+  std::string dispatch_name = "auto";
   bool timing = false;
   bool lint = command == "lint";
   bool lint_json = false;
   bool prune = false;
   std::string stats_path;
+  // submit-only knobs; -1 means "leave the cell's documented default".
+  std::string socket_path = env_svc_socket();
+  int seed = -1;
+  int burst = -1;
+  bool store_data = false;
   for (int i = 3; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--tech=", 0) == 0) {
@@ -182,6 +260,7 @@ int main(int argc, char** argv) {
       }
     } else if (arg == "--dispatch=switch") {
       dispatch = vm::DispatchMode::kSwitch;
+      dispatch_name = "switch";
     } else if (arg == "--dispatch=threaded") {
       if (!vm::threaded_dispatch_available()) {
         std::fprintf(stderr,
@@ -190,6 +269,7 @@ int main(int argc, char** argv) {
         return 2;
       }
       dispatch = vm::DispatchMode::kThreaded;
+      dispatch_name = "threaded";
     } else if (arg.rfind("--dispatch=", 0) == 0) {
       std::fprintf(stderr, "bad --dispatch value '%s'\n", arg.c_str() + 11);
       return 2;
@@ -197,9 +277,119 @@ int main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--prune") {
       prune = true;
+    } else if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      if (socket_path.empty()) {
+        std::fprintf(stderr, "bad --socket value (empty path)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--seed=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 7, seed) || seed < 0) {
+        std::fprintf(stderr, "bad --seed value '%s'\n", arg.c_str() + 7);
+        return 2;
+      }
+    } else if (arg.rfind("--burst=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 8, burst) || burst < 1) {
+        std::fprintf(stderr, "bad --burst value '%s'\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (arg == "--store-data") {
+      store_data = true;
     } else {
       return usage(argv[0]);
     }
+  }
+
+  if (command == "submit") {
+    std::string error;
+    if (path == "--shutdown") {
+      service::Client client = service::Client::connect(socket_path, error);
+      if (!client.valid() || !client.shutdown_server(error)) {
+        std::fprintf(stderr, "cannot shut down daemon at %s: %s\n",
+                     socket_path.c_str(), error.c_str());
+        return 1;
+      }
+      return 0;
+    }
+    fault::CampaignCell cell;
+    // A `.c` path is compiled daemon-side from its source text; anything
+    // else names a built-in Table II workload.
+    if (path.size() > 2 && path.compare(path.size() - 2, 2, ".c") == 0) {
+      cell.program = read_file(path);
+    } else {
+      cell.workload = path;
+    }
+    cell.technique = pipeline::technique_name(technique);
+    cell.trials = trials;
+    if (seed >= 0) cell.seed = static_cast<std::uint32_t>(seed);
+    if (burst >= 1) cell.burst = burst;
+    cell.store_data = store_data;
+    cell.prune = prune;
+    // Engine knobs ride along but are excluded from the cache key — the
+    // daemon returns the same stored bytes for every value of these.
+    cell.jobs = jobs;
+    cell.ckpt_stride = ckpt_stride;
+    cell.batch = batch;
+    cell.dispatch = dispatch_name;
+    service::Client client = service::Client::connect(socket_path, error);
+    if (!client.valid()) {
+      std::fprintf(stderr, "cannot reach daemon at %s: %s\n",
+                   socket_path.c_str(), error.c_str());
+      return 1;
+    }
+    const std::optional<std::uint64_t> job = client.submit({cell}, error);
+    if (!job.has_value()) {
+      std::fprintf(stderr, "submit rejected: %s\n", error.c_str());
+      return 1;
+    }
+    int exit_code = 1;
+    const bool streamed = client.results(
+        *job,
+        [&](const service::CellResult& result) {
+          if (!result.error.empty()) {
+            std::fprintf(stderr, "cell failed: %s\n", result.error.c_str());
+            return;
+          }
+          const telemetry::Json* outcomes = result.result.find("outcomes");
+          const telemetry::Json* trials_json = result.result.find("trials");
+          const telemetry::Json* sdc_rate = result.result.find("sdc_rate");
+          if (outcomes != nullptr && trials_json != nullptr &&
+              sdc_rate != nullptr) {
+            auto count = [&](const char* name) -> long long {
+              const telemetry::Json* value = outcomes->find(name);
+              return value != nullptr
+                         ? static_cast<long long>(value->as_int())
+                         : 0;
+            };
+            std::printf("trials=%lld benign=%lld sdc=%lld detected=%lld "
+                        "crash=%lld sdc_rate=%.4f\n",
+                        static_cast<long long>(trials_json->as_int()),
+                        count("benign"), count("sdc"), count("detected"),
+                        count("crash"), sdc_rate->as_double());
+          }
+          std::printf("cache=%s key=%s\n", result.cached ? "hit" : "miss",
+                      result.key.c_str());
+          if (!stats_path.empty()) {
+            telemetry::Json metrics = telemetry::Json::object();
+            metrics["command"] = "submit";
+            metrics["technique"] = pipeline::technique_name(technique);
+            metrics["key"] = result.key;
+            metrics["campaign"] = result.result;
+            telemetry::Json wallclock = telemetry::Json::object();
+            // Whether the store answered is a property of daemon history,
+            // not of the cell — wallclock data by the repo convention.
+            wallclock["cached"] = result.cached;
+            wallclock["campaign"] = result.wallclock;
+            if (!write_stats(stats_path, metrics, wallclock)) return;
+          }
+          exit_code = 0;
+        },
+        error);
+    if (!streamed) {
+      std::fprintf(stderr, "result stream failed: %s\n", error.c_str());
+      return 1;
+    }
+    return exit_code;
   }
 
   const std::string source = read_file(path);

@@ -1,0 +1,80 @@
+// ferrumd — the campaign service daemon. Binds a unix-domain socket,
+// executes submitted campaign cells on a work-stealing worker pool, and
+// serves every repeated or overlapping cell from the content-addressed
+// result store (see src/service and the DESIGN.md service section).
+//
+//   ferrumd                                  # FERRUM_SVC_* defaults
+//   ferrumd --socket=ferrumd.sock --workers=4 --cache-dir=.ferrum-cache
+//
+// Knobs (flag > environment > default, all parsed strictly):
+//   --socket=PATH     FERRUM_SVC_SOCKET   unix socket path (ferrumd.sock)
+//   --cache-dir=DIR   FERRUM_SVC_CACHE    result store dir ("" = memory)
+//   --workers=N       FERRUM_SVC_WORKERS  cells in flight (2)
+//
+// The daemon runs until a client sends the shutdown message
+// (`ferrumc submit --shutdown` or service::Client::shutdown_server).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "service/service.h"
+#include "support/env.h"
+#include "support/transport.h"
+
+using namespace ferrum;
+
+namespace {
+
+int usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--socket=PATH] [--cache-dir=DIR] [--workers=N]\n"
+               "(defaults come from FERRUM_SVC_SOCKET / FERRUM_SVC_CACHE / "
+               "FERRUM_SVC_WORKERS)\n",
+               argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path = env_svc_socket();
+  service::ServiceOptions options;
+  options.cache_dir = env_svc_cache_dir();
+  options.workers = env_svc_workers();
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--socket=", 0) == 0) {
+      socket_path = arg.substr(9);
+      if (socket_path.empty()) {
+        std::fprintf(stderr, "bad --socket value (empty path)\n");
+        return 2;
+      }
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      options.cache_dir = arg.substr(12);
+    } else if (arg.rfind("--workers=", 0) == 0) {
+      if (!parse_int(arg.c_str() + 10, options.workers) ||
+          options.workers < 1) {
+        std::fprintf(stderr, "bad --workers value '%s'\n", arg.c_str() + 10);
+        return 2;
+      }
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  std::string error;
+  Listener listener = Listener::bind_unix(socket_path, &error);
+  if (!listener.valid()) {
+    std::fprintf(stderr, "ferrumd: cannot listen on %s: %s\n",
+                 socket_path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ferrumd: listening on %s (workers=%d, cache=%s)\n",
+               socket_path.c_str(), options.workers,
+               options.cache_dir.empty() ? "<memory>"
+                                         : options.cache_dir.c_str());
+  service::Daemon daemon(std::move(options));
+  daemon.serve(listener);
+  std::fprintf(stderr, "ferrumd: shut down\n");
+  return 0;
+}

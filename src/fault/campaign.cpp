@@ -76,8 +76,13 @@ struct TrialSlot {
 };
 
 void record_trial(TrialSlot& slot, const vm::VmResult& run,
-                  const std::vector<std::uint64_t>& golden_output) {
+                  const std::vector<std::uint64_t>& golden_output,
+                  CampaignProgress* progress) {
   slot.outcome = classify(run, golden_output);
+  if (progress != nullptr) {
+    progress->counts[static_cast<std::size_t>(slot.outcome)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
   if (slot.outcome == Outcome::kDetected && run.fault_injected) {
     // Latency anchors on the FIRST injected fault (see CampaignResult).
     slot.latency = run.steps - run.fault_step;
@@ -211,7 +216,8 @@ CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
             const vm::VmResult run =
                 fast_forward ? engine->run_from(ckpts, faulty_vm, fault, 1)
                              : engine->run(faulty_vm, fault, 1);
-            record_trial(slots[p], run, golden.output);
+            record_trial(slots[p], run, golden.output,
+                         options.progress);
           }
           return;
         }
@@ -239,7 +245,7 @@ CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
                             lanes.data(), n, runs.data());
           for (std::size_t lane = 0; lane < n; ++lane) {
             record_trial(slots[order[base + lane]], runs[lane],
-                         golden.output);
+                         golden.output, options.progress);
           }
         }
       });
@@ -394,7 +400,7 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
         const vm::VmResult run =
             fast_forward ? engine->run_from(ckpts, faulty_vm, faults, per_run)
                          : engine->run(faulty_vm, faults, per_run);
-        record_trial(slots[trial], run, golden.output);
+        record_trial(slots[trial], run, golden.output, options.progress);
       }
       return;
     }
@@ -431,7 +437,8 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
       engine->run_batch(fast_forward ? &ckpts : nullptr, faulty_vm,
                         lanes.data(), n, runs.data());
       for (std::size_t lane = 0; lane < n; ++lane) {
-        record_trial(slots[order[base + lane]], runs[lane], golden.output);
+        record_trial(slots[order[base + lane]], runs[lane], golden.output,
+                     options.progress);
       }
     }
   });

@@ -4,6 +4,7 @@
 #pragma once
 
 #include <array>
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <utility>
@@ -22,6 +23,26 @@ namespace ferrum::fault {
 
 enum class Outcome : std::uint8_t { kBenign, kSdc, kDetected, kCrash };
 const char* outcome_name(Outcome outcome);
+
+/// Live outcome counts for a campaign in flight, for streaming "so far"
+/// status (the campaign service's partial results). Workers bump the
+/// counters as each trial run finishes, so a snapshot taken mid-campaign
+/// is scheduling-dependent — wall-clock-quarantined observability, never
+/// part of the deterministic result. Once run_campaign returns, the
+/// counters equal the runs the campaign actually executed (all trials;
+/// in prune mode only the pilots — dead and replayed trials never run).
+struct CampaignProgress {
+  std::array<std::atomic<std::uint64_t>, 4> counts{};
+  std::uint64_t count(Outcome outcome) const {
+    return counts[static_cast<std::size_t>(outcome)].load(
+        std::memory_order_relaxed);
+  }
+  std::uint64_t executed() const {
+    std::uint64_t total = 0;
+    for (const auto& c : counts) total += c.load(std::memory_order_relaxed);
+    return total;
+  }
+};
 
 struct CampaignOptions {
   int trials = 1000;          // samples per measurement, as in the paper
@@ -52,6 +73,11 @@ struct CampaignOptions {
   /// moves wall-clock: results are bit-identical for every width, and
   /// timing/profile/trace runs fall back to scalar automatically.
   int batch = 8;
+  /// Optional live observer: each finished trial run bumps one outcome
+  /// counter (relaxed atomics, snapshot whenever). Must outlive the
+  /// run_campaign call. Purely observational — attaching it never
+  /// changes the CampaignResult.
+  CampaignProgress* progress = nullptr;
   /// Prune mode: a static liveness/equivalence report for this program
   /// (check::prune::prune_program, computed with store_data_sites ==
   /// vm.fault_store_data). The fault set is drawn exactly as without

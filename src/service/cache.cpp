@@ -1,0 +1,96 @@
+#include "service/cache.h"
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+#include <sstream>
+
+namespace ferrum::service {
+
+namespace {
+
+bool plausible_key(const std::string& key) {
+  if (key.size() != 64) return false;
+  for (char c : key) {
+    const bool hex =
+        (c >= '0' && c <= '9') || (c >= 'a' && c <= 'f');
+    if (!hex) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+ResultCache::ResultCache(std::string dir) : dir_(std::move(dir)) {
+  if (dir_.empty()) return;
+  std::error_code ec;
+  std::filesystem::create_directories(dir_, ec);
+  if (ec) {
+    std::fprintf(stderr,
+                 "warning: cannot create cache dir %s (%s); "
+                 "running memory-only\n",
+                 dir_.c_str(), ec.message().c_str());
+    dir_.clear();
+  }
+}
+
+std::string ResultCache::file_path(const std::string& key) const {
+  return dir_ + "/" + key + ".json";
+}
+
+std::optional<std::string> ResultCache::lookup(const std::string& key) {
+  if (!plausible_key(key)) return std::nullopt;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    const auto it = memory_.find(key);
+    if (it != memory_.end()) return it->second;
+  }
+  if (dir_.empty()) return std::nullopt;
+  std::ifstream in(file_path(key), std::ios::binary);
+  if (!in) return std::nullopt;
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  std::string bytes = buffer.str();
+  if (!in.good() && !in.eof()) return std::nullopt;
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.emplace(key, std::move(bytes)).first->second;
+}
+
+void ResultCache::store(const std::string& key, const std::string& bytes) {
+  if (!plausible_key(key)) return;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (!memory_.emplace(key, bytes).second) return;  // first writer won
+  }
+  if (dir_.empty()) return;
+  // Temp-file + rename: readers (this daemon after a restart, or a
+  // sibling daemon sharing the dir) never observe a torn entry. The
+  // temp name is key-unique, so two daemons racing on one key just
+  // rename twice — same bytes either way.
+  const std::string tmp = dir_ + "/.tmp." + key;
+  std::FILE* file = std::fopen(tmp.c_str(), "wb");
+  if (file == nullptr) {
+    std::fprintf(stderr, "warning: cannot write cache entry %s\n",
+                 tmp.c_str());
+    return;
+  }
+  const bool ok =
+      std::fwrite(bytes.data(), 1, bytes.size(), file) == bytes.size();
+  std::fclose(file);
+  if (!ok) {
+    std::remove(tmp.c_str());
+    std::fprintf(stderr, "warning: short write to cache entry %s\n",
+                 tmp.c_str());
+    return;
+  }
+  if (std::rename(tmp.c_str(), file_path(key).c_str()) != 0) {
+    std::remove(tmp.c_str());
+  }
+}
+
+std::size_t ResultCache::entries() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return memory_.size();
+}
+
+}  // namespace ferrum::service

@@ -1,0 +1,160 @@
+#include "service/client.h"
+
+namespace ferrum::service {
+
+Client Client::connect(const std::string& socket_path, std::string& error) {
+  Client client(connect_unix(socket_path, &error));
+  if (client.valid() && !client.hello(error)) client.conn_.close();
+  return client;
+}
+
+std::optional<telemetry::Json> Client::round_trip(
+    MsgType request, const telemetry::Json& payload, MsgType expected_reply,
+    std::string& error) {
+  if (!write_frame(conn_, request, payload)) {
+    error = std::string("cannot send ") + msg_type_name(request);
+    return std::nullopt;
+  }
+  Frame reply;
+  if (!read_frame(conn_, reply)) {
+    error = std::string("connection lost awaiting ") +
+            msg_type_name(expected_reply);
+    return std::nullopt;
+  }
+  std::optional<telemetry::Json> json = telemetry::Json::parse(reply.payload);
+  if (!json.has_value()) {
+    error = "malformed reply payload";
+    return std::nullopt;
+  }
+  if (reply.type == MsgType::kError) {
+    const telemetry::Json* message = json->find("error");
+    error = message != nullptr && message->is_string()
+                ? message->as_string()
+                : "unspecified daemon error";
+    return std::nullopt;
+  }
+  if (reply.type != expected_reply) {
+    error = std::string("expected ") + msg_type_name(expected_reply) +
+            ", got " + msg_type_name(reply.type);
+    return std::nullopt;
+  }
+  return json;
+}
+
+bool Client::hello(std::string& error) {
+  telemetry::Json payload = telemetry::Json::object();
+  payload["proto"] = static_cast<std::uint64_t>(kProtoVersion);
+  const std::optional<telemetry::Json> reply =
+      round_trip(MsgType::kHello, payload, MsgType::kHelloReply, error);
+  if (!reply.has_value()) return false;
+  const telemetry::Json* proto = reply->find("proto");
+  if (proto == nullptr || !proto->is_number() ||
+      proto->as_uint() != kProtoVersion) {
+    error = "daemon speaks a different protocol version";
+    return false;
+  }
+  return true;
+}
+
+std::optional<std::uint64_t> Client::submit(
+    const std::vector<fault::CampaignCell>& cells, std::string& error) {
+  telemetry::Json payload = telemetry::Json::object();
+  telemetry::Json array = telemetry::Json::array();
+  for (const fault::CampaignCell& cell : cells) {
+    array.push_back(cell_to_json(cell));
+  }
+  payload["cells"] = array;
+  const std::optional<telemetry::Json> reply =
+      round_trip(MsgType::kSubmit, payload, MsgType::kJobAccepted, error);
+  if (!reply.has_value()) return std::nullopt;
+  const telemetry::Json* job = reply->find("job");
+  if (job == nullptr || !job->is_number()) {
+    error = "job-accepted reply carries no job id";
+    return std::nullopt;
+  }
+  return job->as_uint();
+}
+
+std::optional<telemetry::Json> Client::status(std::uint64_t job,
+                                              std::string& error) {
+  telemetry::Json payload = telemetry::Json::object();
+  payload["job"] = job;
+  return round_trip(MsgType::kStatus, payload, MsgType::kStatusReply, error);
+}
+
+bool Client::results(std::uint64_t job,
+                     const std::function<void(const CellResult&)>& on_cell,
+                     std::string& error) {
+  telemetry::Json payload = telemetry::Json::object();
+  payload["job"] = job;
+  if (!write_frame(conn_, MsgType::kResults, payload)) {
+    error = "cannot send results request";
+    return false;
+  }
+  Frame frame;
+  while (read_frame(conn_, frame)) {
+    std::optional<telemetry::Json> json =
+        telemetry::Json::parse(frame.payload);
+    if (!json.has_value()) {
+      error = "malformed stream payload";
+      return false;
+    }
+    if (frame.type == MsgType::kError) {
+      const telemetry::Json* message = json->find("error");
+      error = message != nullptr && message->is_string()
+                  ? message->as_string()
+                  : "unspecified daemon error";
+      return false;
+    }
+    if (frame.type == MsgType::kResultsDone) return true;
+    if (frame.type != MsgType::kCellResult) {
+      error = std::string("unexpected ") + msg_type_name(frame.type) +
+              " in result stream";
+      return false;
+    }
+    CellResult cell;
+    if (const telemetry::Json* index = json->find("cell");
+        index != nullptr && index->is_number()) {
+      cell.cell = static_cast<std::size_t>(index->as_uint());
+    }
+    if (const telemetry::Json* key = json->find("key");
+        key != nullptr && key->is_string()) {
+      cell.key = key->as_string();
+    }
+    if (const telemetry::Json* cached = json->find("cached");
+        cached != nullptr) {
+      cell.cached = cached->as_bool();
+    }
+    if (const telemetry::Json* err = json->find("error");
+        err != nullptr && err->is_string()) {
+      cell.error = err->as_string();
+    }
+    if (const telemetry::Json* result = json->find("result");
+        result != nullptr) {
+      cell.result = *result;
+      // The dump of the embedded object IS the stored bytes: both sides
+      // of the round trip use the deterministic writer.
+      cell.result_bytes = result->dump();
+    }
+    if (const telemetry::Json* wallclock = json->find("wallclock");
+        wallclock != nullptr) {
+      cell.wallclock = *wallclock;
+    }
+    on_cell(cell);
+  }
+  error = "connection lost mid-stream";
+  return false;
+}
+
+std::optional<telemetry::Json> Client::stats(std::string& error) {
+  return round_trip(MsgType::kStats, telemetry::Json::object(),
+                    MsgType::kStatsReply, error);
+}
+
+bool Client::shutdown_server(std::string& error) {
+  return round_trip(MsgType::kShutdown, telemetry::Json::object(),
+                    MsgType::kShutdownAck, error)
+      .has_value();
+}
+
+}  // namespace ferrum::service

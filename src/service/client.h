@@ -1,0 +1,75 @@
+// Blocking client for the campaign service protocol. Used by `ferrumc
+// submit`, the service bench and the smoke/unit tests; the API mirrors
+// the protocol one call per exchange (see proto.h for the frame spec).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "fault/cell.h"
+#include "service/proto.h"
+#include "support/transport.h"
+#include "telemetry/json.h"
+
+namespace ferrum::service {
+
+/// One streamed cell result. `result_bytes` is the deterministic
+/// CampaignResult JSON exactly as the daemon stores it — byte-identical
+/// across cold/warm queries, worker counts and submission orders.
+struct CellResult {
+  std::size_t cell = 0;
+  std::string key;
+  bool cached = false;
+  std::string error;            // non-empty = the cell failed to build/run
+  std::string result_bytes;     // "" iff error
+  telemetry::Json result;       // parsed view of result_bytes
+  telemetry::Json wallclock;    // null for cache hits (nothing executed)
+};
+
+class Client {
+ public:
+  /// Wraps an already-connected stream (e.g. one end of a socketpair).
+  explicit Client(Conn conn) : conn_(std::move(conn)) {}
+
+  /// Connects to a daemon socket and completes the hello exchange.
+  /// Invalid client + description in `error` on failure.
+  static Client connect(const std::string& socket_path, std::string& error);
+
+  bool valid() const { return conn_.valid(); }
+
+  /// Version handshake; false on transport failure or proto mismatch.
+  bool hello(std::string& error);
+
+  /// Submits a job; returns the job id.
+  std::optional<std::uint64_t> submit(
+      const std::vector<fault::CampaignCell>& cells, std::string& error);
+
+  /// Point-in-time job snapshot (completed cells, outcome counts so far).
+  std::optional<telemetry::Json> status(std::uint64_t job,
+                                        std::string& error);
+
+  /// Streams every cell result of `job` in cell order, blocking until
+  /// the daemon finishes each; `on_cell` fires once per cell.
+  bool results(std::uint64_t job,
+               const std::function<void(const CellResult&)>& on_cell,
+               std::string& error);
+
+  /// Service counter snapshot ("service/..." registry JSON).
+  std::optional<telemetry::Json> stats(std::string& error);
+
+  /// Asks the daemon to stop serving (it acks, then stops accepting).
+  bool shutdown_server(std::string& error);
+
+ private:
+  std::optional<telemetry::Json> round_trip(MsgType request,
+                                            const telemetry::Json& payload,
+                                            MsgType expected_reply,
+                                            std::string& error);
+
+  Conn conn_;
+};
+
+}  // namespace ferrum::service

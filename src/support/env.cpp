@@ -55,4 +55,22 @@ int env_batch(int fallback) {
   return env_int("FERRUM_BATCH", fallback, /*min_value=*/1);
 }
 
+std::string env_str(const char* name, const char* fallback) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  return value;
+}
+
+std::string env_svc_socket(const char* fallback) {
+  return env_str("FERRUM_SVC_SOCKET", fallback);
+}
+
+std::string env_svc_cache_dir(const char* fallback) {
+  return env_str("FERRUM_SVC_CACHE", fallback);
+}
+
+int env_svc_workers(int fallback) {
+  return env_int("FERRUM_SVC_WORKERS", fallback, /*min_value=*/1);
+}
+
 }  // namespace ferrum

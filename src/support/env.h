@@ -5,6 +5,8 @@
 // (atoi would read "10O0" as 10 and "abc" as 0).
 #pragma once
 
+#include <string>
+
 namespace ferrum {
 
 /// Parses `text` as a whole base-10 integer. Returns false (leaving
@@ -47,5 +49,27 @@ int env_ckpt_stride(int fallback = 64);
 /// is the scalar path. Like FERRUM_JOBS and FERRUM_CKPT_STRIDE the knob
 /// only moves wall-clock time; results are bit-identical for any width.
 int env_batch(int fallback = 8);
+
+/// Reads a string knob from the environment. Unset or empty -> fallback
+/// (pass "" when empty is a meaningful value for the knob).
+std::string env_str(const char* name, const char* fallback);
+
+// --- Campaign-service knobs (ferrumd / ferrumc serve|submit) ----------
+
+/// FERRUM_SVC_SOCKET — unix-domain socket path the daemon listens on and
+/// clients connect to. Keep it short (sockaddr_un caps paths at ~107
+/// bytes); a relative path is resolved against the daemon's cwd.
+std::string env_svc_socket(const char* fallback = "ferrumd.sock");
+
+/// FERRUM_SVC_CACHE — directory for the content-addressed result store.
+/// Empty (the default) keeps the cache in memory only: results survive
+/// resubmission within one daemon lifetime but not a restart.
+std::string env_svc_cache_dir(const char* fallback = "");
+
+/// FERRUM_SVC_WORKERS — service worker threads (campaign cells in
+/// flight; each cell still fans out over its own FERRUM_JOBS-style inner
+/// pool). Floor 1. Like every engine knob, the value never changes
+/// results — cells are deterministic functions of their spec.
+int env_svc_workers(int fallback = 2);
 
 }  // namespace ferrum

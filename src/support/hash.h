@@ -1,0 +1,48 @@
+// Deterministic content hashing for the campaign service's
+// content-addressed result store. SHA-256 (FIPS 180-4) implemented from
+// the specification: byte-oriented, endian-explicit, no compiler or
+// platform dependence — the same bytes hash to the same digest on every
+// build, which is what lets cache keys and stored artifacts survive
+// across runs, worker counts and machines.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace ferrum {
+
+/// Incremental SHA-256. Feed bytes with update(), read the digest with
+/// digest()/hex_digest(); finalisation is internal and idempotent, so the
+/// digest can be read more than once (but update() after a digest read
+/// throws std::logic_error — a hasher is single-use by design).
+class Sha256 {
+ public:
+  static constexpr std::size_t kDigestBytes = 32;
+
+  Sha256();
+
+  void update(const void* data, std::size_t size);
+  void update(std::string_view text) { update(text.data(), text.size()); }
+
+  std::array<std::uint8_t, kDigestBytes> digest();
+  /// Lower-case hex rendering of digest() (64 characters).
+  std::string hex_digest();
+
+ private:
+  void compress(const std::uint8_t* block);
+  void finalize();
+
+  std::array<std::uint32_t, 8> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finalized_ = false;
+};
+
+/// One-shot convenience: lower-case hex SHA-256 of `text`.
+std::string sha256_hex(std::string_view text);
+
+}  // namespace ferrum

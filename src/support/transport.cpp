@@ -1,0 +1,177 @@
+#include "support/transport.h"
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace ferrum {
+
+namespace {
+
+bool fill_unix_addr(const std::string& path, sockaddr_un& addr,
+                    std::string* error) {
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sun_family = AF_UNIX;
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    if (error != nullptr) {
+      *error = "socket path '" + path + "' is empty or longer than " +
+               std::to_string(sizeof(addr.sun_path) - 1) + " bytes";
+    }
+    return false;
+  }
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  return true;
+}
+
+void set_error(std::string* error, const char* what) {
+  if (error != nullptr) {
+    *error = std::string(what) + ": " + std::strerror(errno);
+  }
+}
+
+}  // namespace
+
+Conn& Conn::operator=(Conn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+bool Conn::write_all(const void* data, std::size_t size) {
+  const char* bytes = static_cast<const char*>(data);
+  while (size > 0) {
+    // MSG_NOSIGNAL: a hung-up peer surfaces as EPIPE, not SIGPIPE.
+    const ssize_t n = ::send(fd_, bytes, size, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    bytes += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+bool Conn::read_exact(void* data, std::size_t size) {
+  char* bytes = static_cast<char*>(data);
+  while (size > 0) {
+    const ssize_t n = ::recv(fd_, bytes, size, 0);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return false;
+    }
+    if (n == 0) return false;  // EOF mid-read
+    bytes += n;
+    size -= static_cast<std::size_t>(n);
+  }
+  return true;
+}
+
+void Conn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+std::pair<Conn, Conn> Conn::pipe_pair() {
+  int fds[2] = {-1, -1};
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, fds) != 0) {
+    return {Conn(), Conn()};
+  }
+  return {Conn(fds[0]), Conn(fds[1])};
+}
+
+Listener::Listener(Listener&& other) noexcept
+    : fd_(other.fd_), path_(std::move(other.path_)) {
+  other.fd_ = -1;
+  other.path_.clear();
+}
+
+Listener& Listener::operator=(Listener&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    path_ = std::move(other.path_);
+    other.fd_ = -1;
+    other.path_.clear();
+  }
+  return *this;
+}
+
+Listener Listener::bind_unix(const std::string& path, std::string* error) {
+  Listener listener;
+  sockaddr_un addr;
+  if (!fill_unix_addr(path, addr, error)) return listener;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return listener;
+  }
+  ::unlink(path.c_str());  // replace a stale socket from a dead daemon
+  if (::bind(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    set_error(error, "bind");
+    ::close(fd);
+    return listener;
+  }
+  if (::listen(fd, 64) != 0) {
+    set_error(error, "listen");
+    ::close(fd);
+    ::unlink(path.c_str());
+    return listener;
+  }
+  listener.fd_ = fd;
+  listener.path_ = path;
+  return listener;
+}
+
+Conn Listener::accept() {
+  while (fd_ >= 0) {
+    const int client = ::accept(fd_, nullptr, nullptr);
+    if (client >= 0) return Conn(client);
+    if (errno == EINTR) continue;
+    break;  // EINVAL/EBADF after shutdown(), or a real error
+  }
+  return Conn();
+}
+
+void Listener::shutdown() {
+  if (fd_ >= 0) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void Listener::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+  if (!path_.empty()) {
+    ::unlink(path_.c_str());
+    path_.clear();
+  }
+}
+
+Conn connect_unix(const std::string& path, std::string* error) {
+  sockaddr_un addr;
+  if (!fill_unix_addr(path, addr, error)) return Conn();
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    set_error(error, "socket");
+    return Conn();
+  }
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    set_error(error, "connect");
+    ::close(fd);
+    return Conn();
+  }
+  return Conn(fd);
+}
+
+}  // namespace ferrum

@@ -1,0 +1,84 @@
+// Byte-stream transport for the campaign service: unix-domain stream
+// sockets (ferrumd's listening endpoint) plus an anonymous socketpair for
+// in-process daemon/client tests. Nothing here knows about framing — the
+// service protocol (src/service/proto.h) layers its length-prefixed
+// frames on top of read_exact/write_all.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <utility>
+
+namespace ferrum {
+
+/// A connected byte stream (owns the fd; move-only).
+class Conn {
+ public:
+  Conn() = default;
+  explicit Conn(int fd) : fd_(fd) {}
+  Conn(Conn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Conn& operator=(Conn&& other) noexcept;
+  Conn(const Conn&) = delete;
+  Conn& operator=(const Conn&) = delete;
+  ~Conn() { close(); }
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `size` bytes, retrying on EINTR / partial writes.
+  /// Returns false on any unrecoverable error (the peer hung up, ...).
+  bool write_all(const void* data, std::size_t size);
+  /// Reads exactly `size` bytes. Returns false on EOF or error; a false
+  /// return leaves the stream unusable for framing (partial read).
+  bool read_exact(void* data, std::size_t size);
+
+  void close();
+
+  /// A connected pair of in-process streams (socketpair): .first and
+  /// .second talk to each other. Both ends invalid on failure.
+  static std::pair<Conn, Conn> pipe_pair();
+
+ private:
+  int fd_ = -1;
+};
+
+/// A bound + listening unix-domain socket. The path is unlinked on
+/// close/destruction (the listener owns its filesystem name).
+class Listener {
+ public:
+  Listener() = default;
+  Listener(Listener&& other) noexcept;
+  Listener& operator=(Listener&& other) noexcept;
+  Listener(const Listener&) = delete;
+  Listener& operator=(const Listener&) = delete;
+  ~Listener() { close(); }
+
+  /// Binds and listens on `path` (an existing stale socket file is
+  /// replaced). On failure returns an invalid Listener and, when `error`
+  /// is non-null, a description. Paths longer than sockaddr_un allows
+  /// fail cleanly — keep socket names short or relative.
+  static Listener bind_unix(const std::string& path,
+                            std::string* error = nullptr);
+
+  bool valid() const { return fd_ >= 0; }
+  const std::string& path() const { return path_; }
+
+  /// Blocks for the next connection; returns an invalid Conn once the
+  /// listener was shut down (or on a non-transient accept error).
+  Conn accept();
+
+  /// Unblocks any accept() in progress and closes the socket; safe to
+  /// call from another thread exactly once per listener.
+  void shutdown();
+  void close();
+
+ private:
+  int fd_ = -1;
+  std::string path_;
+};
+
+/// Connects to a listening unix-domain socket. Invalid Conn on failure
+/// (description in `error` when non-null).
+Conn connect_unix(const std::string& path, std::string* error = nullptr);
+
+}  // namespace ferrum

@@ -177,6 +177,18 @@ Json wallclock_json(const fault::CampaignResult& result) {
   return json;
 }
 
+Json progress_json(const fault::CampaignProgress& progress) {
+  Json json = Json::object();
+  Json outcomes = Json::object();
+  outcomes["benign"] = progress.count(fault::Outcome::kBenign);
+  outcomes["sdc"] = progress.count(fault::Outcome::kSdc);
+  outcomes["detected"] = progress.count(fault::Outcome::kDetected);
+  outcomes["crash"] = progress.count(fault::Outcome::kCrash);
+  json["outcomes_so_far"] = outcomes;
+  json["runs_executed"] = progress.executed();
+  return json;
+}
+
 Json to_json(const fault::AuditReport& report) {
   Json json = Json::object();
   json["sites"] = report.sites;

@@ -33,6 +33,12 @@ Json to_json(const fault::CampaignResult& result);
 /// and wall-clock seconds. Never byte-compare this across runs.
 Json wallclock_json(const fault::CampaignResult& result);
 
+/// Snapshot of a campaign in flight (outcome counts of the runs finished
+/// so far). Taken mid-campaign it is scheduling-dependent like every
+/// wallclock section — the campaign service streams it in status
+/// replies, quarantined from the deterministic result bytes.
+Json progress_json(const fault::CampaignProgress& progress);
+
 /// Deterministic audit results: site/injection/outcome counters and the
 /// escape list, plus a "prune" section (class/pilot/dead accounting)
 /// when the audit ran in prune mode.
