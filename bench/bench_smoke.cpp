@@ -235,6 +235,38 @@ void check_bench_vm(const Json& artifact) {
   }
 }
 
+/// Acceptance check on the compose cross-validation: every workload x
+/// technique cell must have composed exactly (agreement == 1.0 over a
+/// non-empty frame), and the warm re-composition must have executed zero
+/// engine trials while exporting byte-identical counts.
+void check_compose_accuracy(Json& artifact) {
+  Json& metrics = artifact["metrics"];
+  const Json* agreement = metrics.find("agreement");
+  if (agreement == nullptr) {
+    fail("analysis_compose_accuracy metrics lack 'agreement'");
+    return;
+  }
+  if (agreement->as_double() != 1.0) {
+    fail("analysis_compose_accuracy agreement below 1.0: composed section "
+         "summaries diverged from the monolithic audit");
+  }
+  const Json* injections = metrics.find("total_injections");
+  if (injections == nullptr || injections->as_uint() == 0) {
+    fail("analysis_compose_accuracy composed no injections — the "
+         "agreement check is vacuous");
+  }
+  const Json* zero = metrics.find("warm_zero_trials");
+  if (zero == nullptr || !zero->as_bool()) {
+    fail("analysis_compose_accuracy warm re-composition executed engine "
+         "trials");
+  }
+  const Json* identical = metrics.find("warm_matches_cold");
+  if (identical == nullptr || !identical->as_bool()) {
+    fail("analysis_compose_accuracy warm re-composition not byte-identical "
+         "to cold");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -265,6 +297,7 @@ int main(int argc, char** argv) {
       {"detection_latency", ""},
       {"analysis_rootcause", ""},
       {"analysis_static_coverage", ""},
+      {"analysis_compose_accuracy", ""},
       {"bench_pass_time", "--benchmark_list_tests=true"},
       {"bench_vm", "--benchmark_list_tests=true"},
       {"bench_service", ""},
@@ -311,6 +344,11 @@ int main(int argc, char** argv) {
 
   if (const auto vm = check_artifact(out_dir, "bench_vm"); vm.has_value()) {
     check_bench_vm(*vm);
+  }
+
+  if (auto compose = check_artifact(out_dir, "analysis_compose_accuracy");
+      compose.has_value()) {
+    check_compose_accuracy(*compose);
   }
 
   // The service bench asserts its own cold/warm contract and exits

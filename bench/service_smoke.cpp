@@ -8,12 +8,16 @@
 //     and across submission orders — scheduling shapes wall-clock only;
 //   * a warm resubmission (with different engine knobs) is answered from
 //     the content-addressed store with zero new engine trials;
+//   * after a daemon shutdown, a fresh daemon on the same cache
+//     directory answers the identical submission from the disk tier —
+//     zero trials, byte-identical result bytes (restart phase);
 //   * malformed requests get error replies and the connection survives;
 //   * the BENCH_service_smoke.json artifact follows the bench schema
 //     (bench / schema_version / metrics / wallclock).
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
+#include <filesystem>
 #include <map>
 #include <string>
 #include <thread>
@@ -70,12 +74,18 @@ std::vector<fault::CampaignCell> smoke_cells() {
 }
 
 /// One daemon instance serving one socket; results keyed by cache key.
+/// A non-empty cache_dir persists the content-addressed store across
+/// daemon lifetimes; trials_executed (when non-null) receives the
+/// engine-trial count this instance actually ran.
 std::map<std::string, std::string> run_config(
     int workers, const std::vector<fault::CampaignCell>& cells,
-    double& seconds) {
+    double& seconds, const std::string& cache_dir = "",
+    std::uint64_t* trials_executed = nullptr) {
+  static int instance = 0;
   const std::string socket_path = "service_smoke-" +
                                   std::to_string(::getpid()) + "-w" +
-                                  std::to_string(workers) + ".sock";
+                                  std::to_string(workers) + "-i" +
+                                  std::to_string(instance++) + ".sock";
   std::string error;
   Listener listener = Listener::bind_unix(socket_path, &error);
   std::map<std::string, std::string> by_key;
@@ -83,7 +93,7 @@ std::map<std::string, std::string> run_config(
     fail("cannot listen on " + socket_path + ": " + error);
     return by_key;
   }
-  service::Daemon daemon({workers, /*cache_dir=*/""});
+  service::Daemon daemon({workers, cache_dir});
   std::thread server([&] { daemon.serve(listener); });
 
   const auto start = std::chrono::steady_clock::now();
@@ -136,6 +146,10 @@ std::map<std::string, std::string> run_config(
     }
   }
   server.join();
+  if (trials_executed != nullptr) {
+    *trials_executed =
+        daemon.metrics().counter("service/trials_executed").value();
+  }
   seconds = std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                           start)
                 .count();
@@ -249,12 +263,46 @@ int main() {
     }
   }
 
+  // Restart phase: the disk tier must survive a daemon death. A first
+  // daemon campaigns cold into FERRUM_SVC_CACHE, is shut down and
+  // destroyed, and a brand-new daemon on the same directory must answer
+  // the identical submission warm — zero engine trials, byte-identical
+  // result bytes per key.
+  std::uint64_t restart_warm_trials = 1;  // pessimistic until measured
+  {
+    const std::string cache_dir =
+        "service_smoke-cache-" + std::to_string(::getpid());
+    std::filesystem::remove_all(cache_dir);
+    double cold_seconds = 0.0;
+    double warm_seconds = 0.0;
+    std::uint64_t cold_trials = 0;
+    const auto cold =
+        run_config(2, cells, cold_seconds, cache_dir, &cold_trials);
+    const auto warm =
+        run_config(2, cells, warm_seconds, cache_dir, &restart_warm_trials);
+    if (cold_trials == 0) {
+      fail("restart cold pass executed no trials (vacuous)");
+    }
+    if (restart_warm_trials != 0) {
+      fail("restarted daemon executed " +
+           std::to_string(restart_warm_trials) +
+           " engine trials, want 0 (disk store should answer everything)");
+    }
+    if (warm != cold) {
+      fail("restarted daemon's results differ from the pre-restart bytes");
+    }
+    config_seconds["restart_cold"] = cold_seconds;
+    config_seconds["restart_warm"] = warm_seconds;
+    std::filesystem::remove_all(cache_dir);
+  }
+
   // Artifact, following the bench schema conventions.
   benchutil::BenchReport report("service_smoke");
   telemetry::Json& metrics = report.metrics();
   metrics["cells"] = static_cast<std::uint64_t>(cells.size());
   metrics["determinism_ok"] = failures == 0;
   metrics["warm_trials_executed"] = warm_trials;
+  metrics["restart_warm_trials_executed"] = restart_warm_trials;
   telemetry::Json keys = telemetry::Json::object();
   for (const auto& [key, bytes] : reference) {
     keys[key] = sha256_hex(bytes);

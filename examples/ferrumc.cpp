@@ -42,15 +42,19 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <memory>
 #include <sstream>
 #include <string>
 
 #include "check/check.h"
 #include "check/prune.h"
+#include "check/sections.h"
 #include "fault/audit.h"
 #include "fault/campaign.h"
 #include "fault/cell.h"
+#include "fault/compose.h"
 #include "ir/printer.h"
+#include "service/cache.h"
 #include "service/client.h"
 #include "service/service.h"
 #include "masm/masm.h"
@@ -74,6 +78,7 @@ int usage(const char* argv0) {
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
                "       [--dispatch=switch|threaded] [--batch=N]\n"
                "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
+               "       [--compose] [--incremental] [--cache-dir=DIR]\n"
                "       %s serve [--socket=PATH] [--cache-dir=DIR] "
                "[--workers=N]\n"
                "       %s submit <file.c|workload> [--socket=PATH] "
@@ -94,6 +99,13 @@ int usage(const char* argv0) {
                "violations on stderr, non-zero exit when the protection "
                "invariants do not hold; --lint=json dumps the full report;\n"
                " a .s input is linted directly, without the pipeline)\n"
+               "(campaign --compose runs the sectioned campaign: the "
+               "program is decomposed into sync-point-delimited sections, "
+               "each campaigned in isolation, and the per-section summaries "
+               "are composed into the whole-program counts; --incremental "
+               "additionally caches per-section summaries under "
+               "--cache-dir (default FERRUM_SVC_CACHE), so re-running "
+               "after an edit re-injects only the changed sections)\n"
                "(--jobs defaults to FERRUM_JOBS, then hardware "
                "concurrency; results are identical for any value;\n"
                " --ckpt-stride defaults to FERRUM_CKPT_STRIDE, then 64 — "
@@ -216,6 +228,9 @@ int main(int argc, char** argv) {
   bool lint = command == "lint";
   bool lint_json = false;
   bool prune = false;
+  bool compose = false;
+  bool incremental = false;
+  std::string cache_dir = env_svc_cache_dir();
   std::string stats_path;
   // submit-only knobs; -1 means "leave the cell's documented default".
   std::string socket_path = env_svc_socket();
@@ -277,6 +292,13 @@ int main(int argc, char** argv) {
       timing = true;
     } else if (arg == "--prune") {
       prune = true;
+    } else if (arg == "--compose") {
+      compose = true;
+    } else if (arg == "--incremental") {
+      compose = true;
+      incremental = true;
+    } else if (arg.rfind("--cache-dir=", 0) == 0) {
+      cache_dir = arg.substr(12);
     } else if (arg.rfind("--socket=", 0) == 0) {
       socket_path = arg.substr(9);
       if (socket_path.empty()) {
@@ -438,6 +460,13 @@ int main(int argc, char** argv) {
       telemetry::Json out = check::to_json(report);
       out["prune"] = check::prune::to_json(
           check::prune::prune_program(build.program), build.program);
+      // The section decomposition rides along: every static fault site
+      // is tagged with its section id, and each section carries its
+      // dataflow interface (live-in/live-out, sync boundary kind).
+      out["sections"] =
+          check::sections::to_json(check::sections::build_sections(
+                                       build.program),
+                                   build.program);
       std::fputs(out.dump().c_str(), stdout);
       std::fputc('\n', stdout);
     } else {
@@ -486,14 +515,19 @@ int main(int argc, char** argv) {
   if (command == "sites") {
     const check::prune::PruneReport report =
         check::prune::prune_program(build.program);
-    std::fputs(check::prune::to_json(report, build.program).dump().c_str(),
-               stdout);
+    telemetry::Json out = check::prune::to_json(report, build.program);
+    // Section decomposition next to the liveness/equivalence table: per
+    // static site the owning section id, per section its interface
+    // (live-in/live-out sets, sync boundary kind, memory footprint).
+    out["sections"] = check::sections::to_json(
+        check::sections::build_sections(build.program), build.program);
+    std::fputs(out.dump().c_str(), stdout);
     std::fputc('\n', stdout);
     if (!stats_path.empty()) {
       telemetry::Json metrics = telemetry::Json::object();
       metrics["command"] = "sites";
       metrics["technique"] = pipeline::technique_name(technique);
-      metrics["prune"] = check::prune::to_json(report, build.program);
+      metrics["prune"] = out;
       telemetry::Json wallclock = telemetry::Json::object();
       wallclock["pass_seconds"] = pass_seconds;
       if (!write_stats(stats_path, metrics, wallclock)) return 1;
@@ -584,6 +618,82 @@ int main(int argc, char** argv) {
       if (!write_stats(stats_path, metrics, wallclock)) return 1;
     }
     return report.fully_covered() ? 0 : 1;
+  }
+  if (command == "campaign" && compose) {
+    // Sectioned campaign: decompose, campaign each section from its
+    // checkpointed entry state, compose the summaries. --incremental
+    // routes per-section summaries through the content-addressed store,
+    // so only sections whose code or entry states changed re-inject.
+    check::sections::SectionOptions section_options;
+    fault::ComposeOptions options;
+    options.trials = static_cast<std::uint64_t>(trials);
+    options.jobs = jobs;
+    options.ckpt_stride = ckpt_stride;
+    options.batch = batch;
+    options.vm.dispatch = dispatch;
+    options.vm.fault_store_data = store_data;
+    section_options.store_data_sites = store_data;
+    if (seed >= 0) options.seed = static_cast<std::uint64_t>(seed);
+    if (burst >= 1) options.burst = burst;
+    std::unique_ptr<service::ResultCache> cache;
+    if (incremental) {
+      if (cache_dir.empty()) {
+        std::fprintf(stderr,
+                     "--incremental needs a summary cache: pass "
+                     "--cache-dir=DIR or set FERRUM_SVC_CACHE\n");
+        return 2;
+      }
+      cache = std::make_unique<service::ResultCache>(cache_dir);
+      options.lookup = [&cache](const std::string& key) {
+        return cache->lookup(key);
+      };
+      options.store = [&cache](const std::string& key,
+                               const std::string& bytes) {
+        // Replace mode: a summary whose validation certificate went
+        // stale (edited program, same section key) must be superseded
+        // by the freshly re-campaigned one.
+        cache->store(key, bytes, /*replace=*/true);
+      };
+    }
+    const check::sections::SectionMap map =
+        check::sections::build_sections(build.program, section_options);
+    fault::ComposeReport report;
+    try {
+      report = fault::compose_campaign(build.program, map, options);
+    } catch (const std::exception& error) {
+      std::fprintf(stderr, "%s\n", error.what());
+      return 1;
+    }
+    std::printf("sections=%zu sites=%llu trials=%llu benign=%llu sdc=%llu "
+                "detected=%llu crash=%llu sdc_rate=%.4f\n",
+                report.sections.size(),
+                static_cast<unsigned long long>(report.sites),
+                static_cast<unsigned long long>(report.injections),
+                static_cast<unsigned long long>(report.benign),
+                static_cast<unsigned long long>(report.sdc),
+                static_cast<unsigned long long>(report.detected),
+                static_cast<unsigned long long>(report.crashed),
+                report.injections > 0
+                    ? static_cast<double>(report.sdc) /
+                          static_cast<double>(report.injections)
+                    : 0.0);
+    if (incremental) {
+      std::printf("incremental: warm=%llu cold=%llu trials_executed=%llu\n",
+                  static_cast<unsigned long long>(report.warm_sections),
+                  static_cast<unsigned long long>(report.cold_sections),
+                  static_cast<unsigned long long>(report.trials_executed));
+    }
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "campaign";
+      metrics["technique"] = pipeline::technique_name(technique);
+      metrics["compose"] = telemetry::to_json(report);
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      wallclock["compose"] = telemetry::wallclock_json(report);
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
+    return 0;
   }
   if (command == "campaign") {
     fault::CampaignOptions options;

@@ -1,0 +1,98 @@
+#!/usr/bin/env bash
+# ci.sh — run the three ROADMAP verification presets end to end and
+# print a pass/fail table. Exit status is non-zero if any preset fails.
+#
+#   tier-1      full ctest suite, default toolchain flags
+#   tsan        ThreadSanitizer build; the parallel/service/sections
+#               harnesses plus the smoke benches
+#   asan-ubsan  combined ASan+UBSan build; checker and engine tests
+#
+# Usage: scripts/ci.sh [preset ...]     (default: all three)
+# Environment: FERRUM_CI_JOBS overrides the build/test parallelism.
+set -u
+
+cd "$(dirname "$0")/.."
+JOBS="${FERRUM_CI_JOBS:-$(nproc 2>/dev/null || echo 2)}"
+
+# Preset table: name | build dir | extra cmake args | ctest args.
+# The regexes mirror ROADMAP.md verbatim — update both together.
+TSAN_TESTS='bench_smoke|check_smoke|prune_smoke|test_parallel|test_sections|service_smoke'
+ASAN_TESTS='test_check|test_engine|test_prune'
+
+preset_cmake_args() {
+  case "$1" in
+    tier-1) echo "" ;;
+    tsan) echo "-DFERRUM_SANITIZE=thread" ;;
+    asan-ubsan) echo "-DFERRUM_SANITIZE=address" ;;
+  esac
+}
+
+preset_build_dir() {
+  case "$1" in
+    tier-1) echo "build" ;;
+    tsan) echo "build-tsan" ;;
+    asan-ubsan) echo "build-asan" ;;
+  esac
+}
+
+preset_ctest_args() {
+  case "$1" in
+    tier-1) echo "" ;;
+    tsan) echo "-R $TSAN_TESTS" ;;
+    asan-ubsan) echo "-R $ASAN_TESTS" ;;
+  esac
+}
+
+run_preset() {
+  local name="$1"
+  local dir log args
+  dir="$(preset_build_dir "$name")"
+  args="$(preset_cmake_args "$name")"
+  log="$dir/ci-$name.log"
+  echo "==> preset $name (build dir: $dir)"
+  # shellcheck disable=SC2086 — args is a deliberate word list
+  if ! cmake -B "$dir" -S . $args >"$log" 2>&1; then
+    echo "    configure FAILED (see $log)"
+    return 1
+  fi
+  if ! cmake --build "$dir" -j "$JOBS" >>"$log" 2>&1; then
+    echo "    build FAILED (see $log)"
+    return 1
+  fi
+  # shellcheck disable=SC2086
+  if ! ctest --test-dir "$dir" $(preset_ctest_args "$name") \
+       --output-on-failure -j "$JOBS" >>"$log" 2>&1; then
+    echo "    tests FAILED (see $log)"
+    return 1
+  fi
+  return 0
+}
+
+PRESETS=("$@")
+[ ${#PRESETS[@]} -eq 0 ] && PRESETS=(tier-1 tsan asan-ubsan)
+
+declare -A STATUS SECONDS_BY
+overall=0
+for preset in "${PRESETS[@]}"; do
+  if [ -z "$(preset_build_dir "$preset")" ]; then
+    echo "unknown preset '$preset' (want: tier-1 tsan asan-ubsan)" >&2
+    exit 2
+  fi
+  start=$(date +%s)
+  if run_preset "$preset"; then
+    STATUS[$preset]=PASS
+  else
+    STATUS[$preset]=FAIL
+    overall=1
+  fi
+  SECONDS_BY[$preset]=$(( $(date +%s) - start ))
+done
+
+echo
+printf '%-12s %-6s %8s\n' preset result seconds
+printf '%-12s %-6s %8s\n' ------------ ------ --------
+for preset in "${PRESETS[@]}"; do
+  printf '%-12s %-6s %8s\n' "$preset" "${STATUS[$preset]}" \
+    "${SECONDS_BY[$preset]}"
+done
+exit "$overall"

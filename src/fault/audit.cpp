@@ -40,6 +40,11 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
     throw std::invalid_argument(
         "prune report store_data_sites must match vm.fault_store_data");
   }
+  if (options.site_stride > 1) {
+    throw std::invalid_argument(
+        "site_stride is a subsampling knob for exhaustive sweeps; the "
+        "pruned audit extrapolates from pilots and cannot stride");
+  }
   const vm::PredecodedProgram decoded(program);
   const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
                             !options.vm.profile &&
@@ -292,6 +297,15 @@ AuditReport audit_program(const masm::AsmProgram& program,
   vm::VmOptions faulty = options.vm;
   faulty.max_steps = faulty_step_budget(golden.steps);
 
+  // Strided site selection: slot i probes site i * stride. Stride 1 is
+  // the exhaustive audit; larger strides keep the same per-probe
+  // semantics over a deterministic subset of the site stream.
+  const std::uint64_t stride =
+      options.site_stride > 1 ? static_cast<std::uint64_t>(options.site_stride)
+                              : 1;
+  const std::size_t slots = static_cast<std::size_t>(
+      golden.fi_sites == 0 ? 0 : (golden.fi_sites + stride - 1) / stride);
+
   // Every (site, bit) probe is independent: sweep the sites across the
   // pool into per-site partial reports, then merge them in site order so
   // the escape list comes out exactly as a serial sweep would produce it.
@@ -302,8 +316,7 @@ AuditReport audit_program(const masm::AsmProgram& program,
     std::uint64_t crashed = 0;
     std::vector<AuditEscape> escapes;
   };
-  std::vector<SitePartial> partials(
-      static_cast<std::size_t>(golden.fi_sites));
+  std::vector<SitePartial> partials(slots);
   ThreadPool pool(options.jobs);
   report.sites_per_worker.assign(static_cast<std::size_t>(pool.workers()), 0);
   std::vector<std::unique_ptr<vm::Engine>> engines(
@@ -311,17 +324,16 @@ AuditReport audit_program(const masm::AsmProgram& program,
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t width = batch_width(options.batch, options.vm);
   pool.parallel_for_indexed(
-      static_cast<std::size_t>(golden.fi_sites),
-      [&](int worker, std::size_t begin, std::size_t end) {
+      slots, [&](int worker, std::size_t begin, std::size_t end) {
         report.sites_per_worker[static_cast<std::size_t>(worker)] +=
             end - begin;
         auto& engine = engines[static_cast<std::size_t>(worker)];
         if (engine == nullptr) {
           engine = std::make_unique<vm::Engine>(decoded, faulty);
         }
-        const auto record = [&](std::size_t site, int bit,
+        const auto record = [&](std::size_t slot, std::uint64_t site, int bit,
                                 const vm::VmResult& run) {
-          SitePartial& partial = partials[site];
+          SitePartial& partial = partials[slot];
           ++partial.injections;
           if (run.status == vm::ExitStatus::kDetected) {
             ++partial.detected;
@@ -345,7 +357,8 @@ AuditReport audit_program(const masm::AsmProgram& program,
           }
         };
         if (width <= 1) {
-          for (std::size_t site = begin; site < end; ++site) {
+          for (std::size_t slot = begin; slot < end; ++slot) {
+            const std::uint64_t site = slot * stride;
             for (int bit : options.probe_bits) {
               vm::FaultSpec fault;
               fault.site = site;
@@ -353,7 +366,7 @@ AuditReport audit_program(const masm::AsmProgram& program,
               const vm::VmResult run =
                   fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
                                : engine->run(faulty, &fault, 1);
-              record(site, bit, run);
+              record(slot, site, bit, run);
             }
           }
           return;
@@ -372,7 +385,7 @@ AuditReport audit_program(const masm::AsmProgram& program,
           const std::size_t n = std::min(width, nprobes - base);
           for (std::size_t lane = 0; lane < n; ++lane) {
             const std::size_t probe = base + lane;
-            group[lane].site = begin + probe / nbits;
+            group[lane].site = (begin + probe / nbits) * stride;
             group[lane].bit = options.probe_bits[probe % nbits];
             lanes[lane].faults = &group[lane];
             lanes[lane].fault_count = 1;
@@ -381,7 +394,8 @@ AuditReport audit_program(const masm::AsmProgram& program,
                             lanes.data(), n, runs.data());
           for (std::size_t lane = 0; lane < n; ++lane) {
             const std::size_t probe = base + lane;
-            record(begin + probe / nbits, options.probe_bits[probe % nbits],
+            const std::size_t slot = begin + probe / nbits;
+            record(slot, slot * stride, options.probe_bits[probe % nbits],
                    runs[lane]);
           }
         }

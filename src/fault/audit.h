@@ -41,6 +41,13 @@ struct AuditOptions {
   /// report is bit-identical for every width — the knob, like jobs and
   /// ckpt_stride, only moves wall-clock.
   int batch = 8;
+  /// Probe only every Nth dynamic site (ids congruent to 0 mod N) — a
+  /// deterministic subsample that keeps the exhaustive frame's exactness
+  /// on the sites it does probe, for cross-validation harnesses that
+  /// compare two sweeps over the identical strided frame at a fraction
+  /// of the quadratic cost (bench/analysis_compose_accuracy at smoke
+  /// scale). 1 probes every site; incompatible with prune mode.
+  int site_stride = 1;
   /// Prune mode: a static liveness/equivalence report for this program
   /// (check::prune::prune_program, computed with store_data_sites ==
   /// vm.fault_store_data). Statically-dead (site, bit) probes are counted

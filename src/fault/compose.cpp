@@ -1,0 +1,622 @@
+#include "fault/compose.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <memory>
+#include <stdexcept>
+#include <unordered_map>
+
+// Plain data + inline lookups only, like audit's check/prune.h include:
+// the decomposition itself runs in ferrum_check and reaches this layer
+// as a built SectionMap, so ferrum_fault takes no link dependency on it.
+#include "check/sections.h"
+#include "fault/audit.h"
+#include "fault/prune_map.h"
+#include "fault/step_budget.h"
+#include "masm/cfg.h"
+#include "support/hash.h"
+#include "support/parallel.h"
+#include "support/rng.h"
+#include "vm/engine.h"
+
+namespace ferrum::fault {
+
+namespace {
+
+using detail::mix64;
+
+/// Effective lockstep width for Engine::run_batch (the audit gate).
+std::size_t batch_width(int batch, const vm::VmOptions& vm) {
+  if (batch <= 1) return 1;
+  if (vm.timing || vm.profile || vm.trace_limit != 0) return 1;
+  return static_cast<std::size_t>(batch);
+}
+
+std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof buffer, "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// First 16 hex digits of a SHA-256 as a salt word (0 on malformed).
+std::uint64_t sha_prefix64(const std::string& sha) {
+  std::uint64_t value = 0;
+  for (std::size_t i = 0; i < 16 && i < sha.size(); ++i) {
+    const char c = sha[i];
+    int digit;
+    if (c >= '0' && c <= '9') {
+      digit = c - '0';
+    } else if (c >= 'a' && c <= 'f') {
+      digit = c - 'a' + 10;
+    } else {
+      return 0;
+    }
+    value = (value << 4) | static_cast<std::uint64_t>(digit);
+  }
+  return value;
+}
+
+/// Per-section golden-run facts gathered from the site pc/digest sinks.
+struct SectionRuntime {
+  std::vector<std::uint64_t> sites;  // absolute dynamic site ids, ascending
+  std::uint64_t occurrences = 0;
+  std::uint64_t digest_fold = 0;  // fold of per-site digests (caching only)
+};
+
+/// What a stored summary carries besides the counts: the validation
+/// dependencies that gate its reuse.
+struct StoredSummary {
+  std::uint64_t detected = 0;
+  std::uint64_t benign = 0;
+  std::uint64_t crashed = 0;
+  std::uint64_t sdc = 0;
+  std::uint64_t trials = 0;
+  bool touched_all = false;
+  std::vector<std::pair<std::string, std::string>> touched;  // fn -> sha
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> deps;  // site -> digest
+};
+
+std::string serialize_summary(const StoredSummary& summary) {
+  std::string out = "ferrum-section-summary-v1\n";
+  const auto num = [&out](const char* key, std::uint64_t value) {
+    out += key;
+    out += ' ';
+    out += std::to_string(value);
+    out += '\n';
+  };
+  num("detected", summary.detected);
+  num("benign", summary.benign);
+  num("crashed", summary.crashed);
+  num("sdc", summary.sdc);
+  num("trials", summary.trials);
+  num("touched_all", summary.touched_all ? 1 : 0);
+  for (const auto& [name, sha] : summary.touched) {
+    out += "touched " + name + " " + sha + "\n";
+  }
+  for (const auto& [site, digest] : summary.deps) {
+    out += "dep " + std::to_string(site) + " " + hex16(digest) + "\n";
+  }
+  return out;
+}
+
+std::optional<StoredSummary> parse_summary(const std::string& bytes) {
+  StoredSummary summary;
+  std::size_t pos = 0;
+  const auto next_line = [&]() -> std::optional<std::string> {
+    if (pos >= bytes.size()) return std::nullopt;
+    const std::size_t nl = bytes.find('\n', pos);
+    if (nl == std::string::npos) return std::nullopt;  // strict: must end \n
+    std::string line = bytes.substr(pos, nl - pos);
+    pos = nl + 1;
+    return line;
+  };
+  const auto parse_u64 = [](const std::string& text,
+                            std::uint64_t& out) -> bool {
+    if (text.empty()) return false;
+    out = 0;
+    for (const char c : text) {
+      if (c < '0' || c > '9') return false;
+      out = out * 10 + static_cast<std::uint64_t>(c - '0');
+    }
+    return true;
+  };
+  auto header = next_line();
+  if (!header.has_value() || *header != "ferrum-section-summary-v1") {
+    return std::nullopt;
+  }
+  for (auto line = next_line(); line.has_value(); line = next_line()) {
+    const std::size_t space = line->find(' ');
+    if (space == std::string::npos) return std::nullopt;
+    const std::string key = line->substr(0, space);
+    const std::string rest = line->substr(space + 1);
+    std::uint64_t value = 0;
+    if (key == "detected" && parse_u64(rest, summary.detected)) continue;
+    if (key == "benign" && parse_u64(rest, summary.benign)) continue;
+    if (key == "crashed" && parse_u64(rest, summary.crashed)) continue;
+    if (key == "sdc" && parse_u64(rest, summary.sdc)) continue;
+    if (key == "trials" && parse_u64(rest, summary.trials)) continue;
+    if (key == "touched_all" && parse_u64(rest, value)) {
+      summary.touched_all = value != 0;
+      continue;
+    }
+    if (key == "touched") {
+      const std::size_t sep = rest.rfind(' ');
+      if (sep == std::string::npos) return std::nullopt;
+      summary.touched.emplace_back(rest.substr(0, sep), rest.substr(sep + 1));
+      continue;
+    }
+    if (key == "dep") {
+      const std::size_t sep = rest.find(' ');
+      if (sep == std::string::npos) return std::nullopt;
+      std::uint64_t site = 0;
+      if (!parse_u64(rest.substr(0, sep), site)) return std::nullopt;
+      const std::string hex = rest.substr(sep + 1);
+      if (hex.size() != 16) return std::nullopt;
+      std::uint64_t digest = 0;
+      for (const char c : hex) {
+        int digit;
+        if (c >= '0' && c <= '9') {
+          digit = c - '0';
+        } else if (c >= 'a' && c <= 'f') {
+          digit = c - 'a' + 10;
+        } else {
+          return std::nullopt;
+        }
+        digest = (digest << 4) | static_cast<std::uint64_t>(digit);
+      }
+      summary.deps.emplace_back(site, digest);
+      continue;
+    }
+    return std::nullopt;  // unknown or malformed line
+  }
+  return summary;
+}
+
+/// Campaign-mode trial budget: faulty_step_budget rounded up to the next
+/// power of two. The quantized budget is still an exact key input (every
+/// trial runs under it, so a summary is only reused at the identical
+/// budget), but small golden-step drifts from an edit land in the same
+/// quantum instead of re-keying every section in the program. Audit mode
+/// keeps the exact audit budget so agreement with fault::audit_program
+/// stays structural.
+std::uint64_t quantize_budget(std::uint64_t budget) {
+  std::uint64_t quantum = 1;
+  while (quantum < budget) quantum <<= 1;
+  return quantum;
+}
+
+/// One planned injection.
+struct WorkItem {
+  std::uint64_t site = 0;
+  int bit = 0;
+  std::int32_t section = 0;
+};
+
+}  // namespace
+
+std::string section_key_material(const SectionKeyInfo& info) {
+  std::string material = "ferrum-section-v1\n";
+  material += "mode=" + info.mode + "\n";
+  material += "code_sha256=" + info.code_sha256 + "\n";
+  material += "state_digest=" + info.state_digest + "\n";
+  material += "dynamic_sites=" + std::to_string(info.dynamic_sites) + "\n";
+  material += "occurrences=" + std::to_string(info.occurrences) + "\n";
+  material += "max_steps=" + std::to_string(info.max_steps) + "\n";
+  material += "probe_bits=";
+  for (std::size_t i = 0; i < info.probe_bits.size(); ++i) {
+    if (i != 0) material += ',';
+    material += std::to_string(info.probe_bits[i]);
+  }
+  material += "\n";
+  material += "trials=" + std::to_string(info.trials) + "\n";
+  material += "seed=" + std::to_string(info.seed) + "\n";
+  material += "burst=" + std::to_string(info.burst) + "\n";
+  material += "store_data=" + std::string(info.store_data ? "1" : "0") + "\n";
+  return material;
+}
+
+std::string section_key(const SectionKeyInfo& info) {
+  return sha256_hex(section_key_material(info));
+}
+
+namespace {
+
+ComposeReport compose_impl(const masm::AsmProgram& program,
+                           const check::sections::SectionMap& map,
+                           const ComposeOptions& options,
+                           const bool audit_mode) {
+  const bool caching = options.lookup != nullptr && options.store != nullptr;
+  const std::uint64_t stride =
+      audit_mode && options.site_stride > 1
+          ? static_cast<std::uint64_t>(options.site_stride)
+          : 1;
+  if (stride > 1 && caching) {
+    throw std::invalid_argument(
+        "site_stride is a validation-harness subsample; cached summaries "
+        "must cover every site");
+  }
+  const vm::PredecodedProgram decoded(program);
+  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+                            !options.vm.profile &&
+                            options.vm.trace_limit == 0;
+
+  // Liveness masks per flat pc (masm::LiveSet: what is live *before* the
+  // instruction) — the projection that keeps state digests blind to dead
+  // register/stack noise. Only the caching path pays for them.
+  std::vector<std::uint64_t> live_masks;
+  if (caching) {
+    live_masks.assign(decoded.code().size(), ~std::uint64_t{0});
+    for (std::size_t f = 0; f < program.functions.size(); ++f) {
+      const masm::AsmFunction& fn = program.functions[f];
+      const masm::Liveness liveness(fn);
+      for (std::size_t b = 0; b < fn.blocks.size(); ++b) {
+        const std::int32_t base =
+            decoded.block_pc(static_cast<int>(f), static_cast<int>(b));
+        for (std::size_t i = 0; i < fn.blocks[b].insts.size(); ++i) {
+          live_masks[static_cast<std::size_t>(base) + i] = liveness.live_after(
+              static_cast<int>(b), static_cast<int>(i) - 1);
+        }
+      }
+    }
+  }
+
+  // Golden run: one cold pass that captures checkpoints, the site pc map
+  // and (when caching) the per-site liveness-masked state digests.
+  vm::CheckpointSet ckpts;
+  vm::Engine golden_engine(decoded, options.vm);
+  std::vector<std::int32_t> site_pcs;
+  std::vector<std::uint64_t> site_digests;
+  golden_engine.set_site_pc_sink(&site_pcs);
+  if (caching) golden_engine.set_state_digest_sink(&site_digests, &live_masks);
+  const vm::VmResult golden =
+      fast_forward
+          ? golden_engine.run_capturing(
+                options.vm, static_cast<std::uint64_t>(options.ckpt_stride),
+                ckpts)
+          : golden_engine.run(options.vm, nullptr, 0);
+  golden_engine.set_site_pc_sink(nullptr);
+  golden_engine.set_state_digest_sink(nullptr, nullptr);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("compose golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+
+  // Dynamic site -> section, via the decoded instruction each site's pc
+  // names. Sections are straight-line, so one traversal's sites are
+  // consecutive in the stream; a new occurrence starts when the section
+  // changes or the pc does not advance (loop re-entry).
+  const std::size_t nsites = static_cast<std::size_t>(golden.fi_sites);
+  std::vector<std::int32_t> site_section(nsites, -1);
+  std::vector<SectionRuntime> runtime(map.sections.size());
+  std::int32_t prev_section = -1;
+  std::int32_t prev_pc = -1;
+  for (std::size_t id = 0; id < nsites; ++id) {
+    const std::int32_t pc = site_pcs[id];
+    const vm::DecodedInst& d = decoded.code()[static_cast<std::size_t>(pc)];
+    const int section = map.section_of(d.fidx, d.bidx, d.iidx);
+    if (section < 0 ||
+        static_cast<std::size_t>(section) >= runtime.size()) {
+      throw std::runtime_error(
+          "compose: dynamic site outside the section partition");
+    }
+    site_section[id] = section;
+    SectionRuntime& rt = runtime[static_cast<std::size_t>(section)];
+    if (section != prev_section || pc <= prev_pc) ++rt.occurrences;
+    rt.sites.push_back(id);
+    if (caching) rt.digest_fold = mix64(rt.digest_fold ^ site_digests[id]);
+    prev_section = section;
+    prev_pc = pc;
+  }
+  std::uint64_t mapped = 0;
+  for (const SectionRuntime& rt : runtime) mapped += rt.sites.size();
+  if (mapped != golden.fi_sites) {
+    throw std::runtime_error(
+        "compose: sections do not partition the dynamic site stream");
+  }
+
+  const std::uint64_t max_steps =
+      audit_mode ? faulty_step_budget(golden.steps)
+                 : quantize_budget(faulty_step_budget(golden.steps));
+
+  ComposeReport report;
+  report.sites = golden.fi_sites;
+  report.golden_steps = golden.steps;
+  report.sections.resize(map.sections.size());
+
+  // Per-section plan: trials each section owes. Audit mode probes every
+  // site x bit. Campaign mode samples at a per-site rate derived from
+  // options.trials, quantized to a power of two, so a section's
+  // allocation (and hence its cache key) depends only on its own site
+  // count — a global apportionment would re-key every section whenever
+  // an edit changed the program's total site count. The composed total
+  // tracks options.trials but is not exactly it.
+  std::vector<std::uint64_t> plan_trials(map.sections.size(), 0);
+  if (audit_mode) {
+    for (std::size_t s = 0; s < runtime.size(); ++s) {
+      std::uint64_t selected = 0;
+      for (const std::uint64_t site : runtime[s].sites) {
+        if (site % stride == 0) ++selected;
+      }
+      plan_trials[s] = selected * options.probe_bits.size();
+    }
+  } else if (golden.fi_sites > 0 && options.trials > 0) {
+    const double rate = static_cast<double>(options.trials) /
+                        static_cast<double>(golden.fi_sites);
+    const double rate_q = std::exp2(std::round(std::log2(rate)));
+    for (std::size_t s = 0; s < runtime.size(); ++s) {
+      if (runtime[s].sites.empty()) continue;
+      const double sites = static_cast<double>(runtime[s].sites.size());
+      plan_trials[s] = std::max<std::uint64_t>(
+          1, static_cast<std::uint64_t>(std::llround(rate_q * sites)));
+    }
+  }
+
+  // Keys + warm lookups, in section id order.
+  std::vector<StoredSummary> warm(map.sections.size());
+  std::vector<bool> is_warm(map.sections.size(), false);
+  std::unordered_map<std::string, std::string> fn_sha;
+  if (caching) {
+    for (const masm::AsmFunction& fn : program.functions) {
+      fn_sha[fn.name] = sha256_hex(masm::print(fn));
+    }
+  }
+  for (std::size_t s = 0; s < map.sections.size(); ++s) {
+    SectionSummary& summary = report.sections[s];
+    summary.section = static_cast<int>(s);
+    summary.code_sha256 = map.sections[s].code_sha256;
+    summary.dynamic_sites = runtime[s].sites.size();
+    summary.occurrences = runtime[s].occurrences;
+    summary.trials = plan_trials[s];
+    if (!caching || plan_trials[s] == 0) continue;
+    SectionKeyInfo info;
+    info.mode = audit_mode ? "audit" : "campaign";
+    info.code_sha256 = map.sections[s].code_sha256;
+    info.state_digest = hex16(runtime[s].digest_fold);
+    info.dynamic_sites = runtime[s].sites.size();
+    info.occurrences = runtime[s].occurrences;
+    info.max_steps = max_steps;
+    if (audit_mode) {
+      info.probe_bits = options.probe_bits;
+    } else {
+      info.trials = plan_trials[s];
+      info.seed = options.seed;
+    }
+    info.burst = options.burst;
+    info.store_data = options.vm.fault_store_data;
+    summary.key = section_key(info);
+    const std::optional<std::string> hit = options.lookup(summary.key);
+    if (!hit.has_value()) continue;
+    std::optional<StoredSummary> parsed = parse_summary(*hit);
+    if (!parsed.has_value()) continue;
+    // Reuse gate, false-miss-only: the counts must cover the plan, every
+    // function the cached trials touched post-fault must still print to
+    // the same SHA-256, and every golden-rejoin boundary the cached
+    // trials used must carry the same golden state digest today.
+    if (parsed->trials != plan_trials[s]) continue;
+    if (parsed->touched_all &&
+        parsed->touched.size() != program.functions.size()) {
+      continue;
+    }
+    bool valid = true;
+    for (const auto& [name, sha] : parsed->touched) {
+      const auto it = fn_sha.find(name);
+      if (it == fn_sha.end() || it->second != sha) {
+        valid = false;
+        break;
+      }
+    }
+    if (valid) {
+      for (const auto& [site, digest] : parsed->deps) {
+        if (site >= site_digests.size() || site_digests[site] != digest) {
+          valid = false;
+          break;
+        }
+      }
+    }
+    if (!valid) continue;
+    warm[s] = std::move(*parsed);
+    is_warm[s] = true;
+  }
+
+  // Flat cold-work plan, site-ascending so one worker's consecutive
+  // lockstep lanes share most of their golden-walk prefix.
+  std::vector<WorkItem> work;
+  for (std::size_t s = 0; s < map.sections.size(); ++s) {
+    if (is_warm[s] || plan_trials[s] == 0) continue;
+    const SectionRuntime& rt = runtime[s];
+    if (audit_mode) {
+      for (const std::uint64_t site : rt.sites) {
+        if (site % stride != 0) continue;
+        for (const int bit : options.probe_bits) {
+          work.push_back({site, bit, static_cast<std::int32_t>(s)});
+        }
+      }
+    } else {
+      std::uint64_t seed = mix64(options.seed ^
+                                 sha_prefix64(map.sections[s].code_sha256));
+      seed = mix64(seed ^ rt.sites.size());
+      seed = mix64(seed ^ rt.occurrences);
+      Rng rng(seed);
+      for (std::uint64_t t = 0; t < plan_trials[s]; ++t) {
+        const std::uint64_t rel = rng.next_below(rt.sites.size());
+        const int bit = static_cast<int>(rng.next_below(64));
+        work.push_back(
+            {rt.sites[static_cast<std::size_t>(rel)], bit,
+             static_cast<std::int32_t>(s)});
+      }
+    }
+  }
+  std::stable_sort(work.begin(), work.end(),
+                   [](const WorkItem& a, const WorkItem& b) {
+                     return a.site < b.site;
+                   });
+
+  // Execute the cold work across the pool. Each item records into its
+  // own slot, so the per-section reduction below (commutative count
+  // sums) is identical for every jobs/batch/dispatch choice.
+  vm::VmOptions faulty = options.vm;
+  faulty.max_steps = max_steps;
+  faulty.track_touched_functions = caching;
+  std::vector<std::uint8_t> outcomes(work.size(), 0);
+  std::vector<std::uint64_t> touched(caching ? work.size() : 0, 0);
+  std::vector<std::uint64_t> rejoin_sites(caching ? work.size() : 0, 0);
+  std::vector<std::uint8_t> rejoined(caching ? work.size() : 0, 0);
+  ThreadPool pool(options.jobs);
+  std::vector<std::unique_ptr<vm::Engine>> engines(
+      static_cast<std::size_t>(pool.workers()));
+  const auto wall_start = std::chrono::steady_clock::now();
+  const std::size_t width = batch_width(options.batch, options.vm);
+  pool.parallel_for_indexed(
+      work.size(), [&](int worker, std::size_t begin, std::size_t end) {
+        auto& engine = engines[static_cast<std::size_t>(worker)];
+        if (engine == nullptr) {
+          engine = std::make_unique<vm::Engine>(decoded, faulty);
+        }
+        const auto record = [&](std::size_t w, const vm::VmResult& run) {
+          ProbeOutcome outcome;
+          if (run.status == vm::ExitStatus::kDetected) {
+            outcome = ProbeOutcome::kDetected;
+          } else if (!run.ok()) {
+            outcome = ProbeOutcome::kCrashed;
+          } else if (run.output == golden.output) {
+            outcome = ProbeOutcome::kBenign;
+          } else {
+            outcome = ProbeOutcome::kSdc;
+          }
+          outcomes[w] = static_cast<std::uint8_t>(outcome);
+          if (caching) {
+            touched[w] = run.touched_functions;
+            rejoined[w] = run.rejoined ? 1 : 0;
+            rejoin_sites[w] = run.rejoin_site;
+          }
+        };
+        if (width <= 1) {
+          for (std::size_t w = begin; w < end; ++w) {
+            vm::FaultSpec fault;
+            fault.site = work[w].site;
+            fault.bit = work[w].bit;
+            fault.burst = options.burst;
+            const vm::VmResult run =
+                fast_forward ? engine->run_from(ckpts, faulty, &fault, 1)
+                             : engine->run(faulty, &fault, 1);
+            record(w, run);
+          }
+          return;
+        }
+        std::vector<vm::FaultSpec> group(width);
+        std::vector<vm::Engine::BatchTrial> lanes(width);
+        std::vector<vm::VmResult> runs(width);
+        for (std::size_t base = begin; base < end; base += width) {
+          const std::size_t n = std::min(width, end - base);
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            group[lane].site = work[base + lane].site;
+            group[lane].bit = work[base + lane].bit;
+            group[lane].burst = options.burst;
+            lanes[lane].faults = &group[lane];
+            lanes[lane].fault_count = 1;
+          }
+          engine->run_batch(fast_forward ? &ckpts : nullptr, faulty,
+                            lanes.data(), n, runs.data());
+          for (std::size_t lane = 0; lane < n; ++lane) {
+            record(base + lane, runs[lane]);
+          }
+        }
+      });
+  report.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    wall_start)
+          .count();
+  report.ckpt.stride = fast_forward ? static_cast<int>(ckpts.stride()) : 0;
+  report.ckpt.checkpoints = ckpts.size();
+  report.ckpt.snapshot_bytes = ckpts.snapshot_bytes();
+  for (const auto& engine : engines) {
+    if (engine != nullptr) report.ckpt.ff.merge(engine->stats());
+  }
+  report.trials_executed = work.size();
+
+  // Per-section reduction of the cold work, then the composition fold.
+  std::vector<StoredSummary> cold(map.sections.size());
+  std::vector<std::uint64_t> cold_touched(map.sections.size(), 0);
+  std::vector<std::map<std::uint64_t, std::uint64_t>> cold_deps(
+      caching ? map.sections.size() : 0);
+  for (std::size_t w = 0; w < work.size(); ++w) {
+    StoredSummary& acc = cold[static_cast<std::size_t>(work[w].section)];
+    switch (static_cast<ProbeOutcome>(outcomes[w])) {
+      case ProbeOutcome::kDetected: ++acc.detected; break;
+      case ProbeOutcome::kCrashed: ++acc.crashed; break;
+      case ProbeOutcome::kBenign: ++acc.benign; break;
+      case ProbeOutcome::kSdc: ++acc.sdc; break;
+    }
+    ++acc.trials;
+    if (caching) {
+      cold_touched[static_cast<std::size_t>(work[w].section)] |= touched[w];
+      if (rejoined[w] != 0 && !site_digests.empty()) {
+        const std::uint64_t dep =
+            std::min<std::uint64_t>(rejoin_sites[w], site_digests.size() - 1);
+        cold_deps[static_cast<std::size_t>(work[w].section)].emplace(
+            dep, site_digests[dep]);
+      }
+    }
+  }
+
+  for (std::size_t s = 0; s < map.sections.size(); ++s) {
+    SectionSummary& summary = report.sections[s];
+    if (is_warm[s]) {
+      summary.cached = true;
+      summary.detected = warm[s].detected;
+      summary.benign = warm[s].benign;
+      summary.crashed = warm[s].crashed;
+      summary.sdc = warm[s].sdc;
+      ++report.warm_sections;
+    } else if (plan_trials[s] != 0) {
+      summary.detected = cold[s].detected;
+      summary.benign = cold[s].benign;
+      summary.crashed = cold[s].crashed;
+      summary.sdc = cold[s].sdc;
+      summary.trials_executed = cold[s].trials;
+      ++report.cold_sections;
+      if (caching) {
+        StoredSummary& stored = cold[s];
+        const std::uint64_t mask = cold_touched[s];
+        stored.touched_all = (mask >> 63) & 1;
+        for (std::size_t f = 0; f < program.functions.size(); ++f) {
+          const bool hit = stored.touched_all || ((f < 63) && ((mask >> f) & 1));
+          if (!hit) continue;
+          stored.touched.emplace_back(program.functions[f].name,
+                                      fn_sha[program.functions[f].name]);
+        }
+        std::sort(stored.touched.begin(), stored.touched.end());
+        for (const auto& [site, digest] : cold_deps[s]) {
+          stored.deps.emplace_back(site, digest);
+        }
+        options.store(summary.key, serialize_summary(stored));
+      }
+    }
+    report.injections += summary.trials;
+    report.detected += summary.detected;
+    report.benign += summary.benign;
+    report.crashed += summary.crashed;
+    report.sdc += summary.sdc;
+  }
+  return report;
+}
+
+}  // namespace
+
+ComposeReport compose_audit(const masm::AsmProgram& program,
+                            const check::sections::SectionMap& map,
+                            const ComposeOptions& options) {
+  return compose_impl(program, map, options, /*audit_mode=*/true);
+}
+
+ComposeReport compose_campaign(const masm::AsmProgram& program,
+                               const check::sections::SectionMap& map,
+                               const ComposeOptions& options) {
+  return compose_impl(program, map, options, /*audit_mode=*/false);
+}
+
+}  // namespace ferrum::fault

@@ -56,11 +56,16 @@ std::optional<std::string> ResultCache::lookup(const std::string& key) {
   return memory_.emplace(key, std::move(bytes)).first->second;
 }
 
-void ResultCache::store(const std::string& key, const std::string& bytes) {
+void ResultCache::store(const std::string& key, const std::string& bytes,
+                        const bool replace) {
   if (!plausible_key(key)) return;
   {
     std::lock_guard<std::mutex> lock(mutex_);
-    if (!memory_.emplace(key, bytes).second) return;  // first writer won
+    const auto [it, inserted] = memory_.emplace(key, bytes);
+    if (!inserted) {
+      if (!replace || it->second == bytes) return;  // first writer won
+      it->second = bytes;
+    }
   }
   if (dir_.empty()) return;
   // Temp-file + rename: readers (this daemon after a restart, or a

@@ -34,8 +34,14 @@ class ResultCache {
 
   /// Stores `bytes` under `key`. First writer wins; a concurrent or
   /// later store of the same key is a no-op (by the determinism
-  /// contract its bytes are identical anyway).
-  void store(const std::string& key, const std::string& bytes);
+  /// contract its bytes are identical anyway). `replace` overrides
+  /// that: the entry is rewritten even if present — needed by values
+  /// whose *validation certificates* are context-dependent while their
+  /// key deliberately is not (compose's ferrum-section-v1 summaries: an
+  /// entry whose certificate went stale must give way to the freshly
+  /// re-campaigned one, or its section would stay cold forever).
+  void store(const std::string& key, const std::string& bytes,
+             bool replace = false);
 
   /// In-memory entry count (diagnostics only).
   std::size_t entries() const;

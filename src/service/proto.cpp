@@ -1,6 +1,8 @@
 #include "service/proto.h"
 
+#include <cstdint>
 #include <cstring>
+#include <limits>
 
 namespace ferrum::service {
 
@@ -122,6 +124,19 @@ bool take_int(const telemetry::Json& json, const char* key, int& out,
     error = std::string("cell field '") + key + "' must be an integer";
     return false;
   }
+  // No silent coercion: a value outside int range would truncate in the
+  // cast below, so the cell would execute (and cache) under a different
+  // knob than the client wrote.
+  constexpr std::int64_t kMax = std::numeric_limits<int>::max();
+  constexpr std::int64_t kMin = std::numeric_limits<int>::min();
+  const bool in_range =
+      value->kind() == telemetry::Json::Kind::kUint
+          ? value->as_uint() <= static_cast<std::uint64_t>(kMax)
+          : value->as_int() >= kMin && value->as_int() <= kMax;
+  if (!in_range) {
+    error = std::string("cell field '") + key + "' is out of int range";
+    return false;
+  }
   out = static_cast<int>(value->as_int());
   return true;
 }
@@ -171,6 +186,12 @@ bool cell_from_json(const telemetry::Json& json, fault::CampaignCell& cell,
     if (!seed->is_number() ||
         seed->kind() == telemetry::Json::Kind::kDouble) {
       error = "cell field 'seed' must be an integer";
+      return false;
+    }
+    // as_uint would wrap a negative seed to a huge value — a silently
+    // different cell than the client wrote.
+    if (seed->kind() == telemetry::Json::Kind::kInt && seed->as_int() < 0) {
+      error = "cell field 'seed' must be non-negative";
       return false;
     }
     cell.seed = seed->as_uint();

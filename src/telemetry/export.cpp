@@ -228,6 +228,46 @@ Json to_json(const fault::AuditReport& report) {
   return json;
 }
 
+Json to_json(const fault::ComposeReport& report) {
+  Json json = Json::object();
+  json["sites"] = report.sites;
+  json["golden_steps"] = report.golden_steps;
+  json["injections"] = report.injections;
+  json["detected"] = report.detected;
+  json["benign"] = report.benign;
+  json["crashed"] = report.crashed;
+  json["sdc"] = report.sdc;
+  Json sections = Json::array();
+  for (const fault::SectionSummary& summary : report.sections) {
+    Json entry = Json::object();
+    entry["section"] = summary.section;
+    entry["sha256"] = summary.code_sha256;
+    if (!summary.key.empty()) entry["key"] = summary.key;
+    entry["dynamic_sites"] = summary.dynamic_sites;
+    entry["occurrences"] = summary.occurrences;
+    entry["trials"] = summary.trials;
+    Json outcomes = Json::object();
+    outcomes["detected"] = summary.detected;
+    outcomes["benign"] = summary.benign;
+    outcomes["crashed"] = summary.crashed;
+    outcomes["sdc"] = summary.sdc;
+    entry["outcomes"] = outcomes;
+    sections.push_back(entry);
+  }
+  json["sections"] = sections;
+  return json;
+}
+
+Json wallclock_json(const fault::ComposeReport& report) {
+  Json json = Json::object();
+  json["trials_executed"] = report.trials_executed;
+  json["warm_sections"] = report.warm_sections;
+  json["cold_sections"] = report.cold_sections;
+  json["wall_seconds"] = report.wall_seconds;
+  json["ckpt"] = ckpt_json(report.ckpt);
+  return json;
+}
+
 Json wallclock_json(const fault::AuditReport& report) {
   Json json = Json::object();
   Json per_worker = Json::array();

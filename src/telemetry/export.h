@@ -8,6 +8,7 @@
 
 #include "fault/audit.h"
 #include "fault/campaign.h"
+#include "fault/compose.h"
 #include "telemetry/json.h"
 #include "vm/profile.h"
 #include "vm/timing.h"
@@ -46,5 +47,15 @@ Json to_json(const fault::AuditReport& report);
 
 /// Scheduling-dependent audit observability.
 Json wallclock_json(const fault::AuditReport& report);
+
+/// Deterministic compositional-campaign results: whole-program composed
+/// counts plus the per-section summaries (id, code SHA-256, cache key,
+/// site/occurrence counts, outcome counts). Cache-state observability
+/// (warm/cold split, trials actually executed) is excluded so warm and
+/// cold runs export byte-identical JSON.
+Json to_json(const fault::ComposeReport& report);
+
+/// Scheduling- and cache-state-dependent compose observability.
+Json wallclock_json(const fault::ComposeReport& report);
 
 }  // namespace ferrum::telemetry

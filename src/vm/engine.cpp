@@ -378,7 +378,9 @@ class Engine::Impl {
     options_ = &options;
     faults_ = nullptr;
     fault_count_ = 0;
-    site_observers_ = options.profile || site_pc_sink_ != nullptr;
+    site_observers_ = options.profile || site_pc_sink_ != nullptr ||
+                      state_digest_sink_ != nullptr;
+    touch_track_ = options.track_touched_functions;
     steps_ = 0;
     fi_sites_ = 0;
     fault_step_ = 0;
@@ -387,6 +389,8 @@ class Engine::Impl {
     output_.clear();
     trace_.clear();
     touched_addr_ = 0;
+    store_chain_ = 0;
+    output_chain_ = 0;
     halted_ = false;
     timing_.reset();
     profile_ = VmProfile{};
@@ -457,6 +461,12 @@ class Engine::Impl {
     site_pc_sink_ = sink;
   }
 
+  void set_state_digest_sink(std::vector<std::uint64_t>* sink,
+                             const std::vector<std::uint64_t>* live_masks) {
+    state_digest_sink_ = sink;
+    digest_live_masks_ = sink != nullptr ? live_masks : nullptr;
+  }
+
  private:
   // ----------------------------------------------------------- layout --
 
@@ -491,6 +501,17 @@ class Engine::Impl {
       const std::size_t addr = static_cast<std::size_t>(global_addr_[g]);
       std::memcpy(memory_.data() + addr, global.init.data(), size);
       mark_dirty_range(addr, size);
+      if (state_digest_sink_ != nullptr) {
+        // Globals bypass store(); fold their placement and initial bytes
+        // into the store chain so state digests see them.
+        store_chain_ = mix64(store_chain_ ^ addr ^
+                             (static_cast<std::uint64_t>(size) << 32));
+        for (std::size_t i = 0; i < size; i += 8) {
+          std::uint64_t word = 0;
+          std::memcpy(&word, global.init.data() + i, std::min<std::size_t>(8, size - i));
+          store_chain_ = mix64(store_chain_ ^ word);
+        }
+      }
     }
   }
 
@@ -644,6 +665,8 @@ class Engine::Impl {
     fault_step_ = 0;
     rejoined_ = false;
     rejoin_skipped_ = 0;
+    rejoin_site_ = 0;
+    touched_fns_ = 0;
     const std::uint64_t fork_steps = steps_;
     journaling_ = true;
     result = VmResult{};
@@ -662,6 +685,9 @@ class Engine::Impl {
     result.fault_injected = fault_injected_;
     result.fault_landing = fault_landing_;
     result.fault_step = fault_step_;
+    result.touched_functions = touched_fns_;
+    result.rejoined = rejoined_;
+    result.rejoin_site = rejoin_site_;
     faults_ = nullptr;
     fault_count_ = 0;
     stats.trials += 1;
@@ -818,6 +844,7 @@ class Engine::Impl {
           return;
         }
         if (state_matches(*b)) {
+          rejoin_site_ = b->fi_sites;
           adopt_golden_tail(rejoin_->summary());
           return;
         }
@@ -833,7 +860,10 @@ class Engine::Impl {
     options_ = &options;
     faults_ = faults;
     fault_count_ = fault_count;
-    site_observers_ = options.profile || site_pc_sink_ != nullptr;
+    site_observers_ = options.profile || site_pc_sink_ != nullptr ||
+                      state_digest_sink_ != nullptr;
+    touch_track_ = options.track_touched_functions;
+    touched_fns_ = 0;
     steps_ = 0;
     fi_sites_ = 0;
     fault_step_ = 0;
@@ -842,9 +872,12 @@ class Engine::Impl {
     rejoin_ = rejoin;
     rejoined_ = false;
     rejoin_skipped_ = 0;
+    rejoin_site_ = 0;
     output_.clear();
     trace_.clear();
     touched_addr_ = 0;
+    store_chain_ = 0;
+    output_chain_ = 0;
     halted_ = false;
     timing_.reset();
     if (options.timing) timing_.emplace(options.timing_params);
@@ -880,6 +913,9 @@ class Engine::Impl {
     result.fault_injected = fault_injected_;
     result.fault_landing = fault_landing_;
     result.fault_step = fault_step_;
+    result.touched_functions = touched_fns_;
+    result.rejoined = rejoined_;
+    result.rejoin_site = rejoin_site_;
     if (options.timing) {
       result.cycles = timing_->cycles();
       result.timing_stats = timing_->stats();
@@ -973,6 +1009,11 @@ class Engine::Impl {
     if (journaling_) {
       journal_page(first);
       if (last != first) journal_page(last);
+    }
+    if (state_digest_sink_ != nullptr) {
+      store_chain_ = mix64(store_chain_ ^ addr);
+      store_chain_ = mix64(store_chain_ ^
+                           (static_cast<std::uint64_t>(size) << 56) ^ value);
     }
     std::memcpy(memory_.data() + addr, &value, static_cast<std::size_t>(size));
     dirty_[first] = 1;
@@ -1079,7 +1120,65 @@ class Engine::Impl {
   /// predictable branch per site instead of two.
   void observe_site(FaultKind kind) {
     if (site_pc_sink_ != nullptr) site_pc_sink_->push_back(pc_);
+    if (state_digest_sink_ != nullptr) {
+      state_digest_sink_->push_back(state_digest());
+    }
     if (options_->profile) ++profile_.site_counts[static_cast<int>(kind)];
+  }
+
+  /// splitmix64 finaliser — the same avalanche the prune layer's
+  /// detail::mix64 uses, duplicated here to keep vm free of fault
+  /// headers.
+  static std::uint64_t mix64(std::uint64_t x) {
+    x ^= x >> 30;
+    x *= 0xbf58476d1ce4e5b9ULL;
+    x ^= x >> 27;
+    x *= 0x94d049bb133111ebULL;
+    x ^= x >> 31;
+    return x;
+  }
+
+  /// Digest of the machine state at the current FI site, masked down to
+  /// the registers/flags *live* before the instruction at pc_ (see
+  /// Engine::set_state_digest_sink). Memory and output enter through the
+  /// running store/output chains rather than a full-arena hash: the
+  /// chains cover every byte that can differ from the zeroed cold-start
+  /// state (globals folded at start_cold, every later write passes
+  /// store()), and dead stack noise cannot arise because *stores* are
+  /// architecturally visible effects, not dead register garbage.
+  std::uint64_t state_digest() const {
+    std::uint64_t mask = ~std::uint64_t{0};
+    if (digest_live_masks_ != nullptr &&
+        static_cast<std::size_t>(pc_) < digest_live_masks_->size()) {
+      mask = (*digest_live_masks_)[static_cast<std::size_t>(pc_)];
+    }
+    std::uint64_t h = 0x9e3779b97f4a7c15ULL;
+    for (int r = 0; r < masm::kGprCount; ++r) {
+      if ((mask >> r) & 1) h = mix64(h ^ gpr_[r]);
+    }
+    for (int x = 0; x < masm::kXmmCount; ++x) {
+      if ((mask >> (16 + x)) & 1) {
+        for (int lane = 0; lane < 4; ++lane) {
+          h = mix64(h ^ xmm_[x][lane]);
+        }
+      }
+    }
+    if ((mask >> 32) & 1) {
+      h = mix64(h ^ (static_cast<std::uint64_t>(flags_.zf) |
+                     (static_cast<std::uint64_t>(flags_.sf) << 1) |
+                     (static_cast<std::uint64_t>(flags_.of) << 2) |
+                     (static_cast<std::uint64_t>(flags_.cf) << 3)));
+    }
+    h = mix64(h ^ steps_);
+    h = mix64(h ^ store_chain_);
+    h = mix64(h ^ output_chain_);
+    return h;
+  }
+
+  /// Function bit for VmResult::touched_functions; indexes >= 63 share
+  /// the overflow bucket (bit 63).
+  static std::uint64_t fn_bit(std::int32_t fidx) {
+    return std::uint64_t{1} << (fidx < 63 ? fidx : 63);
   }
 
   /// Registers one FI site; returns the matching fault spec when this
@@ -1101,6 +1200,7 @@ class Engine::Impl {
         landing.inst = d.iidx;
         fault_landing_ = landing;
         fault_step_ = steps_;
+        if (touch_track_) touched_fns_ |= fn_bit(d.fidx);
       }
       fault_injected_ = true;
       return &spec;
@@ -1329,6 +1429,7 @@ class Engine::Impl {
         bidx >= program_.block_count(fidx)) {
       throw Trap{ExitStatus::kTrapInvalid};
     }
+    if (touch_track_ && fault_injected_) touched_fns_ |= fn_bit(fidx);
     // An iidx past the block's end fell through to the next block in
     // the old interpreter; the clamp to the next block's base pc (the
     // sentinel when bidx is the last block) reproduces that exactly.
@@ -1798,10 +1899,16 @@ class Engine::Impl {
   void exec_call(const AsmInst& inst, const DecodedInst& d) {
     if (d.callee == kCalleePrintInt) {
       output_.push_back(gpr_[static_cast<int>(Gpr::kRdi)]);
+      if (state_digest_sink_ != nullptr) {
+        output_chain_ = mix64(output_chain_ ^ output_.back());
+      }
       return;
     }
     if (d.callee == kCalleePrintF64) {
       output_.push_back(xmm_[0][0]);
+      if (state_digest_sink_ != nullptr) {
+        output_chain_ = mix64(output_chain_ ^ output_.back());
+      }
       return;
     }
     if (d.callee < 0) throw Trap{ExitStatus::kTrapInvalid};
@@ -1813,6 +1920,7 @@ class Engine::Impl {
     rsp -= 8;
     if (rsp <= heap_end_) throw Trap{ExitStatus::kTrapMemory};
     store_faultable(rsp, 8, ret_addr, inst, d);
+    if (touch_track_ && fault_injected_) touched_fns_ |= fn_bit(d.callee);
     next_pc_ = program_.entry_pc(d.callee);
   }
 
@@ -1886,10 +1994,22 @@ class Engine::Impl {
   const CheckpointSet* rejoin_ = nullptr;
   bool rejoined_ = false;
   std::uint64_t rejoin_skipped_ = 0;
+  std::uint64_t rejoin_site_ = 0;
 
   std::vector<std::int32_t>* site_pc_sink_ = nullptr;
-  /// True when any per-site observer (pc sink, profiler tallies) is
-  /// active this run; recomputed at every run entry.
+  /// State-digest observer (see Engine::set_state_digest_sink): per-site
+  /// digests land in the sink; the masks select the live registers per
+  /// flat pc; the chains accumulate the store stream and output log.
+  std::vector<std::uint64_t>* state_digest_sink_ = nullptr;
+  const std::vector<std::uint64_t>* digest_live_masks_ = nullptr;
+  std::uint64_t store_chain_ = 0;
+  std::uint64_t output_chain_ = 0;
+  /// Post-fault touched-function accounting (VmOptions::
+  /// track_touched_functions).
+  bool touch_track_ = false;
+  std::uint64_t touched_fns_ = 0;
+  /// True when any per-site observer (pc sink, digest sink, profiler
+  /// tallies) is active this run; recomputed at every run entry.
   bool site_observers_ = false;
 
   std::uint64_t steps_ = 0;
@@ -1935,6 +2055,11 @@ void Engine::run_batch(const CheckpointSet* checkpoints,
 
 void Engine::set_site_pc_sink(std::vector<std::int32_t>* sink) {
   impl_->set_site_pc_sink(sink);
+}
+
+void Engine::set_state_digest_sink(std::vector<std::uint64_t>* sink,
+                                   const std::vector<std::uint64_t>* live_masks) {
+  impl_->set_state_digest_sink(sink, live_masks);
 }
 
 }  // namespace ferrum::vm

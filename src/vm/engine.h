@@ -321,6 +321,21 @@ class Engine {
   /// ids to static instructions (code()[pc]). Pass nullptr to stop.
   void set_site_pc_sink(std::vector<std::int32_t>* sink);
 
+  /// While `sink` is non-null, every dynamic FI site additionally appends
+  /// a 64-bit digest of the machine state at that site: the *live*
+  /// registers/flags (per `live_masks`, indexed by flat pc in
+  /// masm::LiveSet encoding — bits 0-15 GPRs, 16-31 XMMs, bit 32 FLAGS;
+  /// null or out-of-range folds everything), the step counter, and
+  /// running hashes of the store stream (every store() since the cold
+  /// start, globals included) and the output log. Liveness masking makes
+  /// the digest insensitive to dead register/stack noise, so an upstream
+  /// edit that preserves behaviour keeps downstream digests — the
+  /// foundation of compose's incremental cache keys. A run with this
+  /// sink never golden-rejoins (site observers need the real stream);
+  /// intended for one cold golden run per program. Pass nullptr to stop.
+  void set_state_digest_sink(std::vector<std::uint64_t>* sink,
+                             const std::vector<std::uint64_t>* live_masks);
+
   const FastForwardStats& stats() const { return stats_; }
 
  private:

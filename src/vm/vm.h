@@ -109,6 +109,11 @@ struct VmOptions {
   /// deterministic), asserted byte-identical by tests; off only for
   /// engine-cost baselines. Ignored when no checkpoints are in play.
   bool golden_rejoin = true;
+  /// Record which functions a trial's *post-fault* execution entered
+  /// (VmResult::touched_functions) — the code a cached per-section
+  /// summary depends on beyond the section itself. Off by default: the
+  /// accounting costs a couple of branches on call/ret.
+  bool track_touched_functions = false;
 };
 
 struct VmResult {
@@ -135,6 +140,17 @@ struct VmResult {
   /// Execution trace (when VmOptions::trace_limit > 0): one line per
   /// executed instruction, "function/block: rendered-instruction".
   std::vector<std::string> trace;
+  /// Bitmask of functions entered after the (first) fault fired, plus
+  /// the function the fault landed in (when
+  /// VmOptions::track_touched_functions). Bit i = function index i;
+  /// bit 63 is an overflow bucket meaning "function 63 or beyond" —
+  /// consumers must treat it as "possibly every function".
+  std::uint64_t touched_functions = 0;
+  /// Golden rejoin outcome of this trial (engine runs only): whether the
+  /// tail was adopted from the golden summary, and the fi_sites count of
+  /// the checkpoint boundary where the state matched.
+  bool rejoined = false;
+  std::uint64_t rejoin_site = 0;
 
   bool ok() const { return status == ExitStatus::kOk; }
 };

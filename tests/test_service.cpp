@@ -295,6 +295,95 @@ TEST(Proto, CellJsonIsStrict) {
   EXPECT_FALSE(service::cell_from_json(invalid, cell, error));
 }
 
+TEST(Proto, CellJsonRejectsWrongTypeForEveryKnownKey) {
+  // Valid key, wrong JSON type: every knob must hard-error rather than
+  // coerce — "trials": "100" silently read as 0 (or 100) would execute
+  // and cache a different cell than the client wrote.
+  const auto base = [] {
+    telemetry::Json json = telemetry::Json::object();
+    json["workload"] = "bfs";
+    return json;
+  };
+  const auto rejects = [](telemetry::Json json) {
+    CampaignCell cell;
+    std::string error;
+    const bool ok = service::cell_from_json(json, cell, error);
+    EXPECT_FALSE(ok) << json.dump();
+    if (!ok) {
+      EXPECT_FALSE(error.empty());
+    }
+  };
+  for (const char* key : {"scale", "trials", "seed", "faults_per_run",
+                          "burst", "jobs", "ckpt_stride", "batch"}) {
+    telemetry::Json as_string = base();
+    as_string[key] = "100";
+    rejects(std::move(as_string));
+    telemetry::Json as_double = base();
+    as_double[key] = 100.0;
+    rejects(std::move(as_double));
+    telemetry::Json as_bool = base();
+    as_bool[key] = true;
+    rejects(std::move(as_bool));
+    telemetry::Json as_object = base();
+    as_object[key] = telemetry::Json::object();
+    rejects(std::move(as_object));
+  }
+  for (const char* key : {"program", "workload", "technique", "dispatch"}) {
+    telemetry::Json as_int = base();
+    as_int[key] = static_cast<std::int64_t>(3);
+    rejects(std::move(as_int));
+    telemetry::Json as_object = base();
+    as_object[key] = telemetry::Json::object();
+    rejects(std::move(as_object));
+  }
+  for (const char* key : {"store_data", "prune"}) {
+    telemetry::Json as_int = base();
+    as_int[key] = static_cast<std::int64_t>(1);  // truthy is not bool
+    rejects(std::move(as_int));
+    telemetry::Json as_string = base();
+    as_string[key] = "true";
+    rejects(std::move(as_string));
+  }
+}
+
+TEST(Proto, CellJsonRejectsOutOfRangeAndNegativeIntegers) {
+  const auto rejects = [](telemetry::Json json) {
+    CampaignCell cell;
+    std::string error;
+    EXPECT_FALSE(service::cell_from_json(json, cell, error)) << json.dump();
+  };
+  // int knobs: an int64/uint64 outside int range used to truncate in a
+  // static_cast (4294967297 silently became trials=1).
+  telemetry::Json wide = telemetry::Json::object();
+  wide["workload"] = "bfs";
+  wide["trials"] = static_cast<std::int64_t>(4294967297LL);
+  rejects(std::move(wide));
+  telemetry::Json huge = telemetry::Json::object();
+  huge["workload"] = "bfs";
+  huge["batch"] = static_cast<std::uint64_t>(1) << 40;
+  rejects(std::move(huge));
+  telemetry::Json low = telemetry::Json::object();
+  low["workload"] = "bfs";
+  low["ckpt_stride"] = static_cast<std::int64_t>(-4294967297LL);
+  rejects(std::move(low));
+  // seed is uint64: a negative value used to wrap to a huge seed.
+  telemetry::Json negative_seed = telemetry::Json::object();
+  negative_seed["workload"] = "bfs";
+  negative_seed["seed"] = static_cast<std::int64_t>(-1);
+  rejects(std::move(negative_seed));
+  // Boundary values still parse: INT_MAX fits, and a uint64 seed keeps
+  // its full width.
+  telemetry::Json fine = telemetry::Json::object();
+  fine["workload"] = "bfs";
+  fine["trials"] = static_cast<std::int64_t>(2147483647);
+  fine["seed"] = static_cast<std::uint64_t>(0xfeedfacecafebeefULL);
+  CampaignCell cell;
+  std::string error;
+  EXPECT_TRUE(service::cell_from_json(fine, cell, error)) << error;
+  EXPECT_EQ(cell.trials, 2147483647);
+  EXPECT_EQ(cell.seed, 0xfeedfacecafebeefULL);
+}
+
 // ---------------------------------------------------------------------
 // Content-addressed store.
 
@@ -308,6 +397,29 @@ TEST(ResultCache, MemoryRoundTripAndFirstWriterWins) {
   ASSERT_TRUE(cache.lookup(test_key('a')).has_value());
   EXPECT_EQ(*cache.lookup(test_key('a')), "first");
   EXPECT_EQ(cache.entries(), 1u);
+}
+
+TEST(ResultCache, ReplaceModeOverwritesAnExistingEntry) {
+  // Section summaries need replace semantics: a key can hold a value
+  // whose validation certificate went stale (the code it certified
+  // changed), and the freshly re-campaigned summary must displace it or
+  // the section stays permanently cold.
+  const std::string dir = "tsvc-cache-rep-" + std::to_string(::getpid());
+  std::filesystem::remove_all(dir);
+  {
+    service::ResultCache cache(dir);
+    cache.store(test_key('c'), "stale");
+    cache.store(test_key('c'), "fresh");  // default: first writer wins
+    EXPECT_EQ(*cache.lookup(test_key('c')), "stale");
+    cache.store(test_key('c'), "fresh", /*replace=*/true);
+    EXPECT_EQ(*cache.lookup(test_key('c')), "fresh");
+    EXPECT_EQ(cache.entries(), 1u);
+  }
+  service::ResultCache reopened(dir);  // the disk tier was rewritten too
+  const auto hit = reopened.lookup(test_key('c'));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(*hit, "fresh");
+  std::filesystem::remove_all(dir);
 }
 
 TEST(ResultCache, DiskEntriesSurviveTheInstance) {
