@@ -77,10 +77,25 @@ int main() {
       cell.trials = trials;
       cell.jobs = 1;  // per-cell engine stays scalar; the pool is the service
       cells.push_back(cell);
+      // A reseeded sibling: a different cache key (seed is key material)
+      // over the SAME program, so its golden run + checkpoints must come
+      // from the shared program state, not a second golden walk.
+      cell.seed = cell.seed + 1;
+      cells.push_back(cell);
     }
   }
+  const std::uint64_t kDistinctPrograms = 6;  // 3 workloads x 2 techniques
 
+  const std::uint64_t built_before =
+      daemon.metrics().counter("service/golden/built").value();
+  const std::uint64_t reused_before =
+      daemon.metrics().counter("service/golden/reused").value();
   const PassResult cold = run_pass(daemon, cells);
+  const std::uint64_t golden_built =
+      daemon.metrics().counter("service/golden/built").value() - built_before;
+  const std::uint64_t golden_reused =
+      daemon.metrics().counter("service/golden/reused").value() -
+      reused_before;
 
   // Warm resubmission under different engine knobs: the key excludes
   // them, so every cell must come back from the store.
@@ -116,6 +131,15 @@ int main() {
   std::printf("warm speedup: %.1fx, cache hits: %llu/%zu, bytes %s\n",
               speedup, static_cast<unsigned long long>(cache_hits),
               cells.size(), byte_identical ? "identical" : "DIVERGED");
+  // Cross-cell golden sharing: each distinct program walks its golden
+  // run exactly once; every reseeded sibling reuses it.
+  const bool golden_shared =
+      golden_built == kDistinctPrograms &&
+      golden_reused == cells.size() - kDistinctPrograms;
+  std::printf("golden runs: built %llu, reused %llu (%s)\n",
+              static_cast<unsigned long long>(golden_built),
+              static_cast<unsigned long long>(golden_reused),
+              golden_shared ? "shared" : "NOT SHARED");
 
   benchutil::BenchReport report("bench_service");
   telemetry::Json& metrics = report.metrics();
@@ -126,6 +150,9 @@ int main() {
   metrics["warm_matches_cold"] = byte_identical;
   metrics["warm_trials_executed"] = warm.trials_executed;
   metrics["cold_trials_executed"] = cold.trials_executed;
+  metrics["golden_built"] = golden_built;
+  metrics["golden_reused"] = golden_reused;
+  metrics["golden_shared"] = golden_shared;
   telemetry::Json per_cell = telemetry::Json::array();
   for (std::size_t i = 0; i < cells.size(); ++i) {
     telemetry::Json entry = telemetry::Json::object();
@@ -149,6 +176,17 @@ int main() {
                  "service contract violated: warm pass %s, %llu trials\n",
                  byte_identical ? "matched" : "diverged",
                  static_cast<unsigned long long>(warm.trials_executed));
+    return 1;
+  }
+  if (!golden_shared) {
+    std::fprintf(stderr,
+                 "golden sharing violated: built %llu (want %llu), reused "
+                 "%llu (want %llu)\n",
+                 static_cast<unsigned long long>(golden_built),
+                 static_cast<unsigned long long>(kDistinctPrograms),
+                 static_cast<unsigned long long>(golden_reused),
+                 static_cast<unsigned long long>(cells.size() -
+                                                 kDistinctPrograms));
     return 1;
   }
   return 0;

@@ -267,6 +267,32 @@ void check_compose_accuracy(Json& artifact) {
   }
 }
 
+/// Acceptance check on the early-stop cross-validation: interval
+/// coverage at or above nominal, canonical-prefix containment, and the
+/// bench's own verdicts (the 5x reduction floor arms itself only at
+/// realistic budgets — smoke budgets cannot cross a stop boundary).
+void check_earlystop_accuracy(Json& artifact) {
+  Json& metrics = artifact["metrics"];
+  const Json* coverage = metrics.find("coverage_ok");
+  if (coverage == nullptr || !coverage->as_bool()) {
+    fail("analysis_earlystop_accuracy interval coverage below nominal");
+  }
+  const Json* prefix = metrics.find("prefix_containment");
+  if (prefix == nullptr || !prefix->as_bool()) {
+    fail("analysis_earlystop_accuracy adaptive counts exceeded the "
+         "full-budget counts — canonical-prefix property violated");
+  }
+  const Json* reduction = metrics.find("reduction_ok");
+  if (reduction == nullptr || !reduction->as_bool()) {
+    fail("analysis_earlystop_accuracy mean reduction below the 5x floor");
+  }
+  const Json* intervals = metrics.find("intervals_total");
+  if (intervals == nullptr || intervals->as_uint() == 0) {
+    fail("analysis_earlystop_accuracy checked no intervals — the coverage "
+         "check is vacuous");
+  }
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -298,6 +324,7 @@ int main(int argc, char** argv) {
       {"analysis_rootcause", ""},
       {"analysis_static_coverage", ""},
       {"analysis_compose_accuracy", ""},
+      {"analysis_earlystop_accuracy", ""},
       {"bench_pass_time", "--benchmark_list_tests=true"},
       {"bench_vm", "--benchmark_list_tests=true"},
       {"bench_service", ""},
@@ -351,6 +378,11 @@ int main(int argc, char** argv) {
     check_compose_accuracy(*compose);
   }
 
+  if (auto earlystop = check_artifact(out_dir, "analysis_earlystop_accuracy");
+      earlystop.has_value()) {
+    check_earlystop_accuracy(*earlystop);
+  }
+
   // The service bench asserts its own cold/warm contract and exits
   // non-zero on violation; re-check the recorded verdict here so a
   // future edit that stops asserting is still caught.
@@ -366,6 +398,12 @@ int main(int argc, char** argv) {
     }
     if (warm_trials == nullptr || warm_trials->as_uint() != 0) {
       fail("bench_service warm pass executed engine trials");
+    }
+    const Json* shared =
+        metrics != nullptr ? metrics->find("golden_shared") : nullptr;
+    if (shared == nullptr || !shared->as_bool()) {
+      fail("bench_service did not share golden runs across same-program "
+           "cells");
     }
   }
 

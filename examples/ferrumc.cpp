@@ -38,6 +38,7 @@
 // audit/campaign collapses the injection space with it (statically-dead
 // flips are benign without running, live flips are answered by one pilot
 // per equivalence class; see src/check/prune.h).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -45,6 +46,7 @@
 #include <memory>
 #include <sstream>
 #include <string>
+#include <thread>
 
 #include "check/check.h"
 #include "check/prune.h"
@@ -77,6 +79,7 @@ int usage(const char* argv0) {
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
                "       [--dispatch=switch|threaded] [--batch=N]\n"
+               "       [--max-half-width=X]\n"
                "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
                "       [--compose] [--incremental] [--cache-dir=DIR]\n"
                "       %s serve [--socket=PATH] [--cache-dir=DIR] "
@@ -117,6 +120,12 @@ int usage(const char* argv0) {
                "--batch defaults to FERRUM_BATCH, then 8 — lockstep lanes "
                "per campaign/audit engine call, 1 = scalar; both knobs "
                "never change results, only wall-clock;\n"
+               " --max-half-width (default FERRUM_CI_TARGET, then 0 = "
+               "off) stops a campaign at the first power-of-two trial "
+               "boundary where every outcome-rate 95%% Wilson half-width "
+               "is <= the target — deterministic (the stopped count is a "
+               "pure function of the cell, never of jobs/batch/dispatch) "
+               "and cache-key material; incompatible with --prune;\n"
                " --stats writes run/campaign/audit telemetry as JSON — "
                "the 'metrics' section is deterministic, 'wallclock' is "
                "not)\n",
@@ -222,6 +231,7 @@ int main(int argc, char** argv) {
   int jobs = env_jobs();
   int ckpt_stride = env_ckpt_stride();
   int batch = env_batch();
+  double max_half_width = env_ci_target();
   vm::DispatchMode dispatch = vm::DispatchMode::kAuto;
   std::string dispatch_name = "auto";
   bool timing = false;
@@ -271,6 +281,14 @@ int main(int argc, char** argv) {
     } else if (arg.rfind("--batch=", 0) == 0) {
       if (!parse_int(arg.c_str() + 8, batch) || batch < 1) {
         std::fprintf(stderr, "bad --batch value '%s'\n", arg.c_str() + 8);
+        return 2;
+      }
+    } else if (arg.rfind("--max-half-width=", 0) == 0) {
+      if (!parse_double(arg.c_str() + 17, max_half_width) ||
+          max_half_width < 0.0 || max_half_width >= 0.5) {
+        std::fprintf(stderr,
+                     "bad --max-half-width value '%s' (range [0, 0.5))\n",
+                     arg.c_str() + 17);
         return 2;
       }
     } else if (arg == "--dispatch=switch") {
@@ -347,6 +365,7 @@ int main(int argc, char** argv) {
     if (burst >= 1) cell.burst = burst;
     cell.store_data = store_data;
     cell.prune = prune;
+    cell.max_half_width = max_half_width;
     // Engine knobs ride along but are excluded from the cache key — the
     // daemon returns the same stored bytes for every value of these.
     cell.jobs = jobs;
@@ -364,6 +383,37 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "submit rejected: %s\n", error.c_str());
       return 1;
     }
+    // Live progress: watch the status stream on a second connection and
+    // print the running outcome-interval half-widths while the cell
+    // executes. Wall-clock-quarantined by construction — stderr only,
+    // and only what the scheduler happened to have finished when each
+    // snapshot was taken; the result bytes printed below are the
+    // deterministic ones. A cache hit completes before the first poll,
+    // so warm submissions print nothing here.
+    std::thread watcher([&socket_path, job] {
+      std::string watch_error;
+      service::Client watch =
+          service::Client::connect(socket_path, watch_error);
+      while (watch.valid()) {
+        const std::optional<telemetry::Json> snap =
+            watch.status(*job, watch_error);
+        if (!snap.has_value()) break;
+        const telemetry::Json* done = snap->find("done");
+        if (done == nullptr || done->as_bool()) break;
+        if (const telemetry::Json* widths = snap->find("half_widths")) {
+          const auto width = [&](const char* name) {
+            const telemetry::Json* value = widths->find(name);
+            return value != nullptr ? value->as_double() : 0.5;
+          };
+          std::fprintf(stderr,
+                       "[live] half-widths: benign=%.4f sdc=%.4f "
+                       "detected=%.4f crash=%.4f\n",
+                       width("benign"), width("sdc"), width("detected"),
+                       width("crash"));
+        }
+        std::this_thread::sleep_for(std::chrono::milliseconds(200));
+      }
+    });
     int exit_code = 1;
     const bool streamed = client.results(
         *job,
@@ -389,6 +439,19 @@ int main(int argc, char** argv) {
                         count("benign"), count("sdc"), count("detected"),
                         count("crash"), sdc_rate->as_double());
           }
+          if (const telemetry::Json* adaptive =
+                  result.result.find("adaptive")) {
+            const auto field = [&](const char* name) -> long long {
+              const telemetry::Json* value = adaptive->find(name);
+              return value != nullptr
+                         ? static_cast<long long>(value->as_int())
+                         : 0;
+            };
+            const telemetry::Json* reduction = adaptive->find("reduction");
+            std::printf("adaptive: executed=%lld/%lld reduction=%.1fx\n",
+                        field("executed_trials"), field("planned_trials"),
+                        reduction != nullptr ? reduction->as_double() : 0.0);
+          }
           std::printf("cache=%s key=%s\n", result.cached ? "hit" : "miss",
                       result.key.c_str());
           if (!stats_path.empty()) {
@@ -407,6 +470,7 @@ int main(int argc, char** argv) {
           exit_code = 0;
         },
         error);
+    watcher.join();
     if (!streamed) {
       std::fprintf(stderr, "result stream failed: %s\n", error.c_str());
       return 1;
@@ -632,6 +696,7 @@ int main(int argc, char** argv) {
     options.batch = batch;
     options.vm.dispatch = dispatch;
     options.vm.fault_store_data = store_data;
+    options.max_half_width = max_half_width;
     section_options.store_data_sites = store_data;
     if (seed >= 0) options.seed = static_cast<std::uint64_t>(seed);
     if (burst >= 1) options.burst = burst;
@@ -677,6 +742,13 @@ int main(int argc, char** argv) {
                     ? static_cast<double>(report.sdc) /
                           static_cast<double>(report.injections)
                     : 0.0);
+    if (report.adaptive.enabled) {
+      std::printf("adaptive: target=%.4f executed=%d/%d reduction=%.1fx\n",
+                  report.adaptive.target_half_width,
+                  report.adaptive.executed_trials,
+                  report.adaptive.planned_trials,
+                  report.adaptive.reduction());
+    }
     if (incremental) {
       std::printf("incremental: warm=%llu cold=%llu trials_executed=%llu\n",
                   static_cast<unsigned long long>(report.warm_sections),
@@ -702,6 +774,14 @@ int main(int argc, char** argv) {
     options.ckpt_stride = ckpt_stride;
     options.batch = batch;
     options.vm.dispatch = dispatch;
+    options.max_half_width = max_half_width;
+    if (prune && max_half_width > 0.0) {
+      std::fprintf(stderr,
+                   "--max-half-width cannot be combined with --prune "
+                   "(the pilot plan answers trials out of canonical "
+                   "order)\n");
+      return 2;
+    }
     check::prune::PruneReport prune_report;
     if (prune) {
       check::prune::PruneOptions prune_options;
@@ -716,6 +796,13 @@ int main(int argc, char** argv) {
                 result.count(fault::Outcome::kSdc),
                 result.count(fault::Outcome::kDetected),
                 result.count(fault::Outcome::kCrash), result.sdc_rate());
+    if (result.adaptive.enabled) {
+      std::printf("adaptive: target=%.4f executed=%d/%d reduction=%.1fx\n",
+                  result.adaptive.target_half_width,
+                  result.adaptive.executed_trials,
+                  result.adaptive.planned_trials,
+                  result.adaptive.reduction());
+    }
     if (result.prune.enabled) {
       std::printf("prune: pilots=%llu dead=%llu replayed=%llu "
                   "reduction=%.1fx\n",

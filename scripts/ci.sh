@@ -88,6 +88,19 @@ for preset in "${PRESETS[@]}"; do
   SECONDS_BY[$preset]=$(( $(date +%s) - start ))
 done
 
+# Warn-only throughput tripwire: diff the bench artifacts the tier-1
+# bench_smoke run left in the build tree against the committed
+# baselines. Never affects the exit status — wallclock numbers are
+# machine-dependent by design (see scripts/bench_diff.py).
+for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = tier-1 ] && [ "${STATUS[$preset]}" = PASS ] \
+     && command -v python3 >/dev/null 2>&1; then
+    echo
+    python3 scripts/bench_diff.py \
+      --bench-dir "$(preset_build_dir tier-1)/bench/bench_smoke_out" || true
+  fi
+done
+
 echo
 printf '%-12s %-6s %8s\n' preset result seconds
 printf '%-12s %-6s %8s\n' ------------ ------ --------

@@ -55,6 +55,28 @@ std::pair<double, double> CampaignResult::sdc_rate_ci() const {
   return wilson_interval(count(Outcome::kSdc), trials());
 }
 
+PreparedCampaign::PreparedCampaign(const masm::AsmProgram& program,
+                                   const vm::VmOptions& vm, int ckpt_stride)
+    : decoded(program), store_data(vm.fault_store_data) {
+  // Checkpoints need the full prefix to be re-creatable from a snapshot;
+  // timing/profile/trace state is not checkpointed, so those runs stay
+  // cold (the same gate run_campaign always applied).
+  fast_forward =
+      ckpt_stride > 0 && !vm.timing && !vm.profile && vm.trace_limit == 0;
+  vm::Engine golden_engine(decoded, vm);
+  golden = fast_forward
+               ? golden_engine.run_capturing(
+                     vm, static_cast<std::uint64_t>(ckpt_stride), ckpts)
+               : golden_engine.run(vm, nullptr, 0);
+  if (!golden.ok()) {
+    throw std::runtime_error(std::string("golden run failed: ") +
+                             vm::exit_status_name(golden.status));
+  }
+  if (golden.fi_sites == 0) {
+    throw std::runtime_error("program has no fault-injection sites");
+  }
+}
+
 namespace {
 
 Outcome classify(const vm::VmResult& result,
@@ -314,37 +336,39 @@ CampaignResult run_campaign_pruned(const masm::AsmProgram& program,
 
 CampaignResult run_campaign(const masm::AsmProgram& program,
                             const CampaignOptions& options) {
-  if (options.prune != nullptr) return run_campaign_pruned(program, options);
-  // The decoded program is shared read-only by the golden run and every
-  // worker's trial engine; resolve()-style hash lookups happen once per
-  // campaign instead of once per run.
-  const vm::PredecodedProgram decoded(program);
-
-  // Checkpoints need the full prefix to be re-creatable from a snapshot;
-  // timing/profile/trace state is not checkpointed, so those runs stay
-  // cold. Declared before the engines so restores never outlive the
-  // pages they point at.
-  const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
+  if (options.prune != nullptr) {
+    if (options.max_half_width > 0.0) {
+      // Pilot extrapolation answers trials out of canonical order, so a
+      // canonical-prefix stop rule has no meaning under prune.
+      throw std::invalid_argument(
+          "adaptive early stopping cannot be combined with prune mode");
+    }
+    return run_campaign_pruned(program, options);
+  }
+  // The decoded program / golden run / checkpoints either come prepared
+  // (the service's cross-cell sharing) or are built here; both ways they
+  // are shared read-only by every worker's trial engine, and resolve()-
+  // style hash lookups happen once per campaign instead of once per run.
+  // Declared before the engines so restores never outlive the pages they
+  // point at.
+  const PreparedCampaign* prep = options.prepared;
+  if (prep != nullptr && prep->store_data != options.vm.fault_store_data) {
+    throw std::invalid_argument(
+        "prepared campaign state disagrees on fault_store_data");
+  }
+  std::optional<PreparedCampaign> owned;
+  if (prep == nullptr) {
+    owned.emplace(program, options.vm, options.ckpt_stride);
+    prep = &*owned;
+  }
+  const vm::PredecodedProgram& decoded = prep->decoded;
+  const vm::CheckpointSet& ckpts = prep->ckpts;
+  const vm::VmResult& golden = prep->golden;
+  // A state prepared without checkpoints (stride 0) just runs cold; one
+  // prepared with them can still serve a cold-only campaign request.
+  const bool fast_forward = prep->fast_forward && !options.vm.timing &&
                             !options.vm.profile &&
                             options.vm.trace_limit == 0;
-  vm::CheckpointSet ckpts;
-
-  // Golden profiling run: output + dynamic FI-site count (and, when
-  // fast-forwarding, the checkpoints every trial restores from).
-  vm::Engine golden_engine(decoded, options.vm);
-  const vm::VmResult golden =
-      fast_forward
-          ? golden_engine.run_capturing(
-                options.vm,
-                static_cast<std::uint64_t>(options.ckpt_stride), ckpts)
-          : golden_engine.run(options.vm, nullptr, 0);
-  if (!golden.ok()) {
-    throw std::runtime_error(std::string("golden run failed: ") +
-                             vm::exit_status_name(golden.status));
-  }
-  if (golden.fi_sites == 0) {
-    throw std::runtime_error("program has no fault-injection sites");
-  }
 
   CampaignResult result;
   result.total_sites = golden.fi_sites;
@@ -383,65 +407,118 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
   const std::size_t width = batch_width(options.batch, options.vm);
-  const auto wall_start = std::chrono::steady_clock::now();
-  pool.parallel_for_indexed(trials, [&](int worker, std::size_t begin,
-                                        std::size_t end) {
-    // Per-worker tallies are observability only: each slot is written by
-    // exactly one thread, but which worker claims which chunk is
-    // scheduling-dependent (see ThreadPool::parallel_for_indexed).
-    result.trials_per_worker[static_cast<std::size_t>(worker)] += end - begin;
-    auto& engine = engines[static_cast<std::size_t>(worker)];
-    if (engine == nullptr) {
-      engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
-    }
-    if (width <= 1) {
+
+  // Executes the canonical trial range [range_begin, range_end) across
+  // the pool. Adaptive campaigns call this once per power-of-two block
+  // (a handful of pool joins in total); full-budget campaigns call it
+  // once for the whole range — which makes the block structure itself
+  // result-invariant: a trial's execution does not depend on which block
+  // ran it.
+  const auto run_range = [&](std::size_t range_begin, std::size_t range_end) {
+    if (range_end <= range_begin) return;
+    pool.parallel_for_indexed(range_end - range_begin, [&](int worker,
+                                                           std::size_t begin,
+                                                           std::size_t end) {
+      begin += range_begin;
+      end += range_begin;
+      // Per-worker tallies are observability only: each slot is written by
+      // exactly one thread, but which worker claims which chunk is
+      // scheduling-dependent (see ThreadPool::parallel_for_indexed).
+      result.trials_per_worker[static_cast<std::size_t>(worker)] +=
+          end - begin;
+      auto& engine = engines[static_cast<std::size_t>(worker)];
+      if (engine == nullptr) {
+        engine = std::make_unique<vm::Engine>(decoded, faulty_vm);
+      }
+      if (width <= 1) {
+        for (std::size_t trial = begin; trial < end; ++trial) {
+          const vm::FaultSpec* faults = specs.data() + trial * per_run;
+          const vm::VmResult run =
+              fast_forward
+                  ? engine->run_from(ckpts, faulty_vm, faults, per_run)
+                  : engine->run(faulty_vm, faults, per_run);
+          record_trial(slots[trial], run, golden.output, options.progress);
+        }
+        return;
+      }
+      // Lockstep batches: order the chunk's trials by earliest fault site
+      // so the lanes grouped into one run_batch call share as much of the
+      // fault-free prefix as possible. The ordering is wall-clock only —
+      // each trial still lands in its own slot and the reduction below
+      // walks slots in trial order.
+      std::vector<std::size_t> order;
+      order.reserve(end - begin);
       for (std::size_t trial = begin; trial < end; ++trial) {
-        const vm::FaultSpec* faults = specs.data() + trial * per_run;
-        const vm::VmResult run =
-            fast_forward ? engine->run_from(ckpts, faulty_vm, faults, per_run)
-                         : engine->run(faulty_vm, faults, per_run);
-        record_trial(slots[trial], run, golden.output, options.progress);
+        order.push_back(trial);
       }
-      return;
-    }
-    // Lockstep batches: order the chunk's trials by earliest fault site
-    // so the lanes grouped into one run_batch call share as much of the
-    // fault-free prefix as possible. The ordering is wall-clock only —
-    // each trial still lands in its own slot and the reduction below
-    // walks slots in trial order.
-    std::vector<std::size_t> order;
-    order.reserve(end - begin);
-    for (std::size_t trial = begin; trial < end; ++trial) {
-      order.push_back(trial);
-    }
-    const auto first_site = [&](std::size_t trial) {
-      std::uint64_t site = specs[trial * per_run].site;
-      for (std::size_t f = 1; f < per_run; ++f) {
-        site = std::min(site, specs[trial * per_run + f].site);
+      const auto first_site = [&](std::size_t trial) {
+        std::uint64_t site = specs[trial * per_run].site;
+        for (std::size_t f = 1; f < per_run; ++f) {
+          site = std::min(site, specs[trial * per_run + f].site);
+        }
+        return site;
+      };
+      std::sort(order.begin(), order.end(),
+                [&](std::size_t a, std::size_t b) {
+                  const std::uint64_t sa = first_site(a);
+                  const std::uint64_t sb = first_site(b);
+                  return sa != sb ? sa < sb : a < b;
+                });
+      std::vector<vm::Engine::BatchTrial> lanes(width);
+      std::vector<vm::VmResult> runs(width);
+      for (std::size_t base = 0; base < order.size(); base += width) {
+        const std::size_t n = std::min(width, order.size() - base);
+        for (std::size_t lane = 0; lane < n; ++lane) {
+          lanes[lane].faults = specs.data() + order[base + lane] * per_run;
+          lanes[lane].fault_count = per_run;
+        }
+        engine->run_batch(fast_forward ? &ckpts : nullptr, faulty_vm,
+                          lanes.data(), n, runs.data());
+        for (std::size_t lane = 0; lane < n; ++lane) {
+          record_trial(slots[order[base + lane]], runs[lane], golden.output,
+                       options.progress);
+        }
       }
-      return site;
-    };
-    std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-      const std::uint64_t sa = first_site(a);
-      const std::uint64_t sb = first_site(b);
-      return sa != sb ? sa < sb : a < b;
     });
-    std::vector<vm::Engine::BatchTrial> lanes(width);
-    std::vector<vm::VmResult> runs(width);
-    for (std::size_t base = 0; base < order.size(); base += width) {
-      const std::size_t n = std::min(width, order.size() - base);
-      for (std::size_t lane = 0; lane < n; ++lane) {
-        lanes[lane].faults = specs.data() + order[base + lane] * per_run;
-        lanes[lane].fault_count = per_run;
+  };
+
+  const StopRule rule{options.max_half_width};
+  result.adaptive.enabled = rule.enabled();
+  result.adaptive.target_half_width = rule.enabled() ? rule.max_half_width : 0.0;
+  result.adaptive.planned_trials = static_cast<int>(trials);
+
+  const auto wall_start = std::chrono::steady_clock::now();
+  std::size_t executed = trials;
+  if (!rule.enabled()) {
+    run_range(0, trials);
+  } else {
+    // Block-boundary evaluation (fault/adaptive.h): run the canonical
+    // order in power-of-two blocks and quit at the first boundary where
+    // every outcome rate is pinned. The boundary sequence and the counts
+    // at each boundary depend only on the pre-drawn specs, so the stop
+    // decision is identical for every jobs/batch/dispatch combination.
+    std::array<int, 4> running{};
+    std::size_t done = 0;
+    executed = 0;
+    for (const int boundary : stop_boundaries(static_cast<int>(trials), rule)) {
+      const std::size_t upto = static_cast<std::size_t>(boundary);
+      run_range(done, upto);
+      for (std::size_t trial = done; trial < upto; ++trial) {
+        ++running[static_cast<int>(slots[trial].outcome)];
       }
-      engine->run_batch(fast_forward ? &ckpts : nullptr, faulty_vm,
-                        lanes.data(), n, runs.data());
-      for (std::size_t lane = 0; lane < n; ++lane) {
-        record_trial(slots[order[base + lane]], runs[lane], golden.output,
-                     options.progress);
+      done = executed = upto;
+      if (max_outcome_half_width(running, boundary) <= rule.max_half_width) {
+        result.adaptive.stopped_early = upto < trials;
+        break;
       }
     }
-  });
+    for (int i = 0; i < 4; ++i) {
+      result.adaptive.half_widths[static_cast<std::size_t>(i)] =
+          wilson_half_width(running[static_cast<std::size_t>(i)],
+                            static_cast<int>(executed));
+    }
+  }
+  result.adaptive.executed_trials = static_cast<int>(executed);
   result.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -456,7 +533,10 @@ CampaignResult run_campaign(const masm::AsmProgram& program,
     if (engine != nullptr) result.ckpt.ff.merge(engine->stats());
   }
 
-  for (const TrialSlot& slot : slots) {
+  // Trial-order reduction over the executed canonical prefix (the whole
+  // plan unless the stop rule fired).
+  for (std::size_t trial = 0; trial < executed; ++trial) {
+    const TrialSlot& slot = slots[trial];
     ++result.counts[static_cast<int>(slot.outcome)];
     if (slot.latency.has_value()) {
       result.latency_sum += *slot.latency;

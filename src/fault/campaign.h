@@ -11,6 +11,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/adaptive.h"
 #include "masm/masm.h"
 #include "vm/engine.h"
 #include "vm/vm.h"
@@ -42,6 +43,34 @@ struct CampaignProgress {
     for (const auto& c : counts) total += c.load(std::memory_order_relaxed);
     return total;
   }
+};
+
+/// Golden-run state shared across campaigns of one program — the
+/// service's cross-cell reuse. Holds everything run_campaign derives
+/// from the program before any trial runs: the predecode, the golden
+/// result and (when fast-forwarding) the checkpoint set. Immutable after
+/// construction, so one instance may back any number of concurrent
+/// run_campaign calls over different seeds/trials/techniques-of-the-same-
+/// assembly; each campaign still creates its own per-worker Engines.
+///
+/// The golden run depends on vm.fault_store_data (it changes the dynamic
+/// FI-site numbering), so a prepared state is only valid for campaigns
+/// with the same setting — run_campaign throws std::invalid_argument on
+/// a mismatch. ckpt_stride and dispatch are result-invariant: a campaign
+/// may reuse a state captured under any stride.
+struct PreparedCampaign {
+  /// Runs the golden profiling run (capturing checkpoints every
+  /// `ckpt_stride` FI sites unless the vm options need the full prefix).
+  /// Throws std::runtime_error when the golden run fails or the program
+  /// has no fault-injection sites, exactly like run_campaign.
+  PreparedCampaign(const masm::AsmProgram& program, const vm::VmOptions& vm,
+                   int ckpt_stride = 64);
+
+  vm::PredecodedProgram decoded;
+  vm::CheckpointSet ckpts;
+  vm::VmResult golden;
+  bool fast_forward = false;  // checkpoints captured, trials may restore
+  bool store_data = false;    // vm.fault_store_data the golden ran under
 };
 
 struct CampaignOptions {
@@ -88,6 +117,22 @@ struct CampaignOptions {
   /// every trial of the key. Deterministic and jobs-invariant. Requires
   /// faults_per_run == 1 (throws std::invalid_argument otherwise).
   const check::prune::PruneReport* prune = nullptr;
+  /// Adaptive early stopping (--max-half-width / FERRUM_CI_TARGET): when
+  /// > 0, the campaign evaluates the Wilson half-widths of all four
+  /// outcome rates at power-of-two boundaries of the canonical trial
+  /// order (see fault/adaptive.h) and stops at the first boundary where
+  /// every half-width is <= this target. The stopped trial count is a
+  /// pure function of (program, fault model, seed, target) — invariant
+  /// to jobs/ckpt_stride/batch/dispatch like the full result. Cannot be
+  /// combined with prune (throws std::invalid_argument): pilot
+  /// extrapolation answers trials out of canonical order, so a prefix
+  /// stop rule has no meaning there.
+  double max_half_width = 0.0;
+  /// Optional pre-built golden state shared across campaigns of this
+  /// program (see PreparedCampaign). Must outlive the call and match
+  /// vm.fault_store_data; ignored in prune mode, which needs its own
+  /// site-pc-instrumented golden run.
+  const PreparedCampaign* prepared = nullptr;
 };
 
 /// Where the SDC-causing faults landed, for the root-cause analysis of
@@ -134,6 +179,11 @@ struct CampaignResult {
   /// estimates of the unpruned campaign over the same drawn fault set;
   /// prune.pilot_runs counts the runs that actually happened.
   CampaignPruneStats prune;
+  /// Adaptive early-stopping accounting (enabled == false when no target
+  /// half-width was set). When enabled, counts/latency/breakdown cover
+  /// exactly the executed canonical prefix — trials() ==
+  /// adaptive.executed_trials — and every field is deterministic.
+  AdaptiveStats adaptive;
 
   // --- Observability only (scheduling-dependent, NOT deterministic) ---
   /// Trials executed by each pool worker (index 0 = the calling thread).

@@ -1,6 +1,7 @@
 #include "fault/cell.h"
 
 #include "support/hash.h"
+#include "support/str.h"
 
 namespace ferrum::fault {
 
@@ -11,6 +12,7 @@ CampaignOptions to_campaign_options(const CampaignCell& cell) {
   options.faults_per_run = cell.faults_per_run < 1 ? 1 : cell.faults_per_run;
   options.burst = cell.burst < 1 ? 1 : cell.burst;
   options.vm.fault_store_data = cell.store_data;
+  options.max_half_width = cell.max_half_width;
   options.jobs = cell.jobs;
   options.ckpt_stride = cell.ckpt_stride;
   options.batch = cell.batch;
@@ -37,7 +39,7 @@ std::string cell_key_material(const CampaignCell& cell,
   // technique -> program is a function.
   std::string material;
   material.reserve(256);
-  material += "ferrum-cell-v1\n";
+  material += "ferrum-cell-v2\n";
   material += "program_sha256=" + program_sha256 + "\n";
   material += "technique=" + cell.technique + "\n";
   material += "trials=" + std::to_string(cell.trials) + "\n";
@@ -51,6 +53,9 @@ std::string cell_key_material(const CampaignCell& cell,
   material += std::string("store_data=") + (cell.store_data ? "1" : "0") +
               "\n";
   material += std::string("prune=") + (cell.prune ? "1" : "0") + "\n";
+  // Rendered via the canonical round-trip formatter so the same double
+  // always prints the same line (0 for the disabled default).
+  material += "max_half_width=" + format_double(cell.max_half_width) + "\n";
   return material;
 }
 
@@ -84,6 +89,15 @@ bool validate_cell(const CampaignCell& cell, std::string& error) {
   }
   if (cell.prune && cell.faults_per_run > 1) {
     error = "prune mode requires faults_per_run == 1";
+    return false;
+  }
+  // NaN fails both comparisons below, so it is rejected too.
+  if (!(cell.max_half_width >= 0.0) || cell.max_half_width >= 0.5) {
+    error = "max_half_width must be in [0, 0.5)";
+    return false;
+  }
+  if (cell.prune && cell.max_half_width > 0.0) {
+    error = "max_half_width cannot be combined with prune";
     return false;
   }
   if (cell.jobs < 1 || cell.batch < 1 || cell.ckpt_stride < 0 ||

@@ -8,13 +8,16 @@
 // Cache-key contract (the load-bearing invariant of the service):
 //   * every knob that can change a CampaignResult is key material —
 //     technique (via the built program's printed text), trials, seed,
-//     faults_per_run, burst, fault_store_data, prune;
+//     faults_per_run, burst, fault_store_data, prune, and the adaptive
+//     stop rule (max_half_width): an early-stopped result covers a
+//     different trial prefix, so it must never alias the full-budget one;
 //   * every knob that is proven result-invariant is EXCLUDED — jobs,
 //     ckpt_stride, batch, dispatch only move wall-clock (asserted down to
 //     byte-identical campaign JSON by tests/test_engine.cpp), so a warm
 //     query with different engine knobs must still hit.
-// The material is versioned ("ferrum-cell-v1"): widening the fault model
-// bumps the version instead of silently aliasing old entries.
+// The material is versioned ("ferrum-cell-v2"): widening the fault model
+// bumps the version instead of silently aliasing old entries (v1 -> v2
+// added the max_half_width line).
 #pragma once
 
 #include <cstdint>
@@ -43,6 +46,11 @@ struct CampaignCell {
   int burst = 1;
   bool store_data = false;  // VmOptions::fault_store_data
   bool prune = false;       // pilot-extrapolated campaign (ferrumc --prune)
+  /// Adaptive stop rule (CampaignOptions::max_half_width): 0 = run the
+  /// full budget; > 0 = stop when every outcome-rate Wilson half-width
+  /// is pinned below the target. Key material — the rule changes which
+  /// canonical prefix the result covers. Incompatible with prune.
+  double max_half_width = 0.0;
 
   // Engine knobs — result-invariant, never key material.
   int jobs = 1;

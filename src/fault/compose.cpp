@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdio>
+#include <limits>
 #include <map>
 #include <memory>
 #include <stdexcept>
@@ -13,6 +14,7 @@
 // the decomposition itself runs in ferrum_check and reaches this layer
 // as a built SectionMap, so ferrum_fault takes no link dependency on it.
 #include "check/sections.h"
+#include "fault/adaptive.h"
 #include "fault/audit.h"
 #include "fault/prune_map.h"
 #include "fault/step_budget.h"
@@ -20,6 +22,7 @@
 #include "support/hash.h"
 #include "support/parallel.h"
 #include "support/rng.h"
+#include "support/str.h"
 #include "vm/engine.h"
 
 namespace ferrum::fault {
@@ -74,14 +77,20 @@ struct StoredSummary {
   std::uint64_t benign = 0;
   std::uint64_t crashed = 0;
   std::uint64_t sdc = 0;
+  /// Trials the counts cover (== planned unless the stop rule fired).
   std::uint64_t trials = 0;
+  /// The plan the summary was computed under. The warm gate compares
+  /// THIS against today's plan, not `trials`: an early-stopped summary
+  /// legitimately covers fewer trials than it was planned for, and the
+  /// stopped count is already a pure function of the key material.
+  std::uint64_t planned = 0;
   bool touched_all = false;
   std::vector<std::pair<std::string, std::string>> touched;  // fn -> sha
   std::vector<std::pair<std::uint64_t, std::uint64_t>> deps;  // site -> digest
 };
 
 std::string serialize_summary(const StoredSummary& summary) {
-  std::string out = "ferrum-section-summary-v1\n";
+  std::string out = "ferrum-section-summary-v2\n";
   const auto num = [&out](const char* key, std::uint64_t value) {
     out += key;
     out += ' ';
@@ -93,6 +102,7 @@ std::string serialize_summary(const StoredSummary& summary) {
   num("crashed", summary.crashed);
   num("sdc", summary.sdc);
   num("trials", summary.trials);
+  num("planned", summary.planned);
   num("touched_all", summary.touched_all ? 1 : 0);
   for (const auto& [name, sha] : summary.touched) {
     out += "touched " + name + " " + sha + "\n";
@@ -125,7 +135,7 @@ std::optional<StoredSummary> parse_summary(const std::string& bytes) {
     return true;
   };
   auto header = next_line();
-  if (!header.has_value() || *header != "ferrum-section-summary-v1") {
+  if (!header.has_value() || *header != "ferrum-section-summary-v2") {
     return std::nullopt;
   }
   for (auto line = next_line(); line.has_value(); line = next_line()) {
@@ -139,6 +149,7 @@ std::optional<StoredSummary> parse_summary(const std::string& bytes) {
     if (key == "crashed" && parse_u64(rest, summary.crashed)) continue;
     if (key == "sdc" && parse_u64(rest, summary.sdc)) continue;
     if (key == "trials" && parse_u64(rest, summary.trials)) continue;
+    if (key == "planned" && parse_u64(rest, summary.planned)) continue;
     if (key == "touched_all" && parse_u64(rest, value)) {
       summary.touched_all = value != 0;
       continue;
@@ -199,7 +210,7 @@ struct WorkItem {
 }  // namespace
 
 std::string section_key_material(const SectionKeyInfo& info) {
-  std::string material = "ferrum-section-v1\n";
+  std::string material = "ferrum-section-v2\n";
   material += "mode=" + info.mode + "\n";
   material += "code_sha256=" + info.code_sha256 + "\n";
   material += "state_digest=" + info.state_digest + "\n";
@@ -216,6 +227,9 @@ std::string section_key_material(const SectionKeyInfo& info) {
   material += "seed=" + std::to_string(info.seed) + "\n";
   material += "burst=" + std::to_string(info.burst) + "\n";
   material += "store_data=" + std::string(info.store_data ? "1" : "0") + "\n";
+  // Canonical round-trip formatter: the same double always prints the
+  // same line (0 for the disabled default), matching cell_key_material.
+  material += "max_half_width=" + format_double(info.max_half_width) + "\n";
   return material;
 }
 
@@ -239,6 +253,18 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
         "site_stride is a validation-harness subsample; cached summaries "
         "must cover every site");
   }
+  if (audit_mode && options.max_half_width > 0.0) {
+    throw std::invalid_argument(
+        "adaptive early stopping applies to compose_campaign only "
+        "(compose_audit is exhaustive)");
+  }
+  // NaN fails the first comparison, so it is rejected too — the same
+  // range validate_cell enforces for whole-program cells.
+  if (!audit_mode &&
+      (!(options.max_half_width >= 0.0) || options.max_half_width >= 0.5)) {
+    throw std::invalid_argument("max_half_width must be in [0, 0.5)");
+  }
+  const StopRule rule{options.max_half_width};
   const vm::PredecodedProgram decoded(program);
   const bool fast_forward = options.ckpt_stride > 0 && !options.vm.timing &&
                             !options.vm.profile &&
@@ -370,7 +396,7 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
     summary.code_sha256 = map.sections[s].code_sha256;
     summary.dynamic_sites = runtime[s].sites.size();
     summary.occurrences = runtime[s].occurrences;
-    summary.trials = plan_trials[s];
+    summary.planned = plan_trials[s];
     if (!caching || plan_trials[s] == 0) continue;
     SectionKeyInfo info;
     info.mode = audit_mode ? "audit" : "campaign";
@@ -387,16 +413,21 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
     }
     info.burst = options.burst;
     info.store_data = options.vm.fault_store_data;
+    info.max_half_width = rule.max_half_width;
     summary.key = section_key(info);
     const std::optional<std::string> hit = options.lookup(summary.key);
     if (!hit.has_value()) continue;
     std::optional<StoredSummary> parsed = parse_summary(*hit);
     if (!parsed.has_value()) continue;
-    // Reuse gate, false-miss-only: the counts must cover the plan, every
-    // function the cached trials touched post-fault must still print to
-    // the same SHA-256, and every golden-rejoin boundary the cached
-    // trials used must carry the same golden state digest today.
-    if (parsed->trials != plan_trials[s]) continue;
+    // Reuse gate, false-miss-only: the summary must have been computed
+    // under today's PLAN (not today's stopped count — an early-stopped
+    // summary legitimately covers a prefix of the plan, and that prefix
+    // length is already determined by the key material), every function
+    // the cached trials touched post-fault must still print to the same
+    // SHA-256, and every golden-rejoin boundary the cached trials used
+    // must carry the same golden state digest today.
+    if (parsed->planned != plan_trials[s]) continue;
+    if (parsed->trials == 0 || parsed->trials > parsed->planned) continue;
     if (parsed->touched_all &&
         parsed->touched.size() != program.functions.size()) {
       continue;
@@ -422,17 +453,20 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
     is_warm[s] = true;
   }
 
-  // Flat cold-work plan, site-ascending so one worker's consecutive
-  // lockstep lanes share most of their golden-walk prefix.
-  std::vector<WorkItem> work;
+  // Per-section cold plans, each in its section's canonical trial order
+  // — exactly the order the stop rule consumes a prefix of. Drawing the
+  // FULL plan up front (even when the rule will stop early) is what
+  // keeps a section's trial stream independent of the stopping decision.
+  std::vector<std::vector<WorkItem>> plan(map.sections.size());
   for (std::size_t s = 0; s < map.sections.size(); ++s) {
     if (is_warm[s] || plan_trials[s] == 0) continue;
     const SectionRuntime& rt = runtime[s];
+    std::vector<WorkItem>& items = plan[s];
     if (audit_mode) {
       for (const std::uint64_t site : rt.sites) {
         if (site % stride != 0) continue;
         for (const int bit : options.probe_bits) {
-          work.push_back({site, bit, static_cast<std::int32_t>(s)});
+          items.push_back({site, bit, static_cast<std::int32_t>(s)});
         }
       }
     } else {
@@ -444,34 +478,67 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
       for (std::uint64_t t = 0; t < plan_trials[s]; ++t) {
         const std::uint64_t rel = rng.next_below(rt.sites.size());
         const int bit = static_cast<int>(rng.next_below(64));
-        work.push_back(
+        items.push_back(
             {rt.sites[static_cast<std::size_t>(rel)], bit,
              static_cast<std::int32_t>(s)});
       }
     }
   }
-  std::stable_sort(work.begin(), work.end(),
-                   [](const WorkItem& a, const WorkItem& b) {
-                     return a.site < b.site;
-                   });
 
-  // Execute the cold work across the pool. Each item records into its
-  // own slot, so the per-section reduction below (commutative count
-  // sums) is identical for every jobs/batch/dispatch choice.
+  // Per-section stop-rule state. Each cold section walks its OWN
+  // power-of-two boundary ladder; a global round executes every active
+  // section's next block on the pool at once (flattened, site-ascending
+  // within the round), then evaluates each section's rule at the
+  // boundary it just reached. Budgets shrink independently: a pinned
+  // section drops out while its neighbours keep running.
+  struct SectionStop {
+    std::vector<std::uint64_t> boundaries;
+    std::size_t next = 0;
+    std::array<int, 4> counts{};  // indexed by ProbeOutcome value
+    std::uint64_t executed = 0;
+    bool active = false;
+  };
+  constexpr std::uint64_t kIntMax =
+      static_cast<std::uint64_t>(std::numeric_limits<int>::max());
+  std::vector<SectionStop> stops(map.sections.size());
+  for (std::size_t s = 0; s < map.sections.size(); ++s) {
+    if (plan[s].empty()) continue;
+    SectionStop& st = stops[s];
+    st.active = true;
+    if (rule.enabled() && plan[s].size() <= kIntMax) {
+      for (const int b :
+           stop_boundaries(static_cast<int>(plan[s].size()), rule)) {
+        st.boundaries.push_back(static_cast<std::uint64_t>(b));
+      }
+    } else {
+      st.boundaries.push_back(plan[s].size());
+    }
+  }
+
+  // Execute the cold work across the pool, one boundary round at a time.
+  // Each item records into its own slot, so the per-section reduction
+  // below (commutative count sums) is identical for every
+  // jobs/batch/dispatch choice — and so is the stop decision, which only
+  // reads those slots at boundaries fixed before anything ran.
   vm::VmOptions faulty = options.vm;
   faulty.max_steps = max_steps;
   faulty.track_touched_functions = caching;
-  std::vector<std::uint8_t> outcomes(work.size(), 0);
-  std::vector<std::uint64_t> touched(caching ? work.size() : 0, 0);
-  std::vector<std::uint64_t> rejoin_sites(caching ? work.size() : 0, 0);
-  std::vector<std::uint8_t> rejoined(caching ? work.size() : 0, 0);
+  std::vector<WorkItem> work;
+  std::vector<std::uint8_t> outcomes;
+  std::vector<std::uint64_t> touched;
+  std::vector<std::uint64_t> rejoin_sites;
+  std::vector<std::uint8_t> rejoined;
   ThreadPool pool(options.jobs);
   std::vector<std::unique_ptr<vm::Engine>> engines(
       static_cast<std::size_t>(pool.workers()));
   const auto wall_start = std::chrono::steady_clock::now();
   const std::size_t width = batch_width(options.batch, options.vm);
-  pool.parallel_for_indexed(
-      work.size(), [&](int worker, std::size_t begin, std::size_t end) {
+  const auto run_round = [&](const std::size_t round_begin) {
+    pool.parallel_for_indexed(
+        work.size() - round_begin,
+        [&, round_begin](int worker, std::size_t begin, std::size_t end) {
+          begin += round_begin;
+          end += round_begin;
         auto& engine = engines[static_cast<std::size_t>(worker)];
         if (engine == nullptr) {
           engine = std::make_unique<vm::Engine>(decoded, faulty);
@@ -526,6 +593,53 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
           }
         }
       });
+  };
+  while (true) {
+    // Collect every active section's next block into one flat round.
+    const std::size_t round_begin = work.size();
+    for (std::size_t s = 0; s < map.sections.size(); ++s) {
+      const SectionStop& st = stops[s];
+      if (!st.active) continue;
+      const std::uint64_t upto = st.boundaries[st.next];
+      for (std::uint64_t t = st.executed; t < upto; ++t) {
+        work.push_back(plan[s][static_cast<std::size_t>(t)]);
+      }
+    }
+    if (work.size() == round_begin) break;
+    // Site-ascending within the round so one worker's consecutive
+    // lockstep lanes share most of their golden-walk prefix.
+    std::stable_sort(work.begin() + static_cast<std::ptrdiff_t>(round_begin),
+                     work.end(),
+                     [](const WorkItem& a, const WorkItem& b) {
+                       return a.site < b.site;
+                     });
+    outcomes.resize(work.size(), 0);
+    if (caching) {
+      touched.resize(work.size(), 0);
+      rejoin_sites.resize(work.size(), 0);
+      rejoined.resize(work.size(), 0);
+    }
+    run_round(round_begin);
+    // Tally the round into each section's running counts, then evaluate
+    // each active section's rule at the boundary it just reached.
+    for (std::size_t w = round_begin; w < work.size(); ++w) {
+      ++stops[static_cast<std::size_t>(work[w].section)]
+            .counts[outcomes[w]];
+    }
+    for (std::size_t s = 0; s < map.sections.size(); ++s) {
+      SectionStop& st = stops[s];
+      if (!st.active) continue;
+      st.executed = st.boundaries[st.next];
+      ++st.next;
+      const bool budget_done = st.next == st.boundaries.size();
+      const bool pinned =
+          rule.enabled() &&
+          max_outcome_half_width(st.counts,
+                                 static_cast<int>(st.executed)) <=
+              rule.max_half_width;
+      if (budget_done || pinned) st.active = false;
+    }
+  }
   report.wall_seconds =
       std::chrono::duration<double>(std::chrono::steady_clock::now() -
                                     wall_start)
@@ -567,12 +681,14 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
     SectionSummary& summary = report.sections[s];
     if (is_warm[s]) {
       summary.cached = true;
+      summary.trials = warm[s].trials;
       summary.detected = warm[s].detected;
       summary.benign = warm[s].benign;
       summary.crashed = warm[s].crashed;
       summary.sdc = warm[s].sdc;
       ++report.warm_sections;
     } else if (plan_trials[s] != 0) {
+      summary.trials = cold[s].trials;
       summary.detected = cold[s].detected;
       summary.benign = cold[s].benign;
       summary.crashed = cold[s].crashed;
@@ -581,6 +697,7 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
       ++report.cold_sections;
       if (caching) {
         StoredSummary& stored = cold[s];
+        stored.planned = plan_trials[s];
         const std::uint64_t mask = cold_touched[s];
         stored.touched_all = (mask >> 63) & 1;
         for (std::size_t f = 0; f < program.functions.size(); ++f) {
@@ -596,12 +713,40 @@ ComposeReport compose_impl(const masm::AsmProgram& program,
         options.store(summary.key, serialize_summary(stored));
       }
     }
+    summary.stopped_early = summary.trials < summary.planned;
     report.injections += summary.trials;
     report.detected += summary.detected;
     report.benign += summary.benign;
     report.crashed += summary.crashed;
     report.sdc += summary.sdc;
   }
+
+  // Composed adaptive accounting: the fold's sample size is the sum of
+  // the (possibly stopped) per-section counts, so the whole-program
+  // half-widths are computed at that composed size. Deterministic and
+  // cache-state independent — a warm summary stores the same stopped
+  // count the cold run computed.
+  report.adaptive.enabled = rule.enabled();
+  report.adaptive.target_half_width = rule.max_half_width;
+  std::uint64_t planned_total = 0;
+  for (const SectionSummary& summary : report.sections) {
+    planned_total += summary.planned;
+  }
+  report.adaptive.planned_trials =
+      static_cast<int>(std::min(planned_total, kIntMax));
+  report.adaptive.executed_trials =
+      static_cast<int>(std::min(report.injections, kIntMax));
+  report.adaptive.stopped_early = report.injections < planned_total;
+  const int composed_n = report.adaptive.executed_trials;
+  report.adaptive.half_widths = {
+      wilson_half_width(static_cast<int>(std::min(report.benign, kIntMax)),
+                        composed_n),
+      wilson_half_width(static_cast<int>(std::min(report.sdc, kIntMax)),
+                        composed_n),
+      wilson_half_width(static_cast<int>(std::min(report.detected, kIntMax)),
+                        composed_n),
+      wilson_half_width(static_cast<int>(std::min(report.crashed, kIntMax)),
+                        composed_n)};
   return report;
 }
 

@@ -23,11 +23,11 @@
 //    moved it.
 //
 // Caching (incremental mode): when the lookup/store callbacks are set,
-// each section's summary is stored under a `ferrum-section-v1` content
+// each section's summary is stored under a `ferrum-section-v2` content
 // key — section code SHA-256, a liveness-masked digest of the golden
 // machine state at every one of the section's dynamic sites (see
 // Engine::set_state_digest_sink), site/occurrence counts, the golden
-// step budget, and the probe/trial plan. A warm hit is additionally
+// step budget, the probe/trial plan, and the adaptive stop rule. A warm hit is additionally
 // validated against the summary's recorded dependencies — the SHA-256
 // of every function the cached trials touched after their faults fired,
 // and the golden state digest at every checkpoint boundary where a
@@ -48,6 +48,7 @@
 #include <string>
 #include <vector>
 
+#include "fault/adaptive.h"
 #include "masm/masm.h"
 #include "vm/engine.h"
 #include "vm/vm.h"
@@ -70,6 +71,14 @@ struct ComposeOptions {
   std::uint64_t trials = 1000;
   std::uint64_t seed = 0xfe44;
   int burst = 1;
+  /// Adaptive stop rule (compose_campaign only; compose_audit rejects a
+  /// non-zero target — the exhaustive frame has no sampling error to
+  /// bound). Each section evaluates the rule over its OWN canonical trial
+  /// order at power-of-two boundaries, so per-section budgets shrink
+  /// independently and a section's stopped count stays a pure function of
+  /// its key material — the invariant that keeps early-stopped summaries
+  /// cacheable. Key material (ferrum-section-v2).
+  double max_half_width = 0.0;
   vm::VmOptions vm;
   /// Worker threads / checkpoint stride / lockstep batch width — result-
   /// invariant scheduling knobs, excluded from cache keys by contract
@@ -94,12 +103,18 @@ struct ComposeOptions {
 struct SectionSummary {
   int section = 0;
   std::string code_sha256;
-  /// ferrum-section-v1 cache key (empty when caching is off).
+  /// ferrum-section-v2 cache key (empty when caching is off).
   std::string key;
   std::uint64_t dynamic_sites = 0;
   std::uint64_t occurrences = 0;
-  /// Injections this section accounts for (probes or sampled trials).
+  /// Trials the plan owed this section before adaptive stopping.
+  std::uint64_t planned = 0;
+  /// Injections this section accounts for (probes or sampled trials;
+  /// == planned unless the stop rule fired). Deterministic: the stopped
+  /// count is a function of the section's canonical trial order alone.
   std::uint64_t trials = 0;
+  /// True when the stop rule fired strictly before `planned`.
+  bool stopped_early = false;
   std::uint64_t detected = 0;
   std::uint64_t benign = 0;
   std::uint64_t crashed = 0;
@@ -124,6 +139,11 @@ struct ComposeReport {
   std::uint64_t benign = 0;
   std::uint64_t crashed = 0;
   std::uint64_t sdc = 0;
+  /// Composed adaptive accounting: planned/executed summed over sections,
+  /// half-widths of the composed whole-program rates at the composed
+  /// sample size. Deterministic (cache-state independent: a warm summary
+  /// stores the same stopped count the cold run computed).
+  AdaptiveStats adaptive;
 
   // --- Observability only ---
   std::uint64_t trials_executed = 0;  // engine trials actually run
@@ -147,13 +167,17 @@ struct SectionKeyInfo {
   /// the summary's timeout classification to the golden run length.
   std::uint64_t max_steps = 0;
   std::vector<int> probe_bits;  // audit mode
-  std::uint64_t trials = 0;     // campaign mode
+  std::uint64_t trials = 0;     // campaign mode: PLANNED budget (the
+                                // stop rule consumes a prefix of it)
   std::uint64_t seed = 0;       // campaign mode
   int burst = 1;
   bool store_data = false;
+  /// Adaptive stop rule target (campaign mode; 0 = full budget). Key
+  /// material: a stopped summary covers a different trial prefix.
+  double max_half_width = 0.0;
 };
 
-/// Versioned key material ("ferrum-section-v1\n...") and its SHA-256.
+/// Versioned key material ("ferrum-section-v2\n...") and its SHA-256.
 std::string section_key_material(const SectionKeyInfo& info);
 std::string section_key(const SectionKeyInfo& info);
 

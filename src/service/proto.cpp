@@ -94,6 +94,7 @@ telemetry::Json cell_to_json(const fault::CampaignCell& cell) {
   if (cell.burst != 1) json["burst"] = cell.burst;
   if (cell.store_data) json["store_data"] = true;
   if (cell.prune) json["prune"] = true;
+  if (cell.max_half_width != 0.0) json["max_half_width"] = cell.max_half_width;
   if (cell.jobs != 1) json["jobs"] = cell.jobs;
   if (cell.ckpt_stride != 64) json["ckpt_stride"] = cell.ckpt_stride;
   if (cell.batch != 8) json["batch"] = cell.batch;
@@ -141,6 +142,18 @@ bool take_int(const telemetry::Json& json, const char* key, int& out,
   return true;
 }
 
+bool take_double(const telemetry::Json& json, const char* key, double& out,
+                 std::string& error) {
+  const telemetry::Json* value = json.find(key);
+  if (value == nullptr) return true;
+  if (!value->is_number()) {
+    error = std::string("cell field '") + key + "' must be a number";
+    return false;
+  }
+  out = value->as_double();
+  return true;
+}
+
 bool take_bool(const telemetry::Json& json, const char* key, bool& out,
                std::string& error) {
   const telemetry::Json* value = json.find(key);
@@ -163,9 +176,9 @@ bool cell_from_json(const telemetry::Json& json, fault::CampaignCell& cell,
   }
   cell = fault::CampaignCell{};  // absent keys mean the documented default
   static constexpr const char* kKnown[] = {
-      "program", "workload",       "scale", "technique", "trials",
+      "program", "workload",       "scale", "technique",  "trials",
       "seed",    "faults_per_run", "burst", "store_data", "prune",
-      "jobs",    "ckpt_stride",    "batch", "dispatch"};
+      "jobs",    "ckpt_stride",    "batch", "dispatch",   "max_half_width"};
   for (const auto& [key, value] : json.fields()) {
     (void)value;
     bool known = false;
@@ -202,6 +215,9 @@ bool cell_from_json(const telemetry::Json& json, fault::CampaignCell& cell,
   if (!take_int(json, "burst", cell.burst, error)) return false;
   if (!take_bool(json, "store_data", cell.store_data, error)) return false;
   if (!take_bool(json, "prune", cell.prune, error)) return false;
+  if (!take_double(json, "max_half_width", cell.max_half_width, error)) {
+    return false;
+  }
   if (!take_int(json, "jobs", cell.jobs, error)) return false;
   if (!take_int(json, "ckpt_stride", cell.ckpt_stride, error)) return false;
   if (!take_int(json, "batch", cell.batch, error)) return false;

@@ -49,6 +49,11 @@ telemetry::Json status_to_json(const JobStatus& status) {
   outcomes["detected"] = status.outcomes_so_far[2];
   outcomes["crash"] = status.outcomes_so_far[3];
   json["outcomes_so_far"] = outcomes;
+  // Live interval half-widths over the same snapshot — wall-clock-
+  // quarantined like every "so far" field (the deterministic intervals
+  // ship in the result's adaptive section).
+  json["half_widths"] =
+      telemetry::outcome_half_widths_json(status.outcomes_so_far);
   return json;
 }
 
@@ -228,6 +233,48 @@ std::shared_ptr<const masm::AsmProgram> Daemon::build_program(
   return programs_.emplace(memo_key, std::move(program)).first->second;
 }
 
+std::shared_ptr<const SharedProgramState> Daemon::program_state(
+    const std::shared_ptr<const masm::AsmProgram>& program,
+    const std::string& program_sha256, bool store_data) {
+  // The golden run depends on fault_store_data (it renumbers the dynamic
+  // FI sites), so it shares only within the same setting. Engine knobs
+  // (stride/dispatch) are result-invariant and deliberately absent.
+  const std::string key = program_sha256 + (store_data ? "+sd" : "");
+  {
+    std::unique_lock<std::mutex> lock(prepared_mutex_);
+    for (;;) {
+      const auto it = prepared_.find(key);
+      if (it != prepared_.end()) {
+        metrics_.counter("service/golden/reused").add(1);
+        return it->second;
+      }
+      if (preparing_.count(key) == 0) break;
+      prepared_cv_.wait(lock);
+    }
+    preparing_.insert(key);
+  }
+  // The golden walk runs outside the lock; racing requests for the same
+  // key wait on preparing_ above, so it still happens exactly once.
+  std::shared_ptr<const SharedProgramState> state;
+  try {
+    vm::VmOptions vm;
+    vm.fault_store_data = store_data;
+    state = std::make_shared<const SharedProgramState>(program, vm,
+                                                       /*ckpt_stride=*/64);
+  } catch (...) {
+    std::lock_guard<std::mutex> lock(prepared_mutex_);
+    preparing_.erase(key);
+    prepared_cv_.notify_all();
+    throw;
+  }
+  metrics_.counter("service/golden/built").add(1);
+  std::lock_guard<std::mutex> lock(prepared_mutex_);
+  preparing_.erase(key);
+  prepared_.emplace(key, state);
+  prepared_cv_.notify_all();
+  return state;
+}
+
 void Daemon::execute(Task& task) {
   CellOutcome outcome;
   try {
@@ -249,7 +296,9 @@ void Daemon::execute(Task& task) {
             : workloads::scaled(cell.workload, cell.scale).source;
     const std::shared_ptr<const masm::AsmProgram> program =
         build_program(cell, source);
-    const std::string key = fault::cell_key(cell, *program);
+    const std::string program_sha = fault::program_hash(*program);
+    const std::string key =
+        sha256_hex(fault::cell_key_material(cell, program_sha));
     outcome.key = key;
 
     // Fast path, then in-flight coalescing, then execution. A second
@@ -281,11 +330,19 @@ void Daemon::execute(Task& task) {
       fault::CampaignOptions options = fault::to_campaign_options(cell);
       options.progress = &task.progress;
       check::prune::PruneReport prune_report;
+      std::shared_ptr<const SharedProgramState> shared;
       if (cell.prune) {
         check::prune::PruneOptions prune_options;
         prune_options.store_data_sites = options.vm.fault_store_data;
         prune_report = check::prune::prune_program(*program, prune_options);
         options.prune = &prune_report;
+      } else {
+        // Cross-cell reuse: the golden walk for this program happened at
+        // most once, no matter how many cells of it are in flight. The
+        // pruned path keeps its own golden run (it needs the site-pc
+        // instrumentation a shared capture cannot carry).
+        shared = program_state(program, program_sha, cell.store_data);
+        options.prepared = &shared->prepared;
       }
       const fault::CampaignResult result =
           fault::run_campaign(*program, options);

@@ -45,6 +45,23 @@ struct ServiceOptions {
   std::string cache_dir;
 };
 
+/// Per-program engine state shared across cells: the predecode, golden
+/// run and checkpoint set (fault::PreparedCampaign) plus shared ownership
+/// of the program the predecode points into. Built once per
+/// (program hash, store_data) under a program-hash lock and handed
+/// read-only to every campaign of that program — N cells over different
+/// seeds/trials/techniques-that-built-the-same-assembly no longer each
+/// redo the golden walk. Refcounted: a cell holds its shared_ptr for the
+/// duration of its run, so the state can never die under a campaign.
+struct SharedProgramState {
+  SharedProgramState(std::shared_ptr<const masm::AsmProgram> prog,
+                     const vm::VmOptions& vm, int ckpt_stride)
+      : program(std::move(prog)), prepared(*program, vm, ckpt_stride) {}
+
+  std::shared_ptr<const masm::AsmProgram> program;  // keeps decode alive
+  fault::PreparedCampaign prepared;
+};
+
 /// The finished state of one cell. `result_json` holds the deterministic
 /// CampaignResult bytes (empty iff `error` is set); `wallclock_json` the
 /// scheduling-dependent observability of the execution that produced
@@ -135,6 +152,14 @@ class Daemon {
   std::shared_ptr<const masm::AsmProgram> build_program(
       const fault::CampaignCell& cell, const std::string& source);
 
+  /// The shared golden state for (program hash, store_data). One caller
+  /// builds it (counter "service/golden/built"); concurrent requests for
+  /// the same key wait on the build instead of redoing the golden walk,
+  /// and later cells reuse it ("service/golden/reused").
+  std::shared_ptr<const SharedProgramState> program_state(
+      const std::shared_ptr<const masm::AsmProgram>& program,
+      const std::string& program_sha256, bool store_data);
+
   ServiceOptions options_;
   ResultCache cache_;
   telemetry::Registry metrics_;
@@ -152,6 +177,15 @@ class Daemon {
   std::mutex programs_mutex_;
   std::unordered_map<std::string, std::shared_ptr<const masm::AsmProgram>>
       programs_;
+
+  // Cross-cell golden-state sharing (see SharedProgramState). The
+  // building set plays the same role in_flight_ plays for results:
+  // exactly one golden walk per key, ever.
+  std::mutex prepared_mutex_;
+  std::condition_variable prepared_cv_;
+  std::unordered_map<std::string, std::shared_ptr<const SharedProgramState>>
+      prepared_;
+  std::unordered_set<std::string> preparing_;
 
   // In-flight coalescing: identical cells submitted concurrently execute
   // once; the second waits and is answered from the store.

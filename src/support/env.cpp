@@ -1,6 +1,7 @@
 #include "support/env.h"
 
 #include <cerrno>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <climits>
@@ -18,6 +19,37 @@ bool parse_int(const char* text, int& out) noexcept {
   if (errno == ERANGE || value < INT_MIN || value > INT_MAX) return false;
   out = static_cast<int>(value);
   return true;
+}
+
+bool parse_double(const char* text, double& out) noexcept {
+  if (text == nullptr || *text == '\0') return false;
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text, &end);
+  if (end == text || *end != '\0') return false;  // no digits / trailing junk
+  if (errno == ERANGE || !std::isfinite(value)) return false;
+  out = value;
+  return true;
+}
+
+double env_double(const char* name, double fallback, double min_value,
+                  double max_value) {
+  const char* value = std::getenv(name);
+  if (value == nullptr || *value == '\0') return fallback;
+  double parsed = 0.0;
+  if (!parse_double(value, parsed)) {
+    std::fprintf(stderr,
+                 "warning: %s='%s' is not a number; using default %g\n",
+                 name, value, fallback);
+    return fallback;
+  }
+  if (parsed < min_value || parsed >= max_value) {
+    std::fprintf(stderr,
+                 "warning: %s=%g is outside [%g, %g); using default %g\n",
+                 name, parsed, min_value, max_value, fallback);
+    return fallback;
+  }
+  return parsed;
 }
 
 int env_int(const char* name, int fallback, int min_value) {
@@ -53,6 +85,11 @@ int env_ckpt_stride(int fallback) {
 
 int env_batch(int fallback) {
   return env_int("FERRUM_BATCH", fallback, /*min_value=*/1);
+}
+
+double env_ci_target(double fallback) {
+  return env_double("FERRUM_CI_TARGET", fallback, /*min_value=*/0.0,
+                    /*max_value=*/0.5);
 }
 
 std::string env_str(const char* name, const char* fallback) {

@@ -13,6 +13,17 @@ namespace ferrum {
 /// `out` untouched) on empty input, trailing garbage, or overflow.
 bool parse_int(const char* text, int& out) noexcept;
 
+/// Parses `text` as a finite double. Returns false (leaving `out`
+/// untouched) on empty input, trailing garbage, overflow, or non-finite
+/// values ("nan"/"inf" are rejected — no knob here wants them).
+bool parse_double(const char* text, double& out) noexcept;
+
+/// Reads a double knob from the environment. Unset -> `fallback`.
+/// Malformed values, or values outside [min_value, max_value), warn on
+/// stderr and fall back.
+double env_double(const char* name, double fallback, double min_value,
+                  double max_value);
+
 /// Reads an integer knob from the environment. Unset -> `fallback`.
 /// Malformed values, or values below `min_value`, warn on stderr and
 /// fall back. Count-like knobs keep the default `min_value = 1`; pass a
@@ -49,6 +60,13 @@ int env_ckpt_stride(int fallback = 64);
 /// is the scalar path. Like FERRUM_JOBS and FERRUM_CKPT_STRIDE the knob
 /// only moves wall-clock time; results are bit-identical for any width.
 int env_batch(int fallback = 8);
+
+/// FERRUM_CI_TARGET — adaptive stop-rule target: the campaign stops at
+/// the first power-of-two boundary where every outcome-rate Wilson
+/// half-width is <= this value (fault/adaptive.h). Range [0, 0.5); 0
+/// (the default) disables early stopping. UNLIKE the engine knobs above
+/// this one changes results — it is cell/section cache-key material.
+double env_ci_target(double fallback = 0.0);
 
 /// Reads a string knob from the environment. Unset or empty -> fallback
 /// (pass "" when empty is a meaningful value for the knob).

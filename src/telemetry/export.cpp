@@ -160,6 +160,25 @@ Json to_json(const fault::CampaignResult& result) {
     prune["reduction"] = result.prune.reduction;
     json["prune"] = prune;
   }
+
+  if (result.adaptive.enabled) {
+    // Deterministic like the rest of the metrics section: the stop
+    // boundary and the half-widths at it are functions of the canonical
+    // trial prefix, never of scheduling.
+    Json adaptive = Json::object();
+    adaptive["target_half_width"] = result.adaptive.target_half_width;
+    adaptive["planned_trials"] = result.adaptive.planned_trials;
+    adaptive["executed_trials"] = result.adaptive.executed_trials;
+    adaptive["stopped_early"] = result.adaptive.stopped_early;
+    Json half_widths = Json::object();
+    half_widths["benign"] = result.adaptive.half_widths[0];
+    half_widths["sdc"] = result.adaptive.half_widths[1];
+    half_widths["detected"] = result.adaptive.half_widths[2];
+    half_widths["crash"] = result.adaptive.half_widths[3];
+    adaptive["half_widths"] = half_widths;
+    adaptive["reduction"] = result.adaptive.reduction();
+    json["adaptive"] = adaptive;
+  }
   return json;
 }
 
@@ -180,12 +199,35 @@ Json wallclock_json(const fault::CampaignResult& result) {
 Json progress_json(const fault::CampaignProgress& progress) {
   Json json = Json::object();
   Json outcomes = Json::object();
-  outcomes["benign"] = progress.count(fault::Outcome::kBenign);
-  outcomes["sdc"] = progress.count(fault::Outcome::kSdc);
-  outcomes["detected"] = progress.count(fault::Outcome::kDetected);
-  outcomes["crash"] = progress.count(fault::Outcome::kCrash);
+  std::array<std::uint64_t, 4> counts{};
+  counts[0] = progress.count(fault::Outcome::kBenign);
+  counts[1] = progress.count(fault::Outcome::kSdc);
+  counts[2] = progress.count(fault::Outcome::kDetected);
+  counts[3] = progress.count(fault::Outcome::kCrash);
+  outcomes["benign"] = counts[0];
+  outcomes["sdc"] = counts[1];
+  outcomes["detected"] = counts[2];
+  outcomes["crash"] = counts[3];
   json["outcomes_so_far"] = outcomes;
   json["runs_executed"] = progress.executed();
+  json["half_widths"] = outcome_half_widths_json(counts);
+  return json;
+}
+
+Json outcome_half_widths_json(const std::array<std::uint64_t, 4>& counts) {
+  // Live Wilson half-widths over a mid-flight outcome snapshot. The
+  // snapshot itself is scheduling-dependent (wall-clock-quarantined,
+  // like every "so far" field), so these are for progress displays only
+  // — the deterministic intervals live in the result's adaptive section.
+  const std::uint64_t total = counts[0] + counts[1] + counts[2] + counts[3];
+  const int trials = static_cast<int>(total);
+  Json json = Json::object();
+  static constexpr const char* kNames[] = {"benign", "sdc", "detected",
+                                           "crash"};
+  for (int i = 0; i < 4; ++i) {
+    json[kNames[i]] = fault::wilson_half_width(
+        static_cast<int>(counts[static_cast<std::size_t>(i)]), trials);
+  }
   return json;
 }
 
@@ -246,6 +288,12 @@ Json to_json(const fault::ComposeReport& report) {
     entry["dynamic_sites"] = summary.dynamic_sites;
     entry["occurrences"] = summary.occurrences;
     entry["trials"] = summary.trials;
+    // Gated on the stop rule so the (pinned) non-adaptive compose JSON
+    // stays byte-identical to what it was before adaptive stopping.
+    if (report.adaptive.enabled) {
+      entry["planned"] = summary.planned;
+      entry["stopped_early"] = summary.stopped_early;
+    }
     Json outcomes = Json::object();
     outcomes["detected"] = summary.detected;
     outcomes["benign"] = summary.benign;
@@ -255,6 +303,21 @@ Json to_json(const fault::ComposeReport& report) {
     sections.push_back(entry);
   }
   json["sections"] = sections;
+  if (report.adaptive.enabled) {
+    Json adaptive = Json::object();
+    adaptive["target_half_width"] = report.adaptive.target_half_width;
+    adaptive["planned_trials"] = report.adaptive.planned_trials;
+    adaptive["executed_trials"] = report.adaptive.executed_trials;
+    adaptive["stopped_early"] = report.adaptive.stopped_early;
+    Json half_widths = Json::object();
+    half_widths["benign"] = report.adaptive.half_widths[0];
+    half_widths["sdc"] = report.adaptive.half_widths[1];
+    half_widths["detected"] = report.adaptive.half_widths[2];
+    half_widths["crash"] = report.adaptive.half_widths[3];
+    adaptive["half_widths"] = half_widths;
+    adaptive["reduction"] = report.adaptive.reduction();
+    json["adaptive"] = adaptive;
+  }
   return json;
 }
 

@@ -6,6 +6,9 @@
 // excluded from determinism comparisons.
 #pragma once
 
+#include <array>
+#include <cstdint>
+
 #include "fault/audit.h"
 #include "fault/campaign.h"
 #include "fault/compose.h"
@@ -35,10 +38,16 @@ Json to_json(const fault::CampaignResult& result);
 Json wallclock_json(const fault::CampaignResult& result);
 
 /// Snapshot of a campaign in flight (outcome counts of the runs finished
-/// so far). Taken mid-campaign it is scheduling-dependent like every
-/// wallclock section — the campaign service streams it in status
-/// replies, quarantined from the deterministic result bytes.
+/// so far, plus their live Wilson half-widths). Taken mid-campaign it is
+/// scheduling-dependent like every wallclock section — the campaign
+/// service streams it in status replies, quarantined from the
+/// deterministic result bytes.
 Json progress_json(const fault::CampaignProgress& progress);
+
+/// Live Wilson half-widths of the four outcome rates over a mid-flight
+/// outcome-count snapshot (keys benign/sdc/detected/crash). Wall-clock-
+/// quarantined: the snapshot depends on scheduling.
+Json outcome_half_widths_json(const std::array<std::uint64_t, 4>& counts);
 
 /// Deterministic audit results: site/injection/outcome counters and the
 /// escape list, plus a "prune" section (class/pilot/dead accounting)

@@ -334,8 +334,28 @@ class Engine::Impl {
     }
     if (fault_count == 0) min_site = 0;
     const Checkpoint& resume = checkpoints.nearest_at_or_before(min_site);
+    if (is_start_state(resume)) {
+      // The first fault site precedes the first post-start checkpoint, so
+      // the nearest snapshot is checkpoint 0 — whose state IS the cold
+      // start state (captured before any step ran). Fall through to the
+      // golden prefix directly: start_cold undoes only the previous
+      // trial's dirty pages, instead of the full register + flags +
+      // output + page-table restore (the restore-bound `none` case —
+      // short trials whose faults all land below the capture stride).
+      // Byte-identical by the determinism argument above; only the
+      // wallclock-quarantined restore counter can tell the difference.
+      return execute(options, faults, fault_count, nullptr, nullptr, stats,
+                     &checkpoints);
+    }
     return execute(options, faults, fault_count, &resume, nullptr, stats,
                    &checkpoints);
+  }
+
+  /// Whether `c` is checkpoint 0, the snapshot taken at site 0 / step 0
+  /// immediately after start_cold — restoring it is equivalent to a cold
+  /// start.
+  static bool is_start_state(const Checkpoint& c) {
+    return c.fi_sites == 0 && c.steps == 0;
   }
 
   void run_batch(const CheckpointSet* checkpoints, const VmOptions& options,
@@ -406,9 +426,13 @@ class Engine::Impl {
     stats.lanes += count;
 
     try {
-      if (have_ckpts) {
+      if (have_ckpts &&
+          !is_start_state(checkpoints->nearest_at_or_before(lanes[0].site))) {
         restore_checkpoint(checkpoints->nearest_at_or_before(lanes[0].site));
       } else {
+        // No checkpoints, or the nearest one is checkpoint 0 — whose
+        // state equals the cold start (see run_from): skip the full
+        // restore and walk the golden prefix directly.
         start_cold();
       }
     } catch (const Trap& trap) {

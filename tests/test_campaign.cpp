@@ -1,9 +1,15 @@
 #include <gtest/gtest.h>
 
+#include <array>
+#include <string>
+#include <vector>
+
+#include "check/prune.h"
 #include "fault/audit.h"
 #include "fault/campaign.h"
 #include "fault/step_budget.h"
 #include "pipeline/pipeline.h"
+#include "telemetry/export.h"
 #include "vm/vm.h"
 #include "workloads/workloads.h"
 
@@ -264,6 +270,183 @@ TEST(Outcomes, Names) {
   EXPECT_STREQ(fault::outcome_name(Outcome::kSdc), "sdc");
   EXPECT_STREQ(fault::outcome_name(Outcome::kDetected), "detected");
   EXPECT_STREQ(fault::outcome_name(Outcome::kCrash), "crash");
+}
+
+// ---------------------------------------------------- adaptive stop --
+
+TEST(Adaptive, BoundaryLadderDoublesFromMinTrials) {
+  const fault::StopRule rule{0.05};
+  EXPECT_EQ(fault::stop_boundaries(1000, rule),
+            (std::vector<int>{64, 128, 256, 512, 1000}));
+  // The planned budget is always the final boundary, even when the
+  // ladder lands on it exactly.
+  EXPECT_EQ(fault::stop_boundaries(256, rule),
+            (std::vector<int>{64, 128, 256}));
+  // Budgets at or below min_trials evaluate once, at the full budget.
+  EXPECT_EQ(fault::stop_boundaries(64, rule), (std::vector<int>{64}));
+  EXPECT_EQ(fault::stop_boundaries(10, rule), (std::vector<int>{10}));
+  EXPECT_TRUE(fault::stop_boundaries(0, rule).empty());
+}
+
+TEST(Adaptive, WilsonHalfWidthShrinksWithSampleSize) {
+  EXPECT_DOUBLE_EQ(fault::wilson_half_width(0, 0), 0.5);  // vacuous [0,1]
+  const double at_64 = fault::wilson_half_width(32, 64);
+  const double at_1024 = fault::wilson_half_width(512, 1024);
+  EXPECT_GT(at_64, at_1024);
+  EXPECT_GT(at_1024, 0.0);
+  // Extreme rates are the narrowest — the stop rule keys on the WIDEST
+  // of the four outcome rates, which is what max_outcome_half_width
+  // returns.
+  EXPECT_LT(fault::wilson_half_width(0, 64), at_64);
+  const std::array<int, 4> counts{16, 16, 16, 16};
+  EXPECT_DOUBLE_EQ(fault::max_outcome_half_width(counts, 64),
+                   fault::wilson_half_width(16, 64));
+}
+
+TEST(Adaptive, StopsEarlyOnACanonicalPrefix) {
+  // The load-bearing property: the adaptive result is EXACTLY the
+  // full-budget campaign truncated to its first `executed` canonical
+  // trials — asserted by re-running with trials=executed and no stop
+  // rule and requiring byte-identical deterministic JSON.
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 4096;
+  options.max_half_width = 0.05;
+  const auto adaptive = fault::run_campaign(build.program, options);
+  ASSERT_TRUE(adaptive.adaptive.enabled);
+  ASSERT_TRUE(adaptive.adaptive.stopped_early);
+  ASSERT_LT(adaptive.adaptive.executed_trials, 4096);
+  EXPECT_EQ(adaptive.trials(), adaptive.adaptive.executed_trials);
+  EXPECT_GE(adaptive.adaptive.reduction(), 2.0);
+  // Every half-width at the stop boundary is pinned under the target.
+  for (const double half_width : adaptive.adaptive.half_widths) {
+    EXPECT_LE(half_width, 0.05);
+  }
+
+  fault::CampaignOptions prefix_options;
+  prefix_options.trials = adaptive.adaptive.executed_trials;
+  const auto prefix = fault::run_campaign(build.program, prefix_options);
+  EXPECT_EQ(adaptive.counts, prefix.counts);
+  EXPECT_EQ(adaptive.sdc_breakdown, prefix.sdc_breakdown);
+  EXPECT_EQ(adaptive.latency_sum, prefix.latency_sum);
+}
+
+TEST(Adaptive, StoppedCountIsEngineKnobInvariant) {
+  // The ISSUE's determinism clause: the stopped trial count and the full
+  // deterministic JSON agree across jobs x batch x dispatch.
+  const auto& w = workloads::by_name("bfs");
+  auto build = pipeline::build(w.source, Technique::kFerrum);
+  std::string reference;
+  int reference_executed = -1;
+  for (const int jobs : {1, 2, 8}) {
+    for (const int batch : {1, 8}) {
+      for (const vm::DispatchMode dispatch :
+           {vm::DispatchMode::kSwitch, vm::DispatchMode::kAuto}) {
+        fault::CampaignOptions options;
+        options.trials = 2048;
+        options.max_half_width = 0.04;
+        options.jobs = jobs;
+        options.batch = batch;
+        options.vm.dispatch = dispatch;
+        const auto result = fault::run_campaign(build.program, options);
+        const std::string dump = telemetry::to_json(result).dump();
+        if (reference.empty()) {
+          reference = dump;
+          reference_executed = result.adaptive.executed_trials;
+        } else {
+          EXPECT_EQ(result.adaptive.executed_trials, reference_executed)
+              << "stopped count moved at jobs=" << jobs
+              << " batch=" << batch;
+          EXPECT_EQ(dump, reference)
+              << "adaptive JSON diverged at jobs=" << jobs
+              << " batch=" << batch;
+        }
+      }
+    }
+  }
+  EXPECT_FALSE(reference.empty());
+}
+
+TEST(Adaptive, DisabledTargetRunsTheFullBudget) {
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions options;
+  options.trials = 128;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_FALSE(result.adaptive.enabled);
+  EXPECT_EQ(result.trials(), 128);
+}
+
+TEST(Adaptive, WideTargetNeverStopsBeforeTheBudget) {
+  // A target no campaign can reach (tighter than 1/sqrt(planned) allows)
+  // must degrade to the full budget with stopped_early = false.
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  fault::CampaignOptions options;
+  options.trials = 128;
+  options.max_half_width = 0.001;
+  const auto result = fault::run_campaign(build.program, options);
+  EXPECT_TRUE(result.adaptive.enabled);
+  EXPECT_FALSE(result.adaptive.stopped_early);
+  EXPECT_EQ(result.adaptive.executed_trials, 128);
+  EXPECT_EQ(result.trials(), 128);
+}
+
+TEST(Adaptive, PruneModeRejectsTheStopRule) {
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  // The rejection fires before the plan is consulted, so an empty report
+  // exercises it without linking the prune analysis into this binary.
+  check::prune::PruneReport prune_report;
+  fault::CampaignOptions options;
+  options.trials = 64;
+  options.max_half_width = 0.05;
+  options.prune = &prune_report;
+  EXPECT_THROW(fault::run_campaign(build.program, options),
+               std::invalid_argument);
+}
+
+// ---------------------------------------------------- prepared state --
+
+TEST(Prepared, SharedStateIsResultInvariant) {
+  // PreparedCampaign is the service's cross-cell engine-state reuse: a
+  // campaign run against a pre-built predecode/golden/checkpoint set
+  // must be byte-identical to one that builds its own.
+  const auto& w = workloads::by_name("bfs");
+  auto build = pipeline::build(w.source, Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 96;
+  const auto owned = fault::run_campaign(build.program, options);
+
+  const fault::PreparedCampaign prepared(build.program, options.vm,
+                                         /*ckpt_stride=*/64);
+  options.prepared = &prepared;
+  const auto shared = fault::run_campaign(build.program, options);
+  EXPECT_EQ(telemetry::to_json(owned).dump(),
+            telemetry::to_json(shared).dump());
+
+  // Different seeds/trials against ONE prepared state (the service's
+  // N-cells-one-program pattern) still match their owned-state twins.
+  for (const std::uint64_t seed : {1u, 2u}) {
+    fault::CampaignOptions cell;
+    cell.trials = 64;
+    cell.seed = seed;
+    const auto cold = fault::run_campaign(build.program, cell);
+    cell.prepared = &prepared;
+    const auto warm = fault::run_campaign(build.program, cell);
+    EXPECT_EQ(telemetry::to_json(cold).dump(),
+              telemetry::to_json(warm).dump());
+  }
+}
+
+TEST(Prepared, StoreDataMismatchThrows) {
+  auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
+  vm::VmOptions vm;
+  vm.fault_store_data = false;
+  const fault::PreparedCampaign prepared(build.program, vm, 64);
+  fault::CampaignOptions options;
+  options.trials = 16;
+  options.vm.fault_store_data = true;  // disagrees: different site space
+  options.prepared = &prepared;
+  EXPECT_THROW(fault::run_campaign(build.program, options),
+               std::invalid_argument);
 }
 
 }  // namespace

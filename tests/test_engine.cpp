@@ -237,6 +237,44 @@ TEST(Engine, SingleRunMatchesColdVmRun) {
   }
 }
 
+TEST(Engine, StartStateFallThroughMatchesColdRuns) {
+  // The restore-bound `none` path: when the dynamically first fault site
+  // precedes the first post-start checkpoint, the nearest snapshot is
+  // checkpoint 0, whose state IS the cold start. The engine skips the
+  // full restore and replays the golden prefix directly — the result
+  // must stay byte-identical to a cold run, and the restore counter must
+  // not move for any of these trials.
+  auto build = pipeline::build(kSmallProgram, Technique::kNone);
+  const vm::VmResult golden = vm::run(build.program);
+  ASSERT_TRUE(golden.ok());
+
+  vm::VmOptions options;
+  options.max_steps = fault::faulty_step_budget(golden.steps);
+  const vm::PredecodedProgram decoded(build.program);
+  vm::CheckpointSet ckpts;
+  vm::Engine engine(decoded, options);
+  ASSERT_TRUE(engine.run_capturing(options, 16, ckpts).ok());
+  ASSERT_GT(ckpts.size(), 1u);
+
+  for (std::uint64_t site : {0u, 1u, 7u, 15u}) {
+    const vm::Checkpoint& resume = ckpts.nearest_at_or_before(site);
+    ASSERT_EQ(resume.fi_sites, 0u);  // these sites precede checkpoint 1
+    ASSERT_EQ(resume.steps, 0u);
+    for (int bit : {0, 31, 63}) {
+      vm::FaultSpec fault;
+      fault.site = site;
+      fault.bit = bit;
+      const vm::VmResult cold = vm::run_multi(build.program, options, {fault});
+      const vm::VmResult warm = engine.run_from(ckpts, options, &fault, 1);
+      expect_same_result(cold, warm,
+                         "site=" + std::to_string(site) +
+                             " bit=" + std::to_string(bit));
+    }
+  }
+  EXPECT_EQ(engine.stats().restores, 0u);  // every trial fell through
+  EXPECT_GT(engine.stats().trials, 0u);
+}
+
 TEST(Engine, FastForwardStatsAccounting) {
   auto build = pipeline::build(kSmallProgram, Technique::kFerrum);
   const vm::VmResult golden = vm::run(build.program);
@@ -252,16 +290,24 @@ TEST(Engine, FastForwardStatsAccounting) {
   EXPECT_GT(ckpts.snapshot_bytes(), 0u);
 
   const int n = 24;
+  std::uint64_t expected_restores = 0;
   for (int i = 0; i < n; ++i) {
     vm::FaultSpec fault;
     fault.site = static_cast<std::uint64_t>(i * 3);
     fault.bit = i % 64;
+    // Trials whose nearest checkpoint is checkpoint 0 (the start state)
+    // fall through to a cold start instead of a full restore, so only
+    // trials anchored on a later checkpoint move the restore counter.
+    const vm::Checkpoint& resume = ckpts.nearest_at_or_before(fault.site);
+    if (resume.fi_sites != 0 || resume.steps != 0) ++expected_restores;
     engine.run_from(ckpts, options, &fault, 1);
   }
   const vm::FastForwardStats& stats = engine.stats();
   // The capturing run counts as a trial too (no restore).
   EXPECT_EQ(stats.trials, static_cast<std::uint64_t>(n) + 1);
-  EXPECT_EQ(stats.restores, static_cast<std::uint64_t>(n));
+  EXPECT_EQ(stats.restores, expected_restores);
+  EXPECT_GT(expected_restores, 0u);  // late sites genuinely restored
+  EXPECT_LT(expected_restores, static_cast<std::uint64_t>(n));  // ckpt-0 fell through
   EXPECT_GT(stats.steps_skipped, 0u);  // late sites skip golden prefix
   EXPECT_GT(stats.steps_executed, 0u);
   EXPECT_GE(stats.ratio(), 0.0);

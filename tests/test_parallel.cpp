@@ -210,6 +210,44 @@ TEST(ThreadPoolTest, PrunedCampaignIsJobsInvariant) {
   EXPECT_LT(parallel.prune.pilot_runs, 96u);  // pruning actually pruned
 }
 
+TEST(ThreadPoolTest, AdaptiveCampaignIsJobsAndBatchInvariant) {
+  // TSan-preset coverage for the adaptive stop rule: the boundary loop
+  // joins the pool after every block, then reads each trial's outcome
+  // slot from the calling thread — the determinism contract (and the
+  // happens-before edge behind it) is that the stopped count and every
+  // counter agree across workers and lockstep widths. A shared
+  // PreparedCampaign rides along, read concurrently by all workers, to
+  // mirror the service's cross-cell reuse under the race detector.
+  auto build = pipeline::build(R"(
+    int main() {
+      int s = 0;
+      for (int i = 0; i < 12; i++) s += i * i;
+      print_int(s);
+      return 0;
+    })", pipeline::Technique::kFerrum);
+  fault::CampaignOptions options;
+  options.trials = 2048;
+  options.max_half_width = 0.05;
+  options.ckpt_stride = 4;
+  options.jobs = 1;
+  options.batch = 1;
+  const auto serial = fault::run_campaign(build.program, options);
+  ASSERT_TRUE(serial.adaptive.stopped_early);
+  const fault::PreparedCampaign prepared(build.program, options.vm,
+                                         /*ckpt_stride=*/4);
+  for (const int jobs : {2, 8}) {
+    options.jobs = jobs;
+    options.batch = 8;
+    options.prepared = &prepared;
+    const auto parallel = fault::run_campaign(build.program, options);
+    EXPECT_EQ(serial.adaptive.executed_trials,
+              parallel.adaptive.executed_trials);
+    EXPECT_EQ(serial.counts, parallel.counts);
+    EXPECT_EQ(serial.sdc_breakdown, parallel.sdc_breakdown);
+    EXPECT_EQ(serial.latency_sum, parallel.latency_sum);
+  }
+}
+
 TEST(ThreadPoolTest, FreeFunctionCoversRange) {
   std::vector<std::atomic<int>> hits(256);
   parallel_for(4, 256, [&](std::size_t begin, std::size_t end) {

@@ -173,7 +173,7 @@ TEST(SectionKey, PinnedGoldenMaterial) {
   info.store_data = true;
   const std::string material = fault::section_key_material(info);
   EXPECT_EQ(material,
-            "ferrum-section-v1\n"
+            "ferrum-section-v2\n"
             "mode=audit\n"
             "code_sha256=aa11\n"
             "state_digest=0123456789abcdef\n"
@@ -184,7 +184,8 @@ TEST(SectionKey, PinnedGoldenMaterial) {
             "trials=0\n"
             "seed=0\n"
             "burst=2\n"
-            "store_data=1\n");
+            "store_data=1\n"
+            "max_half_width=0\n");
   EXPECT_EQ(fault::section_key(info), sha256_hex(material));
 }
 
@@ -213,6 +214,9 @@ TEST(SectionKey, EveryDeclaredInputMovesTheKey) {
   EXPECT_NE(fault::section_key(moved), base);
   moved = info;
   moved.max_steps = 8192;
+  EXPECT_NE(fault::section_key(moved), base);
+  moved = info;
+  moved.max_half_width = 0.02;
   EXPECT_NE(fault::section_key(moved), base);
 }
 
@@ -312,6 +316,72 @@ TEST(Compose, SummariesAreSchedulingInvariant) {
     }
   }
   EXPECT_FALSE(reference.empty());
+}
+
+TEST(Compose, AdaptiveStopsPerSectionDeterministically) {
+  // The stop rule shrinks each section's budget independently, and every
+  // stopped count is a pure function of the section key (which includes
+  // max_half_width): jobs x batch must not move a single byte of the
+  // composed JSON, and a warm pass over early-stopped summaries must
+  // reproduce the composed result without re-running anything.
+  const auto build =
+      pipeline::build(workloads::by_name("bfs").source, Technique::kFerrum);
+  const SectionMap map = check::sections::build_sections(build.program);
+  service::ResultCache cache("");  // memory-only
+  fault::ComposeOptions options;
+  options.trials = 8192;
+  options.max_half_width = 0.05;
+  options.lookup = [&cache](const std::string& key) {
+    return cache.lookup(key);
+  };
+  options.store = [&cache](const std::string& key, const std::string& bytes) {
+    cache.store(key, bytes, /*replace=*/true);
+  };
+  const fault::ComposeReport first =
+      fault::compose_campaign(build.program, map, options);
+  ASSERT_TRUE(first.adaptive.enabled);
+  EXPECT_TRUE(first.adaptive.stopped_early);
+  EXPECT_LT(first.adaptive.executed_trials, first.adaptive.planned_trials);
+  bool any_section_stopped = false;
+  for (const fault::SectionSummary& summary : first.sections) {
+    if (summary.trials == 0) continue;
+    EXPECT_LE(summary.trials, summary.planned);
+    if (summary.stopped_early) any_section_stopped = true;
+  }
+  EXPECT_TRUE(any_section_stopped);
+  const std::string reference = telemetry::to_json(first).dump();
+
+  for (const int jobs : {2, 8}) {
+    for (const int batch : {1, 8}) {
+      // A fresh memory-only cache per combination: cold execution, but
+      // the same summary shape (the `key` field rides with caching).
+      service::ResultCache fresh("");
+      fault::ComposeOptions knobs;
+      knobs.trials = options.trials;
+      knobs.max_half_width = options.max_half_width;
+      knobs.jobs = jobs;
+      knobs.batch = batch;
+      knobs.lookup = [&fresh](const std::string& key) {
+        return fresh.lookup(key);
+      };
+      knobs.store = [&fresh](const std::string& key,
+                             const std::string& bytes) {
+        fresh.store(key, bytes, /*replace=*/true);
+      };
+      const fault::ComposeReport report =
+          fault::compose_campaign(build.program, map, knobs);
+      EXPECT_EQ(telemetry::to_json(report).dump(), reference)
+          << "jobs=" << jobs << " batch=" << batch;
+    }
+  }
+
+  // Warm: the early-stopped summaries answer from the cache (planned
+  // matches, trials <= planned) and compose to the identical report.
+  const fault::ComposeReport warm =
+      fault::compose_campaign(build.program, map, options);
+  EXPECT_EQ(warm.trials_executed, 0u);
+  EXPECT_EQ(warm.cold_sections, 0u);
+  EXPECT_EQ(telemetry::to_json(warm).dump(), reference);
 }
 
 // ---------------------------------------------------- incremental --

@@ -92,11 +92,11 @@ constexpr const char* kEmptySha =
 TEST(CellKey, PinnedGoldenMaterialAndKey) {
   // The default cell against the empty-program hash. If this golden
   // moves, every existing store entry is orphaned — bump the material
-  // version ("ferrum-cell-v1") instead of silently changing the layout.
+  // version ("ferrum-cell-v2") instead of silently changing the layout.
   const CampaignCell cell;
   const std::string material = fault::cell_key_material(cell, kEmptySha);
   EXPECT_EQ(material,
-            "ferrum-cell-v1\n"
+            "ferrum-cell-v2\n"
             "program_sha256=" +
                 std::string(kEmptySha) +
                 "\n"
@@ -106,10 +106,11 @@ TEST(CellKey, PinnedGoldenMaterialAndKey) {
                 "faults_per_run=1\n"
                 "burst=1\n"
                 "store_data=0\n"
-                "prune=0\n");
+                "prune=0\n"
+                "max_half_width=0\n");
   EXPECT_EQ(
       sha256_hex(material),
-      "269dceba412b6d78e4e4a864aa01f861ba26f63abf168d7509efc3484f6a25de");
+      "5628bc5caf4d00cd631cdf4fe83b8653a5dc1bd93651962dbcd1a083bc1c9894");
 }
 
 TEST(CellKey, ResultAffectingKnobsChangeTheKey) {
@@ -128,6 +129,8 @@ TEST(CellKey, ResultAffectingKnobsChangeTheKey) {
   EXPECT_NE(key_of([](CampaignCell& c) { c.burst = 2; }), base_key);
   EXPECT_NE(key_of([](CampaignCell& c) { c.store_data = true; }), base_key);
   EXPECT_NE(key_of([](CampaignCell& c) { c.prune = true; }), base_key);
+  EXPECT_NE(key_of([](CampaignCell& c) { c.max_half_width = 0.02; }),
+            base_key);
   // And a different program hash is a different cell.
   EXPECT_NE(sha256_hex(fault::cell_key_material(base, sha256_hex("x"))),
             base_key);
@@ -180,6 +183,16 @@ TEST(CellKey, ValidateCellRejectsBadSpecs) {
   cell.trials = 10;
   cell.prune = true;
   cell.faults_per_run = 2;
+  EXPECT_FALSE(fault::validate_cell(cell, error));
+  cell.prune = false;
+  cell.faults_per_run = 1;
+  cell.max_half_width = 0.5;  // stop rule wants [0, 0.5)
+  EXPECT_FALSE(fault::validate_cell(cell, error));
+  cell.max_half_width = -0.01;
+  EXPECT_FALSE(fault::validate_cell(cell, error));
+  cell.max_half_width = 0.05;
+  EXPECT_TRUE(fault::validate_cell(cell, error)) << error;
+  cell.prune = true;  // prune extrapolates, adaptive would skew it
   EXPECT_FALSE(fault::validate_cell(cell, error));
 }
 
@@ -243,6 +256,7 @@ TEST(Proto, CellJsonRoundTrip) {
   cell.ckpt_stride = 16;
   cell.batch = 2;
   cell.dispatch = "switch";
+  cell.max_half_width = 0.03;
   CampaignCell parsed;
   std::string error;
   ASSERT_TRUE(service::cell_from_json(service::cell_to_json(cell), parsed,
@@ -260,6 +274,7 @@ TEST(Proto, CellJsonRoundTrip) {
   EXPECT_EQ(parsed.ckpt_stride, cell.ckpt_stride);
   EXPECT_EQ(parsed.batch, cell.batch);
   EXPECT_EQ(parsed.dispatch, cell.dispatch);
+  EXPECT_EQ(parsed.max_half_width, cell.max_half_width);
 }
 
 TEST(Proto, CellJsonFillsDefaultsForAbsentKeys) {
