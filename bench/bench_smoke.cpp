@@ -154,6 +154,40 @@ void check_static_coverage(Json& artifact) {
   }
 }
 
+/// Acceptance check on the flow-prediction cross-validation: every
+/// dynamic SDC escape must have landed on a site ferrum-flow predicted
+/// sdc-vulnerable or crash-prone (containment == 1.0), no predicted-safe
+/// site may have produced an SDC, and the sweep must have observed
+/// escapes (otherwise containment is vacuous). Precision is reported,
+/// not asserted — the flow contract is one-directional.
+void check_flow_accuracy(Json& artifact) {
+  Json& metrics = artifact["metrics"];
+  const Json* containment = metrics.find("containment");
+  if (containment == nullptr) {
+    fail("analysis_flow_accuracy metrics lack 'containment'");
+    return;
+  }
+  if (containment->as_double() != 1.0) {
+    fail("analysis_flow_accuracy containment below 1.0: a dynamic SDC "
+         "escaped outside the predicted-vulnerable set");
+  }
+  const Json* escapes = metrics.find("total_escapes");
+  if (escapes == nullptr || escapes->as_uint() == 0) {
+    fail("analysis_flow_accuracy observed no escapes — containment check "
+         "is vacuous");
+  }
+  const Json* safe = metrics.find("safe_sdc_sites");
+  if (safe == nullptr) {
+    fail("analysis_flow_accuracy metrics lack 'safe_sdc_sites'");
+  } else if (safe->as_uint() != 0) {
+    fail("analysis_flow_accuracy found an SDC on a predicted-safe site — "
+         "a ferrum-flow soundness bug");
+  }
+  if (metrics.find("precision") == nullptr) {
+    fail("analysis_flow_accuracy metrics lack 'precision'");
+  }
+}
+
 /// Schema + invariant check on bench_vm's dispatch/batch telemetry: the
 /// wallclock section must carry the per-technique dispatch rates and the
 /// batch-width sweep, and the metrics section must assert that switch vs
@@ -323,6 +357,7 @@ int main(int argc, char** argv) {
       {"detection_latency", ""},
       {"analysis_rootcause", ""},
       {"analysis_static_coverage", ""},
+      {"analysis_flow_accuracy", ""},
       {"analysis_compose_accuracy", ""},
       {"analysis_earlystop_accuracy", ""},
       {"bench_pass_time", "--benchmark_list_tests=true"},
@@ -371,6 +406,11 @@ int main(int argc, char** argv) {
 
   if (const auto vm = check_artifact(out_dir, "bench_vm"); vm.has_value()) {
     check_bench_vm(*vm);
+  }
+
+  if (auto flow = check_artifact(out_dir, "analysis_flow_accuracy");
+      flow.has_value()) {
+    check_flow_accuracy(*flow);
   }
 
   if (auto compose = check_artifact(out_dir, "analysis_compose_accuracy");

@@ -13,7 +13,10 @@
 //   ferrumc sites prog.c --tech=ferrum     # fault-site liveness/classes
 //   ferrumc run prog.c --tech=ferrum --timing --stats=out.json
 //   ferrumc lint prog.c --tech=ferrum      # static protection verifier
+//   ferrumc lint prog.c --tech=ferrum --summary   # per-function table
 //   ferrumc lint prog.s --lint=json        # lint assembly, JSON report
+//   ferrumc plan prog.c                    # flow predictions + top-k plan
+//   ferrumc plan prog.c --budget=0.25 --strategy=analysis
 //   ferrumc serve                          # run the campaign daemon
 //   ferrumc submit prog.c --tech=ferrum    # campaign via the daemon
 //   ferrumc submit bfs --trials=2000       # a named Table II workload
@@ -38,6 +41,12 @@
 // audit/campaign collapses the injection space with it (statically-dead
 // flips are benign without running, live flips are answered by one pilot
 // per equivalence class; see src/check/prune.h).
+//
+// `plan` runs the ferrum-flow error-propagation analysis over the
+// *unprotected* program (the exact assembly the FERRUM protect pass
+// would see), prints the four-way outcome-prediction profile and plans
+// an analysis-guided selective-protection site set for the given
+// --budget (see src/check/flow.h and src/pipeline/selective.h).
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -49,6 +58,7 @@
 #include <thread>
 
 #include "check/check.h"
+#include "check/flow.h"
 #include "check/prune.h"
 #include "check/sections.h"
 #include "fault/audit.h"
@@ -74,13 +84,15 @@ namespace {
 
 int usage(const char* argv0) {
   std::fprintf(stderr,
-               "usage: %s <run|asm|ir|audit|campaign|lint|sites> "
+               "usage: %s <run|asm|ir|audit|campaign|lint|sites|plan> "
                "<file.c|file.s>\n"
                "       [--tech=none|ir-eddi|hybrid|ferrum]\n"
                "       [--trials=N] [--jobs=N] [--ckpt-stride=N] [--timing]\n"
                "       [--dispatch=switch|threaded] [--batch=N]\n"
                "       [--max-half-width=X]\n"
-               "       [--lint[=json]] [--prune] [--stats=<file.json>]\n"
+               "       [--lint[=json]] [--summary] [--prune] "
+               "[--stats=<file.json>]\n"
+               "       [--budget=X] [--strategy=analysis|random]\n"
                "       [--compose] [--incremental] [--cache-dir=DIR]\n"
                "       %s serve [--socket=PATH] [--cache-dir=DIR] "
                "[--workers=N]\n"
@@ -98,10 +110,21 @@ int usage(const char* argv0) {
                "equivalence analysis as JSON; --prune makes audit/campaign "
                "inject one pilot per equivalence class and skip "
                "statically-dead flips, extrapolating the full result)\n"
-               "(lint runs the ferrum-check static protection verifier: "
-               "violations on stderr, non-zero exit when the protection "
-               "invariants do not hold; --lint=json dumps the full report;\n"
+               "(lint runs the ferrum-check static protection verifier. "
+               "Exit contract: 0 = every protection invariant holds, "
+               "1 = at least one violation (listed on stderr) or a build "
+               "failure, 2 = usage/IO error. --lint=json dumps the full "
+               "report with the prune/section/flow tables; --summary adds "
+               "a per-function table of site counts per class "
+               "(protected/benign/unprotected);\n"
                " a .s input is linted directly, without the pipeline)\n"
+               "(plan runs the ferrum-flow outcome-prediction analysis on "
+               "the pre-protection assembly and plans selective "
+               "protection: --budget=X protects the top fraction X of "
+               "protectable sites, ranked by predicted SDC risk with "
+               "--strategy=analysis (default) or a seeded shuffle with "
+               "--strategy=random; predictions land in --lint=json and "
+               "sites output as the 'flow' table)\n"
                "(campaign --compose runs the sectioned campaign: the "
                "program is decomposed into sync-point-delimited sections, "
                "each campaigned in isolation, and the per-section summaries "
@@ -223,6 +246,8 @@ int main(int argc, char** argv) {
   if (command == "serve") return serve_main(argc, argv);
   if (argc < 3) return usage(argv[0]);
   const std::string path = argv[2];
+  // `plan` analyses the unprotected program (what the protect pass would
+  // see), so its default stays kNone.
   Technique technique =
       command == "audit" || command == "lint" || command == "sites"
           ? Technique::kFerrum
@@ -237,6 +262,10 @@ int main(int argc, char** argv) {
   bool timing = false;
   bool lint = command == "lint";
   bool lint_json = false;
+  bool lint_summary = false;
+  double budget = 1.0;
+  pipeline::SelectiveOptions::Strategy strategy =
+      pipeline::SelectiveOptions::Strategy::kAnalysis;
   bool prune = false;
   bool compose = false;
   bool incremental = false;
@@ -256,6 +285,23 @@ int main(int argc, char** argv) {
     } else if (arg == "--lint=json") {
       lint = true;
       lint_json = true;
+    } else if (arg == "--summary") {
+      lint = true;
+      lint_summary = true;
+    } else if (arg.rfind("--budget=", 0) == 0) {
+      if (!parse_double(arg.c_str() + 9, budget) || budget < 0.0 ||
+          budget > 1.0) {
+        std::fprintf(stderr, "bad --budget value '%s' (range [0, 1])\n",
+                     arg.c_str() + 9);
+        return 2;
+      }
+    } else if (arg == "--strategy=analysis") {
+      strategy = pipeline::SelectiveOptions::Strategy::kAnalysis;
+    } else if (arg == "--strategy=random") {
+      strategy = pipeline::SelectiveOptions::Strategy::kRandom;
+    } else if (arg.rfind("--strategy=", 0) == 0) {
+      std::fprintf(stderr, "bad --strategy value '%s'\n", arg.c_str() + 11);
+      return 2;
     } else if (arg.rfind("--stats=", 0) == 0) {
       stats_path = arg.substr(8);
       if (stats_path.empty()) {
@@ -531,6 +577,11 @@ int main(int argc, char** argv) {
           check::sections::to_json(check::sections::build_sections(
                                        build.program),
                                    build.program);
+      // ... and the flow predictions: per site the reachable-sink mask
+      // and the predicted dynamic outcome (masked/detected/crash-prone/
+      // sdc-vulnerable), plus the profile counters.
+      out["flow"] = check::flow::to_json(
+          check::flow::flow_program(build.program), build.program);
       std::fputs(out.dump().c_str(), stdout);
       std::fputc('\n', stdout);
     } else {
@@ -540,6 +591,31 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(report.protected_sites),
                   static_cast<unsigned long long>(report.benign_sites),
                   static_cast<unsigned long long>(report.unprotected_sites));
+    }
+    if (lint_summary) {
+      // Per-function class counts. Sites arrive in program order, so one
+      // function's records are contiguous and a new name opens a row.
+      std::vector<std::pair<std::string, std::array<std::uint64_t, 3>>> rows;
+      for (const check::SiteRecord& site : report.sites) {
+        if (rows.empty() || rows.back().first != site.function) {
+          rows.push_back({site.function, {0, 0, 0}});
+        }
+        switch (site.status) {
+          case check::SiteStatus::kProtected: ++rows.back().second[0]; break;
+          case check::SiteStatus::kBenign: ++rows.back().second[1]; break;
+          case check::SiteStatus::kUnprotected:
+            ++rows.back().second[2];
+            break;
+        }
+      }
+      std::printf("%-24s %10s %10s %12s\n", "function", "protected",
+                  "benign", "unprotected");
+      for (const auto& [function, counts] : rows) {
+        std::printf("%-24s %10llu %10llu %12llu\n", function.c_str(),
+                    static_cast<unsigned long long>(counts[0]),
+                    static_cast<unsigned long long>(counts[1]),
+                    static_cast<unsigned long long>(counts[2]));
+      }
     }
     if (!stats_path.empty()) {
       telemetry::Json metrics = telemetry::Json::object();
@@ -585,6 +661,10 @@ int main(int argc, char** argv) {
     // (live-in/live-out sets, sync boundary kind, memory footprint).
     out["sections"] = check::sections::to_json(
         check::sections::build_sections(build.program), build.program);
+    // Flow predictions next to both: the per-site reachable-sink mask
+    // and predicted dynamic outcome.
+    out["flow"] = check::flow::to_json(
+        check::flow::flow_program(build.program), build.program);
     std::fputs(out.dump().c_str(), stdout);
     std::fputc('\n', stdout);
     if (!stats_path.empty()) {
@@ -592,6 +672,50 @@ int main(int argc, char** argv) {
       metrics["command"] = "sites";
       metrics["technique"] = pipeline::technique_name(technique);
       metrics["prune"] = out;
+      telemetry::Json wallclock = telemetry::Json::object();
+      wallclock["pass_seconds"] = pass_seconds;
+      if (!write_stats(stats_path, metrics, wallclock)) return 1;
+    }
+    return 0;
+  }
+  if (command == "plan") {
+    pipeline::SelectiveOptions selective;
+    selective.strategy = strategy;
+    selective.budget = budget;
+    if (seed >= 0) selective.seed = static_cast<std::uint64_t>(seed);
+    eddi::AsmProtectOptions protect_options;
+    protect_options.protect_store_data = store_data;
+    const pipeline::SelectivePlan plan =
+        pipeline::plan_selective(build.program, selective, protect_options);
+    const check::flow::FlowProfile& profile = plan.flow.profile;
+    std::printf("sites=%llu masked=%llu detected=%llu crash_prone=%llu "
+                "sdc_vulnerable=%llu\n",
+                static_cast<unsigned long long>(profile.total()),
+                static_cast<unsigned long long>(
+                    profile.of(check::flow::Prediction::kMasked)),
+                static_cast<unsigned long long>(
+                    profile.of(check::flow::Prediction::kDetected)),
+                static_cast<unsigned long long>(
+                    profile.of(check::flow::Prediction::kCrashProne)),
+                static_cast<unsigned long long>(
+                    profile.of(check::flow::Prediction::kSdcVulnerable)));
+    std::printf("plan: strategy=%s budget=%.2f universe=%zu selected=%zu\n",
+                pipeline::selective_strategy_name(selective.strategy),
+                selective.budget, plan.universe.size(),
+                plan.selected.size());
+    if (!stats_path.empty()) {
+      telemetry::Json metrics = telemetry::Json::object();
+      metrics["command"] = "plan";
+      metrics["strategy"] =
+          pipeline::selective_strategy_name(selective.strategy);
+      metrics["budget"] = selective.budget;
+      metrics["universe"] = static_cast<std::uint64_t>(plan.universe.size());
+      telemetry::Json selected = telemetry::Json::array();
+      for (const int ordinal : plan.selected) {
+        selected.push_back(static_cast<std::int64_t>(ordinal));
+      }
+      metrics["selected"] = std::move(selected);
+      metrics["flow"] = check::flow::to_json(plan.flow, build.program);
       telemetry::Json wallclock = telemetry::Json::object();
       wallclock["pass_seconds"] = pass_seconds;
       if (!write_stats(stats_path, metrics, wallclock)) return 1;

@@ -21,7 +21,8 @@ ASAN_TESTS='test_check|test_engine|test_prune'
 
 preset_cmake_args() {
   case "$1" in
-    tier-1) echo "" ;;
+    # tier-1 exports compile_commands.json for the clang-tidy stage.
+    tier-1) echo "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON" ;;
     tsan) echo "-DFERRUM_SANITIZE=thread" ;;
     asan-ubsan) echo "-DFERRUM_SANITIZE=address" ;;
   esac
@@ -86,6 +87,28 @@ for preset in "${PRESETS[@]}"; do
     overall=1
   fi
   SECONDS_BY[$preset]=$(( $(date +%s) - start ))
+done
+
+# Warn-only clang-tidy stage: bugprone-* / performance-* /
+# concurrency-* over the sources, driven by the compile_commands.json
+# the tier-1 configure exports and the committed .clang-tidy profile
+# (check list and suppressions live there). Informational like the
+# bench tripwire below — findings print but never affect the exit
+# status, and the stage is skipped when clang-tidy is not installed.
+for preset in "${PRESETS[@]}"; do
+  if [ "$preset" = tier-1 ] && [ "${STATUS[$preset]}" = PASS ]; then
+    if command -v clang-tidy >/dev/null 2>&1 \
+       && [ -f "$(preset_build_dir tier-1)/compile_commands.json" ]; then
+      echo
+      echo "==> clang-tidy (warn-only; profile: .clang-tidy)"
+      find src bench tests examples -name '*.cpp' -print0 \
+        | xargs -0 -P "$JOBS" -n 8 clang-tidy \
+            -p "$(preset_build_dir tier-1)" --quiet 2>/dev/null || true
+    else
+      echo
+      echo "==> clang-tidy not installed; skipping the warn-only lint stage"
+    fi
+  fi
 done
 
 # Warn-only throughput tripwire: diff the bench artifacts the tier-1

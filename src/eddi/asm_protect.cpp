@@ -30,9 +30,11 @@ bool is_flag_producer(Op op) {
 
 class FunctionProtector {
  public:
-  FunctionProtector(AsmFunction& fn, const AsmProtectOptions& options,
-                    AsmProtectStats& stats)
-      : fn_(fn), options_(options), stats_(stats) {}
+  FunctionProtector(AsmFunction& fn, int fidx,
+                    const AsmProtectOptions& options, AsmProtectStats& stats,
+                    int& ordinal)
+      : fn_(fn), fidx_(fidx), options_(options), stats_(stats),
+        ordinal_(ordinal) {}
 
   void run() {
     ++stats_.functions_total;
@@ -226,17 +228,28 @@ class FunctionProtector {
     out.push_back(prot(std::move(inst)));
   }
 
-  /// Deterministic error-diffusion site selection for coverage_ratio:
-  /// protects exactly the requested fraction of sites, spread evenly.
-  bool select_site() {
-    if (options_.coverage_ratio >= 1.0) return true;
-    selection_accum_ += options_.coverage_ratio;
-    if (selection_accum_ >= 1.0) {
-      selection_accum_ -= 1.0;
-      return true;
+  /// Per-site protection decision, consulted once per protectable site in
+  /// program order. The ordinal advances unconditionally, so site
+  /// identities are independent of what any selector decides. Without a
+  /// selector, deterministic error-diffusion on coverage_ratio protects
+  /// the requested fraction of sites, spread evenly.
+  bool select_site(std::size_t bidx, std::size_t i, bool cluster) {
+    ProtectSiteRef ref;
+    ref.ordinal = ordinal_++;
+    ref.function = fidx_;
+    ref.block = static_cast<int>(bidx);
+    ref.inst = static_cast<int>(i);
+    ref.cluster = cluster;
+    bool keep = true;
+    if (options_.selector) {
+      keep = options_.selector(ref);
+    } else if (options_.coverage_ratio < 1.0) {
+      selection_accum_ += options_.coverage_ratio;
+      keep = selection_accum_ >= 1.0;
+      if (keep) selection_accum_ -= 1.0;
     }
-    ++stats_.skipped_sites;
-    return false;
+    if (!keep) ++stats_.skipped_sites;
+    return keep;
   }
 
   void emit_jne_detect(std::vector<AsmInst>& out) {
@@ -381,7 +394,7 @@ class FunctionProtector {
       // Materialised comparison: flag producer + setcc pair.
       if (is_flag_producer(orig[i].op) && i + 1 < cluster &&
           orig[i + 1].op == Op::kSetcc) {
-        if (select_site()) {
+        if (select_site(bidx, i, /*cluster=*/true)) {
           protect_materialized_compare(out, orig, bidx, i);
         } else {
           out.push_back(orig[i]);
@@ -390,7 +403,8 @@ class FunctionProtector {
         ++i;  // consumed the setcc as well
         continue;
       }
-      if (!select_site() && protectable_body_site(orig[i])) {
+      if (protectable_body_site(orig[i]) &&
+          !select_site(bidx, i, /*cluster=*/false)) {
         out.push_back(orig[i]);
         continue;
       }
@@ -401,7 +415,8 @@ class FunctionProtector {
     // Terminator cluster.
     if (cluster < orig.size() && is_flag_producer(orig[cluster].op) &&
         cluster + 1 < orig.size() && orig[cluster + 1].op == Op::kJcc &&
-        options_.protect_branches && select_site()) {
+        options_.protect_branches &&
+        select_site(bidx, cluster, /*cluster=*/true)) {
       protect_branch_cluster(out, orig, bidx, cluster);
     } else {
       for (std::size_t i = cluster; i < orig.size(); ++i) {
@@ -930,8 +945,11 @@ class FunctionProtector {
   }
 
   AsmFunction& fn_;
+  int fidx_ = 0;
   const AsmProtectOptions& options_;
   AsmProtectStats& stats_;
+  /// Program-wide protectable-site counter, shared across functions.
+  int& ordinal_;
 
   std::vector<std::vector<LiveSet>> lives_;
   bool flag_regs_spare_ = false;
@@ -956,13 +974,31 @@ AsmProtectStats protect_asm(masm::AsmProgram& program,
                             const AsmProtectOptions& options) {
   const auto start = std::chrono::steady_clock::now();
   AsmProtectStats stats;
-  for (AsmFunction& fn : program.functions) {
-    FunctionProtector protector(fn, options, stats);
+  int ordinal = 0;
+  for (std::size_t f = 0; f < program.functions.size(); ++f) {
+    FunctionProtector protector(program.functions[f], static_cast<int>(f),
+                                options, stats, ordinal);
     protector.run();
   }
   stats.pass_seconds = std::chrono::duration<double>(
       std::chrono::steady_clock::now() - start).count();
   return stats;
+}
+
+std::vector<ProtectSiteRef> enumerate_protectable_sites(
+    const masm::AsmProgram& program, const AsmProtectOptions& options) {
+  // The call sequence to the selector depends only on the input program
+  // shape and options, never on selection outcomes, so a skip-everything
+  // recording run over a scratch copy yields the exact site universe.
+  masm::AsmProgram scratch = program;
+  std::vector<ProtectSiteRef> sites;
+  AsmProtectOptions probe = options;
+  probe.selector = [&sites](const ProtectSiteRef& ref) {
+    sites.push_back(ref);
+    return false;
+  };
+  protect_asm(scratch, probe);
+  return sites;
 }
 
 }  // namespace ferrum::eddi

@@ -25,11 +25,33 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <string>
+#include <vector>
 
 #include "masm/masm.h"
 
 namespace ferrum::eddi {
+
+/// One protectable site as offered to the selection machinery: ordinal is
+/// a program-wide counter advanced in deterministic program order
+/// (functions, blocks, instructions), so it is stable across runs and
+/// identical between enumerate_protectable_sites and the protecting run.
+/// `inst` is the site's first original instruction (the flag producer for
+/// materialised-compare and branch clusters).
+struct ProtectSiteRef {
+  int ordinal = 0;
+  int function = 0;
+  int block = 0;
+  int inst = 0;
+  /// Materialised-compare or terminator branch cluster (two+ original
+  /// instructions guarded by one selection decision).
+  bool cluster = false;
+};
+
+/// Per-site selection callback: return true to protect the site. Called
+/// exactly once per protectable site, in ordinal order.
+using ProtectSelector = std::function<bool(const ProtectSiteRef&)>;
 
 struct AsmProtectOptions {
   /// Batch duplicate/original results in XMM/YMM registers (FERRUM).
@@ -57,6 +79,11 @@ struct AsmProtectOptions {
   /// this is off by default; pair with VmOptions::fault_store_data for
   /// the extended-model ablation.
   bool protect_store_data = false;
+  /// When set, overrides coverage_ratio: consulted once per protectable
+  /// site in ordinal order. Drives analysis-guided selective protection
+  /// (pipeline::plan_selective); must be deterministic for reproducible
+  /// builds.
+  ProtectSelector selector;
 };
 
 struct AsmProtectStats {
@@ -81,5 +108,12 @@ struct AsmProtectStats {
 /// across blocks).
 AsmProtectStats protect_asm(masm::AsmProgram& program,
                             const AsmProtectOptions& options = {});
+
+/// Enumerates the protectable sites protect_asm would offer to the
+/// selector under `options`, in ordinal order, without modifying
+/// `program` (runs the pass on a scratch copy with a recording selector;
+/// ordinal assignment is independent of selection outcomes).
+std::vector<ProtectSiteRef> enumerate_protectable_sites(
+    const masm::AsmProgram& program, const AsmProtectOptions& options = {});
 
 }  // namespace ferrum::eddi

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <chrono>
 #include <iterator>
+#include <map>
 #include <memory>
 #include <stdexcept>
+#include <tuple>
 #include <unordered_map>
 
 // Types and inline lookups only — the prune analysis itself runs in
@@ -19,6 +21,35 @@
 namespace ferrum::fault {
 
 namespace {
+
+/// Deterministically-ordered accumulator for AuditOptions::site_outcomes:
+/// static coordinates -> per-outcome probe counts.
+class SiteOutcomeTally {
+ public:
+  void add(const std::string& function, int block, int inst,
+           vm::FaultKind kind, ProbeOutcome outcome, std::uint64_t n = 1) {
+    SiteOutcome& entry = map_[std::make_tuple(function, block, inst,
+                                              static_cast<int>(kind))];
+    if (entry.function.empty()) {
+      entry.function = function;
+      entry.block = block;
+      entry.inst = inst;
+      entry.kind = kind;
+    }
+    entry.count[static_cast<std::size_t>(outcome)] += n;
+  }
+
+  std::vector<SiteOutcome> take() {
+    std::vector<SiteOutcome> out;
+    out.reserve(map_.size());
+    for (auto& [key, entry] : map_) out.push_back(std::move(entry));
+    map_.clear();
+    return out;
+  }
+
+ private:
+  std::map<std::tuple<std::string, int, int, int>, SiteOutcome> map_;
+};
 
 /// Effective lockstep width for Engine::run_batch (mirrors the campaign
 /// gate): timing/profile/trace audits stay scalar.
@@ -145,9 +176,12 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
             outcomes[p] = ProbeOutcome::kBenign;
           } else {
             outcomes[p] = ProbeOutcome::kSdc;
-            if (run.fault_landing.has_value()) {
-              landings[p] = *run.fault_landing;
-            }
+          }
+          // Landing coordinates are kept for every outcome: the
+          // site_outcomes tally needs them for unmatched pilots, not
+          // just the SDC escapes.
+          if (run.fault_landing.has_value()) {
+            landings[p] = *run.fault_landing;
           }
         };
         if (width <= 1) {
@@ -197,17 +231,36 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
   // Extrapolate in probe order. Escape coordinates are exact — each
   // probe's own static record, not the pilot's — only the outcome is
   // inherited from the pilot.
+  SiteOutcomeTally tally;
   for (std::size_t id = 0; id < nsites; ++id) {
     const std::int32_t s = dyn_static[id];
     for (std::size_t k = 0; k < nbits; ++k) {
       const int bit = options.probe_bits[k];
       const std::int32_t p = probe_pilot[id * nbits + k];
+      const auto tally_probe = [&](ProbeOutcome outcome) {
+        if (!options.site_outcomes) return;
+        if (s >= 0) {
+          const check::prune::PruneSite& site =
+              prune.sites[static_cast<std::size_t>(s)];
+          tally.add(
+              program.functions[static_cast<std::size_t>(site.function)].name,
+              site.block, site.inst, site.kind, outcome);
+        } else if (p >= 0 &&
+                   !landings[static_cast<std::size_t>(p)].function.empty()) {
+          const vm::FaultLanding& landing =
+              landings[static_cast<std::size_t>(p)];
+          tally.add(landing.function, landing.block, landing.inst,
+                    landing.kind, outcome);
+        }
+      };
       ++report.injections;
       if (p < 0) {
         ++report.benign;
         ++report.prune.dead_probes;
+        tally_probe(ProbeOutcome::kBenign);
         continue;
       }
+      tally_probe(outcomes[static_cast<std::size_t>(p)]);
       const bool is_pilot = pilots[static_cast<std::size_t>(p)].site == id &&
                             pilots[static_cast<std::size_t>(p)].bit == bit;
       if (!is_pilot) ++report.prune.extrapolated_probes;
@@ -265,6 +318,7 @@ AuditReport audit_pruned(const masm::AsmProgram& program,
   for (std::size_t p = 0; p < pilots.size(); ++p) {
     report.prune.pilots.push_back({pilots[p].site, pilots[p].bit, outcomes[p]});
   }
+  if (options.site_outcomes) report.site_outcomes = tally.take();
   return report;
 }
 
@@ -315,6 +369,12 @@ AuditReport audit_program(const masm::AsmProgram& program,
     std::uint64_t benign = 0;
     std::uint64_t crashed = 0;
     std::vector<AuditEscape> escapes;
+    /// Every probe of a slot lands on the same static instruction (one
+    /// dynamic site, one landing pc), so the slot carries one landing
+    /// plus per-outcome counts for the site_outcomes tally.
+    vm::FaultLanding landing;
+    bool has_landing = false;
+    std::array<std::uint64_t, kProbeOutcomeCount> outcome{};
   };
   std::vector<SitePartial> partials(slots);
   ThreadPool pool(options.jobs);
@@ -335,13 +395,18 @@ AuditReport audit_program(const masm::AsmProgram& program,
                                 const vm::VmResult& run) {
           SitePartial& partial = partials[slot];
           ++partial.injections;
+          ProbeOutcome outcome;
           if (run.status == vm::ExitStatus::kDetected) {
+            outcome = ProbeOutcome::kDetected;
             ++partial.detected;
           } else if (!run.ok()) {
+            outcome = ProbeOutcome::kCrashed;
             ++partial.crashed;
           } else if (run.output == golden.output) {
+            outcome = ProbeOutcome::kBenign;
             ++partial.benign;
           } else {
+            outcome = ProbeOutcome::kSdc;
             AuditEscape escape;
             escape.site = site;
             escape.bit = bit;
@@ -354,6 +419,13 @@ AuditReport audit_program(const masm::AsmProgram& program,
               escape.inst = run.fault_landing->inst;
             }
             partial.escapes.push_back(std::move(escape));
+          }
+          if (options.site_outcomes && run.fault_landing.has_value()) {
+            if (!partial.has_landing) {
+              partial.landing = *run.fault_landing;
+              partial.has_landing = true;
+            }
+            ++partial.outcome[static_cast<std::size_t>(outcome)];
           }
         };
         if (width <= 1) {
@@ -426,6 +498,20 @@ AuditReport audit_program(const masm::AsmProgram& program,
     report.escapes.insert(report.escapes.end(),
                           std::make_move_iterator(partial.escapes.begin()),
                           std::make_move_iterator(partial.escapes.end()));
+  }
+  if (options.site_outcomes) {
+    SiteOutcomeTally tally;
+    for (const SitePartial& partial : partials) {
+      if (!partial.has_landing) continue;
+      for (int o = 0; o < kProbeOutcomeCount; ++o) {
+        const std::uint64_t n = partial.outcome[static_cast<std::size_t>(o)];
+        if (n == 0) continue;
+        tally.add(partial.landing.function, partial.landing.block,
+                  partial.landing.inst, partial.landing.kind,
+                  static_cast<ProbeOutcome>(o), n);
+      }
+    }
+    report.site_outcomes = tally.take();
   }
   return report;
 }

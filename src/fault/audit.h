@@ -5,6 +5,7 @@
 // than a sampled campaign, feasible for small programs.
 #pragma once
 
+#include <array>
 #include <cstdint>
 #include <string>
 #include <vector>
@@ -58,6 +59,12 @@ struct AuditOptions {
   /// totals frame); AuditReport::prune records what actually ran.
   /// Deterministic and jobs-invariant, like the exhaustive sweep.
   const check::prune::PruneReport* prune = nullptr;
+  /// Aggregate per-static-site outcome tallies into
+  /// AuditReport::site_outcomes (keyed by the fault-landing coordinates
+  /// the engine records at injection time). Off by default — the tally
+  /// costs a map merge per audit. bench/analysis_flow_accuracy uses it
+  /// for the precision denominator of the flow predictions.
+  bool site_outcomes = false;
 };
 
 struct AuditEscape {
@@ -78,6 +85,29 @@ struct AuditEscape {
 /// classification: detector fired / abnormal exit / output matches golden
 /// / silent data corruption).
 enum class ProbeOutcome : std::uint8_t { kDetected, kCrashed, kBenign, kSdc };
+constexpr int kProbeOutcomeCount = 4;
+
+/// Probe-outcome tally of one *static* fault site across every dynamic
+/// occurrence and probe bit the audit exercised. The coordinates match
+/// AuditEscape (and check/prune/flow site records), so static analyses
+/// can join on (function, block, inst, kind).
+struct SiteOutcome {
+  std::string function;
+  int block = 0;
+  int inst = 0;
+  vm::FaultKind kind = vm::FaultKind::kGprWrite;
+  /// Probe counts indexed by ProbeOutcome. In prune mode these are the
+  /// class-extrapolated counts (the exhaustive-frame estimate), matching
+  /// the report's top-level counters.
+  std::array<std::uint64_t, kProbeOutcomeCount> count{};
+
+  std::uint64_t total() const {
+    return count[0] + count[1] + count[2] + count[3];
+  }
+  std::uint64_t of(ProbeOutcome outcome) const {
+    return count[static_cast<std::size_t>(outcome)];
+  }
+};
 
 /// One pilot injection executed by the prune mode: the (site, bit) probe
 /// that represented its (equivalence class, effective bit, temporal
@@ -124,6 +154,10 @@ struct AuditReport {
   /// exhaustive frame would perform, while prune.pilot_injections counts
   /// the runs that actually happened.
   PruneAuditStats prune;
+  /// Per-static-site tallies (AuditOptions::site_outcomes; empty when
+  /// off). Sorted by (function, block, inst, kind) — deterministic and
+  /// jobs-invariant like the rest of the report.
+  std::vector<SiteOutcome> site_outcomes;
 
   // --- Observability only (scheduling-dependent, NOT deterministic) ---
   /// Sites swept by each pool worker (index 0 = the calling thread).

@@ -103,10 +103,20 @@ Build build(std::string_view source, Technique technique,
     result.protect_seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();
   } else if (technique == Technique::kFerrum) {
+    eddi::AsmProtectOptions ferrum_options = options.ferrum;
+    if (options.selective.strategy != SelectiveOptions::Strategy::kOff) {
+      // Plan on the pre-protect program (what the protect pass is about
+      // to see); the plan's selector replaces any coverage_ratio.
+      PassScope scope(result, "flow-plan");
+      result.selective_plan =
+          plan_selective(result.program, options.selective, options.ferrum);
+      ferrum_options.selector = plan_selector(result.selective_plan);
+      ferrum_options.coverage_ratio = 1.0;
+    }
     const auto start = std::chrono::steady_clock::now();
     {
       PassScope scope(result, "protect");
-      result.asm_stats = eddi::protect_asm(result.program, options.ferrum);
+      result.asm_stats = eddi::protect_asm(result.program, ferrum_options);
     }
     result.protect_seconds = std::chrono::duration<double>(
         std::chrono::steady_clock::now() - start).count();

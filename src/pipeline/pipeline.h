@@ -16,6 +16,7 @@
 #include "eddi/ir_eddi.h"
 #include "ir/ir.h"
 #include "masm/masm.h"
+#include "pipeline/selective.h"
 
 namespace ferrum::pipeline {
 
@@ -33,6 +34,10 @@ struct BuildOptions {
   backend::BackendOptions backend;
   /// FERRUM configuration knobs (used only for kFerrum), for ablations.
   eddi::AsmProtectOptions ferrum;
+  /// Analysis-guided selective protection (kFerrum only). When the
+  /// strategy is not kOff, a "flow-plan" pass plans the protection-site
+  /// selection on the pre-protect program and overrides ferrum.selector.
+  SelectiveOptions selective;
 };
 
 struct Build {
@@ -50,8 +55,12 @@ struct Build {
   /// Wall-clock seconds per pipeline pass, in execution order (stages
   /// that did not run for this technique are absent). Stage names:
   /// "frontend", "ir-protect", "ir-verify", "lower", "asm-verify",
-  /// "protect", "protect-verify", "protect-check".
+  /// "flow-plan", "protect", "protect-verify", "protect-check".
   std::vector<std::pair<std::string, double>> pass_seconds;
+  /// The selective-protection plan (populated only when
+  /// BuildOptions::selective.strategy != kOff): site universe, chosen
+  /// ordinals and the flow report the ranking came from.
+  SelectivePlan selective_plan;
 };
 
 /// Compiles MiniC source under the chosen technique. Throws

@@ -1,0 +1,71 @@
+// Analysis-guided selective protection: the ferrum-flow planner.
+//
+// plan_selective takes the *pre-protection* lowered program (kNone's
+// output — identical to what kFerrum's protect pass sees), enumerates
+// the protectable-site universe via eddi::enumerate_protectable_sites,
+// and chooses which sites to spend a protection budget on:
+//
+//   kAnalysis  rank sites by the flow prediction of the fault sites they
+//              guard (sdc-vulnerable > crash-prone > detected > masked;
+//              program order breaks ties) and protect the top-k;
+//   kRandom    seeded Fisher-Yates over the universe, protect the first
+//              k — the baseline the pareto bench compares against.
+//
+// The uniform baseline (every k-th site via coverage_ratio error
+// diffusion) needs no plan: it is AsmProtectOptions::coverage_ratio.
+//
+// Everything here is deterministic: same program + options -> the same
+// plan, byte for byte, on every platform (the shuffle uses a local
+// splitmix64, not std::shuffle, which is unspecified across standard
+// libraries).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "check/flow.h"
+#include "eddi/asm_protect.h"
+#include "masm/masm.h"
+
+namespace ferrum::pipeline {
+
+struct SelectiveOptions {
+  enum class Strategy : std::uint8_t {
+    kOff,       // no plan: protect everything (or coverage_ratio)
+    kAnalysis,  // flow-ranked top-k
+    kRandom,    // seeded-shuffle k (baseline)
+  };
+  Strategy strategy = Strategy::kOff;
+  /// Fraction of the protectable-site universe to protect, in [0, 1].
+  double budget = 1.0;
+  /// Shuffle seed for kRandom.
+  std::uint64_t seed = 1;
+};
+
+const char* selective_strategy_name(SelectiveOptions::Strategy strategy);
+
+struct SelectivePlan {
+  /// The full protectable-site universe, in ordinal order.
+  std::vector<eddi::ProtectSiteRef> universe;
+  /// Chosen ordinals, sorted ascending. selected.size() == budget_sites.
+  std::vector<int> selected;
+  /// round(budget * universe size).
+  int budget_sites = 0;
+  /// The flow report the ranking was computed from (kAnalysis; also
+  /// populated for kRandom so plan consumers can report predictions).
+  check::flow::FlowReport flow;
+};
+
+/// Plans a protection-site selection for `program` (which must be the
+/// pre-protection lowered program). `protect_options` supplies the knobs
+/// that shape the site universe (protect_branches, ...); its selector and
+/// coverage_ratio are ignored.
+SelectivePlan plan_selective(const masm::AsmProgram& program,
+                             const SelectiveOptions& options,
+                             const eddi::AsmProtectOptions& protect_options);
+
+/// A protect_asm selector enforcing the plan (ordinal membership). The
+/// returned callable copies the selected set; the plan may be discarded.
+eddi::ProtectSelector plan_selector(const SelectivePlan& plan);
+
+}  // namespace ferrum::pipeline
